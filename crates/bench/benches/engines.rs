@@ -1,0 +1,65 @@
+//! Criterion benchmarks of whole k-NN queries: the sequential-scan
+//! baseline against each pruning engine and the paper's best combination,
+//! on a small NHL-like database — the per-query costs behind the Figure
+//! 11–13 speedup ratios, plus the early-abandon ablation the paper does
+//! not explore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trajsim_data::nhl_like;
+use trajsim_prune::{
+    CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, NearTriangleKnn,
+    QgramKnn, QgramVariant, ScanMode, SequentialScan,
+};
+
+fn bench_engines(c: &mut Criterion) {
+    let data = nhl_like(42, 400).normalize();
+    let sigma = trajsim_core::max_std_dev(data.trajectories()).unwrap();
+    let eps = trajsim_core::MatchThreshold::new(2.0 * sigma).unwrap();
+    let query = data.trajectories()[17].clone();
+    let k = 20;
+
+    let mut group = c.benchmark_group("knn_nhl400");
+    group.sample_size(10);
+
+    let seq = SequentialScan::new(&data, eps);
+    group.bench_function("seq_scan", |b| b.iter(|| black_box(seq.knn(&query, k))));
+
+    let seq_ea = SequentialScan::new(&data, eps).with_early_abandon();
+    group.bench_function("seq_scan_early_abandon", |b| {
+        b.iter(|| black_box(seq_ea.knn(&query, k)))
+    });
+
+    let qgram = QgramKnn::build(&data, eps, 1, QgramVariant::MergeJoin2d);
+    group.bench_function("qgram_ps2", |b| b.iter(|| black_box(qgram.knn(&query, k))));
+
+    let hist = HistogramKnn::build(
+        &data,
+        eps,
+        HistogramVariant::PerDimension,
+        ScanMode::Sorted,
+    );
+    group.bench_function("histogram_1he_hsr", |b| {
+        b.iter(|| black_box(hist.knn(&query, k)))
+    });
+
+    let ntr = NearTriangleKnn::build(&data, eps, 100);
+    group.bench_function("near_triangle", |b| b.iter(|| black_box(ntr.knn(&query, k))));
+
+    let combined = CombinedKnn::build(
+        &data,
+        eps,
+        CombinedConfig {
+            max_triangle: 100,
+            ..CombinedConfig::default()
+        },
+    );
+    group.bench_function("combined_1hpn", |b| {
+        b.iter(|| black_box(combined.knn(&query, k)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

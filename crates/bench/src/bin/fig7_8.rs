@@ -1,0 +1,91 @@
+//! **Figures 7 & 8** — pruning power (Fig. 7) and speedup ratio (Fig. 8)
+//! of the four mean-value q-gram implementations (PR, PB, PS2, PS1) with
+//! q-gram sizes 1–4, on the ASL, Slip, and Kungfu data sets (§5.1).
+//!
+//! Expected shape per the paper: PR > PB and PS2 > PS1 in pruning power
+//! (2-d beats 1-d); power drops as q grows (Slip collapses to ~0 for
+//! q > 1); in *speedup* the index-free merge joins beat the indexed
+//! variants (index traversal costs more than it saves; PR/PB can drop
+//! below 1), and PS2 at q = 1 is the best overall.
+
+use trajsim_bench::{retrieval_eps_scaled, probing_queries, render_table, run_engine, write_json, Args};
+use trajsim_core::Dataset;
+use trajsim_data::{asl_retrieval_like, kungfu_like, slip_like};
+use trajsim_prune::{KnnEngine, QgramKnn, QgramVariant, SequentialScan};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.queries == 10 && !args.full {
+        args.queries = 5; // Kungfu/Slip EDRs are 640²; keep the default run short
+    }
+    let datasets: Vec<(&str, Dataset<2>)> = vec![
+        ("ASL", asl_retrieval_like(args.seed).normalize()),
+        ("Slip", slip_like(args.seed).normalize()),
+        ("Kungfu", kungfu_like(args.seed).normalize()),
+    ];
+    let variants = [
+        ("PR", QgramVariant::IndexedRtree),
+        ("PB", QgramVariant::IndexedBtree { dim: 0 }),
+        ("PS2", QgramVariant::MergeJoin2d),
+        ("PS1", QgramVariant::MergeJoin1d { dim: 0 }),
+    ];
+    let mut json = serde_json::Map::new();
+    for (name, data) in &datasets {
+        let eps = retrieval_eps_scaled(data, 1.0);
+        let queries = probing_queries(data, args.queries);
+        eprintln!(
+            "[{name}] N = {}, eps = {:.3}: sequential baseline...",
+            data.len(),
+            eps.value()
+        );
+        let seq = SequentialScan::new(data, eps);
+        // Warm-up pass first (it also yields the oracle answers): the
+        // timed baseline must not pay first-touch page faults that the
+        // engines, running later, would not pay.
+        let expected: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| seq.knn(q, args.k).distances())
+            .collect();
+        let seq_run = run_engine(&seq, &queries, args.k, None);
+
+        let mut power_rows = Vec::new();
+        let mut speed_rows = Vec::new();
+        let mut set_json = serde_json::Map::new();
+        for (label, variant) in variants {
+            let mut power_row = vec![label.to_string()];
+            let mut speed_row = vec![label.to_string()];
+            let mut v_json = Vec::new();
+            for q in 1..=4usize {
+                let engine = QgramKnn::build(data, eps, q, variant);
+                let run = run_engine(&engine, &queries, args.k, Some(&expected));
+                let speedup = run.speedup(seq_run.secs_per_query);
+                power_row.push(format!("{:.3}", run.pruning_power));
+                speed_row.push(format!("{speedup:.2}"));
+                v_json.push(serde_json::json!({
+                    "q": q,
+                    "pruning_power": run.pruning_power,
+                    "speedup": speedup,
+                }));
+                eprintln!("  {label} q={q}: power {:.3}, speedup {speedup:.2}", run.pruning_power);
+            }
+            power_rows.push(power_row);
+            speed_rows.push(speed_row);
+            set_json.insert(label.to_string(), serde_json::Value::Array(v_json));
+        }
+        set_json.insert(
+            "seq_secs_per_query".into(),
+            serde_json::json!(seq_run.secs_per_query),
+        );
+        json.insert(name.to_string(), serde_json::Value::Object(set_json));
+
+        let header: Vec<String> = ["method", "q=1", "q=2", "q=3", "q=4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        println!("\nFigure 7 ({name}): pruning power of mean-value Q-grams (k = {})\n", args.k);
+        print!("{}", render_table(&header, &power_rows));
+        println!("\nFigure 8 ({name}): speedup ratio of mean-value Q-grams\n");
+        print!("{}", render_table(&header, &speed_rows));
+    }
+    write_json("fig7_8", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,70 @@
+//! **Table 1** — clustering results of five distance functions (§3.2).
+//!
+//! For each labelled data set (CM-like, ASL-like), take every pair of
+//! classes, cluster it into two clusters with complete linkage under each
+//! distance function, and count correctly partitioned pairs.
+//!
+//! Paper's numbers: CM (of 10): Eu 2, DTW 10, ERP 10, LCSS 10, EDR 10.
+//! ASL (of 45): Eu 4, DTW 20, ERP 21, LCSS 21, EDR 21.
+//! Expected shape: Euclidean far behind; the four elastic measures
+//! comparable, with ASL (noisier classes) leaving headroom for all.
+
+use trajsim_bench::{render_table, write_json, Args};
+use trajsim_core::{max_std_dev, LabeledDataset, MatchThreshold};
+use trajsim_data::{asl_like, cm_like};
+use trajsim_distance::Measure;
+use trajsim_eval::correct_pair_partitions;
+
+fn best_dtw_band(data: &LabeledDataset<2>) -> (usize, usize) {
+    // "we also test DTW with different warping lengths and report the
+    // best results" (§3.2).
+    let mut best = (0usize, 0usize);
+    for band in [None, Some(5), Some(10), Some(20), Some(40)] {
+        let (correct, total) = correct_pair_partitions(data, &Measure::Dtw { band });
+        if correct > best.0 {
+            best = (correct, total);
+        }
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let sets: Vec<(&str, LabeledDataset<2>)> = vec![
+        ("CM", cm_like(args.seed).normalize()),
+        ("ASL", asl_like(args.seed).normalize()),
+    ];
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for (name, data) in &sets {
+        let sigma = max_std_dev(data.dataset().trajectories()).expect("non-empty");
+        let eps = MatchThreshold::quarter_of_max_std(sigma).expect("finite");
+        let mut row = vec![String::new(); 7];
+        let mut set_json = serde_json::Map::new();
+        let mut total_pairs = 0;
+        for (col, measure) in Measure::lineup(eps).into_iter().enumerate() {
+            let (correct, total) = if matches!(measure, Measure::Dtw { .. }) {
+                best_dtw_band(data)
+            } else {
+                correct_pair_partitions(data, &measure)
+            };
+            total_pairs = total;
+            let label = trajsim_distance::TrajectoryMeasure::<2>::name(&measure);
+            row[col + 2] = correct.to_string();
+            set_json.insert(label.to_string(), serde_json::json!(correct));
+        }
+        row[0] = name.to_string();
+        row[1] = format!("(total {total_pairs} correct)");
+        set_json.insert("total".into(), serde_json::json!(total_pairs));
+        json.insert(name.to_string(), serde_json::Value::Object(set_json));
+        rows.push(row);
+    }
+    println!("Table 1: Clustering results of five distance functions");
+    println!("(correct 2-cluster partitions over all class pairs; ε = max σ / 4)\n");
+    let header: Vec<String> = ["data", "", "Eu", "DTW", "ERP", "LCSS", "EDR"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    print!("{}", render_table(&header, &rows));
+    write_json("table1", &serde_json::Value::Object(json));
+}

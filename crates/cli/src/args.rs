@@ -1,0 +1,107 @@
+//! Tiny flag parser: positional arguments plus `--key value` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Splits `argv` into positionals and `--key value` options.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a dangling `--key` with no value.
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut out = Parsed::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .or_else(|| arg.strip_prefix('-').filter(|k| !k.is_empty() && !k.starts_with(char::is_numeric)));
+            if let Some(key) = key {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                out.options.insert(key.to_string(), value.clone());
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed numeric/typed option, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the option is present but does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// A required typed option.
+    ///
+    /// # Errors
+    ///
+    /// Fails when missing or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.options
+            .get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))?
+            .parse()
+            .map_err(|_| format!("option --{key}: cannot parse {:?}", self.options[key]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let p = Parsed::parse(&args(&["knn", "data.csv", "--k", "5", "--eps", "0.25"])).unwrap();
+        assert_eq!(p.positional(0), Some("knn"));
+        assert_eq!(p.positional(1), Some("data.csv"));
+        assert_eq!(p.positional_count(), 2);
+        assert_eq!(p.get_or("k", 1usize).unwrap(), 5);
+        assert_eq!(p.get_or("eps", 1.0f64).unwrap(), 0.25);
+        assert_eq!(p.get_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(Parsed::parse(&args(&["--dangling"])).is_err());
+        let p = Parsed::parse(&args(&["--k", "abc"])).unwrap();
+        assert!(p.get_or("k", 0usize).is_err());
+        assert!(p.require::<usize>("nope").is_err());
+    }
+}

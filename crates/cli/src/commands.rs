@@ -1,0 +1,302 @@
+//! Subcommand implementations.
+
+use crate::args::Parsed;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use trajsim_core::{max_std_dev, Dataset, MatchThreshold};
+use trajsim_data::{seeded_rng, LengthDistribution};
+use trajsim_eval::{agglomerative, Dendrogram, DistanceMatrix, Linkage};
+use trajsim_prune::{
+    range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine,
+    KnnResult, QgramKnn, QgramVariant, ScanMode, SequentialScan,
+};
+
+const USAGE: &str = "\
+usage: trajsim <command> [options]
+
+commands:
+  generate <nhl|mixed|walk|asl|kungfu|slip> -o FILE [--n N] [--seed S]
+  convert  <in> <out>
+  stats    <file>
+  knn      <file> --query I [--k K] [--eps E] [--engine scan|qgram|histogram|combined]
+  range    <file> --query I --edits K [--eps E]
+  cluster  <file> [--k K] [--eps E] [--tree yes]
+
+files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
+
+/// Dispatches the parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.positional(0) {
+        Some("generate") => generate(&parsed),
+        Some("convert") => convert(&parsed),
+        Some("stats") => stats(&parsed),
+        Some("knn") => knn(&parsed),
+        Some("range") => range(&parsed),
+        Some("cluster") => cluster(&parsed),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset<2>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let ds = if Path::new(path).extension().is_some_and(|e| e == "bin") {
+        trajsim_io::read_binary(reader).map_err(|e| e.to_string())?
+    } else {
+        trajsim_io::read_csv(reader).map_err(|e| e.to_string())?
+    };
+    if ds.is_empty() {
+        return Err(format!("{path}: empty data set"));
+    }
+    Ok(ds)
+}
+
+fn store(path: &str, ds: &Dataset<2>) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    if Path::new(path).extension().is_some_and(|e| e == "bin") {
+        trajsim_io::write_binary(writer, ds).map_err(|e| e.to_string())
+    } else {
+        trajsim_io::write_csv(writer, ds).map_err(|e| e.to_string())
+    }
+}
+
+fn pick_eps(parsed: &Parsed, ds: &Dataset<2>) -> Result<MatchThreshold, String> {
+    let default = max_std_dev(ds.trajectories()).map_err(|e| e.to_string())? * 0.25;
+    let eps: f64 = parsed.get_or("eps", default)?;
+    MatchThreshold::new(eps).map_err(|e| e.to_string())
+}
+
+fn generate(parsed: &Parsed) -> Result<(), String> {
+    let kind = parsed
+        .positional(1)
+        .ok_or("generate: missing data set kind")?;
+    let out: String = parsed.require("o")?;
+    let seed: u64 = parsed.get_or("seed", 42u64)?;
+    let n: usize = parsed.get_or("n", 1000usize)?;
+    let ds = match kind {
+        "nhl" => trajsim_data::nhl_like(seed, n),
+        "mixed" => trajsim_data::mixed_like(seed, n),
+        "walk" => trajsim_data::random_walk_set(
+            &mut seeded_rng(seed),
+            n,
+            LengthDistribution::Uniform { min: 30, max: 256 },
+        ),
+        "asl" => trajsim_data::asl_retrieval_like(seed),
+        "kungfu" => trajsim_data::kungfu_like(seed),
+        "slip" => trajsim_data::slip_like(seed),
+        other => return Err(format!("unknown data set kind {other:?}")),
+    };
+    store(&out, &ds)?;
+    println!("wrote {} trajectories to {out}", ds.len());
+    Ok(())
+}
+
+fn convert(parsed: &Parsed) -> Result<(), String> {
+    let (input, output) = match (parsed.positional(1), parsed.positional(2)) {
+        (Some(i), Some(o)) => (i, o),
+        _ => return Err("convert: need <in> and <out>".into()),
+    };
+    let ds = load(input)?;
+    store(output, &ds)?;
+    println!("converted {} trajectories: {input} -> {output}", ds.len());
+    Ok(())
+}
+
+fn stats(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("stats: missing file")?;
+    let ds = load(path)?;
+    let lens: Vec<usize> = ds.iter().map(|(_, t)| t.len()).collect();
+    let total: usize = lens.iter().sum();
+    let (mut lo, mut hi) = (
+        trajsim_core::Point2::xy(f64::INFINITY, f64::INFINITY),
+        trajsim_core::Point2::xy(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    );
+    for (_, t) in ds.iter() {
+        if let Ok((l, h)) = t.bounding_box() {
+            lo = trajsim_core::Point2::xy(lo.x().min(l.x()), lo.y().min(l.y()));
+            hi = trajsim_core::Point2::xy(hi.x().max(h.x()), hi.y().max(h.y()));
+        }
+    }
+    println!("{path}:");
+    println!("  trajectories: {}", ds.len());
+    println!("  samples:      {total}");
+    println!(
+        "  lengths:      min {} / mean {:.1} / max {}",
+        lens.iter().min().unwrap(),
+        total as f64 / ds.len() as f64,
+        lens.iter().max().unwrap()
+    );
+    println!("  extent:       x [{:.2}, {:.2}], y [{:.2}, {:.2}]", lo.x(), hi.x(), lo.y(), hi.y());
+    Ok(())
+}
+
+fn report(result: &KnnResult) {
+    for n in &result.neighbors {
+        println!("  id {:>6}  EDR {:>5}", n.id, n.dist);
+    }
+    println!(
+        "  [{} of {} candidates pruned ({:.1}%): {} histogram, {} q-gram, {} near-triangle]",
+        result.stats.pruned(),
+        result.stats.database_size,
+        result.stats.pruning_power() * 100.0,
+        result.stats.pruned_by_histogram,
+        result.stats.pruned_by_qgram,
+        result.stats.pruned_by_triangle,
+    );
+}
+
+fn knn(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("knn: missing file")?;
+    let ds = load(path)?.normalize();
+    let query_id: usize = parsed.require("query")?;
+    let k: usize = parsed.get_or("k", 10usize)?;
+    let query = ds
+        .get(query_id)
+        .ok_or_else(|| format!("query id {query_id} out of range (N = {})", ds.len()))?
+        .clone();
+    let eps = pick_eps(parsed, &ds)?;
+    let engine: String = parsed.get_or("engine", "combined".to_string())?;
+    println!(
+        "k-NN: query {query_id}, k = {k}, eps = {:.4}, engine = {engine}",
+        eps.value()
+    );
+    let result = match engine.as_str() {
+        "scan" => SequentialScan::new(&ds, eps).knn(&query, k),
+        "qgram" => QgramKnn::build(&ds, eps, 1, QgramVariant::MergeJoin2d).knn(&query, k),
+        "histogram" => HistogramKnn::build(
+            &ds,
+            eps,
+            HistogramVariant::PerDimension,
+            ScanMode::Sorted,
+        )
+        .knn(&query, k),
+        "combined" => {
+            let config = CombinedConfig {
+                max_triangle: 100,
+                ..Default::default()
+            };
+            CombinedKnn::build(&ds, eps, config).knn(&query, k)
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    report(&result);
+    Ok(())
+}
+
+fn range(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("range: missing file")?;
+    let ds = load(path)?.normalize();
+    let query_id: usize = parsed.require("query")?;
+    let edits: usize = parsed.require("edits")?;
+    let query = ds
+        .get(query_id)
+        .ok_or_else(|| format!("query id {query_id} out of range (N = {})", ds.len()))?
+        .clone();
+    let eps = pick_eps(parsed, &ds)?;
+    let hits = range_query(&ds, eps, &query, edits, 1);
+    println!(
+        "range: query {query_id}, within {edits} edits, eps = {:.4}: {} hits",
+        eps.value(),
+        hits.len()
+    );
+    for h in hits {
+        println!("  id {:>6}  EDR {:>5}", h.id, h.dist);
+    }
+    Ok(())
+}
+
+fn cluster(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("cluster: missing file")?;
+    let ds = load(path)?.normalize();
+    let k: usize = parsed.get_or("k", 2usize)?;
+    if k == 0 || k > ds.len() {
+        return Err(format!("--k must be in 1..={}", ds.len()));
+    }
+    let eps = pick_eps(parsed, &ds)?;
+    let measure = trajsim_distance::Measure::Edr { eps };
+    let matrix = DistanceMatrix::compute(&ds, &measure);
+    let assignment = agglomerative(&matrix, k, Linkage::Complete);
+    println!("clustering {} trajectories into {k} clusters (EDR, complete linkage):", ds.len());
+    for c in 0..k {
+        let members: Vec<String> = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i.to_string())
+            .collect();
+        println!("  cluster {c}: {}", members.join(", "));
+    }
+    if parsed.get("tree").is_some() {
+        println!("\ndendrogram:");
+        print!("{}", Dendrogram::build(&matrix, Linkage::Complete).render());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("trajsim-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn usage_and_unknown_commands() {
+        assert!(run(&[]).unwrap_err().contains("usage"));
+        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_stats_convert_roundtrip() {
+        let csv = tmp("walks.csv");
+        let bin = tmp("walks.bin");
+        run(&["generate", "walk", "--n", "20", "--seed", "7", "-o", &csv]).unwrap();
+        run(&["stats", &csv]).unwrap();
+        run(&["convert", &csv, &bin]).unwrap();
+        let a = load(&csv).unwrap();
+        let b = load(&bin).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.trajectories().iter().zip(b.trajectories()) {
+            assert_eq!(x.points(), y.points());
+        }
+    }
+
+    #[test]
+    fn knn_and_range_run_on_generated_data() {
+        let csv = tmp("knn.csv");
+        run(&["generate", "walk", "--n", "30", "--seed", "3", "-o", &csv]).unwrap();
+        for engine in ["scan", "qgram", "histogram", "combined"] {
+            run(&["knn", &csv, "--query", "0", "--k", "3", "--engine", engine]).unwrap();
+        }
+        run(&["range", &csv, "--query", "0", "--edits", "5"]).unwrap();
+        // Bad engine and bad query id fail cleanly.
+        assert!(run(&["knn", &csv, "--query", "0", "--engine", "magic"]).is_err());
+        assert!(run(&["knn", &csv, "--query", "9999"]).is_err());
+    }
+
+    #[test]
+    fn cluster_runs_and_validates_k() {
+        let csv = tmp("cluster.csv");
+        run(&["generate", "walk", "--n", "12", "--seed", "5", "-o", &csv]).unwrap();
+        run(&["cluster", &csv, "--k", "3", "--tree", "yes"]).unwrap();
+        assert!(run(&["cluster", &csv, "--k", "0"]).is_err());
+        assert!(run(&["cluster", &csv, "--k", "99"]).is_err());
+    }
+
+    #[test]
+    fn generate_validates_kind_and_output() {
+        assert!(run(&["generate", "martian", "-o", &tmp("x.csv")]).is_err());
+        assert!(run(&["generate", "walk"]).unwrap_err().contains("--o"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # trajsim-core
+//!
+//! Core types for similarity search over moving-object trajectories, as
+//! defined in Chen, Özsu, Oria, *Robust and Fast Similarity Search for
+//! Moving Object Trajectories* (SIGMOD 2005).
+//!
+//! A trajectory `S = [(t1, s1), ..., (tn, sn)]` records the successive
+//! positions of a moving object; each `si` is a `D`-dimensional vector
+//! sampled at timestamp `ti`. For similarity-based retrieval the paper is
+//! interested only in the movement *shape*, so the sequence of sampled
+//! vectors matters and the time components can be ignored (§1). This crate
+//! therefore stores the spatial samples as the primary data and the
+//! timestamps as optional metadata.
+//!
+//! The crate provides:
+//!
+//! - [`Point`]: a fixed-dimension sample vector (`D` is a const generic;
+//!   `D = 2` — the x-y plane — is the common case and gets the [`Point2`]
+//!   alias),
+//! - [`Trajectory`]: an owned sequence of points with optional timestamps,
+//! - [`Trajectory::normalize`]: the per-dimension `(v - μ) / σ`
+//!   normalization the paper applies so distances are invariant to spatial
+//!   scaling and shifting (§2),
+//! - [`MatchThreshold`] and [`Point::matches`]: the ε-matching predicate of
+//!   Definition 1, the primitive every EDR-family computation builds on,
+//! - [`Dataset`] / [`LabeledDataset`]: containers used by the retrieval
+//!   engines and the efficacy experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use trajsim_core::{Trajectory2, MatchThreshold};
+//!
+//! let s = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+//! assert_eq!(s.len(), 3);
+//!
+//! // Definition 1: elements match iff every coordinate differs by <= eps.
+//! let eps = MatchThreshold::new(0.5).unwrap();
+//! assert!(s[0].matches(&s[0], eps));
+//! assert!(!s[0].matches(&s[1], eps));
+//!
+//! // Normalize so that similarity is invariant to spatial scaling/shifting.
+//! let norm = s.normalize();
+//! assert_eq!(norm.len(), s.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod error;
+mod matching;
+mod point;
+mod process;
+mod stats;
+mod trajectory;
+
+pub use dataset::{Dataset, LabeledDataset};
+pub use error::{CoreError, Result};
+pub use matching::MatchThreshold;
+pub use point::{Point, Point1, Point2, Point3};
+pub use stats::{max_std_dev, DimStats, TrajectoryStats};
+pub use trajectory::{Trajectory, Trajectory1, Trajectory2, Trajectory3};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        Dataset, LabeledDataset, MatchThreshold, Point, Point2, Trajectory, Trajectory2,
+    };
+}

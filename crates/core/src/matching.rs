@@ -1,0 +1,108 @@
+//! The ε matching threshold of Definition 1.
+
+use crate::{CoreError, Result};
+
+/// The matching threshold ε of Definition 1.
+///
+/// Two trajectory elements `r` and `s` *match* iff `|r_k - s_k| <= ε` for
+/// every coordinate `k`. The threshold is what makes EDR (and LCSS) robust
+/// to noise: the distance between a pair of elements is quantized to
+/// {match, no-match} so an outlier can perturb the total distance by at most
+/// one edit operation (§3.1).
+///
+/// The newtype enforces the invariant that ε is finite and non-negative, so
+/// downstream code can compare against it without re-validating.
+///
+/// ```
+/// use trajsim_core::MatchThreshold;
+/// let eps = MatchThreshold::new(0.25).unwrap();
+/// assert_eq!(eps.value(), 0.25);
+/// assert!(MatchThreshold::new(-1.0).is_err());
+/// assert!(MatchThreshold::new(f64::NAN).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MatchThreshold(f64);
+
+impl MatchThreshold {
+    /// Creates a matching threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `eps` is negative, NaN, or
+    /// infinite. ε = 0 is allowed and degrades EDR to exact-match edit
+    /// distance, which is occasionally useful in tests.
+    pub fn new(eps: f64) -> Result<Self> {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon",
+                reason: "matching threshold must be finite and non-negative",
+            });
+        }
+        Ok(MatchThreshold(eps))
+    }
+
+    /// The raw threshold value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the threshold by an integer factor δ ≥ 1, as used by the
+    /// coarse-histogram relaxation of Theorem 7 (`EDR_{δ·ε} <= EDR_ε`).
+    #[must_use]
+    pub fn scaled(self, delta: u32) -> Self {
+        MatchThreshold(self.0 * f64::from(delta.max(1)))
+    }
+
+    /// The paper's recommended default: a quarter of the maximum standard
+    /// deviation across the trajectories being compared (§3.2, confirmed by
+    /// Vlachos \[33\]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidParameter`] if `max_std_dev` is not
+    /// finite or is negative.
+    pub fn quarter_of_max_std(max_std_dev: f64) -> Result<Self> {
+        Self::new(max_std_dev * 0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_values() {
+        assert!(MatchThreshold::new(f64::INFINITY).is_err());
+        assert!(MatchThreshold::new(f64::NEG_INFINITY).is_err());
+        assert!(MatchThreshold::new(f64::NAN).is_err());
+        assert!(MatchThreshold::new(-0.001).is_err());
+    }
+
+    #[test]
+    fn zero_threshold_is_allowed() {
+        let eps = MatchThreshold::new(0.0).unwrap();
+        assert_eq!(eps.value(), 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_and_clamps_delta() {
+        let eps = MatchThreshold::new(0.5).unwrap();
+        assert_eq!(eps.scaled(4).value(), 2.0);
+        // δ = 0 is treated as 1 rather than producing a useless ε = 0.
+        assert_eq!(eps.scaled(0).value(), 0.5);
+    }
+
+    #[test]
+    fn quarter_rule() {
+        let eps = MatchThreshold::quarter_of_max_std(2.0).unwrap();
+        assert_eq!(eps.value(), 0.5);
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        let a = MatchThreshold::new(0.1).unwrap();
+        let b = MatchThreshold::new(0.2).unwrap();
+        assert!(a < b);
+    }
+}

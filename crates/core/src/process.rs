@@ -1,0 +1,374 @@
+//! Trajectory preprocessing operations.
+//!
+//! Real trajectory sources (GPS units, video trackers) produce data at
+//! uneven rates and resolutions; these operations — resampling, moving-
+//! average smoothing, Douglas-Peucker simplification, and basic geometry
+//! — are the standard preparation steps before similarity search. They
+//! are deliberately separate from [`Trajectory::normalize`]: normalization
+//! is part of the paper's *distance definition* (§2), while everything
+//! here is an optional, lossy preprocessing choice.
+
+use crate::{CoreError, Point, Result, Trajectory};
+
+impl<const D: usize> Trajectory<D> {
+    /// Resamples the trajectory to exactly `n` points by linear
+    /// interpolation along the *index* axis (uniform in sample count, the
+    /// convention the similarity literature uses for length alignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrajectory`] on an empty input and
+    /// [`CoreError::InvalidParameter`] for `n == 0`.
+    pub fn resample(&self, n: usize) -> Result<Self> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyTrajectory);
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                reason: "resample target must be positive",
+            });
+        }
+        let src = self.points();
+        if src.len() == 1 {
+            return Ok(Trajectory::new(vec![src[0]; n]));
+        }
+        let points = (0..n)
+            .map(|i| {
+                let pos = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64 * (src.len() - 1) as f64
+                };
+                let lo = (pos.floor() as usize).min(src.len() - 2);
+                let frac = pos - lo as f64;
+                let (a, b) = (src[lo], src[lo + 1]);
+                a + (b - a) * frac
+            })
+            .collect();
+        Ok(Trajectory::new(points))
+    }
+
+    /// Resamples to `n` points spaced uniformly by *arc length* — equal
+    /// distance travelled between consecutive samples, which removes the
+    /// speed component and keeps only the path shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Trajectory::resample`].
+    pub fn resample_by_arc_length(&self, n: usize) -> Result<Self> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyTrajectory);
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                reason: "resample target must be positive",
+            });
+        }
+        let src = self.points();
+        if src.len() == 1 {
+            return Ok(Trajectory::new(vec![src[0]; n]));
+        }
+        // Cumulative arc length at each source sample.
+        let mut cum = Vec::with_capacity(src.len());
+        cum.push(0.0);
+        for w in src.windows(2) {
+            cum.push(cum.last().expect("non-empty") + w[0].dist(&w[1]));
+        }
+        let total = *cum.last().expect("non-empty");
+        if total == 0.0 {
+            // Degenerate: the object never moved.
+            return Ok(Trajectory::new(vec![src[0]; n]));
+        }
+        let mut points = Vec::with_capacity(n);
+        let mut seg = 0usize;
+        for i in 0..n {
+            let target = if n == 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64 * total
+            };
+            while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+                seg += 1;
+            }
+            let span = (cum[seg + 1] - cum[seg]).max(f64::MIN_POSITIVE);
+            let frac = ((target - cum[seg]) / span).clamp(0.0, 1.0);
+            let (a, b) = (src[seg], src[seg + 1]);
+            points.push(a + (b - a) * frac);
+        }
+        Ok(Trajectory::new(points))
+    }
+
+    /// Moving-average smoothing with a centred window of `2·half + 1`
+    /// samples (truncated at the ends). `half == 0` returns a clone.
+    #[must_use]
+    pub fn smooth(&self, half: usize) -> Self {
+        if half == 0 || self.len() <= 1 {
+            return self.clone();
+        }
+        let src = self.points();
+        let points = (0..src.len())
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half).min(src.len() - 1);
+                let mut acc = Point::<D>::origin();
+                for p in &src[lo..=hi] {
+                    acc = acc + *p;
+                }
+                acc / (hi - lo + 1) as f64
+            })
+            .collect();
+        Trajectory::new(points)
+    }
+
+    /// Douglas-Peucker simplification: the smallest subset of points such
+    /// that every dropped point lies within `tolerance` (perpendicular
+    /// distance) of the simplified polyline. First and last points are
+    /// always kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or not finite.
+    #[must_use]
+    pub fn simplify(&self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be finite and non-negative"
+        );
+        let src = self.points();
+        if src.len() <= 2 {
+            return self.clone();
+        }
+        let mut keep = vec![false; src.len()];
+        keep[0] = true;
+        keep[src.len() - 1] = true;
+        let mut stack = vec![(0usize, src.len() - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi <= lo + 1 {
+                continue;
+            }
+            let (mut worst, mut worst_i) = (0.0f64, lo + 1);
+            for i in (lo + 1)..hi {
+                let d = point_to_segment(&src[i], &src[lo], &src[hi]);
+                if d > worst {
+                    worst = d;
+                    worst_i = i;
+                }
+            }
+            if worst > tolerance {
+                keep[worst_i] = true;
+                stack.push((lo, worst_i));
+                stack.push((worst_i, hi));
+            }
+        }
+        Trajectory::new(
+            src.iter()
+                .zip(&keep)
+                .filter_map(|(p, &k)| k.then_some(*p))
+                .collect(),
+        )
+    }
+
+    /// Total arc length (sum of consecutive point distances). 0 for
+    /// trajectories with fewer than two points.
+    pub fn arc_length(&self) -> f64 {
+        self.points().windows(2).map(|w| w[0].dist(&w[1])).sum()
+    }
+
+    /// The minimum bounding rectangle as `(lower, upper)` corner points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrajectory`] on an empty trajectory.
+    pub fn bounding_box(&self) -> Result<(Point<D>, Point<D>)> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyTrajectory);
+        }
+        let mut lo = self[0];
+        let mut hi = self[0];
+        for p in self.iter() {
+            for k in 0..D {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        Ok((lo, hi))
+    }
+}
+
+/// Perpendicular distance from `p` to the segment `a`-`b` (falls back to
+/// endpoint distance outside the segment's span).
+fn point_to_segment<const D: usize>(p: &Point<D>, a: &Point<D>, b: &Point<D>) -> f64 {
+    let ab = *b - *a;
+    let ap = *p - *a;
+    let denom: f64 = (0..D).map(|k| ab[k] * ab[k]).sum();
+    if denom == 0.0 {
+        return p.dist(a);
+    }
+    let t: f64 = (0..D).map(|k| ap[k] * ab[k]).sum::<f64>() / denom;
+    let t = t.clamp(0.0, 1.0);
+    let proj = *a + ab * t;
+    p.dist(&proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Point2, Trajectory2};
+    use proptest::prelude::*;
+
+    fn ramp(n: usize) -> Trajectory2 {
+        (0..n).map(|i| Point2::xy(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let t = ramp(10);
+        let r = t.resample(25).unwrap();
+        assert_eq!(r.len(), 25);
+        assert_eq!(r[0], t[0]);
+        assert_eq!(r[24], t[9]);
+        // Uniform ramp stays uniform.
+        for w in r.points().windows(2) {
+            assert!((w[1].x() - w[0].x() - 9.0 / 24.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_error_cases() {
+        assert!(Trajectory2::default().resample(5).is_err());
+        assert!(ramp(3).resample(0).is_err());
+        let single = Trajectory2::from_xy(&[(2.0, 3.0)]);
+        let r = single.resample(4).unwrap();
+        assert!(r.iter().all(|p| *p == Point2::xy(2.0, 3.0)));
+    }
+
+    #[test]
+    fn arc_length_resampling_equalizes_speed() {
+        // Slow at the start (dense samples), fast at the end.
+        let t = Trajectory2::from_xy(&[
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.2, 0.0),
+            (0.3, 0.0),
+            (10.0, 0.0),
+        ]);
+        let r = t.resample_by_arc_length(11).unwrap();
+        let steps: Vec<f64> = r.points().windows(2).map(|w| w[0].dist(&w[1])).collect();
+        let (min, max) = steps
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        assert!(max - min < 1e-9, "steps not uniform: {steps:?}");
+        assert!((r.arc_length() - t.arc_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_object_resamples_degenerately() {
+        let t = Trajectory2::from_xy(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        let r = t.resample_by_arc_length(5).unwrap();
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|p| *p == Point2::xy(1.0, 1.0)));
+    }
+
+    #[test]
+    fn smoothing_flattens_a_spike() {
+        let t = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 9.0), (3.0, 0.0), (4.0, 0.0)]);
+        let s = t.smooth(1);
+        assert_eq!(s.len(), t.len());
+        assert!(s[2].y() < 4.0, "spike not attenuated: {}", s[2].y());
+        // half = 0 is the identity.
+        assert_eq!(t.smooth(0), t);
+    }
+
+    #[test]
+    fn simplify_drops_collinear_points() {
+        let t = ramp(100);
+        let s = t.simplify(0.01);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], t[0]);
+        assert_eq!(s[1], t[99]);
+    }
+
+    #[test]
+    fn simplify_keeps_a_significant_corner() {
+        let t = Trajectory2::from_xy(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0)]);
+        let s = t.simplify(0.5);
+        assert_eq!(s.len(), 3, "the corner must survive");
+        // Zero tolerance keeps everything non-collinear.
+        let z = t.simplify(0.0);
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    fn bounding_box_and_arc_length() {
+        let t = Trajectory2::from_xy(&[(1.0, 5.0), (-2.0, 3.0), (4.0, -1.0)]);
+        let (lo, hi) = t.bounding_box().unwrap();
+        assert_eq!(lo, Point2::xy(-2.0, -1.0));
+        assert_eq!(hi, Point2::xy(4.0, 5.0));
+        assert!(Trajectory2::default().bounding_box().is_err());
+        assert_eq!(ramp(5).arc_length(), 4.0);
+        assert_eq!(Trajectory2::default().arc_length(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Resampling to the same length is the identity (up to float
+        /// error), and any resampling stays inside the bounding box.
+        #[test]
+        fn resample_identity_and_bounds(
+            pts in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..30),
+            n in 1usize..60,
+        ) {
+            let t = Trajectory2::from_xy(&pts);
+            let same = t.resample(t.len()).unwrap();
+            for (a, b) in t.iter().zip(same.iter()) {
+                prop_assert!(a.dist(b) < 1e-9);
+            }
+            let r = t.resample(n).unwrap();
+            let (lo, hi) = t.bounding_box().unwrap();
+            for p in r.iter() {
+                prop_assert!(p.x() >= lo.x() - 1e-9 && p.x() <= hi.x() + 1e-9);
+                prop_assert!(p.y() >= lo.y() - 1e-9 && p.y() <= hi.y() + 1e-9);
+            }
+        }
+
+        /// Simplification keeps endpoints, never grows, and every dropped
+        /// point is within tolerance of the simplified polyline.
+        #[test]
+        fn simplify_is_sound(
+            pts in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..25),
+            tol in 0.01..5.0f64,
+        ) {
+            let t = Trajectory2::from_xy(&pts);
+            let s = t.simplify(tol);
+            prop_assert!(s.len() <= t.len());
+            prop_assert_eq!(s[0], t[0]);
+            prop_assert_eq!(s[s.len() - 1], t[t.len() - 1]);
+            // Soundness: every original point is within tol of some
+            // segment of the simplification.
+            for p in t.iter() {
+                let ok = s.points().windows(2).any(|w| {
+                    super::point_to_segment(p, &w[0], &w[1]) <= tol + 1e-9
+                }) || s.iter().any(|q| q.dist(p) <= tol + 1e-9);
+                prop_assert!(ok, "point {p} strays beyond tolerance");
+            }
+        }
+
+        /// Smoothing is bounded by the input's extremes per dimension.
+        #[test]
+        fn smoothing_stays_in_range(
+            pts in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 1..25),
+            half in 0usize..5,
+        ) {
+            let t = Trajectory2::from_xy(&pts);
+            let s = t.smooth(half);
+            prop_assert_eq!(s.len(), t.len());
+            let (lo, hi) = t.bounding_box().unwrap();
+            for p in s.iter() {
+                prop_assert!(p.x() >= lo.x() - 1e-9 && p.x() <= hi.x() + 1e-9);
+                prop_assert!(p.y() >= lo.y() - 1e-9 && p.y() <= hi.y() + 1e-9);
+            }
+        }
+    }
+}

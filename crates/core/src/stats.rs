@@ -1,0 +1,138 @@
+//! Aggregate statistics over trajectories and trajectory sets.
+//!
+//! The efficacy experiments set the matching threshold to "a quarter of the
+//! maximum standard deviation of trajectories" (§3.2); these helpers compute
+//! that quantity over a whole data set.
+
+use crate::{CoreError, Point, Result, Trajectory};
+
+/// Mean and standard deviation of one dimension of one trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimStats {
+    /// Arithmetic mean of the coordinate values.
+    pub mean: f64,
+    /// Population standard deviation of the coordinate values.
+    pub std_dev: f64,
+    /// Minimum coordinate value.
+    pub min: f64,
+    /// Maximum coordinate value.
+    pub max: f64,
+}
+
+/// Per-dimension statistics for one trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStats<const D: usize> {
+    dims: [DimStats; D],
+}
+
+impl<const D: usize> TrajectoryStats<D> {
+    /// Computes per-dimension statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrajectory`] for an empty trajectory.
+    pub fn compute(t: &Trajectory<D>) -> Result<Self> {
+        if t.is_empty() {
+            return Err(CoreError::EmptyTrajectory);
+        }
+        let mu: Point<D> = t.mean()?;
+        let sd: Point<D> = t.std_dev()?;
+        let mut dims = [DimStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }; D];
+        for (k, d) in dims.iter_mut().enumerate() {
+            d.mean = mu[k];
+            d.std_dev = sd[k];
+        }
+        for p in t.iter() {
+            for (k, d) in dims.iter_mut().enumerate() {
+                d.min = d.min.min(p[k]);
+                d.max = d.max.max(p[k]);
+            }
+        }
+        Ok(TrajectoryStats { dims })
+    }
+
+    /// Statistics for dimension `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= D`.
+    pub fn dim(&self, k: usize) -> &DimStats {
+        &self.dims[k]
+    }
+
+    /// The largest standard deviation across dimensions.
+    pub fn max_std_dev(&self) -> f64 {
+        self.dims.iter().fold(0.0, |m, d| m.max(d.std_dev))
+    }
+}
+
+/// The maximum per-dimension standard deviation over an entire set of
+/// trajectories — the σ in the paper's `ε = σ/4` rule of thumb. Empty
+/// trajectories in the set are skipped.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrajectory`] if the set contains no non-empty
+/// trajectory.
+pub fn max_std_dev<const D: usize>(trajectories: &[Trajectory<D>]) -> Result<f64> {
+    let mut best: Option<f64> = None;
+    for t in trajectories {
+        if t.is_empty() {
+            continue;
+        }
+        let sd = t.std_dev()?;
+        for k in 0..D {
+            best = Some(best.map_or(sd[k], |b: f64| b.max(sd[k])));
+        }
+    }
+    best.ok_or(CoreError::EmptyTrajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory2;
+
+    #[test]
+    fn per_dimension_stats() {
+        let t = Trajectory2::from_xy(&[(0.0, -1.0), (2.0, 1.0), (4.0, 0.0)]);
+        let s = TrajectoryStats::compute(&t).unwrap();
+        assert_eq!(s.dim(0).mean, 2.0);
+        assert_eq!(s.dim(0).min, 0.0);
+        assert_eq!(s.dim(0).max, 4.0);
+        assert_eq!(s.dim(1).mean, 0.0);
+        assert!((s.dim(0).std_dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.max_std_dev(), s.dim(0).std_dev);
+    }
+
+    #[test]
+    fn empty_trajectory_is_an_error() {
+        assert!(TrajectoryStats::compute(&Trajectory2::default()).is_err());
+    }
+
+    #[test]
+    fn dataset_max_std_spans_trajectories() {
+        let a = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 0.0)]); // std x = 0.5
+        let b = Trajectory2::from_xy(&[(0.0, 0.0), (0.0, 10.0)]); // std y = 5
+        let m = max_std_dev(&[a, b]).unwrap();
+        assert_eq!(m, 5.0);
+    }
+
+    #[test]
+    fn dataset_max_std_skips_empty_members() {
+        let a = Trajectory2::default();
+        let b = Trajectory2::from_xy(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(max_std_dev(&[a, b]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn dataset_of_empties_is_an_error() {
+        let err = max_std_dev::<2>(&[Trajectory2::default()]).unwrap_err();
+        assert_eq!(err, CoreError::EmptyTrajectory);
+    }
+}

@@ -1,0 +1,290 @@
+//! The Table 2 corruption model: interpolated Gaussian noise over 10–20 %
+//! of a trajectory's length plus local time shifting, after the program of
+//! Vlachos et al. \[37\] used by the paper ("we add to [the] data sets
+//! interpolated Gaussian noise (about 10-20% of the length of trajectories)
+//! and local time shifting", §3.2).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use trajsim_core::{Dataset, LabeledDataset, Point2, Trajectory2};
+
+/// Parameters of the noise + local-time-shifting corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Fraction range of the trajectory length covered by noise
+    /// (paper: 10–20 %).
+    pub noise_frac: (f64, f64),
+    /// Standard deviation of the injected Gaussian noise, in multiples of
+    /// the trajectory's own per-dimension standard deviation, so the noise
+    /// is outlier-scale for any data range.
+    pub noise_sigma_factor: f64,
+    /// Maximum fraction of the length a local segment is stretched or
+    /// compressed by during time shifting.
+    pub shift_frac: f64,
+}
+
+impl Default for CorruptionConfig {
+    /// The paper's regime: noise covering 10–20 % of the length, noise σ of
+    /// 5× the data σ (clearly outliers), shifts up to 20 % of the length.
+    fn default() -> Self {
+        CorruptionConfig {
+            noise_frac: (0.10, 0.20),
+            noise_sigma_factor: 5.0,
+            shift_frac: 0.20,
+        }
+    }
+}
+
+/// Applies local time shifting followed by interpolated Gaussian noise to
+/// one trajectory, preserving its length.
+///
+/// *Local time shifting* re-samples a random contiguous segment at a
+/// different rate (stretching it) while compressing the remainder, so the
+/// same path is traversed with locally shifted timing. *Interpolated
+/// Gaussian noise* then perturbs a random contiguous run of 10–20 % of the
+/// elements with zero-mean Gaussian offsets whose magnitude ramps up and
+/// down (interpolated) so the corrupted segment connects smoothly at its
+/// ends — matching the effect of Vlachos's generator.
+///
+/// Empty and single-element trajectories are returned unchanged.
+pub fn corrupt<R: Rng + ?Sized>(
+    rng: &mut R,
+    t: &Trajectory2,
+    cfg: &CorruptionConfig,
+) -> Trajectory2 {
+    if t.len() < 2 {
+        return t.clone();
+    }
+    let shifted = local_time_shift(rng, t, cfg.shift_frac);
+    if cfg.noise_sigma_factor <= 0.0 || cfg.noise_frac.1 <= 0.0 {
+        return shifted;
+    }
+    add_interpolated_noise(rng, &shifted, cfg)
+}
+
+/// Corrupts every trajectory of a labelled dataset, preserving labels —
+/// the per-seed data sets of the Table 2 experiment ("we use each raw data
+/// set as a seed and generate 50 distinct data sets that include noise and
+/// time shifting").
+pub fn corrupt_dataset<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &LabeledDataset<2>,
+    cfg: &CorruptionConfig,
+) -> LabeledDataset<2> {
+    let trajectories = data
+        .dataset()
+        .trajectories()
+        .iter()
+        .map(|t| corrupt(rng, t, cfg))
+        .collect();
+    LabeledDataset::new(
+        Dataset::new(trajectories),
+        data.labels().to_vec(),
+        data.class_names().to_vec(),
+    )
+    .expect("corruption preserves lengths and labels")
+}
+
+/// Stretches a random segment and compresses the rest via monotone
+/// re-sampling; output length equals input length.
+fn local_time_shift<R: Rng + ?Sized>(
+    rng: &mut R,
+    t: &Trajectory2,
+    shift_frac: f64,
+) -> Trajectory2 {
+    let n = t.len();
+    if shift_frac <= 0.0 || n < 3 {
+        return t.clone();
+    }
+    // Pick a segment [a, b) of the *source* index space and a stretch
+    // factor; build a piecewise-linear monotone map from output position to
+    // source position that over-samples the segment.
+    let seg_len = ((n as f64) * rng.gen_range(0.1..0.3)).max(2.0) as usize;
+    let a = rng.gen_range(0..n - seg_len.min(n - 1));
+    let b = (a + seg_len).min(n - 1);
+    let stretch = 1.0 + rng.gen_range(0.0..shift_frac) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    // Weights: inside the segment, each source step takes `stretch` output
+    // steps; outside, 1. Normalize to keep the output length at n.
+    let mut weights = vec![1.0f64; n - 1];
+    for w in weights.iter_mut().take(b).skip(a) {
+        *w = stretch.max(0.2);
+    }
+    let total: f64 = weights.iter().sum();
+    // Cumulative output positions of each source index, scaled to [0, n-1].
+    let mut cum = Vec::with_capacity(n);
+    cum.push(0.0);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total * (n - 1) as f64;
+        cum.push(acc);
+    }
+    // Invert the map: for each output index i, find the source position
+    // whose cumulative output position equals i.
+    let mut points = Vec::with_capacity(n);
+    let mut src = 0usize;
+    for i in 0..n {
+        let target = i as f64;
+        while src + 1 < n - 1 && cum[src + 1] < target {
+            src += 1;
+        }
+        let span = (cum[src + 1] - cum[src]).max(f64::MIN_POSITIVE);
+        let frac = ((target - cum[src]) / span).clamp(0.0, 1.0);
+        let (p, q) = (t[src], t[src + 1]);
+        points.push(Point2::xy(
+            p.x() + (q.x() - p.x()) * frac,
+            p.y() + (q.y() - p.y()) * frac,
+        ));
+    }
+    Trajectory2::new(points)
+}
+
+/// Adds a smoothly ramped run of Gaussian outliers covering a
+/// `cfg.noise_frac` fraction of the elements.
+fn add_interpolated_noise<R: Rng + ?Sized>(
+    rng: &mut R,
+    t: &Trajectory2,
+    cfg: &CorruptionConfig,
+) -> Trajectory2 {
+    let n = t.len();
+    let (lo, hi) = cfg.noise_frac;
+    let frac = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+    let run = ((n as f64 * frac).round() as usize).clamp(1, n);
+    let start = rng.gen_range(0..=n - run);
+    let sd = t.std_dev().expect("non-empty");
+    let sigma = (sd[0].max(sd[1]) * cfg.noise_sigma_factor).max(1e-6);
+    let noise = Normal::new(0.0, sigma).expect("finite sigma");
+    let mut points: Vec<Point2> = t.points().to_vec();
+    for (k, p) in points.iter_mut().skip(start).take(run).enumerate() {
+        // Triangular ramp: full noise mid-run, tapering to ~0 at the ends,
+        // which is the "interpolated" part — the noisy burst blends in.
+        let pos = (k as f64 + 0.5) / run as f64;
+        let ramp = 1.0 - (2.0 * pos - 1.0).abs();
+        *p = Point2::xy(
+            p.x() + noise.sample(rng) * ramp,
+            p.y() + noise.sample(rng) * ramp,
+        );
+    }
+    Trajectory2::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{seeded_rng, smooth_template};
+    use proptest::prelude::*;
+    use trajsim_core::Dataset;
+
+    const BOUNDS: (f64, f64, f64, f64) = (0.0, 100.0, 0.0, 100.0);
+
+    fn sample_traj(seed: u64, len: usize) -> Trajectory2 {
+        smooth_template(&mut seeded_rng(seed), 5, len, BOUNDS)
+    }
+
+    #[test]
+    fn corruption_preserves_length() {
+        let t = sample_traj(1, 120);
+        let c = corrupt(&mut seeded_rng(2), &t, &CorruptionConfig::default());
+        assert_eq!(c.len(), t.len());
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn corruption_actually_changes_points() {
+        let t = sample_traj(3, 100);
+        let c = corrupt(&mut seeded_rng(4), &t, &CorruptionConfig::default());
+        let moved = t
+            .iter()
+            .zip(c.iter())
+            .filter(|(a, b)| a.dist(b) > 1e-9)
+            .count();
+        assert!(moved > 10, "only {moved} points moved");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let t = sample_traj(5, 80);
+        let cfg = CorruptionConfig::default();
+        let a = corrupt(&mut seeded_rng(6), &t, &cfg);
+        let b = corrupt(&mut seeded_rng(6), &t, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_trajectories_pass_through() {
+        let cfg = CorruptionConfig::default();
+        let empty = Trajectory2::default();
+        assert_eq!(corrupt(&mut seeded_rng(0), &empty, &cfg), empty);
+        let single = Trajectory2::from_xy(&[(1.0, 2.0)]);
+        assert_eq!(corrupt(&mut seeded_rng(0), &single, &cfg), single);
+    }
+
+    #[test]
+    fn noise_is_outlier_scale_but_localized() {
+        let t = sample_traj(7, 200);
+        let cfg = CorruptionConfig {
+            shift_frac: 0.0, // isolate the noise component
+            ..CorruptionConfig::default()
+        };
+        let c = corrupt(&mut seeded_rng(8), &t, &cfg);
+        let sd = t.std_dev().unwrap();
+        let scale = sd[0].max(sd[1]);
+        let big_moves = t
+            .iter()
+            .zip(c.iter())
+            .filter(|(a, b)| a.dist(b) > scale)
+            .count();
+        // Noise covers 10-20% of 200 = 20..40 points; the triangular ramp
+        // means only the middle of the run moves by >1 data sigma.
+        assert!(big_moves >= 2, "expected some outliers, got {big_moves}");
+        assert!(big_moves <= 40, "noise not localized: {big_moves} outliers");
+    }
+
+    #[test]
+    fn corrupt_dataset_preserves_labels_and_sizes() {
+        let ds = Dataset::new(vec![sample_traj(10, 60), sample_traj(11, 70)]);
+        let ld = LabeledDataset::new(ds, vec![0, 1], vec!["a".into(), "b".into()]).unwrap();
+        let c = corrupt_dataset(&mut seeded_rng(12), &ld, &CorruptionConfig::default());
+        assert_eq!(c.labels(), ld.labels());
+        assert_eq!(c.len(), ld.len());
+        assert_eq!(c.dataset().get(0).unwrap().len(), 60);
+        assert_eq!(c.dataset().get(1).unwrap().len(), 70);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Corruption never changes lengths and never produces non-finite
+        /// coordinates, for any seed and length.
+        #[test]
+        fn corruption_well_formed(seed in 0u64..300, len in 2usize..150) {
+            let t = sample_traj(seed, len);
+            let c = corrupt(&mut seeded_rng(seed + 1), &t, &CorruptionConfig::default());
+            prop_assert_eq!(c.len(), len);
+            prop_assert!(c.is_finite());
+        }
+
+        /// Time shifting alone keeps points on (a resampling of) the
+        /// original path: every shifted point lies within the bounding box
+        /// of the original trajectory.
+        #[test]
+        fn time_shift_stays_on_path(seed in 0u64..100) {
+            let t = sample_traj(seed, 80);
+            let cfg = CorruptionConfig {
+                noise_frac: (0.0, 0.0),
+                noise_sigma_factor: 0.0,
+                shift_frac: 0.3,
+            };
+            let c = corrupt(&mut seeded_rng(seed + 7), &t, &cfg);
+            let (mut x0, mut x1, mut y0, mut y1) =
+                (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+            for p in t.iter() {
+                x0 = x0.min(p.x()); x1 = x1.max(p.x());
+                y0 = y0.min(p.y()); y1 = y1.max(p.y());
+            }
+            for p in c.iter() {
+                prop_assert!(p.x() >= x0 - 1e-9 && p.x() <= x1 + 1e-9);
+                prop_assert!(p.y() >= y0 - 1e-9 && p.y() <= y1 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Labelled benchmark sets for the efficacy experiments (§3.2): synthetic
+//! stand-ins for the Cameramouse and ASL data.
+
+use crate::template::{instance_of, smooth_template};
+use crate::seeded_rng;
+use rand::Rng;
+use trajsim_core::{Dataset, LabeledDataset};
+
+/// Configuration of a template-based labelled set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledSetConfig {
+    /// Number of classes (distinct underlying motions).
+    pub classes: usize,
+    /// Instances generated per class.
+    pub per_class: usize,
+    /// Inclusive range instance lengths are drawn from.
+    pub len_range: (usize, usize),
+    /// Waypoints per template — more waypoints = more intricate motion.
+    pub waypoints: usize,
+    /// Monotone time-warp strength applied to each instance (local time
+    /// shifting, 0..1).
+    pub warp_strength: f64,
+    /// Per-point Gaussian jitter σ, in the template coordinate units.
+    pub jitter_sigma: f64,
+    /// Fraction (0..0.5) of the template that may be trimmed from either
+    /// end of each instance — different recordings of the same motion
+    /// rarely start and stop at the same instant, and this is what defeats
+    /// sliding-window Euclidean alignment in Table 1/2.
+    pub trim_frac: f64,
+    /// Number of *base shapes* the class templates derive from. Equal to
+    /// `classes` (or 0, meaning "independent") every class is its own
+    /// shape; smaller values create sibling classes that are perturbations
+    /// of a shared base — confusable pairs, like visually similar sign
+    /// language signs.
+    pub base_shapes: usize,
+}
+
+/// Generates a labelled set: `classes` smooth templates, each sampled
+/// `per_class` times under local time shifting and jitter.
+///
+/// # Panics
+///
+/// Panics if `classes == 0`, `per_class == 0`, or the length range is
+/// inverted or contains 0.
+pub fn labeled_set<R: Rng + ?Sized>(rng: &mut R, cfg: &LabeledSetConfig) -> LabeledDataset<2> {
+    assert!(cfg.classes > 0 && cfg.per_class > 0, "empty configuration");
+    assert!(
+        0 < cfg.len_range.0 && cfg.len_range.0 <= cfg.len_range.1,
+        "invalid length range"
+    );
+    const BOUNDS: (f64, f64, f64, f64) = (0.0, 100.0, 0.0, 100.0);
+    let template_len = cfg.len_range.1.max(32);
+    let trim = cfg.trim_frac.clamp(0.0, 0.5);
+    // Base shapes: classes derived from a shared base are smooth
+    // perturbations of it, producing confusable class pairs.
+    let n_bases = if cfg.base_shapes == 0 {
+        cfg.classes
+    } else {
+        cfg.base_shapes.min(cfg.classes)
+    };
+    let bases: Vec<trajsim_core::Trajectory2> = (0..n_bases)
+        .map(|_| smooth_template(rng, cfg.waypoints, template_len, BOUNDS))
+        .collect();
+    let mut trajectories = Vec::with_capacity(cfg.classes * cfg.per_class);
+    let mut labels = Vec::with_capacity(cfg.classes * cfg.per_class);
+    let mut names = Vec::with_capacity(cfg.classes);
+    for class in 0..cfg.classes {
+        names.push(format!("class-{class}"));
+        let base = &bases[class % n_bases];
+        let template = if n_bases == cfg.classes {
+            base.clone()
+        } else if class < n_bases {
+            // First sibling of each base: the base itself.
+            base.clone()
+        } else {
+            // Later siblings: the base with an inserted detour stroke — the
+            // classes share a long common subsequence and differ by a gap,
+            // the regime where LCSS's gap-blindness costs accuracy and
+            // EDR's gap penalty pays off (the paper's S-vs-P example at
+            // class level).
+            with_detour(rng, base, template_len)
+        };
+        for _ in 0..cfg.per_class {
+            let len = rng.gen_range(cfg.len_range.0..=cfg.len_range.1);
+            // Trim a random amount off both ends of the template span.
+            let n = template.len();
+            let max_cut = ((n as f64) * trim) as usize;
+            let start = rng.gen_range(0..=max_cut);
+            let end = n - rng.gen_range(0..=max_cut);
+            let span = trajsim_core::Trajectory2::new(template.points()[start..end].to_vec());
+            trajectories.push(instance_of(
+                rng,
+                &span,
+                len,
+                cfg.warp_strength,
+                cfg.jitter_sigma,
+            ));
+            labels.push(class);
+        }
+    }
+    LabeledDataset::new(Dataset::new(trajectories), labels, names)
+        .expect("construction is internally consistent")
+}
+
+/// Inserts a smooth out-and-back detour stroke into a base shape and
+/// resamples to `out_len` — how a *sibling class* differs from its base.
+fn with_detour<R: Rng + ?Sized>(
+    rng: &mut R,
+    base: &trajsim_core::Trajectory2,
+    out_len: usize,
+) -> trajsim_core::Trajectory2 {
+    use std::f64::consts::{PI, TAU};
+    let n = base.len();
+    let at = rng.gen_range(n / 5..4 * n / 5);
+    let detour_len = rng.gen_range(n / 6..n / 4).max(2);
+    let anchor = base[at];
+    let angle = rng.gen_range(0.0..TAU);
+    let radius = rng.gen_range(15.0..30.0);
+    let detour = (0..detour_len).map(|j| {
+        let u = j as f64 / (detour_len - 1) as f64;
+        let out = (u * PI).sin() * radius; // out and back to the anchor
+        let swing = angle + (u - 0.5) * 0.8;
+        trajsim_core::Point2::xy(anchor.x() + out * swing.cos(), anchor.y() + out * swing.sin())
+    });
+    let mut pts = base.points()[..at].to_vec();
+    pts.extend(detour);
+    pts.extend_from_slice(&base.points()[at..]);
+    instance_of(
+        rng,
+        &trajsim_core::Trajectory2::new(pts),
+        out_len,
+        0.0,
+        0.0,
+    )
+}
+
+/// A Cameramouse-like set (CM, \[11\]): "15 trajectories of 5 words (3 for
+/// each word) obtained by tracking the finger tips of people as they
+/// 'write' various words". Five intricate word shapes; instances are
+/// heavily time-warped and trimmed (people never write at the same speed
+/// twice), which is exactly what breaks Euclidean alignment in Table 1.
+pub fn cm_like(seed: u64) -> LabeledDataset<2> {
+    let mut rng = seeded_rng(seed);
+    labeled_set(
+        &mut rng,
+        &LabeledSetConfig {
+            classes: 5,
+            per_class: 3,
+            len_range: (90, 140),
+            waypoints: 12, // "writing a word" is an intricate stroke
+            warp_strength: 0.95,
+            jitter_sigma: 1.0,
+            trim_frac: 0.25,
+            base_shapes: 0,
+        },
+    )
+}
+
+fn asl_config(per_class: usize) -> LabeledSetConfig {
+    LabeledSetConfig {
+        classes: 10,
+        per_class,
+        len_range: (60, 140),
+        waypoints: 8,
+        warp_strength: 0.9,
+        jitter_sigma: 2.5,
+        trim_frac: 0.15,
+        // Ten signs derived from five base hand shapes: sibling classes
+        // are confusable, leaving the error headroom Table 1/2 show for
+        // ASL even under the elastic measures.
+        base_shapes: 5,
+    }
+}
+
+/// An ASL-like set (UCI KDD): "a 10 class data set with 5 trajectories per
+/// class" of Australian Sign Language signs, lengths 60–140 (§5.1).
+pub fn asl_like(seed: u64) -> LabeledDataset<2> {
+    let mut rng = seeded_rng(seed);
+    labeled_set(&mut rng, &asl_config(5))
+}
+
+/// The combined ASL retrieval database of §5.1: "this data set combines all
+/// the trajectories of ten word classes into one data set", 710
+/// trajectories with lengths 60–140. We reach 710 by generating 71
+/// instances per class.
+pub fn asl_retrieval_like(seed: u64) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    labeled_set(&mut rng, &asl_config(71)).dataset().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::{max_std_dev, MatchThreshold};
+    use trajsim_distance::edr;
+
+    #[test]
+    fn cm_like_shape_matches_paper() {
+        let cm = cm_like(42);
+        assert_eq!(cm.len(), 15);
+        assert_eq!(cm.num_classes(), 5);
+        for c in 0..5 {
+            assert_eq!(cm.members_of(c).len(), 3);
+        }
+        for (_, t) in cm.dataset().iter() {
+            assert!((90..=140).contains(&t.len()));
+            assert!(t.is_finite());
+        }
+    }
+
+    #[test]
+    fn asl_like_shape_matches_paper() {
+        let asl = asl_like(42);
+        assert_eq!(asl.len(), 50);
+        assert_eq!(asl.num_classes(), 10);
+        for (_, t) in asl.dataset().iter() {
+            assert!((60..=140).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn asl_retrieval_set_has_710_trajectories() {
+        let ds = asl_retrieval_like(1);
+        assert_eq!(ds.len(), 710);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(cm_like(7), cm_like(7));
+        assert_ne!(cm_like(7), cm_like(8));
+    }
+
+    #[test]
+    fn classes_are_separable_under_edr() {
+        // The whole point of the synthetic stand-ins: same-class instances
+        // must be closer (under the paper's measure and ε rule) than
+        // cross-class ones, on average — otherwise Tables 1-2 would be
+        // meaningless.
+        let cm = cm_like(3).normalize();
+        let eps =
+            MatchThreshold::quarter_of_max_std(max_std_dev(cm.dataset().trajectories()).unwrap())
+                .unwrap();
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        for i in 0..cm.len() {
+            for j in (i + 1)..cm.len() {
+                let d = edr(
+                    cm.dataset().get(i).unwrap(),
+                    cm.dataset().get(j).unwrap(),
+                    eps,
+                ) as f64;
+                if cm.labels()[i] == cm.labels()[j] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&intra) < avg(&inter),
+            "intra {} !< inter {}",
+            avg(&intra),
+            avg(&inter)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty configuration")]
+    fn zero_classes_panics() {
+        let mut rng = seeded_rng(0);
+        let _ = labeled_set(
+            &mut rng,
+            &LabeledSetConfig {
+                classes: 0,
+                per_class: 1,
+                len_range: (10, 20),
+                waypoints: 4,
+                warp_strength: 0.1,
+                jitter_sigma: 0.1,
+                trim_frac: 0.0,
+                base_shapes: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # trajsim-data
+//!
+//! Deterministic synthetic trajectory data sets with the same *statistical
+//! shape* as the benchmarks used in Chen, Özsu, Oria (SIGMOD 2005) — see
+//! `DESIGN.md` §4 for the substitution rationale. The originals
+//! (Cameramouse, the UCI ASL signs, the Kungfu/Slip motion captures, NHL
+//! player tracks, and Vlachos's mixed set) are not redistributable, and the
+//! paper's efficiency results depend on trajectory lengths, database size,
+//! and cluster structure rather than on the semantic content of the
+//! motions, so shape-preserving synthesis keeps every comparison
+//! meaningful.
+//!
+//! Everything takes an explicit [`rand::Rng`], and the convenience
+//! constructors take a `u64` seed, so data sets are reproducible
+//! run-to-run.
+//!
+//! - [`cm_like`] / [`asl_like`] — small labelled sets for the efficacy
+//!   experiments (Tables 1–2),
+//! - [`kungfu_like`] / [`slip_like`] — long fixed-length motion databases
+//!   (Figures 7–10),
+//! - [`nhl_like`] / [`mixed_like`] / [`random_walk_set`] — the large
+//!   variable-length retrieval databases (Table 3, Figures 11–13),
+//! - [`corrupt`] and [`CorruptionConfig`] — the interpolated-Gaussian-noise
+//!   and local-time-shifting corruption applied for Table 2 (after
+//!   Vlachos's program \[37\]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod corrupt;
+mod labeled;
+mod motion;
+mod template;
+mod walk;
+
+pub use corrupt::{corrupt, corrupt_dataset, CorruptionConfig};
+pub use labeled::{asl_like, asl_retrieval_like, cm_like, labeled_set, LabeledSetConfig};
+pub use motion::{kungfu_like, mixed_like, nhl_like, random_walk_db, slip_like};
+pub use template::{instance_of, smooth_template};
+pub use walk::{random_walk, random_walk_set, LengthDistribution};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by every seeded convenience
+/// constructor in this crate.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

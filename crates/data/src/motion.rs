@@ -1,0 +1,249 @@
+//! The retrieval-efficiency databases of §5: Kungfu, Slip, NHL, and the
+//! Mixed set, generated with the statistical shape the pruning experiments
+//! depend on (sizes, lengths, and value ranges).
+
+use crate::template::{instance_of, smooth_template};
+use crate::walk::{random_walk, random_walk_set, LengthDistribution};
+use crate::seeded_rng;
+use rand::Rng;
+use trajsim_core::{Dataset, Point2, Trajectory2};
+
+/// A Kungfu-like database: "495 trajectories that record positions of body
+/// joints of a person playing kung fu and the length of each trajectory is
+/// 640" (§5.1). Wide, energetic motions: instances of a pool of martial
+/// templates spanning a large spatial range.
+pub fn kungfu_like(seed: u64) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    const BOUNDS: (f64, f64, f64, f64) = (0.0, 200.0, 0.0, 200.0);
+    // Each move (template) differs in *style*, not just location: moves
+    // dwell near a small set of template-specific stances and strike
+    // between them with template-specific tempo. Per-trajectory
+    // normalization erases absolute location, but dwell structure
+    // (occupancy distribution relative to the trajectory's own spread)
+    // survives — which is what gives intra-move neighbours their edge
+    // over the bulk, as the real motion-capture data has.
+    let templates: Vec<Trajectory2> = (0..15)
+        .map(|_| {
+            let stances = rng.gen_range(2..5);
+            let base = smooth_template(&mut rng, stances, 640, BOUNDS);
+            // Re-time the move so it dwells at stances: a sharpened
+            // sinusoidal schedule with template-specific tempo.
+            let tempo = rng.gen_range(1.5..6.0);
+            let sharpness = rng.gen_range(1.0..4.0f64);
+            let n = base.len();
+            Trajectory2::new(
+                (0..n)
+                    .map(|i| {
+                        let u = i as f64 / (n - 1) as f64;
+                        // Dwell-and-strike: compress transitions.
+                        let phase = (u * tempo).fract();
+                        let eased = 0.5
+                            - 0.5 * (std::f64::consts::PI * phase).cos().signum()
+                                * (std::f64::consts::PI * phase).cos().abs().powf(sharpness);
+                        let cycle = (u * tempo).floor();
+                        let pos = ((cycle + eased) / tempo).clamp(0.0, 1.0);
+                        base[(pos * (n - 1) as f64).round() as usize]
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    (0..495)
+        .map(|i| {
+            let template = &templates[i % templates.len()];
+            instance_of(&mut rng, template, 640, 0.45, 3.0)
+        })
+        .collect()
+}
+
+/// A Slip-like database: "495 trajectories which record positions of body
+/// joints of a person slipping down and trying to stand up and the length
+/// of each trajectory is 400" (§5.1).
+///
+/// The characteristic that matters for Figure 7(b) — q-gram pruning power
+/// collapsing to 0 for q > 1 — is the *narrow value range*: a slip is a
+/// short, mostly vertical motion, so all 495 trajectories crowd the same
+/// few ε-cells and almost every mean-value q-gram matches every other.
+/// We reproduce that by confining the motion to a small box with a sharp
+/// downward "fall" regime in the middle.
+pub fn slip_like(seed: u64) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    (0..495)
+        .map(|_| {
+            let len = 400usize;
+            let fall_at = rng.gen_range(len / 4..len / 2);
+            let recover_at = rng.gen_range(fall_at + len / 8..(3 * len / 4).max(fall_at + len / 8 + 1));
+            let x0 = rng.gen_range(0.0..2.0);
+            let stand_y = rng.gen_range(4.5..5.5);
+            let floor_y = rng.gen_range(0.0..0.5);
+            let mut points = Vec::with_capacity(len);
+            for i in 0..len {
+                // Standing -> falling -> on the floor -> standing back up,
+                // with small sway; everything inside roughly [0,4] x [0,6].
+                let y = if i < fall_at {
+                    stand_y
+                } else if i < recover_at {
+                    // Quick drop, slow recovery.
+                    let drop_t = (i - fall_at) as f64 / (recover_at - fall_at) as f64;
+                    floor_y + (stand_y - floor_y) * (drop_t * drop_t)
+                } else {
+                    stand_y
+                };
+                let sway_x = x0 + 0.3 * ((i as f64) * 0.05).sin() + rng.gen_range(-0.05..0.05);
+                let sway_y = y + rng.gen_range(-0.05..0.05);
+                points.push(Point2::xy(sway_x, sway_y));
+            }
+            Trajectory2::new(points)
+        })
+        .collect()
+}
+
+/// An NHL-like database: "5000 two dimensional trajectories of National
+/// Hockey League players and their trajectory lengths vary from 30 to 256"
+/// (§5.4). Rink-bounded random-waypoint skating.
+pub fn nhl_like(seed: u64, n: usize) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    // NHL rink: 200 ft x 85 ft.
+    const RINK: (f64, f64, f64, f64) = (0.0, 200.0, 0.0, 85.0);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(30..=256);
+            let waypoints = rng.gen_range(3..9);
+            let template = smooth_template(&mut rng, waypoints, len, RINK);
+            instance_of(&mut rng, &template, len, 0.3, 1.0)
+        })
+        .collect()
+}
+
+/// A Mixed-like database (after Vlachos et al. \[34\]): `n` trajectories
+/// whose "lengths vary from 60 to 2000" (§5.4), drawn from a mixture of
+/// generators (smooth waypoint motions, random walks, and circular sweeps)
+/// with log-uniform lengths, so short trajectories are common and very
+/// long ones exist.
+pub fn mixed_like(seed: u64, n: usize) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            // Log-uniform in [60, 2000].
+            let u: f64 = rng.gen_range((60.0f64).ln()..(2000.0f64).ln());
+            let len = u.exp().round() as usize;
+            match rng.gen_range(0..3) {
+                0 => {
+                    let waypoints = rng.gen_range(3..10);
+                    let template =
+                        smooth_template(&mut rng, waypoints, len, (0.0, 100.0, 0.0, 100.0));
+                    instance_of(&mut rng, &template, len, 0.3, 1.0)
+                }
+                1 => random_walk(&mut rng, len, 1.0),
+                _ => circle_sweep(&mut rng, len),
+            }
+        })
+        .collect()
+}
+
+/// A noisy circular arc — the third mixture component of [`mixed_like`].
+fn circle_sweep<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Trajectory2 {
+    let cx = rng.gen_range(20.0..80.0);
+    let cy = rng.gen_range(20.0..80.0);
+    let radius = rng.gen_range(5.0..30.0);
+    let turns = rng.gen_range(0.5..3.0);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let points = (0..len)
+        .map(|i| {
+            let theta = phase + turns * std::f64::consts::TAU * i as f64 / len.max(2) as f64;
+            Point2::xy(
+                cx + radius * theta.cos() + rng.gen_range(-0.3..0.3),
+                cy + radius * theta.sin() + rng.gen_range(-0.3..0.3),
+            )
+        })
+        .collect();
+    Trajectory2::new(points)
+}
+
+/// Re-export site for the random-walk database of §5.4 with the paper's
+/// length range (30–1024): `random_walk_db(seed, 100_000)` reproduces the
+/// full-scale set; the harness defaults to a scaled-down `n`.
+pub fn random_walk_db(seed: u64, n: usize) -> Dataset<2> {
+    let mut rng = seeded_rng(seed);
+    random_walk_set(&mut rng, n, LengthDistribution::Uniform { min: 30, max: 1024 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kungfu_shape() {
+        let ds = kungfu_like(1);
+        assert_eq!(ds.len(), 495);
+        assert!(ds.iter().all(|(_, t)| t.len() == 640 && t.is_finite()));
+    }
+
+    #[test]
+    fn slip_shape_and_value_range() {
+        let ds = slip_like(1);
+        assert_eq!(ds.len(), 495);
+        assert!(ds.iter().all(|(_, t)| t.len() == 400));
+        // The defining property: a tight value range across the whole set.
+        let (mut x_max, mut y_max) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut x_min, mut y_min) = (f64::INFINITY, f64::INFINITY);
+        for (_, t) in ds.iter() {
+            for p in t.iter() {
+                x_max = x_max.max(p.x());
+                y_max = y_max.max(p.y());
+                x_min = x_min.min(p.x());
+                y_min = y_min.min(p.y());
+            }
+        }
+        assert!(x_max - x_min < 10.0, "x range {}", x_max - x_min);
+        assert!(y_max - y_min < 10.0, "y range {}", y_max - y_min);
+    }
+
+    #[test]
+    fn slip_contains_a_fall() {
+        let ds = slip_like(2);
+        let t = ds.get(0).unwrap();
+        let ys: Vec<f64> = t.iter().map(|p| p.y()).collect();
+        let y_max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let y_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(y_max - y_min > 3.0, "no fall: range {}", y_max - y_min);
+    }
+
+    #[test]
+    fn nhl_shape() {
+        let ds = nhl_like(1, 500);
+        assert_eq!(ds.len(), 500);
+        assert!(ds.iter().all(|(_, t)| (30..=256).contains(&t.len())));
+        // Stays on the rink.
+        for (_, t) in ds.iter() {
+            for p in t.iter() {
+                assert!((-10.0..=210.0).contains(&p.x()));
+                assert!((-10.0..=95.0).contains(&p.y()));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_lengths_span_the_range() {
+        let ds = mixed_like(1, 400);
+        assert_eq!(ds.len(), 400);
+        let lens: Vec<usize> = ds.iter().map(|(_, t)| t.len()).collect();
+        assert!(lens.iter().all(|&l| (60..=2000).contains(&l)));
+        assert!(*lens.iter().min().unwrap() < 150, "no short trajectories");
+        assert!(*lens.iter().max().unwrap() > 1000, "no long trajectories");
+    }
+
+    #[test]
+    fn random_walk_db_lengths() {
+        let ds = random_walk_db(1, 100);
+        assert!(ds.iter().all(|(_, t)| (30..=1024).contains(&t.len())));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(nhl_like(5, 50), nhl_like(5, 50));
+        assert_eq!(mixed_like(5, 50), mixed_like(5, 50));
+        assert_eq!(slip_like(5), slip_like(5));
+        assert_eq!(kungfu_like(5), kungfu_like(5));
+    }
+}

@@ -1,0 +1,227 @@
+//! Smooth motion templates and per-instance variation.
+//!
+//! The labelled benchmark sets (Cameramouse words, ASL signs, the Kungfu
+//! and Slip motion captures) are all *a small number of underlying motions,
+//! each performed several times with timing and position variation*. That
+//! structure — not the exact shapes — is what the clustering,
+//! classification, and pruning experiments exercise, so we synthesize it
+//! directly: a class is a smooth template curve through random waypoints,
+//! and an instance is the template re-sampled under a random monotone time
+//! warp plus small positional jitter.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use trajsim_core::{Point2, Trajectory2};
+
+/// Generates a smooth 2-d template curve of length `len` through
+/// `n_waypoints` random waypoints inside `bounds` (given as
+/// `(x_min, x_max, y_min, y_max)`), using cosine interpolation between
+/// consecutive waypoints so the motion has continuous-looking velocity.
+///
+/// # Panics
+///
+/// Panics if `len == 0`, `n_waypoints < 2`, or the bounds are inverted.
+pub fn smooth_template<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_waypoints: usize,
+    len: usize,
+    bounds: (f64, f64, f64, f64),
+) -> Trajectory2 {
+    assert!(len > 0, "template length must be positive");
+    assert!(n_waypoints >= 2, "need at least two waypoints");
+    let (x0, x1, y0, y1) = bounds;
+    assert!(x0 < x1 && y0 < y1, "bounds must be non-degenerate");
+    let waypoints: Vec<Point2> = (0..n_waypoints)
+        .map(|_| Point2::xy(rng.gen_range(x0..x1), rng.gen_range(y0..y1)))
+        .collect();
+    let mut points = Vec::with_capacity(len);
+    for i in 0..len {
+        // Position along the waypoint polyline in [0, n_waypoints - 1].
+        let t = if len == 1 {
+            0.0
+        } else {
+            i as f64 / (len - 1) as f64 * (n_waypoints - 1) as f64
+        };
+        let seg = (t.floor() as usize).min(n_waypoints - 2);
+        let frac = t - seg as f64;
+        // Cosine easing: smooth start/stop at each waypoint.
+        let w = (1.0 - (frac * std::f64::consts::PI).cos()) * 0.5;
+        let (a, b) = (waypoints[seg], waypoints[seg + 1]);
+        points.push(Point2::xy(
+            a.x() + (b.x() - a.x()) * w,
+            a.y() + (b.y() - a.y()) * w,
+        ));
+    }
+    Trajectory2::new(points)
+}
+
+/// Produces one *instance* of a template: the template re-sampled under a
+/// random monotone time warp (local time shifting, §1) and perturbed with
+/// per-point Gaussian jitter of standard deviation `jitter_sigma`.
+///
+/// `warp_strength` in `[0, 1)` controls how uneven the re-sampling is
+/// (0 = uniform). The output has length `out_len`.
+///
+/// # Panics
+///
+/// Panics if the template is empty or `out_len == 0`.
+pub fn instance_of<R: Rng + ?Sized>(
+    rng: &mut R,
+    template: &Trajectory2,
+    out_len: usize,
+    warp_strength: f64,
+    jitter_sigma: f64,
+) -> Trajectory2 {
+    assert!(!template.is_empty(), "template must be non-empty");
+    assert!(out_len > 0, "instance length must be positive");
+    let warp = monotone_warp(rng, out_len, warp_strength);
+    let jitter = Normal::new(0.0, jitter_sigma.max(f64::MIN_POSITIVE)).expect("finite sigma");
+    let n = template.len();
+    let points = warp
+        .into_iter()
+        .map(|u| {
+            // u in [0, 1] -> fractional index into the template.
+            let pos = u * (n - 1) as f64;
+            let i = (pos.floor() as usize).min(n.saturating_sub(2));
+            let frac = (pos - i as f64).clamp(0.0, 1.0);
+            let (a, b) = if n == 1 {
+                (template[0], template[0])
+            } else {
+                (template[i], template[i + 1])
+            };
+            let x = a.x() + (b.x() - a.x()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
+            let y = a.y() + (b.y() - a.y()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
+            Point2::xy(x, y)
+        })
+        .collect();
+    Trajectory2::new(points)
+}
+
+/// 0 disables jitter entirely (`Normal` cannot take σ = 0).
+fn jitter_signum(sigma: f64) -> f64 {
+    if sigma > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// A random monotone sequence of `len` values spanning [0, 1]: cumulative
+/// sums of positive increments whose spread grows with `strength`.
+fn monotone_warp<R: Rng + ?Sized>(rng: &mut R, len: usize, strength: f64) -> Vec<f64> {
+    let strength = strength.clamp(0.0, 0.99);
+    if len == 1 {
+        return vec![0.0];
+    }
+    let mut increments: Vec<f64> = (0..len - 1)
+        .map(|_| 1.0 + strength * rng.gen_range(-1.0..1.0f64))
+        .collect();
+    let total: f64 = increments.iter().sum();
+    for inc in &mut increments {
+        *inc /= total;
+    }
+    let mut warp = Vec::with_capacity(len);
+    let mut acc = 0.0;
+    warp.push(0.0);
+    for inc in increments {
+        acc += inc;
+        warp.push(acc.min(1.0));
+    }
+    *warp.last_mut().expect("non-empty") = 1.0;
+    warp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use proptest::prelude::*;
+
+    const BOUNDS: (f64, f64, f64, f64) = (0.0, 100.0, 0.0, 100.0);
+
+    #[test]
+    fn template_has_requested_length_and_stays_in_bounds() {
+        let mut rng = seeded_rng(1);
+        let t = smooth_template(&mut rng, 6, 120, BOUNDS);
+        assert_eq!(t.len(), 120);
+        for p in t.iter() {
+            assert!((0.0..=100.0).contains(&p.x()));
+            assert!((0.0..=100.0).contains(&p.y()));
+        }
+    }
+
+    #[test]
+    fn template_is_deterministic_per_seed() {
+        let a = smooth_template(&mut seeded_rng(7), 5, 50, BOUNDS);
+        let b = smooth_template(&mut seeded_rng(7), 5, 50, BOUNDS);
+        let c = smooth_template(&mut seeded_rng(8), 5, 50, BOUNDS);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instance_without_variation_resamples_template() {
+        let mut rng = seeded_rng(2);
+        let t = smooth_template(&mut rng, 4, 80, BOUNDS);
+        let inst = instance_of(&mut rng, &t, 80, 0.0, 0.0);
+        // Zero warp + zero jitter at the same length = the template itself.
+        for (a, b) in t.iter().zip(inst.iter()) {
+            assert!((a.x() - b.x()).abs() < 1e-9);
+            assert!((a.y() - b.y()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn instance_endpoints_anchor_to_template() {
+        let mut rng = seeded_rng(3);
+        let t = smooth_template(&mut rng, 4, 60, BOUNDS);
+        let inst = instance_of(&mut rng, &t, 90, 0.5, 0.0);
+        assert_eq!(inst.len(), 90);
+        assert!((inst[0].x() - t[0].x()).abs() < 1e-9);
+        let (li, lt) = (inst[89], t[59]);
+        assert!((li.x() - lt.x()).abs() < 1e-9 && (li.y() - lt.y()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_template_is_handled() {
+        let mut rng = seeded_rng(4);
+        let t = Trajectory2::from_xy(&[(5.0, 5.0)]);
+        let inst = instance_of(&mut rng, &t, 10, 0.5, 0.0);
+        assert_eq!(inst.len(), 10);
+        assert!(inst.iter().all(|p| p.x() == 5.0 && p.y() == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn too_few_waypoints_panics() {
+        let _ = smooth_template(&mut seeded_rng(0), 1, 10, BOUNDS);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The warp underlying instance generation is monotone and spans
+        /// [0, 1] (indirect test through resampling a ramp template).
+        #[test]
+        fn warp_is_monotone(seed in 0u64..500, len in 2usize..64, strength in 0.0..0.95f64) {
+            let mut rng = seeded_rng(seed);
+            let warp = super::monotone_warp(&mut rng, len, strength);
+            prop_assert_eq!(warp.len(), len);
+            prop_assert_eq!(warp[0], 0.0);
+            prop_assert_eq!(warp[len - 1], 1.0);
+            for w in warp.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+        }
+
+        /// Instances always have the requested length and finite values.
+        #[test]
+        fn instances_are_well_formed(seed in 0u64..200, out_len in 1usize..100) {
+            let mut rng = seeded_rng(seed);
+            let t = smooth_template(&mut rng, 4, 30, BOUNDS);
+            let inst = instance_of(&mut rng, &t, out_len, 0.4, 1.5);
+            prop_assert_eq!(inst.len(), out_len);
+            prop_assert!(inst.is_finite());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Random-walk trajectory generators (the RandU / RandN sets of §5.2 and
+//! the large Randomwalk set of §5.4, following [6, 19]).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use trajsim_core::{Dataset, Point2, Trajectory2};
+
+/// How trajectory lengths are drawn for a random-walk set.
+///
+/// §5.2 generates "two random walk data sets with different lengths (from
+/// 30 to 256), the lengths of one ... follow uniform distribution (RandU)
+/// and the other one has normal distribution (RandN)".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDistribution {
+    /// All trajectories share one length.
+    Fixed(usize),
+    /// Lengths uniform in `[min, max]` (RandU).
+    Uniform {
+        /// Minimum length (inclusive).
+        min: usize,
+        /// Maximum length (inclusive).
+        max: usize,
+    },
+    /// Lengths normal with the given mean/σ, clamped to `[min, max]`
+    /// (RandN).
+    Normal {
+        /// Mean of the length distribution.
+        mean: f64,
+        /// Standard deviation of the length distribution.
+        std_dev: f64,
+        /// Minimum length (inclusive) after clamping.
+        min: usize,
+        /// Maximum length (inclusive) after clamping.
+        max: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// Draws one length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            LengthDistribution::Fixed(len) => len,
+            LengthDistribution::Uniform { min, max } => rng.gen_range(min..=max),
+            LengthDistribution::Normal {
+                mean,
+                std_dev,
+                min,
+                max,
+            } => {
+                let normal = Normal::new(mean, std_dev.max(f64::MIN_POSITIVE))
+                    .expect("finite parameters");
+                let v = normal.sample(rng).round();
+                (v.max(min as f64) as usize).min(max)
+            }
+        }
+    }
+}
+
+/// One 2-d random walk of length `len`: `s_{i+1} = s_i + N(0, step_sigma)²`
+/// starting at the origin — the standard time-series benchmark generator
+/// referenced by the paper ([6, 19]).
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `step_sigma` is not finite and positive.
+pub fn random_walk<R: Rng + ?Sized>(rng: &mut R, len: usize, step_sigma: f64) -> Trajectory2 {
+    assert!(len > 0, "walk length must be positive");
+    assert!(
+        step_sigma.is_finite() && step_sigma > 0.0,
+        "step sigma must be finite and positive"
+    );
+    let step = Normal::new(0.0, step_sigma).expect("validated above");
+    let mut points = Vec::with_capacity(len);
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    for _ in 0..len {
+        points.push(Point2::xy(x, y));
+        x += step.sample(rng);
+        y += step.sample(rng);
+    }
+    Trajectory2::new(points)
+}
+
+/// A database of `n` random walks with lengths drawn from `lengths` and
+/// unit step σ.
+pub fn random_walk_set<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    lengths: LengthDistribution,
+) -> Dataset<2> {
+    (0..n)
+        .map(|_| {
+            let len = lengths.sample(rng);
+            random_walk(rng, len, 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn walk_starts_at_origin_with_requested_length() {
+        let w = random_walk(&mut seeded_rng(1), 64, 1.0);
+        assert_eq!(w.len(), 64);
+        assert_eq!(w[0], Point2::xy(0.0, 0.0));
+        assert!(w.is_finite());
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let a = random_walk(&mut seeded_rng(9), 32, 1.0);
+        let b = random_walk(&mut seeded_rng(9), 32, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_lengths_stay_in_range() {
+        let mut rng = seeded_rng(2);
+        let ds = random_walk_set(
+            &mut rng,
+            200,
+            LengthDistribution::Uniform { min: 30, max: 256 },
+        );
+        assert_eq!(ds.len(), 200);
+        assert!(ds.iter().all(|(_, t)| (30..=256).contains(&t.len())));
+        // With 200 draws the spread should cover a good part of the range.
+        let lens: Vec<usize> = ds.iter().map(|(_, t)| t.len()).collect();
+        assert!(lens.iter().min().unwrap() < &60);
+        assert!(lens.iter().max().unwrap() > &220);
+    }
+
+    #[test]
+    fn normal_lengths_cluster_around_mean() {
+        let mut rng = seeded_rng(3);
+        let dist = LengthDistribution::Normal {
+            mean: 140.0,
+            std_dev: 30.0,
+            min: 30,
+            max: 256,
+        };
+        let ds = random_walk_set(&mut rng, 300, dist);
+        let mean: f64 =
+            ds.iter().map(|(_, t)| t.len() as f64).sum::<f64>() / ds.len() as f64;
+        assert!((mean - 140.0).abs() < 10.0, "sample mean {mean}");
+        assert!(ds.iter().all(|(_, t)| (30..=256).contains(&t.len())));
+    }
+
+    #[test]
+    fn fixed_lengths_are_exact() {
+        let mut rng = seeded_rng(4);
+        let ds = random_walk_set(&mut rng, 10, LengthDistribution::Fixed(77));
+        assert!(ds.iter().all(|(_, t)| t.len() == 77));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_walk_panics() {
+        let _ = random_walk(&mut seeded_rng(0), 0, 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Length sampling respects its bounds for any seed.
+        #[test]
+        fn length_sampling_in_bounds(seed in 0u64..1000) {
+            let mut rng = seeded_rng(seed);
+            let u = LengthDistribution::Uniform { min: 5, max: 9 }.sample(&mut rng);
+            prop_assert!((5..=9).contains(&u));
+            let n = LengthDistribution::Normal { mean: 7.0, std_dev: 5.0, min: 5, max: 9 }
+                .sample(&mut rng);
+            prop_assert!((5..=9).contains(&n));
+        }
+
+        /// Consecutive walk steps are finite and the walk has no jumps an
+        /// order of magnitude beyond the step sigma (sanity on the
+        /// generator, 8σ bound).
+        #[test]
+        fn steps_are_bounded(seed in 0u64..200) {
+            let w = random_walk(&mut seeded_rng(seed), 100, 1.0);
+            for pair in w.points().windows(2) {
+                prop_assert!((pair[1].x() - pair[0].x()).abs() < 8.0);
+                prop_assert!((pair[1].y() - pair[0].y()).abs() < 8.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Dynamic Time Warping (Formula 2 in Figure 2).
+
+use crate::ElementMetric;
+use trajsim_core::Trajectory;
+
+/// Dynamic Time Warping distance between two trajectories (Formula 2),
+/// using Figure 2's element distance (squared Euclidean).
+///
+/// DTW does not require the trajectories to have the same length and
+/// handles local time shifting by duplicating elements, but — because it
+/// accumulates real-valued element distances — it is sensitive to noise
+/// (§2) and is not a metric.
+///
+/// Edge cases follow Formula 2: `DTW = 0` if both trajectories are empty
+/// and `∞` if exactly one is.
+pub fn dtw<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>) -> f64 {
+    dtw_impl(r, s, ElementMetric::SquaredEuclidean, None)
+}
+
+/// DTW with an explicit element metric.
+pub fn dtw_with<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    metric: ElementMetric,
+) -> f64 {
+    dtw_impl(r, s, metric, None)
+}
+
+/// DTW constrained to a Sakoe-Chiba band of half-width `band`: cell `(i, j)`
+/// is admissible only if `|i - j| <= band`. The paper's efficacy test "also
+/// tests DTW with different warping lengths and reports the best
+/// results" (§3.2) — this is that knob. A band of at least
+/// `max(m, n)` is equivalent to unconstrained DTW; a band too narrow to
+/// reach cell `(m, n)` yields `∞`.
+pub fn dtw_banded<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>, band: usize) -> f64 {
+    dtw_impl(r, s, ElementMetric::SquaredEuclidean, Some(band))
+}
+
+fn dtw_impl<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    metric: ElementMetric,
+    band: Option<usize>,
+) -> f64 {
+    let (rp, sp) = (r.points(), s.points());
+    match (rp.is_empty(), sp.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        (false, false) => {}
+    }
+    // A band narrower than the length difference can never reach (m, n).
+    if let Some(b) = band {
+        if rp.len().abs_diff(sp.len()) > b {
+            return f64::INFINITY;
+        }
+    }
+    let n = sp.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut curr = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for (i, ri) in rp.iter().enumerate() {
+        curr[0] = f64::INFINITY;
+        let (lo, hi) = match band {
+            Some(b) => (i.saturating_sub(b), (i + b + 1).min(n)),
+            None => (0, n),
+        };
+        // Cells outside the band stay at +inf from the fill below.
+        for c in curr.iter_mut().skip(1).take(lo) {
+            *c = f64::INFINITY;
+        }
+        for c in curr.iter_mut().skip(hi + 1) {
+            *c = f64::INFINITY;
+        }
+        for j in lo..hi {
+            let d = metric.eval(ri, &sp[j]);
+            let best = prev[j].min(prev[j + 1]).min(curr[j]);
+            curr[j + 1] = if best.is_finite() { d + best } else { f64::INFINITY };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::{Trajectory1, Trajectory2};
+
+    fn t1(vals: &[f64]) -> Trajectory1 {
+        Trajectory1::from_values(vals)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let s = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 2.0)]);
+        assert_eq!(dtw(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn empty_cases_follow_formula_2() {
+        let empty = Trajectory1::default();
+        let s = t1(&[1.0]);
+        assert_eq!(dtw(&empty, &empty), 0.0);
+        assert_eq!(dtw(&empty, &s), f64::INFINITY);
+        assert_eq!(dtw(&s, &empty), f64::INFINITY);
+    }
+
+    #[test]
+    fn handles_local_time_shift_by_duplication() {
+        // [0, 1, 2] vs [0, 0, 1, 2]: DTW duplicates the first element.
+        let a = t1(&[0.0, 1.0, 2.0]);
+        let b = t1(&[0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(dtw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn accumulates_squared_distance() {
+        let a = t1(&[0.0, 0.0]);
+        let b = t1(&[3.0, 4.0]);
+        // Warping can't help: best alignment pairs 0-3, 0-4 = 9 + 16.
+        assert_eq!(dtw(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn paper_example_dtw_prefers_r_over_s() {
+        // §2: DTW ranks R, S, P (same as Euclidean) — i.e. it is fooled by
+        // the noise in S and P.
+        let q = t1(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t1(&[10.0, 9.0, 8.0, 7.0]);
+        let s = t1(&[1.0, 100.0, 2.0, 3.0, 4.0]);
+        let p = t1(&[1.0, 100.0, 101.0, 2.0, 4.0]);
+        let (dr, ds, dp) = (dtw(&q, &r), dtw(&q, &s), dtw(&q, &p));
+        assert!(dr < ds, "noise makes DTW rank the dissimilar R first");
+        assert!(ds < dp);
+    }
+
+    #[test]
+    fn metric_override_changes_units() {
+        let a = t1(&[0.0]);
+        let b = t1(&[2.0]);
+        assert_eq!(dtw(&a, &b), 4.0);
+        assert_eq!(dtw_with(&a, &b, ElementMetric::Euclidean), 2.0);
+        assert_eq!(dtw_with(&a, &b, ElementMetric::Manhattan), 2.0);
+    }
+
+    #[test]
+    fn band_zero_is_diagonal_alignment() {
+        let a = t1(&[0.0, 1.0, 2.0]);
+        let b = t1(&[1.0, 1.0, 2.0]);
+        // band 0 forces the diagonal: (0-1)^2 + 0 + 0 = 1.
+        assert_eq!(dtw_banded(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn band_narrower_than_length_difference_is_infinite() {
+        let a = t1(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let b = t1(&[0.0]);
+        assert_eq!(dtw_banded(&a, &b, 2), f64::INFINITY);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// DTW is symmetric.
+        #[test]
+        fn symmetry(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..15),
+            s in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..15),
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            let s = Trajectory2::from_xy(&s);
+            prop_assert!((dtw(&r, &s) - dtw(&s, &r)).abs() < 1e-9);
+        }
+
+        /// Widening the band can only decrease the distance, and a
+        /// sufficiently wide band equals unconstrained DTW.
+        #[test]
+        fn band_monotonicity(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..12),
+            s in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..12),
+            band in 0usize..12,
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            let s = Trajectory2::from_xy(&s);
+            let narrow = dtw_banded(&r, &s, band);
+            let wide = dtw_banded(&r, &s, band + 1);
+            prop_assert!(wide <= narrow || (wide - narrow).abs() < 1e-9);
+            let full_band = r.len().max(s.len());
+            let unconstrained = dtw(&r, &s);
+            let banded_full = dtw_banded(&r, &s, full_band);
+            prop_assert!((banded_full - unconstrained).abs() < 1e-9);
+        }
+
+        /// DTW is non-negative and zero on identical inputs.
+        #[test]
+        fn non_negative(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..15),
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            prop_assert!(dtw(&r, &r) == 0.0);
+        }
+    }
+}

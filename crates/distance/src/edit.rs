@@ -1,0 +1,76 @@
+//! Classic string edit distance (Levenshtein \[26\]) — the measure EDR
+//! generalizes from discrete symbols to real-valued sequences (§3.1), and
+//! the setting in which the Q-gram filtering bound (Theorem 1) was
+//! originally proved.
+
+/// Unit-cost edit distance between two symbol sequences: the minimum number
+/// of insert, delete, or replace operations converting `a` into `b`.
+///
+/// Generic over any `PartialEq` symbol type, so it works for `&[u8]`,
+/// `&[char]`, `&[i64]`, or quantized trajectory elements.
+///
+/// ```
+/// use trajsim_distance::edit_distance;
+/// assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+/// assert_eq!(edit_distance::<u8>(b"", b"abc"), 3);
+/// ```
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let n = inner.len();
+    if n == 0 {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut curr: Vec<usize> = vec![0; n + 1];
+    for (i, oi) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, ij) in inner.iter().enumerate() {
+            let subcost = usize::from(oi != ij);
+            curr[j + 1] = (prev[j] + subcost)
+                .min(prev[j + 1] + 1)
+                .min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_examples() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance::<u8>(b"", b""), 0);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn works_on_integers() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(edit_distance(&[1, 2, 3], &[4, 5, 6]), 3);
+    }
+
+    proptest! {
+        /// Metric axioms (unit-cost edit distance is a true metric).
+        #[test]
+        fn metric_axioms(
+            a in proptest::collection::vec(0u8..4, 0..12),
+            b in proptest::collection::vec(0u8..4, 0..12),
+            c in proptest::collection::vec(0u8..4, 0..12),
+        ) {
+            let dab = edit_distance(&a, &b);
+            let dba = edit_distance(&b, &a);
+            let dbc = edit_distance(&b, &c);
+            let dac = edit_distance(&a, &c);
+            prop_assert_eq!(dab, dba);
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+            prop_assert!(dab + dbc >= dac);
+            if a != b { prop_assert!(dab > 0); }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Edit distance with Real Penalty (Formula 3 in Figure 2).
+
+use crate::ElementMetric;
+use trajsim_core::{Point, Trajectory};
+
+/// Edit distance with Real Penalty between two trajectories (Formula 3),
+/// with the constant gap element `g` at the origin and the L1 element
+/// metric of the original ERP paper (Chen & Ng, VLDB 2004) — the choice
+/// that makes ERP a metric.
+///
+/// ERP handles local time shifting (like DTW) *and* obeys the triangle
+/// inequality (unlike DTW), but it accumulates real distances, so — like
+/// Euclidean distance and DTW — it is sensitive to noise (§2).
+pub fn erp<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>) -> f64 {
+    erp_impl(r, s, Point::origin(), ElementMetric::Manhattan)
+}
+
+/// ERP with an explicit gap element `g`.
+pub fn erp_with_gap<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>, gap: Point<D>) -> f64 {
+    erp_impl(r, s, gap, ElementMetric::Manhattan)
+}
+
+/// ERP with explicit gap element and element metric (Figure 2 writes the
+/// recurrence with its squared-Euclidean `dist`; pass
+/// [`ElementMetric::SquaredEuclidean`] to reproduce that reading verbatim).
+pub fn erp_with<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    gap: Point<D>,
+    metric: ElementMetric,
+) -> f64 {
+    erp_impl(r, s, gap, metric)
+}
+
+fn erp_impl<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    gap: Point<D>,
+    metric: ElementMetric,
+) -> f64 {
+    let (rp, sp) = (r.points(), s.points());
+    let n = sp.len();
+    // Base rows: converting to/from the empty trajectory costs the summed
+    // gap distances (Formula 3's first two cases).
+    let mut prev: Vec<f64> = Vec::with_capacity(n + 1);
+    prev.push(0.0);
+    for p in sp {
+        let last = *prev.last().expect("non-empty");
+        prev.push(last + metric.eval(p, &gap));
+    }
+    if rp.is_empty() {
+        return prev[n];
+    }
+    let mut curr = vec![0.0f64; n + 1];
+    for ri in rp {
+        let gap_r = metric.eval(ri, &gap);
+        curr[0] = prev[0] + gap_r;
+        for (j, sj) in sp.iter().enumerate() {
+            let both = prev[j] + metric.eval(ri, sj);
+            let gap_in_s = prev[j + 1] + gap_r; // align r_i with a gap
+            let gap_in_r = curr[j] + metric.eval(sj, &gap); // align s_j with a gap
+            curr[j + 1] = both.min(gap_in_s).min(gap_in_r);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::{Point2, Trajectory1, Trajectory2};
+
+    fn t1(vals: &[f64]) -> Trajectory1 {
+        Trajectory1::from_values(vals)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let s = Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(erp(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn empty_cases_sum_gap_distances() {
+        let empty = Trajectory1::default();
+        let s = t1(&[3.0, -4.0]);
+        // Gap g = 0: sum |v - 0| = 7.
+        assert_eq!(erp(&empty, &s), 7.0);
+        assert_eq!(erp(&s, &empty), 7.0);
+        assert_eq!(erp(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn single_insertion_costs_gap_distance() {
+        let a = t1(&[1.0, 2.0, 3.0]);
+        let b = t1(&[1.0, 2.0, 5.0, 3.0]);
+        // Aligning the extra element 5 with the gap costs |5 - 0| = 5.
+        assert_eq!(erp(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn custom_gap_element() {
+        let a = Trajectory2::from_xy(&[(1.0, 1.0)]);
+        let b = Trajectory2::from_xy(&[(1.0, 1.0), (2.0, 2.0)]);
+        // With gap g = (2, 2), the extra element is free.
+        assert_eq!(erp_with_gap(&a, &b, Point2::xy(2.0, 2.0)), 0.0);
+        // With the default origin gap, it costs |2| + |2| = 4.
+        assert_eq!(erp(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn paper_example_erp_prefers_r_over_s() {
+        // §2: ERP produces the same (noise-fooled) ranking as Euclidean.
+        let q = t1(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t1(&[10.0, 9.0, 8.0, 7.0]);
+        let s = t1(&[1.0, 100.0, 2.0, 3.0, 4.0]);
+        let p = t1(&[1.0, 100.0, 101.0, 2.0, 4.0]);
+        let (dr, ds, dp) = (erp(&q, &r), erp(&q, &s), erp(&q, &p));
+        assert!(dr < ds, "noise makes ERP rank the dissimilar R first");
+        assert!(ds < dp);
+    }
+
+    #[test]
+    fn figure_2_metric_variant() {
+        let a = t1(&[0.0]);
+        let b = t1(&[3.0]);
+        assert_eq!(
+            erp_with(&a, &b, Point::origin(), ElementMetric::SquaredEuclidean),
+            9.0
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// ERP with the L1 metric is symmetric.
+        #[test]
+        fn symmetry(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..15),
+            s in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..15),
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            let s = Trajectory2::from_xy(&s);
+            prop_assert!((erp(&r, &s) - erp(&s, &r)).abs() < 1e-9);
+        }
+
+        /// ERP with the L1 metric obeys the triangle inequality (it is a
+        /// metric — the reason the paper lists it as indexable, Figure 2).
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 0..10),
+            b in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 0..10),
+            c in proptest::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 0..10),
+        ) {
+            let a = Trajectory2::from_xy(&a);
+            let b = Trajectory2::from_xy(&b);
+            let c = Trajectory2::from_xy(&c);
+            prop_assert!(erp(&a, &b) + erp(&b, &c) >= erp(&a, &c) - 1e-9);
+        }
+
+        /// ERP is non-negative and zero on identical trajectories.
+        #[test]
+        fn identity(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..15),
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            prop_assert_eq!(erp(&r, &r), 0.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Euclidean distance (Formula 1 in Figure 2) and the sliding-window
+//! variant used when lengths differ.
+
+use trajsim_core::{CoreError, Result, Trajectory};
+
+/// Euclidean distance between two trajectories of the same length
+/// (Formula 1): `sqrt( Σ_i dist(r_i, s_i) )` with `dist` the squared
+/// element distance — i.e. the L2 norm over the concatenated coordinates.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] when the lengths differ — the
+/// paper's first criticism of Euclidean distance (§2). Use
+/// [`euclidean_sliding`] for the unequal-length strategy of §3.2.
+pub fn euclidean<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>) -> Result<f64> {
+    if r.len() != s.len() {
+        return Err(CoreError::LengthMismatch {
+            left: r.len(),
+            right: s.len(),
+        });
+    }
+    let sum: f64 = r
+        .iter()
+        .zip(s.iter())
+        .map(|(a, b)| a.dist_sq(b))
+        .sum();
+    Ok(sum.sqrt())
+}
+
+/// The unequal-length Euclidean strategy of §3.2 (after Vlachos et al.
+/// \[36\]): "the shorter of the two trajectories slides along the longer one
+/// and the minimum distance is recorded".
+///
+/// For equal lengths this is exactly [`euclidean`]. Returns 0 when both
+/// trajectories are empty and `∞` when exactly one is (no window exists).
+pub fn euclidean_sliding<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>) -> f64 {
+    let (short, long) = if r.len() <= s.len() {
+        (r.points(), s.points())
+    } else {
+        (s.points(), r.points())
+    };
+    if short.is_empty() {
+        return if long.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let k = short.len();
+    let mut best = f64::INFINITY;
+    for off in 0..=(long.len() - k) {
+        let mut sum = 0.0;
+        for (a, b) in short.iter().zip(&long[off..off + k]) {
+            sum += a.dist_sq(b);
+            if sum >= best {
+                break; // early abandon: the window can only get worse
+            }
+        }
+        best = best.min(sum);
+    }
+    best.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::{Trajectory1, Trajectory2};
+
+    fn t1(vals: &[f64]) -> Trajectory1 {
+        Trajectory1::from_values(vals)
+    }
+
+    #[test]
+    fn equal_length_is_l2_over_concatenated_coords() {
+        let a = Trajectory2::from_xy(&[(0.0, 0.0), (0.0, 0.0)]);
+        let b = Trajectory2::from_xy(&[(3.0, 0.0), (0.0, 4.0)]);
+        assert_eq!(euclidean(&a, &b).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let a = t1(&[1.0]);
+        let b = t1(&[1.0, 2.0]);
+        assert_eq!(
+            euclidean(&a, &b).unwrap_err(),
+            CoreError::LengthMismatch { left: 1, right: 2 }
+        );
+    }
+
+    #[test]
+    fn sliding_finds_best_window() {
+        let long = t1(&[9.0, 1.0, 2.0, 3.0, 9.0]);
+        let short = t1(&[1.0, 2.0, 3.0]);
+        assert_eq!(euclidean_sliding(&long, &short), 0.0);
+        assert_eq!(euclidean_sliding(&short, &long), 0.0); // symmetric
+    }
+
+    #[test]
+    fn sliding_equals_plain_on_equal_lengths() {
+        let a = t1(&[1.0, 2.0, 3.0]);
+        let b = t1(&[2.0, 2.0, 5.0]);
+        assert_eq!(euclidean_sliding(&a, &b), euclidean(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn sliding_empty_cases() {
+        let empty = Trajectory1::default();
+        assert_eq!(euclidean_sliding(&empty, &empty), 0.0);
+        assert_eq!(euclidean_sliding(&empty, &t1(&[1.0])), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_example_euclidean_ranks_r_first() {
+        // §2: "Euclidean distance ranks the three trajectories as R, S, P"
+        // (with the sliding strategy for the unequal lengths).
+        let q = t1(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t1(&[10.0, 9.0, 8.0, 7.0]);
+        let s = t1(&[1.0, 100.0, 2.0, 3.0, 4.0]);
+        let p = t1(&[1.0, 100.0, 101.0, 2.0, 4.0]);
+        let (dr, ds, dp) = (
+            euclidean_sliding(&q, &r),
+            euclidean_sliding(&q, &s),
+            euclidean_sliding(&q, &p),
+        );
+        assert!(dr < ds && ds < dp);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Symmetry and identity of the sliding variant.
+        #[test]
+        fn sliding_symmetric(
+            r in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..15),
+            s in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 1..15),
+        ) {
+            let r = Trajectory2::from_xy(&r);
+            let s = Trajectory2::from_xy(&s);
+            prop_assert_eq!(euclidean_sliding(&r, &s), euclidean_sliding(&s, &r));
+            prop_assert_eq!(euclidean_sliding(&r, &r), 0.0);
+        }
+
+        /// The sliding distance never exceeds the aligned distance on
+        /// equal-length inputs (it considers that window).
+        #[test]
+        fn sliding_lower_bounds_aligned(
+            pairs in proptest::collection::vec(((-5.0..5.0f64, -5.0..5.0f64), (-5.0..5.0f64, -5.0..5.0f64)), 1..15),
+        ) {
+            let r = Trajectory2::from_xy(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+            let s = Trajectory2::from_xy(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+            let aligned = euclidean(&r, &s).unwrap();
+            prop_assert!(euclidean_sliding(&r, &s) <= aligned + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A uniform interface over the five distance functions, used by the
+//! efficacy experiments (§3.2) that compare them head-to-head.
+
+use crate::{dtw, dtw_banded, edr, erp, euclidean_sliding, lcss_distance};
+use trajsim_core::{MatchThreshold, Trajectory};
+
+/// A trajectory dissimilarity measure: anything that maps a pair of
+/// trajectories to a non-negative score, smaller meaning more similar.
+pub trait TrajectoryMeasure<const D: usize> {
+    /// The dissimilarity between `r` and `s`.
+    fn distance(&self, r: &Trajectory<D>, s: &Trajectory<D>) -> f64;
+
+    /// Short human-readable name, used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The five distance functions compared throughout the paper, as one
+/// configurable value (Figure 2 plus EDR).
+///
+/// `Measure` implements [`TrajectoryMeasure`], so the clustering and
+/// classification experiments of §3.2 can iterate over
+/// `[Euclidean, Dtw, Erp, Lcss, Edr]` uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measure {
+    /// Euclidean distance with the §3.2 sliding-window strategy for
+    /// unequal lengths.
+    Euclidean,
+    /// Dynamic Time Warping, optionally constrained to a Sakoe-Chiba band.
+    Dtw {
+        /// Warping-band half-width; `None` = unconstrained.
+        band: Option<usize>,
+    },
+    /// Edit distance with Real Penalty (gap element at the origin).
+    Erp,
+    /// LCSS distance `1 - LCSS/min(m, n)`.
+    Lcss {
+        /// Matching threshold ε.
+        eps: MatchThreshold,
+    },
+    /// Edit Distance on Real sequence — the paper's proposal.
+    Edr {
+        /// Matching threshold ε.
+        eps: MatchThreshold,
+    },
+}
+
+impl Measure {
+    /// All five measures with a common matching threshold (for LCSS and
+    /// EDR) and unconstrained DTW — the line-up of Tables 1 and 2.
+    pub fn lineup(eps: MatchThreshold) -> [Measure; 5] {
+        [
+            Measure::Euclidean,
+            Measure::Dtw { band: None },
+            Measure::Erp,
+            Measure::Lcss { eps },
+            Measure::Edr { eps },
+        ]
+    }
+}
+
+impl<const D: usize> TrajectoryMeasure<D> for Measure {
+    fn distance(&self, r: &Trajectory<D>, s: &Trajectory<D>) -> f64 {
+        match *self {
+            Measure::Euclidean => euclidean_sliding(r, s),
+            Measure::Dtw { band: None } => dtw(r, s),
+            Measure::Dtw { band: Some(b) } => dtw_banded(r, s, b),
+            Measure::Erp => erp(r, s),
+            Measure::Lcss { eps } => lcss_distance(r, s, eps),
+            Measure::Edr { eps } => edr(r, s, eps) as f64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Measure::Euclidean => "Eu",
+            Measure::Dtw { .. } => "DTW",
+            Measure::Erp => "ERP",
+            Measure::Lcss { .. } => "LCSS",
+            Measure::Edr { .. } => "EDR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::Trajectory1;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    #[test]
+    fn lineup_contains_all_five_in_paper_order() {
+        let names: Vec<&str> = Measure::lineup(eps(1.0))
+            .iter()
+            .map(|m| TrajectoryMeasure::<1>::name(m))
+            .collect();
+        assert_eq!(names, vec!["Eu", "DTW", "ERP", "LCSS", "EDR"]);
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let a = Trajectory1::from_values(&[1.0, 2.0, 3.0]);
+        let b = Trajectory1::from_values(&[1.0, 2.5, 3.0, 9.0]);
+        let e = eps(0.6);
+        assert_eq!(
+            TrajectoryMeasure::<1>::distance(&Measure::Edr { eps: e }, &a, &b),
+            crate::edr(&a, &b, e) as f64
+        );
+        assert_eq!(
+            TrajectoryMeasure::<1>::distance(&Measure::Euclidean, &a, &b),
+            crate::euclidean_sliding(&a, &b)
+        );
+        assert_eq!(
+            TrajectoryMeasure::<1>::distance(&Measure::Dtw { band: Some(1) }, &a, &b),
+            crate::dtw_banded(&a, &b, 1)
+        );
+        assert_eq!(
+            TrajectoryMeasure::<1>::distance(&Measure::Erp, &a, &b),
+            crate::erp(&a, &b)
+        );
+        assert_eq!(
+            TrajectoryMeasure::<1>::distance(&Measure::Lcss { eps: e }, &a, &b),
+            crate::lcss_distance(&a, &b, e)
+        );
+    }
+
+    #[test]
+    fn all_measures_are_zero_on_identical_input() {
+        let a = Trajectory1::from_values(&[1.0, 2.0, 3.0]);
+        for m in Measure::lineup(eps(0.5)) {
+            assert_eq!(
+                TrajectoryMeasure::<1>::distance(&m, &a, &a),
+                0.0,
+                "{} not zero on identical input",
+                TrajectoryMeasure::<1>::name(&m)
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Element-level distance `dist(r_i, s_i)` used by the real-penalty
+//! distances (Euclidean, DTW, ERP).
+
+use trajsim_core::Point;
+
+/// The per-element distance plugged into DTW and ERP.
+///
+/// Figure 2 of the paper defines `dist(r_i, s_i) = (r_x - s_x)² +
+/// (r_y - s_y)²` — the *squared* L2 norm — and reuses it in the DTW and ERP
+/// recurrences. The original ERP paper (Chen & Ng, VLDB 2004) uses the L1
+/// norm so that ERP remains a metric. Both are provided, plus plain L2; the
+/// defaults in this crate follow each source paper (DTW: squared L2 as in
+/// Figure 2; ERP: L1 as in VLDB 2004), and every entry point has a `_with`
+/// variant to override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElementMetric {
+    /// Squared Euclidean distance (Figure 2's `dist`).
+    #[default]
+    SquaredEuclidean,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Manhattan (L1) distance — keeps ERP a metric.
+    Manhattan,
+}
+
+impl ElementMetric {
+    /// Evaluates the metric on a pair of points.
+    #[inline]
+    pub fn eval<const D: usize>(self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            ElementMetric::SquaredEuclidean => a.dist_sq(b),
+            ElementMetric::Euclidean => a.dist(b),
+            ElementMetric::Manhattan => a.dist_l1(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::Point2;
+
+    #[test]
+    fn evaluates_each_norm() {
+        let a = Point2::xy(0.0, 0.0);
+        let b = Point2::xy(3.0, 4.0);
+        assert_eq!(ElementMetric::SquaredEuclidean.eval(&a, &b), 25.0);
+        assert_eq!(ElementMetric::Euclidean.eval(&a, &b), 5.0);
+        assert_eq!(ElementMetric::Manhattan.eval(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn default_is_figure_2s_dist() {
+        assert_eq!(ElementMetric::default(), ElementMetric::SquaredEuclidean);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sub-trajectory (semi-global) EDR matching.
+//!
+//! The q-gram machinery of §4.1 descends from *approximate string
+//! matching*: "given a long text of length n and a pattern of length m,
+//! retrieve all the segments of the text whose edit distance to the
+//! pattern is at most k" (§4.1). The paper only uses the whole-trajectory
+//! form, but the segment form is natural for movement data too — find
+//! where inside a long surveillance track a short query motion occurs —
+//! so it is provided here: the classic semi-global dynamic program, where
+//! a match may start anywhere in the text for free (first DP row zero)
+//! and end anywhere (answers read off the last row).
+
+use trajsim_core::{MatchThreshold, Trajectory};
+
+/// A segment of the text approximately matching the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubMatch {
+    /// Start index of the matching segment in the text (inclusive).
+    pub start: usize,
+    /// End index of the matching segment in the text (exclusive).
+    pub end: usize,
+    /// EDR between the segment and the pattern.
+    pub dist: usize,
+}
+
+/// For every text position `j`, the minimum EDR between the pattern and
+/// any text segment *ending* at `j` (exclusive end). Index 0 is the empty
+/// prefix, so the result has `text.len() + 1` entries and entry 0 equals
+/// the pattern length.
+///
+/// O(|text|·|pattern|) time, O(|pattern|) additional space.
+pub fn edr_subsequence_ends<const D: usize>(
+    text: &Trajectory<D>,
+    pattern: &Trajectory<D>,
+    eps: MatchThreshold,
+) -> Vec<usize> {
+    let (tp, pp) = (text.points(), pattern.points());
+    let m = pp.len();
+    // Column-major over the pattern: col[i] = min EDR of pattern prefix i
+    // against segments ending at the current text position.
+    let mut col: Vec<usize> = (0..=m).collect();
+    let mut ends = Vec::with_capacity(tp.len() + 1);
+    ends.push(m);
+    let mut prev_col = col.clone();
+    for tj in tp {
+        std::mem::swap(&mut prev_col, &mut col);
+        col[0] = 0; // a match may start here for free
+        for (i, pi) in pp.iter().enumerate() {
+            let subcost = usize::from(!pi.matches(tj, eps));
+            col[i + 1] = (prev_col[i] + subcost)
+                .min(prev_col[i + 1] + 1)
+                .min(col[i] + 1);
+        }
+        ends.push(col[m]);
+    }
+    ends
+}
+
+/// All maximal-quality occurrences of `pattern` in `text` within EDR
+/// distance `k`: for each *local minimum* run of the end-position
+/// distances that is ≤ `k`, one match is reported, with its start found
+/// by re-running the DP backwards from the end position. Overlapping
+/// candidate ends within the same dip are collapsed to the best one.
+pub fn edr_find_matches<const D: usize>(
+    text: &Trajectory<D>,
+    pattern: &Trajectory<D>,
+    eps: MatchThreshold,
+    k: usize,
+) -> Vec<SubMatch> {
+    let ends = edr_subsequence_ends(text, pattern, eps);
+    let mut matches = Vec::new();
+    let mut j = 1usize;
+    while j < ends.len() {
+        if ends[j] > k {
+            j += 1;
+            continue;
+        }
+        // Inside a dip: take the best end of this contiguous ≤ k run.
+        let mut best = (ends[j], j);
+        let mut r = j;
+        while r + 1 < ends.len() && ends[r + 1] <= k {
+            r += 1;
+            if ends[r] < best.0 {
+                best = (ends[r], r);
+            }
+        }
+        let (dist, end) = best;
+        matches.push(SubMatch {
+            start: backtrack_start(text, pattern, eps, end, dist),
+            end,
+            dist,
+        });
+        j = r + 1;
+    }
+    matches
+}
+
+/// Finds the segment start for a known best end: the reversed pattern is
+/// matched against the reversed text prefix, and the best end of *that*
+/// match is the original start.
+fn backtrack_start<const D: usize>(
+    text: &Trajectory<D>,
+    pattern: &Trajectory<D>,
+    eps: MatchThreshold,
+    end: usize,
+    dist: usize,
+) -> usize {
+    let rev_text: Trajectory<D> =
+        text.points()[..end].iter().rev().copied().collect();
+    let rev_pattern: Trajectory<D> = pattern.points().iter().rev().copied().collect();
+    let rev_ends = edr_subsequence_ends(&rev_text, &rev_pattern, eps);
+    // The earliest reverse end achieving the same distance gives the
+    // longest segment; prefer the shortest segment (latest start) that
+    // still achieves `dist`, matching intuition of a tight occurrence.
+    let mut best_rev_end = 0usize;
+    for (rj, &d) in rev_ends.iter().enumerate() {
+        if d == dist {
+            best_rev_end = rj;
+            break;
+        }
+    }
+    end - best_rev_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::{Trajectory1, Trajectory2};
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn t1(vals: &[f64]) -> Trajectory1 {
+        Trajectory1::from_values(vals)
+    }
+
+    #[test]
+    fn exact_occurrence_is_found_at_distance_zero() {
+        let text = t1(&[9.0, 9.0, 1.0, 2.0, 3.0, 9.0, 9.0]);
+        let pattern = t1(&[1.0, 2.0, 3.0]);
+        let matches = edr_find_matches(&text, &pattern, eps(0.25), 0);
+        assert_eq!(matches.len(), 1);
+        let m = matches[0];
+        assert_eq!((m.start, m.end, m.dist), (2, 5, 0));
+    }
+
+    #[test]
+    fn noisy_occurrence_is_found_within_budget() {
+        let text = t1(&[9.0, 1.0, 77.0, 2.0, 3.0, 9.0]);
+        let pattern = t1(&[1.0, 2.0, 3.0]);
+        assert!(edr_find_matches(&text, &pattern, eps(0.25), 0).is_empty());
+        let matches = edr_find_matches(&text, &pattern, eps(0.25), 1);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].dist, 1);
+        assert_eq!(matches[0].end, 5);
+    }
+
+    #[test]
+    fn multiple_occurrences_are_reported_separately() {
+        let text = t1(&[1.0, 2.0, 3.0, 50.0, 50.0, 50.0, 1.0, 2.0, 3.0]);
+        let pattern = t1(&[1.0, 2.0, 3.0]);
+        let matches = edr_find_matches(&text, &pattern, eps(0.25), 0);
+        assert_eq!(matches.len(), 2);
+        assert_eq!((matches[0].start, matches[0].end), (0, 3));
+        assert_eq!((matches[1].start, matches[1].end), (6, 9));
+    }
+
+    #[test]
+    fn two_dimensional_patterns_work() {
+        let text = Trajectory2::from_xy(&[
+            (0.0, 0.0),
+            (5.0, 5.0),
+            (6.0, 6.0),
+            (7.0, 7.0),
+            (0.0, 0.0),
+        ]);
+        let pattern = Trajectory2::from_xy(&[(5.0, 5.0), (6.0, 6.0), (7.0, 7.0)]);
+        let matches = edr_find_matches(&text, &pattern, eps(0.1), 0);
+        assert_eq!(matches.len(), 1);
+        assert_eq!((matches[0].start, matches[0].end), (1, 4));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere_trivially() {
+        let text = t1(&[1.0, 2.0]);
+        let pattern = Trajectory1::default();
+        let ends = edr_subsequence_ends(&text, &pattern, eps(1.0));
+        assert!(ends.iter().all(|&d| d == 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The end-distance at the final position never exceeds the global
+        /// EDR (a whole-text match is one admissible segment), and every
+        /// end distance is at most the pattern length (all-replace).
+        #[test]
+        fn end_distances_are_bounded(
+            text in proptest::collection::vec(-5.0..5.0f64, 1..25),
+            pattern in proptest::collection::vec(-5.0..5.0f64, 0..10),
+            e in 0.0..2.0f64,
+        ) {
+            let text = t1(&text);
+            let pattern = t1(&pattern);
+            let ends = edr_subsequence_ends(&text, &pattern, eps(e));
+            prop_assert_eq!(ends.len(), text.len() + 1);
+            let global = crate::edr(&text, &pattern, eps(e));
+            prop_assert!(*ends.last().unwrap() <= global);
+            prop_assert!(ends.iter().all(|&d| d <= pattern.len()));
+        }
+
+        /// Matches found at budget k really are within distance k of the
+        /// reported segment.
+        #[test]
+        fn reported_matches_verify(
+            text in proptest::collection::vec(-5.0..5.0f64, 1..25),
+            pattern in proptest::collection::vec(-5.0..5.0f64, 1..8),
+            e in 0.1..2.0f64,
+            k in 0usize..4,
+        ) {
+            let text = t1(&text);
+            let pattern = t1(&pattern);
+            for m in edr_find_matches(&text, &pattern, eps(e), k) {
+                prop_assert!(m.dist <= k);
+                prop_assert!(m.start <= m.end && m.end <= text.len());
+                let segment: Trajectory1 =
+                    text.points()[m.start..m.end].iter().copied().collect();
+                prop_assert_eq!(
+                    crate::edr(&segment, &pattern, eps(e)),
+                    m.dist,
+                    "segment [{}, {}) does not achieve the reported distance",
+                    m.start, m.end
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Leave-one-out 1-NN classification — the Table 2 experiment ("the class
+//! label of the chosen trajectory is predicted to be the class label of its
+//! nearest neighbor ... The classification error rate is defined as the
+//! ratio of the number of misses to the total number of trajectories",
+//! §3.2, after Keogh & Kasetty \[21\]).
+
+use trajsim_core::LabeledDataset;
+use trajsim_distance::TrajectoryMeasure;
+
+/// Predicts each trajectory's class as the class of its nearest neighbour
+/// among all *other* trajectories, under `measure`. Returns the predicted
+/// label per trajectory.
+///
+/// Ties in distance go to the earlier-indexed neighbour (deterministic and
+/// matching a sequential argmin).
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer than two trajectories (no neighbour to
+/// leave in).
+pub fn loo_predictions<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+    data: &LabeledDataset<D>,
+    measure: &M,
+) -> Vec<usize> {
+    let n = data.len();
+    assert!(n >= 2, "leave-one-out needs at least two trajectories");
+    let trajectories = data.dataset().trajectories();
+    // Compute each pair once; the matrix is symmetric.
+    let matrix = crate::DistanceMatrix::from_trajectories(trajectories, measure);
+    (0..n)
+        .map(|i| {
+            let (mut best_j, mut best_d) = (usize::MAX, f64::INFINITY);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = matrix.get(i, j);
+                if d < best_d {
+                    (best_j, best_d) = (j, d);
+                }
+            }
+            data.labels()[best_j]
+        })
+        .collect()
+}
+
+/// The leave-one-out 1-NN classification error rate: fraction of
+/// trajectories whose predicted class differs from their label.
+pub fn loo_error_rate<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+    data: &LabeledDataset<D>,
+    measure: &M,
+) -> f64 {
+    let predictions = loo_predictions(data, measure);
+    let misses = predictions
+        .iter()
+        .zip(data.labels())
+        .filter(|(p, l)| p != l)
+        .count();
+    misses as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::{Dataset, MatchThreshold, Trajectory2};
+    use trajsim_distance::Measure;
+
+    fn mk(offset: f64) -> Trajectory2 {
+        Trajectory2::from_xy(&[(offset, 0.0), (offset + 1.0, 0.0), (offset + 2.0, 0.0)])
+    }
+
+    fn two_class_set() -> LabeledDataset<2> {
+        LabeledDataset::new(
+            Dataset::new(vec![mk(0.0), mk(0.2), mk(0.4), mk(50.0), mk(50.2), mk(50.4)]),
+            vec![0, 0, 0, 1, 1, 1],
+            vec!["near".into(), "far".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separable_classes_have_zero_error() {
+        let data = two_class_set();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        assert_eq!(loo_error_rate(&data, &Measure::Edr { eps }), 0.0);
+        assert_eq!(loo_error_rate(&data, &Measure::Erp), 0.0);
+    }
+
+    #[test]
+    fn mislabeled_point_is_missed() {
+        // Same geometry, but label one "near" trajectory as class 1: its
+        // nearest neighbours are all class 0, so it must be a miss; its
+        // former classmates still resolve correctly.
+        let data = LabeledDataset::new(
+            Dataset::new(vec![mk(0.0), mk(0.2), mk(0.4), mk(50.0), mk(50.2), mk(50.4)]),
+            vec![0, 0, 1, 1, 1, 1],
+            vec!["near".into(), "far".into()],
+        )
+        .unwrap();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let predictions = loo_predictions(&data, &Measure::Edr { eps });
+        assert_eq!(predictions[2], 0, "outlier label predicted from geometry");
+        let err = loo_error_rate(&data, &Measure::Edr { eps });
+        assert!((err - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_have_one_entry_per_trajectory() {
+        let data = two_class_set();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        assert_eq!(loo_predictions(&data, &Measure::Lcss { eps }).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_panics() {
+        let data = LabeledDataset::new(
+            Dataset::new(vec![mk(0.0)]),
+            vec![0],
+            vec!["only".into()],
+        )
+        .unwrap();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let _ = loo_predictions(&data, &Measure::Edr { eps });
+    }
+
+    #[test]
+    fn error_rate_is_within_unit_interval_for_all_measures() {
+        let data = two_class_set();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        for m in Measure::lineup(eps) {
+            let e = loo_error_rate(&data, &m);
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Agglomerative hierarchical clustering with complete linkage — the
+//! Table 1 experiment ("we take all possible pairs of classes and use the
+//! 'complete linkage' hierarchy clustering algorithm \[16\], which was
+//! reported to produce the best clustering results \[36\], to partition them
+//! into two clusters", §3.2).
+
+use crate::DistanceMatrix;
+use trajsim_core::LabeledDataset;
+use trajsim_distance::TrajectoryMeasure;
+
+/// The linkage criterion used when merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Complete linkage: cluster distance = max pairwise item distance.
+    /// The paper's choice for Table 1.
+    #[default]
+    Complete,
+    /// Single linkage: cluster distance = min pairwise item distance.
+    /// Provided for ablation.
+    Single,
+    /// Average linkage (UPGMA): mean pairwise item distance.
+    Average,
+}
+
+impl Linkage {
+    /// Distance between two clusters given the item matrix.
+    pub(crate) fn cluster_distance(self, m: &DistanceMatrix, a: &[usize], b: &[usize]) -> f64 {
+        debug_assert!(!a.is_empty() && !b.is_empty());
+        match self {
+            Linkage::Complete => {
+                let mut best = f64::NEG_INFINITY;
+                for &i in a {
+                    for &j in b {
+                        best = best.max(m.get(i, j));
+                    }
+                }
+                best
+            }
+            Linkage::Single => {
+                let mut best = f64::INFINITY;
+                for &i in a {
+                    for &j in b {
+                        best = best.min(m.get(i, j));
+                    }
+                }
+                best
+            }
+            Linkage::Average => {
+                let mut sum = 0.0;
+                for &i in a {
+                    for &j in b {
+                        sum += m.get(i, j);
+                    }
+                }
+                sum / (a.len() * b.len()) as f64
+            }
+        }
+    }
+}
+
+/// Agglomerative clustering: starts with singletons and repeatedly merges
+/// the closest pair of clusters (under `linkage`) until `k` clusters
+/// remain. Returns the cluster assignment `0..k` of each item.
+///
+/// Ties are broken toward the lexicographically smallest cluster pair, so
+/// the result is deterministic. The naive O(n³) merge loop is fine at the
+/// experiment's scale (the Table 1 class pairs have ≤ 10 items).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n` for a non-empty matrix.
+pub fn agglomerative(m: &DistanceMatrix, k: usize, linkage: Linkage) -> Vec<usize> {
+    let n = m.len();
+    if n == 0 {
+        assert!(k > 0, "cannot request zero clusters");
+        return Vec::new();
+    }
+    assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = linkage.cluster_distance(m, &clusters[i], &clusters[j]);
+                if d < bd {
+                    (bi, bj, bd) = (i, j, d);
+                }
+            }
+        }
+        let merged = clusters.swap_remove(bj);
+        clusters[bi].extend(merged);
+    }
+    let mut assignment = vec![0usize; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            assignment[i] = c;
+        }
+    }
+    assignment
+}
+
+/// True iff a 2-cluster assignment reproduces the binary labels up to
+/// cluster renaming — the "correctly partitions the trajectories"
+/// criterion the paper applies to each dendrogram.
+pub fn partition_matches_labels(assignment: &[usize], labels: &[usize]) -> bool {
+    if assignment.len() != labels.len() {
+        return false;
+    }
+    let direct = assignment.iter().zip(labels).all(|(a, l)| a == l);
+    let flipped = assignment
+        .iter()
+        .zip(labels)
+        .all(|(a, l)| (1 - a.min(&1)) == *l);
+    direct || flipped
+}
+
+/// The Table 1 measurement: over all `C(classes, 2)` class pairs of `data`,
+/// cluster each pair into two clusters with complete linkage under
+/// `measure` and count how many pairs are partitioned correctly.
+///
+/// Returns `(correct, total_pairs)`.
+pub fn correct_pair_partitions<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+    data: &LabeledDataset<D>,
+    measure: &M,
+) -> (usize, usize) {
+    let k = data.num_classes();
+    let mut correct = 0;
+    let mut total = 0;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            total += 1;
+            let pair = data.class_pair(a, b).expect("classes in range");
+            let m = DistanceMatrix::compute(pair.dataset(), measure);
+            let assignment = agglomerative(&m, 2, Linkage::Complete);
+            if partition_matches_labels(&assignment, pair.labels()) {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::{Dataset, MatchThreshold, Trajectory2};
+    use trajsim_distance::Measure;
+
+    /// Matrix over 1-d values with |a - b| distances.
+    fn value_matrix(values: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(values.len(), |i, j| (values[i] - values[j]).abs())
+    }
+
+    #[test]
+    fn two_obvious_blobs_separate() {
+        // Items 0-2 near 0, items 3-5 near 100.
+        let m = value_matrix(&[0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
+        let a = agglomerative(&m, 2, Linkage::Complete);
+        assert!(partition_matches_labels(&a, &[0, 0, 0, 1, 1, 1]));
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let m = value_matrix(&[0.0, 5.0, 10.0]);
+        let a = agglomerative(&m, 3, Linkage::Complete);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn k_equals_one_merges_everything() {
+        let m = value_matrix(&[0.0, 5.0, 100.0]);
+        let a = agglomerative(&m, 1, Linkage::Complete);
+        assert!(a.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn complete_vs_single_linkage_differ_on_chains() {
+        // A chain 0-1-2-...: single linkage happily follows it; complete
+        // linkage prefers compact groups. With two tight pairs bridged by a
+        // midpoint, the assignments differ in structure.
+        let m = value_matrix(&[0.0, 1.0, 2.0, 3.0]);
+        let complete = agglomerative(&m, 2, Linkage::Complete);
+        assert!(partition_matches_labels(&complete, &[0, 0, 1, 1]));
+        let avg = agglomerative(&m, 2, Linkage::Average);
+        assert!(partition_matches_labels(&avg, &[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let m = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(agglomerative(&m, 1, Linkage::Complete).is_empty());
+        let m1 = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(agglomerative(&m1, 1, Linkage::Complete), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_panics_for_non_empty() {
+        let m = value_matrix(&[0.0, 1.0]);
+        let _ = agglomerative(&m, 0, Linkage::Complete);
+    }
+
+    #[test]
+    fn partition_matching_handles_renaming() {
+        assert!(partition_matches_labels(&[1, 1, 0], &[0, 0, 1]));
+        assert!(partition_matches_labels(&[0, 0, 1], &[0, 0, 1]));
+        assert!(!partition_matches_labels(&[0, 1, 0], &[0, 0, 1]));
+        assert!(!partition_matches_labels(&[0, 0], &[0, 0, 1]));
+    }
+
+    #[test]
+    fn correct_pair_partitions_on_separable_classes() {
+        // Three classes of 1-d trajectories at wildly different offsets —
+        // every pair is trivially separable under EDR.
+        let mk = |offset: f64| {
+            Trajectory2::from_xy(&[
+                (offset, offset),
+                (offset + 1.0, offset),
+                (offset + 2.0, offset),
+            ])
+        };
+        let ds = Dataset::new(vec![
+            mk(0.0),
+            mk(0.1),
+            mk(50.0),
+            mk(50.1),
+            mk(100.0),
+            mk(100.1),
+        ]);
+        let ld = LabeledDataset::new(
+            ds,
+            vec![0, 0, 1, 1, 2, 2],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .unwrap();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let (correct, total) = correct_pair_partitions(&ld, &Measure::Edr { eps });
+        assert_eq!(total, 3);
+        assert_eq!(correct, 3);
+    }
+}

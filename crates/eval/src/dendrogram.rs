@@ -1,0 +1,253 @@
+//! Dendrograms: the full agglomerative merge tree. The paper "draws
+//! the dendrogram of each clustered result to see whether it correctly
+//! partitions the trajectories" (§3.2); this module records the tree so
+//! it can be cut at any level or rendered as text.
+
+use crate::cluster::Linkage;
+use crate::DistanceMatrix;
+
+/// One merge step: clusters `a` and `b` (node ids) joined at `height`
+/// (the linkage distance), forming node `n + step` for `n` leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node (leaf id `< n`, or internal id `>= n`).
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// A full agglomerative clustering tree over `n` items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Builds the complete merge tree (down to one cluster) under the
+    /// given linkage, with the same deterministic tie-breaking as
+    /// [`crate::agglomerative`].
+    pub fn build(m: &DistanceMatrix, linkage: Linkage) -> Self {
+        let n = m.len();
+        // Active clusters: (node id, member leaves).
+        let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut next_id = n;
+        while active.len() > 1 {
+            let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
+            for i in 0..active.len() {
+                for j in (i + 1)..active.len() {
+                    let d = linkage.cluster_distance(m, &active[i].1, &active[j].1);
+                    if d < bd {
+                        (bi, bj, bd) = (i, j, d);
+                    }
+                }
+            }
+            let (id_b, members_b) = active.swap_remove(bj);
+            let (id_a, members_a) = std::mem::take(&mut active[bi]);
+            let mut members = members_a;
+            members.extend(members_b);
+            merges.push(Merge {
+                a: id_a,
+                b: id_b,
+                height: bd,
+                size: members.len(),
+            });
+            active[bi] = (next_id, members);
+            next_id += 1;
+        }
+        Dendrogram { n, merges }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff there are no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in merge order (non-decreasing height for
+    /// complete/single/average linkage on a fixed matrix is *not*
+    /// guaranteed in general, but each entry records its own height).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into `k` clusters by undoing the last `k − 1`
+    /// merges; returns each leaf's cluster assignment `0..k`. Equivalent
+    /// to [`crate::agglomerative`] with the same matrix/linkage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n` for non-empty trees.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        if self.n == 0 {
+            assert!(k > 0, "cannot request zero clusters");
+            return Vec::new();
+        }
+        assert!(k >= 1 && k <= self.n, "k = {k} out of range for n = {}", self.n);
+        // Union-find over the first n - k merges.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (step, merge) in self.merges.iter().take(self.n - k).enumerate() {
+            let new_node = self.n + step;
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = new_node;
+            parent[rb] = new_node;
+        }
+        // Densify roots to 0..k.
+        let mut root_ids: Vec<usize> = Vec::new();
+        (0..self.n)
+            .map(|leaf| {
+                let r = find(&mut parent, leaf);
+                match root_ids.iter().position(|&x| x == r) {
+                    Some(idx) => idx,
+                    None => {
+                        root_ids.push(r);
+                        root_ids.len() - 1
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the tree as indented ASCII, leaves labelled by index —
+    /// the "draw the dendrogram" of §3.2 for terminals.
+    pub fn render(&self) -> String {
+        if self.n == 0 {
+            return String::from("(empty)\n");
+        }
+        if self.merges.is_empty() {
+            return String::from("leaf 0\n");
+        }
+        let root = self.n + self.merges.len() - 1;
+        let mut out = String::new();
+        self.render_node(root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, node: usize, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        if node < self.n {
+            out.push_str(&format!("{pad}leaf {node}\n"));
+        } else {
+            let merge = &self.merges[node - self.n];
+            out.push_str(&format!(
+                "{pad}merge @ {:.3} ({} leaves)\n",
+                merge.height, merge.size
+            ));
+            self.render_node(merge.a, depth + 1, out);
+            self.render_node(merge.b, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{agglomerative, partition_matches_labels};
+    use proptest::prelude::*;
+
+    fn value_matrix(values: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(values.len(), |i, j| (values[i] - values[j]).abs())
+    }
+
+    #[test]
+    fn records_all_merges() {
+        let m = value_matrix(&[0.0, 1.0, 10.0, 11.0]);
+        let d = Dendrogram::build(&m, Linkage::Complete);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.merges().len(), 3);
+        // The first two merges join the tight pairs at height 1; the last
+        // joins everything at complete-linkage height 11.
+        assert_eq!(d.merges()[0].height, 1.0);
+        assert_eq!(d.merges()[1].height, 1.0);
+        assert_eq!(d.merges()[2].height, 11.0);
+        assert_eq!(d.merges()[2].size, 4);
+    }
+
+    #[test]
+    fn cut_matches_agglomerative() {
+        let m = value_matrix(&[0.0, 1.0, 2.0, 50.0, 51.0, 100.0]);
+        let d = Dendrogram::build(&m, Linkage::Complete);
+        for k in 1..=6 {
+            let from_tree = d.cut(k);
+            let direct = agglomerative(&m, k, Linkage::Complete);
+            // Same partition up to relabeling: compare co-membership.
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert_eq!(
+                        from_tree[i] == from_tree[j],
+                        direct[i] == direct[j],
+                        "k = {k}: items {i},{j} disagree"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_cluster_cut_separates_blobs() {
+        let m = value_matrix(&[0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
+        let d = Dendrogram::build(&m, Linkage::Complete);
+        assert!(partition_matches_labels(&d.cut(2), &[0, 0, 0, 1, 1, 1]));
+    }
+
+    #[test]
+    fn render_produces_a_tree() {
+        let m = value_matrix(&[0.0, 1.0, 10.0]);
+        let d = Dendrogram::build(&m, Linkage::Complete);
+        let text = d.render();
+        assert_eq!(text.matches("leaf").count(), 3);
+        assert_eq!(text.matches("merge").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let d = Dendrogram::build(&DistanceMatrix::from_fn(0, |_, _| 0.0), Linkage::Single);
+        assert!(d.is_empty());
+        assert!(d.cut(1).is_empty());
+        assert_eq!(d.render(), "(empty)\n");
+        let d1 = Dendrogram::build(&DistanceMatrix::from_fn(1, |_, _| 0.0), Linkage::Single);
+        assert_eq!(d1.cut(1), vec![0]);
+        assert_eq!(d1.render(), "leaf 0\n");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Cutting at any k yields exactly k clusters covering all leaves.
+        #[test]
+        fn cut_yields_k_clusters(values in proptest::collection::vec(-100.0..100.0f64, 1..15), k_off in 0usize..15) {
+            let m = value_matrix(&values);
+            let d = Dendrogram::build(&m, Linkage::Average);
+            let k = 1 + k_off % values.len();
+            let cut = d.cut(k);
+            prop_assert_eq!(cut.len(), values.len());
+            let mut distinct = cut.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k);
+        }
+    }
+}

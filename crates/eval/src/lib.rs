@@ -1,0 +1,30 @@
+//! # trajsim-eval
+//!
+//! The efficacy experiments of §3.2 of Chen, Özsu, Oria (SIGMOD 2005),
+//! which compare Euclidean distance, DTW, ERP, LCSS, and EDR on labelled
+//! trajectory data:
+//!
+//! - **Table 1**: for every pair of classes, run "complete linkage"
+//!   hierarchical clustering \[16\] down to two clusters and count the pairs
+//!   that are partitioned correctly — [`cluster`] and
+//!   [`correct_pair_partitions`].
+//! - **Table 2**: "leave one out" 1-nearest-neighbour classification \[21\]:
+//!   predict each trajectory's class as its nearest neighbour's class and
+//!   report the error rate — [`classify`] and [`loo_error_rate`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod cluster;
+mod dendrogram;
+mod matrix;
+mod metrics;
+
+pub use classify::{loo_error_rate, loo_predictions};
+pub use cluster::{
+    agglomerative, correct_pair_partitions, partition_matches_labels, Linkage,
+};
+pub use dendrogram::{Dendrogram, Merge};
+pub use matrix::DistanceMatrix;
+pub use metrics::{purity, rand_index, ConfusionMatrix};

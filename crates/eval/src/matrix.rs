@@ -1,0 +1,130 @@
+//! Symmetric pairwise distance matrices.
+
+use trajsim_core::{Dataset, Trajectory};
+use trajsim_distance::TrajectoryMeasure;
+
+/// A symmetric pairwise distance matrix over `n` items, stored as the
+/// strict lower triangle in one flat buffer (the Performance Book's
+/// flatten-your-nested-vecs advice; also halves memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Entry (i, j) with i > j lives at tri_index(i, j).
+    lower: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes the full pairwise matrix of `measure` over `data`.
+    pub fn compute<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+        data: &Dataset<D>,
+        measure: &M,
+    ) -> Self {
+        Self::from_fn(data.len(), |i, j| {
+            measure.distance(&data.trajectories()[i], &data.trajectories()[j])
+        })
+    }
+
+    /// Computes the matrix from an arbitrary symmetric distance closure
+    /// (called only for `i > j`).
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut dist: F) -> Self {
+        let mut lower = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 1..n {
+            for j in 0..i {
+                lower.push(dist(i, j));
+            }
+        }
+        DistanceMatrix { n, lower }
+    }
+
+    /// Computes the matrix over a slice of trajectories.
+    pub fn from_trajectories<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+        trajectories: &[Trajectory<D>],
+        measure: &M,
+    ) -> Self {
+        Self::from_fn(trajectories.len(), |i, j| {
+            measure.distance(&trajectories[i], &trajectories[j])
+        })
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the matrix covers no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between items `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n` or `j >= n`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.lower[Self::tri_index(i, j)],
+            std::cmp::Ordering::Less => self.lower[Self::tri_index(j, i)],
+        }
+    }
+
+    #[inline]
+    fn tri_index(i: usize, j: usize) -> usize {
+        debug_assert!(i > j);
+        i * (i - 1) / 2 + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::{MatchThreshold, Trajectory2};
+    use trajsim_distance::Measure;
+
+    #[test]
+    fn from_fn_is_symmetric_with_zero_diagonal() {
+        let m = DistanceMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.len(), 4);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert_eq!(m.get(2, 1), 21.0);
+        assert_eq!(m.get(1, 2), 21.0);
+    }
+
+    #[test]
+    fn computes_real_distances() {
+        let data = Dataset::new(vec![
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]),
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]),
+            Trajectory2::from_xy(&[(5.0, 5.0), (9.0, 9.0)]),
+        ]);
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let m = DistanceMatrix::compute(&data, &Measure::Edr { eps });
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(m.is_empty());
+        let m = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let _ = m.get(0, 2);
+    }
+}

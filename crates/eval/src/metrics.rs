@@ -1,0 +1,195 @@
+//! External evaluation metrics for clusterings and classifiers: the
+//! quantitative companions to Table 1's "correctly partitions" yes/no and
+//! Table 2's error rate.
+
+/// The Rand index between two partitions of the same items: the fraction
+/// of item pairs on which the partitions agree (together in both, or
+/// apart in both). 1.0 means identical partitions (up to relabeling).
+///
+/// # Panics
+///
+/// Panics if the partitions have different lengths or fewer than two
+/// items.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same items");
+    let n = a.len();
+    assert!(n >= 2, "rand index needs at least two items");
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Cluster purity: each cluster votes for its majority label; purity is
+/// the fraction of items covered by their cluster's majority.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn purity(assignment: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignment.len(), labels.len(), "length mismatch");
+    assert!(!assignment.is_empty(), "empty partition");
+    let clusters = assignment.iter().max().unwrap() + 1;
+    let classes = labels.iter().max().unwrap() + 1;
+    let mut counts = vec![vec![0usize; classes]; clusters];
+    for (&c, &l) in assignment.iter().zip(labels) {
+        counts[c][l] += 1;
+    }
+    let covered: usize = counts
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    covered as f64 / assignment.len() as f64
+}
+
+/// A confusion matrix for label predictions: `matrix[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if a label is `>= classes`.
+    pub fn from_predictions(actual: &[usize], predicted: &[usize], classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "length mismatch");
+        let mut counts = vec![0usize; classes * classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            assert!(a < classes && p < classes, "label out of range");
+            counts[a * classes + p] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of items with the given actual and predicted labels.
+    pub fn get(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total items.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction predicted correctly (trace / total); 0 for an empty
+    /// matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.get(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: `matrix[c][c] / Σ_p matrix[c][p]` (1.0 for
+    /// classes with no actual items, by convention).
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: usize = (0..self.classes).map(|p| self.get(class, p)).sum();
+        if row == 0 {
+            1.0
+        } else {
+            self.get(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Per-class precision: `matrix[c][c] / Σ_a matrix[a][c]` (1.0 for
+    /// classes never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: usize = (0..self.classes).map(|a| self.get(a, class)).sum();
+        if col == 0 {
+            1.0
+        } else {
+            self.get(class, class) as f64 / col as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rand_index_extremes() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0); // relabeled
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        // Perfectly disagreeing on co-membership: a together-pair vs all
+        // apart etc.
+        let r = rand_index(&[0, 0, 0, 0], &[0, 1, 2, 3]);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn purity_measures_majorities() {
+        // Cluster 0: labels {0, 0, 1}; cluster 1: labels {1}.
+        assert!((purity(&[0, 0, 0, 1], &[0, 0, 1, 1]) - 0.75).abs() < 1e-12);
+        assert_eq!(purity(&[0, 1], &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_accounting() {
+        let actual = [0, 0, 1, 1, 2];
+        let predicted = [0, 1, 1, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&actual, &predicted, 3);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 1), 2);
+        assert_eq!(m.get(2, 0), 1);
+        assert!((m.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall(1), 1.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert!((m.precision(0) - 0.5).abs() < 1e-12);
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.precision(2), 1.0); // never predicted
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[5], 3);
+    }
+
+    proptest! {
+        /// The Rand index is symmetric, in [0, 1], and 1 against itself.
+        #[test]
+        fn rand_index_properties(
+            a in proptest::collection::vec(0usize..4, 2..20),
+            b in proptest::collection::vec(0usize..4, 2..20),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let r = rand_index(a, b);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert_eq!(r, rand_index(b, a));
+            prop_assert_eq!(rand_index(a, a), 1.0);
+        }
+
+        /// Purity is in (0, 1] and 1.0 when clusters equal labels.
+        #[test]
+        fn purity_properties(labels in proptest::collection::vec(0usize..4, 1..20)) {
+            prop_assert_eq!(purity(&labels, &labels), 1.0);
+            let lumped = vec![0usize; labels.len()];
+            let p = purity(&lumped, &labels);
+            prop_assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Frequency vectors over strings — the embedding §4.3 generalizes.
+//!
+//! "A frequency vector of a string over an alphabet records the frequency
+//! of occurrence of each character of the alphabet in that string. It is
+//! proven that the frequency distance (FD) between the FVs of two strings
+//! is the lower bound of the actual edit distance" (Kahveci & Singh \[18\],
+//! Aghili et al. \[2\]). Trajectory histograms are exactly frequency
+//! vectors whose "alphabet" is the ε-grid, plus the approximate-match
+//! relaxation; this module provides the original string form, both as the
+//! paper's conceptual substrate and as a useful string filter in its own
+//! right.
+
+use std::collections::BTreeMap;
+
+/// The frequency vector of a symbol sequence: occurrence count per
+/// distinct symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyVector<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    total: usize,
+}
+
+impl<T: Ord + Clone> FrequencyVector<T> {
+    /// Builds the frequency vector of `symbols`.
+    pub fn build(symbols: &[T]) -> Self {
+        let mut counts = BTreeMap::new();
+        for s in symbols {
+            *counts.entry(s.clone()).or_insert(0) += 1;
+        }
+        FrequencyVector {
+            counts,
+            total: symbols.len(),
+        }
+    }
+
+    /// Total symbol count (the string length).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Occurrences of one symbol.
+    pub fn count(&self, symbol: &T) -> usize {
+        self.counts.get(symbol).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct symbols.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The frequency distance `FD(u, v)`: the minimum number of edit steps
+/// (insert, delete, replace) to make the vectors equal — with exact
+/// symbol identity, this is simply `max(positive surplus, negative
+/// surplus)` over per-symbol differences, because a replace retires one
+/// unit of surplus on each side at once.
+///
+/// **Lower bound**: `FD(FV(a), FV(b)) <= edit_distance(a, b)` — each edit
+/// operation changes the vector difference by at most one step's worth.
+/// (The property test checks this against the real edit distance.)
+pub fn frequency_distance<T: Ord + Clone>(
+    a: &FrequencyVector<T>,
+    b: &FrequencyVector<T>,
+) -> usize {
+    let mut surplus_a = 0usize; // symbols a has more of
+    let mut surplus_b = 0usize;
+    for (sym, &ca) in &a.counts {
+        let cb = b.count(sym);
+        if ca > cb {
+            surplus_a += ca - cb;
+        } else {
+            surplus_b += cb - ca;
+        }
+    }
+    for (sym, &cb) in &b.counts {
+        if a.count(sym) == 0 {
+            surplus_b += cb;
+        }
+    }
+    surplus_a.max(surplus_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_distance::edit_distance;
+
+    #[test]
+    fn counts_and_totals() {
+        let fv = FrequencyVector::build(b"abracadabra");
+        assert_eq!(fv.total(), 11);
+        assert_eq!(fv.count(&b'a'), 5);
+        assert_eq!(fv.count(&b'b'), 2);
+        assert_eq!(fv.count(&b'z'), 0);
+        assert_eq!(fv.distinct(), 5);
+    }
+
+    #[test]
+    fn textbook_distances() {
+        let fd = |a: &[u8], b: &[u8]| {
+            frequency_distance(&FrequencyVector::build(a), &FrequencyVector::build(b))
+        };
+        assert_eq!(fd(b"", b""), 0);
+        assert_eq!(fd(b"abc", b"abc"), 0);
+        assert_eq!(fd(b"abc", b"bca"), 0); // anagrams are FV-identical
+        assert_eq!(fd(b"aaa", b""), 3);
+        assert_eq!(fd(b"aaa", b"bbb"), 3); // three replaces
+        assert_eq!(fd(b"kitten", b"sitting"), 3);
+    }
+
+    #[test]
+    fn anagrams_show_the_lower_bound_is_not_tight() {
+        // FV cannot see order: "ab"*3 vs "ba"*3 has FD 0 but positive
+        // edit distance — the expected looseness of any frequency filter.
+        let (a, b) = (b"ababab", b"bababa");
+        let fd = frequency_distance(&FrequencyVector::build(a), &FrequencyVector::build(b));
+        assert_eq!(fd, 0);
+        assert!(edit_distance(a, b) > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The paper's cited result: FD lower-bounds edit distance.
+        #[test]
+        fn fd_lower_bounds_edit_distance(
+            a in proptest::collection::vec(0u8..5, 0..25),
+            b in proptest::collection::vec(0u8..5, 0..25),
+        ) {
+            let fd = frequency_distance(&FrequencyVector::build(&a), &FrequencyVector::build(&b));
+            prop_assert!(fd <= edit_distance(&a, &b));
+        }
+
+        /// FD is symmetric and at least the length difference.
+        #[test]
+        fn fd_structural_properties(
+            a in proptest::collection::vec(0u8..5, 0..25),
+            b in proptest::collection::vec(0u8..5, 0..25),
+        ) {
+            let (fa, fb) = (FrequencyVector::build(&a), FrequencyVector::build(&b));
+            prop_assert_eq!(frequency_distance(&fa, &fb), frequency_distance(&fb, &fa));
+            prop_assert!(frequency_distance(&fa, &fb) >= a.len().abs_diff(b.len()));
+        }
+    }
+}

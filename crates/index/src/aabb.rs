@@ -1,0 +1,218 @@
+//! Axis-aligned bounding boxes for the R*-tree.
+
+/// A `D`-dimensional axis-aligned bounding box (closed on both ends).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb<const D: usize> {
+    /// Lower corner (inclusive).
+    pub min: [f64; D],
+    /// Upper corner (inclusive).
+    pub max: [f64; D],
+}
+
+impl<const D: usize> Aabb<D> {
+    /// The empty box: enclosing nothing, identity for [`Aabb::union`].
+    pub const EMPTY: Aabb<D> = Aabb {
+        min: [f64::INFINITY; D],
+        max: [f64::NEG_INFINITY; D],
+    };
+
+    /// A degenerate box covering exactly one point.
+    #[inline]
+    pub fn point(p: [f64; D]) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// The box `[center - r, center + r]` in every dimension — the ε-match
+    /// query region of Definition 1 around a mean-value pair.
+    #[inline]
+    pub fn around(center: [f64; D], r: f64) -> Self {
+        let mut min = center;
+        let mut max = center;
+        for k in 0..D {
+            min[k] -= r;
+            max[k] += r;
+        }
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing both boxes.
+    #[inline]
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut r = *self;
+        for k in 0..D {
+            r.min[k] = r.min[k].min(other.min[k]);
+            r.max[k] = r.max[k].max(other.max[k]);
+        }
+        r
+    }
+
+    /// True iff the boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|k| self.min[k] <= other.max[k] && self.max[k] >= other.min[k])
+    }
+
+    /// True iff `p` lies inside the box (boundaries included).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64; D]) -> bool {
+        (0..D).all(|k| self.min[k] <= p[k] && p[k] <= self.max[k])
+    }
+
+    /// Volume (area in 2-d). The empty box has volume 0.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for k in 0..D {
+            let side = self.max[k] - self.min[k];
+            if side < 0.0 {
+                return 0.0;
+            }
+            v *= side;
+        }
+        v
+    }
+
+    /// Sum of side lengths — the R* split criterion's "margin".
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if (0..D).any(|k| self.max[k] < self.min[k]) {
+            return 0.0;
+        }
+        (0..D).map(|k| self.max[k] - self.min[k]).sum()
+    }
+
+    /// Volume of the intersection (0 when disjoint) — the R* "overlap".
+    #[inline]
+    pub fn overlap(&self, other: &Self) -> f64 {
+        let mut v = 1.0;
+        for k in 0..D {
+            let side = self.max[k].min(other.max[k]) - self.min[k].max(other.min[k]);
+            if side <= 0.0 {
+                return 0.0;
+            }
+            v *= side;
+        }
+        v
+    }
+
+    /// How much the volume grows if `other` is merged in.
+    #[inline]
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// The box center.
+    #[inline]
+    pub fn center(&self) -> [f64; D] {
+        let mut c = [0.0; D];
+        for (k, v) in c.iter_mut().enumerate() {
+            *v = (self.min[k] + self.max[k]) * 0.5;
+        }
+        c
+    }
+
+    /// Squared Euclidean distance between the centers of two boxes.
+    #[inline]
+    pub fn center_dist_sq(&self, other: &Self) -> f64 {
+        let (a, b) = (self.center(), other.center());
+        (0..D).map(|k| (a[k] - b[k]) * (a[k] - b[k])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_and_volume() {
+        let a = Aabb::point([0.0, 0.0]);
+        let b = Aabb::point([2.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min, [0.0, 0.0]);
+        assert_eq!(u.max, [2.0, 3.0]);
+        assert_eq!(u.volume(), 6.0);
+        assert_eq!(u.margin(), 5.0);
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let b = Aabb {
+            min: [1.0, 2.0],
+            max: [3.0, 4.0],
+        };
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+        assert_eq!(Aabb::<2>::EMPTY.volume(), 0.0);
+        assert_eq!(Aabb::<2>::EMPTY.margin(), 0.0);
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Aabb {
+            min: [0.0, 0.0],
+            max: [2.0, 2.0],
+        };
+        let b = Aabb {
+            min: [1.0, 1.0],
+            max: [3.0, 3.0],
+        };
+        let c = Aabb {
+            min: [5.0, 5.0],
+            max: [6.0, 6.0],
+        };
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap(&b), 1.0);
+        assert_eq!(a.overlap(&c), 0.0);
+        // Touching boxes intersect but have zero overlap volume.
+        let d = Aabb {
+            min: [2.0, 0.0],
+            max: [4.0, 2.0],
+        };
+        assert!(a.intersects(&d));
+        assert_eq!(a.overlap(&d), 0.0);
+    }
+
+    #[test]
+    fn around_builds_the_epsilon_region() {
+        let q = Aabb::around([1.0, 2.0], 0.5);
+        assert!(q.contains_point(&[1.5, 2.5]));
+        assert!(q.contains_point(&[0.5, 1.5]));
+        assert!(!q.contains_point(&[1.6, 2.0]));
+    }
+
+    proptest! {
+        /// Union is commutative, associative-enough, and monotone in
+        /// volume; enlargement is non-negative.
+        #[test]
+        fn union_properties(
+            a in prop::array::uniform2(-100.0..100.0f64),
+            b in prop::array::uniform2(-100.0..100.0f64),
+            c in prop::array::uniform2(-100.0..100.0f64),
+        ) {
+            let (pa, pb, pc) = (Aabb::point(a), Aabb::point(b), Aabb::point(c));
+            prop_assert_eq!(pa.union(&pb), pb.union(&pa));
+            let u = pa.union(&pb);
+            prop_assert!(u.contains_point(&a) && u.contains_point(&b));
+            prop_assert!(u.union(&pc).volume() >= u.volume());
+            prop_assert!(u.enlargement(&pc) >= 0.0);
+        }
+
+        /// Overlap is symmetric and bounded by each volume.
+        #[test]
+        fn overlap_properties(
+            amin in prop::array::uniform2(-50.0..50.0f64),
+            asize in prop::array::uniform2(0.0..20.0f64),
+            bmin in prop::array::uniform2(-50.0..50.0f64),
+            bsize in prop::array::uniform2(0.0..20.0f64),
+        ) {
+            let a = Aabb { min: amin, max: [amin[0] + asize[0], amin[1] + asize[1]] };
+            let b = Aabb { min: bmin, max: [bmin[0] + bsize[0], bmin[1] + bsize[1]] };
+            prop_assert!((a.overlap(&b) - b.overlap(&a)).abs() < 1e-9);
+            prop_assert!(a.overlap(&b) <= a.volume() + 1e-9);
+            prop_assert!(a.overlap(&b) <= b.volume() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! An in-memory B+-tree over `f64` keys, built from scratch.
+//!
+//! §4.1 stores the mean values of the Q-grams of each *one-dimensional*
+//! projected data sequence (Theorem 4) in "a simple B+-tree", saving both
+//! space and access time over the 2-d R-tree at the price of pruning power
+//! (the PB variant of §5.1). Duplicate keys are allowed — many q-grams
+//! share a mean — and range scans walk the chained leaves in key order.
+
+/// Maximum keys per node (odd, so splits are balanced).
+const MAX_KEYS: usize = 15;
+
+/// Sentinel meaning "no leaf follows".
+const NO_LEAF: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[last]` holds the rest.
+        keys: Vec<f64>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<f64>,
+        values: Vec<V>,
+        /// Next leaf in key order, or [`NO_LEAF`].
+        next: usize,
+    },
+}
+
+/// A B+-tree multimap from finite `f64` keys to payloads of type `V`,
+/// supporting insertion, removal (with borrow/merge rebalancing), and
+/// inclusive range scans.
+///
+/// ```
+/// use trajsim_index::BPlusTree;
+/// let mut t = BPlusTree::new();
+/// for (k, v) in [(1.0, "a"), (2.0, "b"), (2.0, "b2"), (5.0, "c")] {
+///     t.insert(k, v);
+/// }
+/// let hits: Vec<&str> = t.range(1.5, 3.0).map(|(_, v)| *v).collect();
+/// assert_eq!(hits, vec!["b", "b2"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    len: usize,
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BPlusTree<V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: NO_LEAF,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored key-value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key-value pair. Duplicate keys are kept (insertion order
+    /// among equal keys is preserved within a leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is NaN or infinite.
+    pub fn insert(&mut self, key: f64, value: V) {
+        assert!(key.is_finite(), "B+-tree keys must be finite");
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Inclusive range scan: all `(key, value)` pairs with
+    /// `lo <= key <= hi`, in non-decreasing key order.
+    pub fn range(&self, lo: f64, hi: f64) -> RangeIter<'_, V> {
+        if self.len == 0 || lo > hi {
+            return RangeIter {
+                tree: self,
+                leaf: NO_LEAF,
+                pos: 0,
+                hi,
+            };
+        }
+        // Descend to the first leaf that may contain `lo`.
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Internal { keys, children } => {
+                    // Route strictly left of the first separator >= lo:
+                    // duplicates equal to a separator may straddle the
+                    // boundary, and the leaf chain picks up the rest.
+                    let idx = keys.partition_point(|&k| k < lo);
+                    id = children[idx.min(children.len() - 1)];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = keys.partition_point(|&k| k < lo);
+                    if pos < keys.len() {
+                        return RangeIter {
+                            tree: self,
+                            leaf: id,
+                            pos,
+                            hi,
+                        };
+                    }
+                    // `lo` is past this leaf; start at the next one.
+                    let next = match &self.nodes[id] {
+                        Node::Leaf { next, .. } => *next,
+                        Node::Internal { .. } => unreachable!(),
+                    };
+                    return RangeIter {
+                        tree: self,
+                        leaf: next,
+                        pos: 0,
+                        hi,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of keys in `[lo, hi]`.
+    pub fn count_range(&self, lo: f64, hi: f64) -> usize {
+        self.range(lo, hi).count()
+    }
+
+    /// Removes one entry with exactly this key whose value satisfies
+    /// `pred`, returning the value; `None` if nothing matches. Underfull
+    /// nodes borrow from or merge with a sibling (textbook B+-tree
+    /// deletion), and the root collapses when it has a single child.
+    /// Detached node slots are not recycled (in-memory arena).
+    pub fn remove_one<F: FnMut(&V) -> bool>(&mut self, key: f64, mut pred: F) -> Option<V> {
+        let removed = self.remove_rec(self.root, key, &mut pred)?;
+        self.len -= 1;
+        // Collapse a trivial root chain.
+        while let Node::Internal { children, keys } = &self.nodes[self.root] {
+            if keys.is_empty() && children.len() == 1 {
+                self.root = children[0];
+            } else {
+                break;
+            }
+        }
+        Some(removed)
+    }
+
+    /// Recursive removal; underflow in the child is repaired here (the
+    /// parent has the sibling access needed for borrow/merge).
+    fn remove_rec<F: FnMut(&V) -> bool>(
+        &mut self,
+        id: usize,
+        key: f64,
+        pred: &mut F,
+    ) -> Option<V> {
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values, .. } => {
+                // Duplicates of `key` are contiguous; test each.
+                let start = keys.partition_point(|&k| k < key);
+                let mut hit = None;
+                for i in start..keys.len() {
+                    if keys[i] != key {
+                        break;
+                    }
+                    if pred(&values[i]) {
+                        hit = Some(i);
+                        break;
+                    }
+                }
+                let i = hit?;
+                keys.remove(i);
+                Some(values.remove(i))
+            }
+            Node::Internal { keys, .. } => {
+                // Duplicates may straddle separators equal to `key`:
+                // try the leftmost admissible child first, then walk right
+                // while the separator still equals `key`.
+                let mut idx = keys.partition_point(|&k| k < key);
+                loop {
+                    let child = match &self.nodes[id] {
+                        Node::Internal { children, .. } => children[idx],
+                        Node::Leaf { .. } => unreachable!(),
+                    };
+                    if let Some(v) = self.remove_rec(child, key, pred) {
+                        self.repair_underflow(id, idx);
+                        return Some(v);
+                    }
+                    match &self.nodes[id] {
+                        Node::Internal { keys, children } => {
+                            if idx < keys.len() && keys[idx] <= key && idx + 1 < children.len() {
+                                idx += 1;
+                            } else {
+                                return None;
+                            }
+                        }
+                        Node::Leaf { .. } => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Minimum fill for non-root nodes.
+    const MIN_KEYS: usize = MAX_KEYS / 2;
+
+    fn key_count(&self, id: usize) -> usize {
+        match &self.nodes[id] {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// After removing from `children[idx]` of internal node `parent`,
+    /// restore the fill invariant by borrowing from or merging with an
+    /// adjacent sibling.
+    fn repair_underflow(&mut self, parent: usize, idx: usize) {
+        let child = match &self.nodes[parent] {
+            Node::Internal { children, .. } => children[idx],
+            Node::Leaf { .. } => unreachable!("parent is internal"),
+        };
+        if self.key_count(child) >= Self::MIN_KEYS {
+            return;
+        }
+        let (left_idx, right_idx) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (left, right, sep_idx) = match &self.nodes[parent] {
+            Node::Internal { children, .. } => {
+                if right_idx >= children.len() {
+                    return; // parent has a single child (root chain)
+                }
+                (children[left_idx], children[right_idx], left_idx)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+
+        // Try borrowing from the richer sibling first.
+        let (donor, recipient, donor_is_left) = if self.key_count(left) > self.key_count(right) {
+            (left, right, true)
+        } else {
+            (right, left, false)
+        };
+        if self.key_count(donor) > Self::MIN_KEYS {
+            self.borrow(parent, sep_idx, donor, recipient, donor_is_left);
+        } else {
+            self.merge(parent, sep_idx, left, right);
+        }
+    }
+
+    /// Moves one entry from `donor` into `recipient` across separator
+    /// `sep_idx` of `parent`.
+    fn borrow(
+        &mut self,
+        parent: usize,
+        sep_idx: usize,
+        donor: usize,
+        recipient: usize,
+        donor_is_left: bool,
+    ) {
+        // Split the borrows: take the donor entry out first.
+        enum Moved<V> {
+            Leaf(f64, V),
+            Node(f64, usize),
+        }
+        let moved = match &mut self.nodes[donor] {
+            Node::Leaf { keys, values, .. } => {
+                if donor_is_left {
+                    let k = keys.pop().expect("donor non-empty");
+                    let v = values.pop().expect("donor non-empty");
+                    Moved::Leaf(k, v)
+                } else {
+                    Moved::Leaf(keys.remove(0), values.remove(0))
+                }
+            }
+            Node::Internal { keys, children } => {
+                if donor_is_left {
+                    let k = keys.pop().expect("donor non-empty");
+                    let c = children.pop().expect("donor non-empty");
+                    Moved::Node(k, c)
+                } else {
+                    Moved::Node(keys.remove(0), children.remove(0))
+                }
+            }
+        };
+        let old_sep = match &self.nodes[parent] {
+            Node::Internal { keys, .. } => keys[sep_idx],
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let new_sep = match moved {
+            Moved::Leaf(k, v) => {
+                match &mut self.nodes[recipient] {
+                    Node::Leaf { keys, values, .. } => {
+                        if donor_is_left {
+                            keys.insert(0, k);
+                            values.insert(0, v);
+                        } else {
+                            keys.push(k);
+                            values.push(v);
+                        }
+                    }
+                    Node::Internal { .. } => unreachable!("sibling levels match"),
+                }
+                if donor_is_left {
+                    k // separator = first key of the right node
+                } else {
+                    // New first key of the right (donor) node.
+                    match &self.nodes[donor] {
+                        Node::Leaf { keys, .. } => keys[0],
+                        Node::Internal { .. } => unreachable!(),
+                    }
+                }
+            }
+            Moved::Node(k, c) => {
+                // Internal borrow rotates through the parent separator.
+                match &mut self.nodes[recipient] {
+                    Node::Internal { keys, children } => {
+                        if donor_is_left {
+                            keys.insert(0, old_sep);
+                            children.insert(0, c);
+                        } else {
+                            keys.push(old_sep);
+                            children.push(c);
+                        }
+                    }
+                    Node::Leaf { .. } => unreachable!("sibling levels match"),
+                }
+                k
+            }
+        };
+        match &mut self.nodes[parent] {
+            Node::Internal { keys, .. } => keys[sep_idx] = new_sep,
+            Node::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    /// Merges `right` into `left`, dropping separator `sep_idx` from
+    /// `parent` and keeping the leaf chain intact.
+    fn merge(&mut self, parent: usize, sep_idx: usize, left: usize, right: usize) {
+        let right_node = std::mem::replace(
+            &mut self.nodes[right],
+            Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: NO_LEAF,
+            },
+        );
+        let sep = match &mut self.nodes[parent] {
+            Node::Internal { keys, children } => {
+                children.remove(sep_idx + 1);
+                keys.remove(sep_idx)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        match (&mut self.nodes[left], right_node) {
+            (
+                Node::Leaf { keys, values, next },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    next: rnext,
+                },
+            ) => {
+                keys.extend(rk);
+                values.extend(rv);
+                *next = rnext;
+            }
+            (
+                Node::Internal { keys, children },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                keys.push(sep);
+                keys.extend(rk);
+                children.extend(rc);
+            }
+            _ => unreachable!("sibling levels match"),
+        }
+    }
+
+    /// Recursive insertion; returns `(separator, new_right_id)` if the
+    /// child split.
+    fn insert_rec(&mut self, id: usize, key: f64, value: V) -> Option<(f64, usize)> {
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values, .. } => {
+                // Insert after existing equal keys to preserve order.
+                let pos = keys.partition_point(|&k| k <= key);
+                keys.insert(pos, key);
+                values.insert(pos, value);
+                if keys.len() <= MAX_KEYS {
+                    return None;
+                }
+                self.split_leaf(id)
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                let split = self.insert_rec(child, key, value)?;
+                let (sep, right) = split;
+                match &mut self.nodes[id] {
+                    Node::Internal { keys, children } => {
+                        let pos = keys.partition_point(|&k| k <= sep);
+                        keys.insert(pos, sep);
+                        children.insert(pos + 1, right);
+                        if keys.len() <= MAX_KEYS {
+                            return None;
+                        }
+                    }
+                    Node::Leaf { .. } => unreachable!(),
+                }
+                self.split_internal(id)
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, id: usize) -> Option<(f64, usize)> {
+        let (right_keys, right_values, old_next) = match &mut self.nodes[id] {
+            Node::Leaf { keys, values, next } => {
+                let mid = keys.len() / 2;
+                (keys.split_off(mid), values.split_off(mid), *next)
+            }
+            Node::Internal { .. } => unreachable!(),
+        };
+        let sep = right_keys[0];
+        self.nodes.push(Node::Leaf {
+            keys: right_keys,
+            values: right_values,
+            next: old_next,
+        });
+        let right_id = self.nodes.len() - 1;
+        if let Node::Leaf { next, .. } = &mut self.nodes[id] {
+            *next = right_id;
+        }
+        Some((sep, right_id))
+    }
+
+    fn split_internal(&mut self, id: usize) -> Option<(f64, usize)> {
+        let (sep, right_keys, right_children) = match &mut self.nodes[id] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up, not right
+                let right_children = children.split_off(mid + 1);
+                (sep, right_keys, right_children)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        self.nodes.push(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        Some((sep, self.nodes.len() - 1))
+    }
+}
+
+/// Iterator over an inclusive key range, in key order.
+pub struct RangeIter<'a, V> {
+    tree: &'a BPlusTree<V>,
+    leaf: usize,
+    pos: usize,
+    hi: f64,
+}
+
+impl<'a, V> Iterator for RangeIter<'a, V> {
+    type Item = (f64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NO_LEAF {
+                return None;
+            }
+            match &self.tree.nodes[self.leaf] {
+                Node::Leaf { keys, values, next } => {
+                    if self.pos < keys.len() {
+                        let k = keys[self.pos];
+                        if k > self.hi {
+                            self.leaf = NO_LEAF;
+                            return None;
+                        }
+                        let v = &values[self.pos];
+                        self.pos += 1;
+                        return Some((k, v));
+                    }
+                    self.leaf = *next;
+                    self.pos = 0;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain points to internal node"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn collect(t: &BPlusTree<usize>, lo: f64, hi: f64) -> Vec<(f64, usize)> {
+        t.range(lo, hi).map(|(k, v)| (k, *v)).collect()
+    }
+
+    fn brute(pairs: &[(f64, usize)], lo: f64, hi: f64) -> Vec<f64> {
+        let mut keys: Vec<f64> = pairs
+            .iter()
+            .filter(|(k, _)| *k >= lo && *k <= hi)
+            .map(|&(k, _)| k)
+            .collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::<usize>::new();
+        assert!(t.is_empty());
+        assert_eq!(collect(&t, -1e9, 1e9), vec![]);
+    }
+
+    #[test]
+    fn small_inserts_and_ranges() {
+        let mut t = BPlusTree::new();
+        for (i, k) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            t.insert(*k, i);
+        }
+        assert_eq!(t.len(), 5);
+        let got: Vec<f64> = collect(&t, 2.0, 4.0).iter().map(|&(k, _)| k).collect();
+        assert_eq!(got, vec![2.0, 3.0, 4.0]);
+        // Inclusive at both ends.
+        assert_eq!(t.count_range(1.0, 5.0), 5);
+        assert_eq!(t.count_range(1.0, 1.0), 1);
+        // Empty and inverted ranges.
+        assert_eq!(t.count_range(10.0, 20.0), 0);
+        assert_eq!(t.count_range(4.0, 2.0), 0);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(7.0, i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.count_range(7.0, 7.0), 100);
+        assert_eq!(t.count_range(6.9, 6.99), 0);
+    }
+
+    #[test]
+    fn many_inserts_stay_sorted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = BPlusTree::new();
+        let mut pairs = Vec::new();
+        for i in 0..2000 {
+            let k = rng.gen_range(-100.0..100.0);
+            t.insert(k, i);
+            pairs.push((k, i));
+        }
+        let scanned: Vec<f64> = collect(&t, -1e9, 1e9).iter().map(|&(k, _)| k).collect();
+        assert_eq!(scanned.len(), 2000);
+        assert!(scanned.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        for _ in 0..50 {
+            let lo = rng.gen_range(-120.0..120.0);
+            let hi = lo + rng.gen_range(0.0..60.0);
+            let got: Vec<f64> = collect(&t, lo, hi).iter().map(|&(k, _)| k).collect();
+            assert_eq!(got, brute(&pairs, lo, hi));
+        }
+    }
+
+    #[test]
+    fn negative_and_boundary_keys() {
+        let mut t = BPlusTree::new();
+        t.insert(-5.0, 0);
+        t.insert(0.0, 1);
+        t.insert(5.0, 2);
+        assert_eq!(t.count_range(-5.0, -5.0), 1);
+        assert_eq!(t.count_range(-5.0, 5.0), 3);
+        assert_eq!(t.count_range(-4.999, 4.999), 1);
+    }
+
+    #[test]
+    fn remove_one_deletes_matching_entries() {
+        let mut t = BPlusTree::new();
+        for i in 0..5 {
+            t.insert(3.0, i);
+        }
+        t.insert(1.0, 100);
+        assert_eq!(t.remove_one(3.0, |&v| v == 2), Some(2));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count_range(3.0, 3.0), 4);
+        assert_eq!(t.remove_one(3.0, |&v| v == 2), None);
+        assert_eq!(t.remove_one(9.0, |_| true), None);
+        assert_eq!(t.remove_one(1.0, |_| true), Some(100));
+        assert!(t.count_range(1.0, 1.0) == 0);
+    }
+
+    #[test]
+    fn remove_drains_a_large_tree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = BPlusTree::new();
+        let mut shadow: Vec<(f64, usize)> = Vec::new();
+        for i in 0..1500 {
+            let k = rng.gen_range(-40..40) as f64 * 0.5;
+            t.insert(k, i);
+            shadow.push((k, i));
+        }
+        // Remove in random order, spot-checking ranges along the way.
+        while !shadow.is_empty() {
+            let idx = rng.gen_range(0..shadow.len());
+            let (k, v) = shadow.swap_remove(idx);
+            assert_eq!(t.remove_one(k, |&x| x == v), Some(v));
+            if shadow.len() % 250 == 0 {
+                let lo = rng.gen_range(-25.0..0.0);
+                let hi = lo + rng.gen_range(0.0..25.0);
+                let got: Vec<f64> = t.range(lo, hi).map(|(k, _)| k).collect();
+                assert_eq!(got, brute(&shadow, lo, hi));
+            }
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.count_range(-1e9, 1e9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_key_is_rejected() {
+        let mut t = BPlusTree::new();
+        t.insert(f64::NAN, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Agrees with a brute-force oracle for arbitrary inserts/ranges,
+        /// including duplicate-heavy key sets.
+        #[test]
+        fn agrees_with_brute_force(
+            keys in proptest::collection::vec(-20..20i32, 0..400),
+            lo in -25..25i32,
+            span in 0..50i32,
+        ) {
+            let mut t = BPlusTree::new();
+            let mut pairs = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                let k = *k as f64 * 0.5; // duplicate-heavy
+                t.insert(k, i);
+                pairs.push((k, i));
+            }
+            let (lo, hi) = (lo as f64 * 0.5, (lo + span) as f64 * 0.5);
+            let got: Vec<f64> = collect(&t, lo, hi).iter().map(|&(k, _)| k).collect();
+            prop_assert_eq!(got, brute(&pairs, lo, hi));
+            prop_assert_eq!(t.len(), pairs.len());
+        }
+
+        /// Random interleavings of inserts and removes agree with a
+        /// shadow multiset (keys snapped to a coarse grid so removes hit).
+        #[test]
+        fn insert_remove_interleaving(
+            ops in proptest::collection::vec((0u8..4, -10..10i32), 1..300),
+        ) {
+            let mut t = BPlusTree::new();
+            let mut shadow: Vec<(f64, usize)> = Vec::new();
+            let mut next = 0usize;
+            for (op, k) in ops {
+                let k = k as f64;
+                if op < 3 {
+                    t.insert(k, next);
+                    shadow.push((k, next));
+                    next += 1;
+                } else if let Some(pos) = shadow.iter().position(|&(sk, _)| sk == k) {
+                    let (_, v) = shadow.swap_remove(pos);
+                    prop_assert_eq!(t.remove_one(k, |&x| x == v), Some(v));
+                } else {
+                    prop_assert_eq!(t.remove_one(k, |_| true), None);
+                }
+            }
+            prop_assert_eq!(t.len(), shadow.len());
+            let got: Vec<f64> = t.range(-1e9, 1e9).map(|(k, _)| k).collect();
+            prop_assert_eq!(got, brute(&shadow, -1e9, 1e9));
+        }
+
+        /// All values inserted under one key are retrieved by a point
+        /// range, exactly once each.
+        #[test]
+        fn point_lookup_multiset(n in 0usize..200) {
+            let mut t = BPlusTree::new();
+            for i in 0..n {
+                t.insert(1.5, i);
+                t.insert(2.5, i + 1000);
+            }
+            let vals: Vec<usize> = t.range(1.5, 1.5).map(|(_, v)| *v).collect();
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # trajsim-index
+//!
+//! The disk-style index substrates §4.1 of the paper assumes, built from
+//! scratch and kept in memory:
+//!
+//! - [`RStarTree`]: an R*-tree over `D`-dimensional points with rectangle
+//!   range search — "we need to create a six-dimensional R-tree to index
+//!   these Q-grams ... However, the mean value Q-gram pairs of S ... only a
+//!   two dimensional R-tree is needed". Used by the **PR** pruning variant
+//!   to find data q-grams whose mean-value pair ε-matches a query q-gram's.
+//! - [`BPlusTree`]: a B+-tree over scalar keys with an in-order leaf chain
+//!   and inclusive range scans — "we can use a simple B+-tree to index mean
+//!   values of Q-grams" of the one-dimensional projected sequences
+//!   (Theorem 4). Used by the **PB** pruning variant.
+//!
+//! Both support insertion, removal with rebalancing/condensation, and
+//! the paper's query forms; the R*-tree additionally offers STR bulk
+//! loading and best-first k-nearest-neighbour search. Both are generic
+//! over their payload type and tested against brute-force oracles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aabb;
+mod bplus;
+mod rstar;
+
+pub use aabb::Aabb;
+pub use bplus::BPlusTree;
+pub use rstar::RStarTree;

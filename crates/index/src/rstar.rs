@@ -1,0 +1,1102 @@
+//! An in-memory R*-tree (Beckmann et al., SIGMOD 1990) over
+//! `D`-dimensional points, built from scratch.
+//!
+//! §4.1 indexes the two-dimensional *mean value pairs* of trajectory
+//! Q-grams in an R*-tree and answers, for each query q-gram, "a standard
+//! R*-tree search" for the data q-grams whose mean pair ε-matches it
+//! (the PR pruning variant of §5.1). This implementation provides exactly
+//! what that use case needs: point insertion with the R* heuristics
+//! (overlap-minimizing subtree choice, margin-driven split-axis selection,
+//! and forced reinsertion), plus rectangle range search.
+
+use crate::Aabb;
+
+/// Entries per node: node capacity `M`. Chosen small because the tree is
+/// in-memory (cache-line-sized nodes beat disk-page-sized ones here).
+const MAX_ENTRIES: usize = 16;
+/// Minimum fill `m` = 40 % of `M`, the R* paper's recommendation.
+const MIN_ENTRIES: usize = 6;
+/// Entries removed by forced reinsertion: 30 % of `M`.
+const REINSERT_COUNT: usize = 5;
+
+#[derive(Debug, Clone)]
+struct Node<const D: usize> {
+    /// 0 for leaves; parents of leaves are 1, and so on.
+    level: u32,
+    /// Bounding box of everything below this node.
+    rect: Aabb<D>,
+    /// Node ids when `level > 0`, value ids when `level == 0`.
+    children: Vec<usize>,
+}
+
+/// An R*-tree mapping `D`-dimensional points to payloads of type `T`,
+/// with rectangle range queries.
+///
+/// Besides one-at-a-time [`insert`](Self::insert)ion (the R* path with
+/// forced reinsertion), the tree supports
+/// [`bulk_load`](Self::bulk_load)ing a whole point set with
+/// Sort-Tile-Recursive packing — the right way to build the per-database
+/// q-gram index of §4.1 in one shot — and [`remove`](Self::remove) with
+/// R-tree condensation, for databases that evolve. Node and value slots
+/// are arena-allocated and not recycled after removal (fine for the
+/// in-memory, mostly-static workloads this serves; a long-lived
+/// delete-heavy tree should be rebuilt occasionally).
+///
+/// ```
+/// use trajsim_index::{Aabb, RStarTree};
+/// let mut tree = RStarTree::<2, &str>::new();
+/// tree.insert([1.0, 1.0], "a");
+/// tree.insert([2.0, 2.0], "b");
+/// tree.insert([9.0, 9.0], "c");
+/// // ε-match region around (1.5, 1.5) with ε = 0.6 finds a and b.
+/// let mut hits: Vec<&str> = Vec::new();
+/// tree.for_each_in(&Aabb::around([1.5, 1.5], 0.6), |_, v| hits.push(*v));
+/// hits.sort();
+/// assert_eq!(hits, vec!["a", "b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RStarTree<const D: usize, T> {
+    nodes: Vec<Node<D>>,
+    /// Arena of values; `None` marks a removed slot (ids stay stable).
+    values: Vec<Option<([f64; D], T)>>,
+    live: usize,
+    root: usize,
+}
+
+impl<const D: usize, T> Default for RStarTree<D, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, T> RStarTree<D, T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        let root = Node {
+            level: 0,
+            rect: Aabb::EMPTY,
+            children: Vec::new(),
+        };
+        RStarTree {
+            nodes: vec![root],
+            values: Vec::new(),
+            live: 0,
+            root: 0,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Height of the tree (1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        self.nodes[self.root].level as usize + 1
+    }
+
+    /// Inserts a point with its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is not finite (NaN would poison every
+    /// bounding-box comparison).
+    pub fn insert(&mut self, point: [f64; D], value: T) {
+        assert!(
+            point.iter().all(|c| c.is_finite()),
+            "R*-tree points must be finite"
+        );
+        let vid = self.values.len();
+        self.values.push(Some((point, value)));
+        self.live += 1;
+        self.insert_slots(vec![(vid, Aabb::point(point), 0)]);
+    }
+
+    /// Builds a tree over a whole point set with Sort-Tile-Recursive
+    /// packing (Leutenegger et al.): near-full leaves tiled along each
+    /// dimension in turn, then parents packed the same way over child
+    /// centers. Much faster than repeated insertion and yields a
+    /// better-clustered tree for static data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is not finite.
+    pub fn bulk_load(items: Vec<([f64; D], T)>) -> Self {
+        let mut tree = RStarTree::new();
+        if items.is_empty() {
+            return tree;
+        }
+        tree.live = items.len();
+        let mut ids: Vec<usize> = (0..items.len()).collect();
+        for (p, _) in &items {
+            assert!(
+                p.iter().all(|c| c.is_finite()),
+                "R*-tree points must be finite"
+            );
+        }
+        tree.values = items.into_iter().map(Some).collect();
+
+        // Pack the leaf level.
+        let point_of = |tree: &Self, vid: usize| tree.values[vid].as_ref().expect("live").0;
+        let mut level_nodes: Vec<usize> = {
+            let groups = str_tile(&mut ids, 0, |vid| point_of(&tree, *vid));
+            groups
+                .into_iter()
+                .map(|children| {
+                    let id = tree.alloc(Node {
+                        level: 0,
+                        rect: Aabb::EMPTY,
+                        children,
+                    });
+                    tree.recompute_rect(id);
+                    id
+                })
+                .collect()
+        };
+        // Pack upper levels until one root remains.
+        let mut level = 1u32;
+        while level_nodes.len() > 1 {
+            let centers: Vec<[f64; D]> = level_nodes
+                .iter()
+                .map(|&n| tree.nodes[n].rect.center())
+                .collect();
+            let index_of: std::collections::HashMap<usize, usize> = level_nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, i))
+                .collect();
+            let mut ids = level_nodes.clone();
+            let groups = str_tile(&mut ids, 0, |nid| centers[index_of[nid]]);
+            level_nodes = groups
+                .into_iter()
+                .map(|children| {
+                    let id = tree.alloc(Node {
+                        level,
+                        rect: Aabb::EMPTY,
+                        children,
+                    });
+                    tree.recompute_rect(id);
+                    id
+                })
+                .collect();
+            level += 1;
+        }
+        tree.root = level_nodes[0];
+        tree
+    }
+
+    /// Removes one stored point equal to `point` whose payload satisfies
+    /// `pred`, returning the payload; `None` if nothing matches. Underfull
+    /// nodes are condensed (their surviving entries re-inserted), and the
+    /// root collapses when it has a single child — the classic R-tree
+    /// delete.
+    pub fn remove<F: FnMut(&T) -> bool>(&mut self, point: [f64; D], mut pred: F) -> Option<T> {
+        // Find a path root -> leaf whose leaf holds a matching entry.
+        let mut path = vec![self.root];
+        let (leaf, pos) = self.find_leaf(self.root, &point, &mut pred, &mut path)?;
+        let vid = self.nodes[leaf].children.remove(pos);
+        let (_, payload) = self.values[vid].take().expect("entry was live");
+        self.live -= 1;
+
+        // Condense: walk the path bottom-up; detach underfull non-root
+        // nodes and queue their children for re-insertion.
+        let mut pending: Vec<(usize, Aabb<D>, u32)> = Vec::new();
+        for i in (1..path.len()).rev() {
+            let node = path[i];
+            let parent = path[i - 1];
+            if self.nodes[node].children.len() < MIN_ENTRIES {
+                let idx = self.nodes[parent]
+                    .children
+                    .iter()
+                    .position(|&c| c == node)
+                    .expect("path child");
+                self.nodes[parent].children.remove(idx);
+                let level = self.nodes[node].level;
+                let children = std::mem::take(&mut self.nodes[node].children);
+                for c in children {
+                    let rect = self.slot_rect(c, level);
+                    pending.push((c, rect, level));
+                }
+            } else {
+                self.recompute_rect(node);
+            }
+        }
+        self.recompute_rect(self.root);
+        // Shrink the root while it is a trivial chain.
+        while self.nodes[self.root].level > 0 && self.nodes[self.root].children.len() == 1 {
+            self.root = self.nodes[self.root].children[0];
+        }
+        if self.nodes[self.root].level > 0 && self.nodes[self.root].children.is_empty() {
+            // Everything was condensed away; reset to an empty leaf root.
+            self.nodes[self.root].level = 0;
+            self.nodes[self.root].rect = Aabb::EMPTY;
+        }
+        if !pending.is_empty() {
+            self.insert_slots(pending);
+        }
+        Some(payload)
+    }
+
+    /// Depth-first search for a leaf entry at `point` matching `pred`;
+    /// extends `path` with the successful branch.
+    fn find_leaf<F: FnMut(&T) -> bool>(
+        &self,
+        node: usize,
+        point: &[f64; D],
+        pred: &mut F,
+        path: &mut Vec<usize>,
+    ) -> Option<(usize, usize)> {
+        let n = &self.nodes[node];
+        if !n.rect.contains_point(point) {
+            return None;
+        }
+        if n.level == 0 {
+            for (pos, &vid) in n.children.iter().enumerate() {
+                if let Some((p, v)) = self.values[vid].as_ref() {
+                    if p == point && pred(v) {
+                        return Some((node, pos));
+                    }
+                }
+            }
+            return None;
+        }
+        for &child in &n.children {
+            path.push(child);
+            if let Some(hit) = self.find_leaf(child, point, pred, path) {
+                return Some(hit);
+            }
+            path.pop();
+        }
+        None
+    }
+
+    /// Visits every stored point inside `query` (boundaries inclusive).
+    pub fn for_each_in<'a, F: FnMut(&'a [f64; D], &'a T)>(&'a self, query: &Aabb<D>, mut f: F) {
+        if self.values.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.rect.intersects(query) {
+                continue;
+            }
+            if node.level == 0 {
+                for &vid in &node.children {
+                    let (p, v) = self.values[vid].as_ref().expect("live entry");
+                    if query.contains_point(p) {
+                        f(p, v);
+                    }
+                }
+            } else {
+                stack.extend(node.children.iter().copied());
+            }
+        }
+    }
+
+    /// Collects references to every payload inside `query`.
+    pub fn range(&self, query: &Aabb<D>) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_in(query, |_, v| out.push(v));
+        out
+    }
+
+    /// The `k` stored points nearest to `target` (Euclidean), nearest
+    /// first — classic best-first branch-and-bound over node rectangles.
+    /// Ties are broken by insertion order. Returns fewer than `k` entries
+    /// when the tree holds fewer points.
+    pub fn nearest(&self, target: [f64; D], k: usize) -> Vec<(&[f64; D], &T)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// Min-heap entry ordered by (distance², tie, kind/id).
+        #[derive(PartialEq)]
+        struct Entry {
+            dist_sq: f64,
+            tie: usize,
+            node: Option<usize>,
+            value: Option<usize>,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.dist_sq
+                    .partial_cmp(&other.dist_sq)
+                    .expect("finite distances")
+                    .then(self.tie.cmp(&other.tie))
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let rect_dist_sq = |rect: &Aabb<D>| -> f64 {
+            let mut acc = 0.0;
+            for d in 0..D {
+                let gap = (rect.min[d] - target[d]).max(target[d] - rect.max[d]).max(0.0);
+                acc += gap * gap;
+            }
+            acc
+        };
+        let point_dist_sq = |p: &[f64; D]| -> f64 {
+            let mut acc = 0.0;
+            for d in 0..D {
+                let g = p[d] - target[d];
+                acc += g * g;
+            }
+            acc
+        };
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry {
+            dist_sq: rect_dist_sq(&self.nodes[self.root].rect),
+            tie: self.root,
+            node: Some(self.root),
+            value: None,
+        }));
+        while let Some(Reverse(entry)) = heap.pop() {
+            if let Some(vid) = entry.value {
+                let (p, v) = self.values[vid].as_ref().expect("live entry");
+                out.push((p, v));
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            let node = &self.nodes[entry.node.expect("node entry")];
+            if node.level == 0 {
+                for &vid in &node.children {
+                    let (p, _) = self.values[vid].as_ref().expect("live entry");
+                    heap.push(Reverse(Entry {
+                        dist_sq: point_dist_sq(p),
+                        tie: vid,
+                        node: None,
+                        value: Some(vid),
+                    }));
+                }
+            } else {
+                for &c in &node.children {
+                    heap.push(Reverse(Entry {
+                        dist_sq: rect_dist_sq(&self.nodes[c].rect),
+                        tie: c,
+                        node: Some(c),
+                        value: None,
+                    }));
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes a work list of `(slot, rect, level)` insertions, including
+    /// any forced reinsertions they spawn. Forced reinsertion is *deferred*:
+    /// evicted entries join the work list and are re-driven from the root
+    /// after the current descent fully unwinds, which keeps the arena
+    /// simple (no re-entrant root splits mid-descent).
+    fn insert_slots(&mut self, mut pending: Vec<(usize, Aabb<D>, u32)>) {
+        let mut reinserted_levels: Vec<u32> = Vec::new();
+        while let Some((slot, rect, level)) = pending.pop() {
+            let split = self.insert_rec(
+                self.root,
+                slot,
+                rect,
+                level,
+                &mut reinserted_levels,
+                &mut pending,
+            );
+            if let Some(sibling) = split {
+                // Root split: grow the tree by one level.
+                let old_root = self.root;
+                let new_rect = self.nodes[old_root].rect.union(&self.nodes[sibling].rect);
+                let new_root = self.alloc(Node {
+                    level: self.nodes[old_root].level + 1,
+                    rect: new_rect,
+                    children: vec![old_root, sibling],
+                });
+                self.root = new_root;
+            }
+        }
+    }
+
+    fn alloc(&mut self, node: Node<D>) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Bounding rect of a child slot of a node at `level`.
+    fn slot_rect(&self, slot: usize, level: u32) -> Aabb<D> {
+        if level == 0 {
+            Aabb::point(self.values[slot].as_ref().expect("live entry").0)
+        } else {
+            self.nodes[slot].rect
+        }
+    }
+
+    fn recompute_rect(&mut self, id: usize) {
+        let level = self.nodes[id].level;
+        let mut rect = Aabb::EMPTY;
+        // Children are read via indices, so take the list out briefly to
+        // appease the borrow checker without cloning payloads.
+        let children = std::mem::take(&mut self.nodes[id].children);
+        for &c in &children {
+            rect = rect.union(&self.slot_rect(c, level));
+        }
+        self.nodes[id].children = children;
+        self.nodes[id].rect = rect;
+    }
+
+    /// Recursive insertion of `slot` (with bounding `rect`) at
+    /// `target_level`. Returns the id of a new sibling if this node split.
+    fn insert_rec(
+        &mut self,
+        id: usize,
+        slot: usize,
+        rect: Aabb<D>,
+        target_level: u32,
+        reinserted_levels: &mut Vec<u32>,
+        pending: &mut Vec<(usize, Aabb<D>, u32)>,
+    ) -> Option<usize> {
+        let level = self.nodes[id].level;
+        if level == target_level {
+            self.nodes[id].children.push(slot);
+            self.nodes[id].rect = self.nodes[id].rect.union(&rect);
+        } else {
+            let child = self.choose_subtree(id, &rect);
+            if let Some(sibling) =
+                self.insert_rec(child, slot, rect, target_level, reinserted_levels, pending)
+            {
+                self.nodes[id].children.push(sibling);
+            }
+            self.recompute_rect(id);
+        }
+
+        if self.nodes[id].children.len() <= MAX_ENTRIES {
+            return None;
+        }
+        // Overflow treatment (R* OT1): forced reinsert once per level per
+        // top-level insertion, except at the root.
+        if id != self.root && !reinserted_levels.contains(&level) {
+            reinserted_levels.push(level);
+            self.forced_reinsert(id, pending);
+            None
+        } else {
+            Some(self.split(id))
+        }
+    }
+
+    /// R* ChooseSubtree: minimize overlap enlargement when the children are
+    /// leaves, otherwise volume enlargement; ties by volume enlargement
+    /// then volume.
+    fn choose_subtree(&self, id: usize, rect: &Aabb<D>) -> usize {
+        let node = &self.nodes[id];
+        debug_assert!(node.level > 0);
+        let children_are_leaves = self.nodes[node.children[0]].level == 0;
+        let mut best = node.children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &c in &node.children {
+            let crect = self.nodes[c].rect;
+            let enlarged = crect.union(rect);
+            let enlargement = enlarged.volume() - crect.volume();
+            let overlap_delta = if children_are_leaves {
+                // Overlap of this child with its siblings, before vs after.
+                let mut before = 0.0;
+                let mut after = 0.0;
+                for &o in &node.children {
+                    if o == c {
+                        continue;
+                    }
+                    let orect = self.nodes[o].rect;
+                    before += crect.overlap(&orect);
+                    after += enlarged.overlap(&orect);
+                }
+                after - before
+            } else {
+                0.0
+            };
+            let key = (overlap_delta, enlargement, crect.volume());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// R* forced reinsertion: evict the `REINSERT_COUNT` children farthest
+    /// from the node's center and queue them for re-insertion from the
+    /// root.
+    fn forced_reinsert(&mut self, id: usize, pending: &mut Vec<(usize, Aabb<D>, u32)>) {
+        let level = self.nodes[id].level;
+        let center_rect = self.nodes[id].rect;
+        let mut scored: Vec<(f64, usize)> = self.nodes[id]
+            .children
+            .iter()
+            .map(|&c| {
+                (
+                    self.slot_rect(c, level).center_dist_sq(&center_rect),
+                    c,
+                )
+            })
+            .collect();
+        // Farthest first.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
+        let evicted: Vec<usize> = scored.iter().take(REINSERT_COUNT).map(|&(_, c)| c).collect();
+        self.nodes[id]
+            .children
+            .retain(|c| !evicted.contains(c));
+        self.recompute_rect(id);
+        for c in evicted {
+            let rect = self.slot_rect(c, level);
+            pending.push((c, rect, level));
+        }
+    }
+
+    /// R* split: choose the axis with the smallest total margin over all
+    /// admissible distributions, then the distribution with the least
+    /// overlap (ties by combined volume). Returns the new sibling's id.
+    fn split(&mut self, id: usize) -> usize {
+        let level = self.nodes[id].level;
+        let children = std::mem::take(&mut self.nodes[id].children);
+        let rects: Vec<Aabb<D>> = children.iter().map(|&c| self.slot_rect(c, level)).collect();
+        let n = children.len();
+        debug_assert!(n == MAX_ENTRIES + 1);
+
+        // For one axis: order of child indices sorted by (min, max).
+        let sorted_for_axis = |axis: usize| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                rects[a].min[axis]
+                    .partial_cmp(&rects[b].min[axis])
+                    .expect("finite")
+                    .then(
+                        rects[a].max[axis]
+                            .partial_cmp(&rects[b].max[axis])
+                            .expect("finite"),
+                    )
+            });
+            idx
+        };
+
+        // Prefix/suffix bounding boxes for an ordering.
+        let prefix_suffix = |order: &[usize]| -> (Vec<Aabb<D>>, Vec<Aabb<D>>) {
+            let mut prefix = Vec::with_capacity(n);
+            let mut acc = Aabb::EMPTY;
+            for &i in order {
+                acc = acc.union(&rects[i]);
+                prefix.push(acc);
+            }
+            let mut suffix = vec![Aabb::EMPTY; n];
+            let mut acc = Aabb::EMPTY;
+            for (k, &i) in order.iter().enumerate().rev() {
+                acc = acc.union(&rects[i]);
+                suffix[k] = acc;
+            }
+            (prefix, suffix)
+        };
+
+        // Choose the split axis by minimal margin sum.
+        let mut best_axis = 0;
+        let mut best_margin = f64::INFINITY;
+        for axis in 0..D {
+            let order = sorted_for_axis(axis);
+            let (prefix, suffix) = prefix_suffix(&order);
+            let mut margin_sum = 0.0;
+            for split_at in MIN_ENTRIES..=(n - MIN_ENTRIES) {
+                margin_sum += prefix[split_at - 1].margin() + suffix[split_at].margin();
+            }
+            if margin_sum < best_margin {
+                best_margin = margin_sum;
+                best_axis = axis;
+            }
+        }
+
+        // Choose the distribution on that axis by minimal overlap.
+        let order = sorted_for_axis(best_axis);
+        let (prefix, suffix) = prefix_suffix(&order);
+        let mut best_split = MIN_ENTRIES;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for split_at in MIN_ENTRIES..=(n - MIN_ENTRIES) {
+            let (a, b) = (prefix[split_at - 1], suffix[split_at]);
+            let key = (a.overlap(&b), a.volume() + b.volume());
+            if key < best_key {
+                best_key = key;
+                best_split = split_at;
+            }
+        }
+
+        let left: Vec<usize> = order[..best_split].iter().map(|&i| children[i]).collect();
+        let right: Vec<usize> = order[best_split..].iter().map(|&i| children[i]).collect();
+        self.nodes[id].children = left;
+        self.recompute_rect(id);
+        let sibling = self.alloc(Node {
+            level,
+            rect: Aabb::EMPTY,
+            children: right,
+        });
+        self.recompute_rect(sibling);
+        sibling
+    }
+
+    /// Structural invariant check, used by tests: every child rect is
+    /// contained in its parent's, fills are within bounds, levels decrease
+    /// by one, and the leaf count matches `len()`. Returns the number of
+    /// reachable values.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        fn contains<const D: usize>(outer: &Aabb<D>, inner: &Aabb<D>) -> bool {
+            (0..D).all(|k| outer.min[k] <= inner.min[k] + 1e-12 && outer.max[k] >= inner.max[k] - 1e-12)
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if id != self.root {
+                assert!(
+                    node.children.len() >= MIN_ENTRIES,
+                    "underfull non-root node"
+                );
+            }
+            assert!(node.children.len() <= MAX_ENTRIES, "overfull node");
+            if node.level == 0 {
+                for &vid in &node.children {
+                    let (p, _) = self.values[vid].as_ref().expect("live entry");
+                    assert!(
+                        node.rect.contains_point(p),
+                        "leaf rect does not contain its point"
+                    );
+                    count += 1;
+                }
+            } else {
+                for &c in &node.children {
+                    assert_eq!(self.nodes[c].level + 1, node.level, "level mismatch");
+                    assert!(
+                        contains(&node.rect, &self.nodes[c].rect),
+                        "child rect escapes parent"
+                    );
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(count, self.len(), "reachable values != len()");
+        count
+    }
+}
+
+/// Sort-Tile-Recursive grouping: recursively sorts `ids` by dimension
+/// `dim` of `key` and slices them into slabs, finishing with balanced
+/// leaf-size groups on the last dimension. Every group has between
+/// `MIN_ENTRIES` and `MAX_ENTRIES` members (except a single group when
+/// there are fewer items than `MIN_ENTRIES` in total).
+fn str_tile<K: Copy, const D: usize>(
+    ids: &mut [K],
+    dim: usize,
+    key: impl Fn(&K) -> [f64; D] + Copy,
+) -> Vec<Vec<K>> {
+    let n = ids.len();
+    if n <= MAX_ENTRIES {
+        return vec![ids.to_vec()];
+    }
+    let pages = n.div_ceil(MAX_ENTRIES);
+    ids.sort_by(|a, b| {
+        key(a)[dim]
+            .partial_cmp(&key(b)[dim])
+            .expect("finite coordinates")
+    });
+    if dim + 1 >= D {
+        return balanced_chunks(ids, pages);
+    }
+    let slabs = (pages as f64).powf(1.0 / (D - dim) as f64).ceil() as usize;
+    let mut out = Vec::new();
+    for slab in balanced_chunks(ids, slabs.max(1)) {
+        let mut slab = slab;
+        out.extend(str_tile(&mut slab, dim + 1, key));
+    }
+    out
+}
+
+/// Splits `ids` into exactly `groups` contiguous chunks with sizes
+/// differing by at most one (so with `groups = ceil(n / M)` every chunk
+/// has at least `M / 2 >= m` members).
+fn balanced_chunks<K: Copy>(ids: &[K], groups: usize) -> Vec<Vec<K>> {
+    let n = ids.len();
+    let groups = groups.clamp(1, n.max(1));
+    let base = n / groups;
+    let extra = n % groups;
+    let mut out = Vec::with_capacity(groups);
+    let mut at = 0;
+    for g in 0..groups {
+        let size = base + usize::from(g < extra);
+        out.push(ids[at..at + size].to_vec());
+        at += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force oracle.
+    fn brute_range(points: &[([f64; 2], usize)], query: &Aabb<2>) -> Vec<usize> {
+        let mut out: Vec<usize> = points
+            .iter()
+            .filter(|(p, _)| query.contains_point(p))
+            .map(|&(_, v)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn tree_range(tree: &RStarTree<2, usize>, query: &Aabb<2>) -> Vec<usize> {
+        let mut out: Vec<usize> = tree.range(query).into_iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let tree = RStarTree::<2, usize>::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert!(tree
+            .range(&Aabb::around([0.0, 0.0], 1000.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn small_tree_exact_queries() {
+        let mut tree = RStarTree::<2, usize>::new();
+        for (i, p) in [[0.0, 0.0], [1.0, 1.0], [5.0, 5.0]].iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree_range(&tree, &Aabb::point([1.0, 1.0])), vec![1]);
+        assert_eq!(
+            tree_range(&tree, &Aabb::around([0.5, 0.5], 0.6)),
+            vec![0, 1]
+        );
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn boundary_points_are_included() {
+        let mut tree = RStarTree::<2, usize>::new();
+        tree.insert([1.0, 2.0], 7);
+        // Query box whose corner is exactly the point.
+        let q = Aabb {
+            min: [0.0, 0.0],
+            max: [1.0, 2.0],
+        };
+        assert_eq!(tree_range(&tree, &q), vec![7]);
+    }
+
+    #[test]
+    fn grows_beyond_one_node_and_stays_consistent() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut tree = RStarTree::<2, usize>::new();
+        let mut pts = Vec::new();
+        for i in 0..500 {
+            let p = [rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)];
+            tree.insert(p, i);
+            pts.push((p, i));
+        }
+        assert!(tree.height() > 1, "tree never split");
+        tree.check_invariants();
+        for _ in 0..50 {
+            let c = [rng.gen_range(-110.0..110.0), rng.gen_range(-110.0..110.0)];
+            let r = rng.gen_range(0.0..40.0);
+            let q = Aabb::around(c, r);
+            assert_eq!(tree_range(&tree, &q), brute_range(&pts, &q));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_returned() {
+        let mut tree = RStarTree::<2, usize>::new();
+        for i in 0..40 {
+            tree.insert([3.0, 3.0], i);
+        }
+        let hits = tree_range(&tree, &Aabb::point([3.0, 3.0]));
+        assert_eq!(hits, (0..40).collect::<Vec<_>>());
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn clustered_then_sparse_insertions() {
+        // A pathological-ish pattern: dense cluster first (forces splits +
+        // reinsertions), then far-away points (stretch rects).
+        let mut tree = RStarTree::<2, usize>::new();
+        let mut pts = Vec::new();
+        let mut id = 0;
+        for i in 0..10 {
+            for j in 0..10 {
+                let p = [i as f64 * 0.01, j as f64 * 0.01];
+                tree.insert(p, id);
+                pts.push((p, id));
+                id += 1;
+            }
+        }
+        for i in 0..30 {
+            let p = [1000.0 + i as f64, -1000.0 - i as f64];
+            tree.insert(p, id);
+            pts.push((p, id));
+            id += 1;
+        }
+        tree.check_invariants();
+        let q = Aabb {
+            min: [0.0, 0.0],
+            max: [0.05, 0.05],
+        };
+        assert_eq!(tree_range(&tree, &q), brute_range(&pts, &q));
+        let all = Aabb {
+            min: [-2000.0, -2000.0],
+            max: [2000.0, 2000.0],
+        };
+        assert_eq!(tree_range(&tree, &all).len(), pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_point_is_rejected() {
+        let mut tree = RStarTree::<2, usize>::new();
+        tree.insert([f64::NAN, 0.0], 0);
+    }
+
+    #[test]
+    fn three_dimensional_tree_works() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tree = RStarTree::<3, usize>::new();
+        let mut pts = Vec::new();
+        for i in 0..200 {
+            let p = [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            tree.insert(p, i);
+            pts.push((p, i));
+        }
+        tree.check_invariants();
+        let q = Aabb::around([0.0, 0.0, 0.0], 5.0);
+        let mut got: Vec<usize> = tree.range(&q).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .filter(|(p, _)| q.contains_point(p))
+            .map(|&(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_queries() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pts: Vec<([f64; 2], usize)> = (0..1200)
+            .map(|i| ([rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)], i))
+            .collect();
+        let bulk = RStarTree::bulk_load(pts.clone());
+        assert_eq!(bulk.len(), pts.len());
+        bulk.check_invariants();
+        assert!(bulk.height() > 1);
+        for _ in 0..30 {
+            let q = Aabb::around(
+                [rng.gen_range(-60.0..60.0), rng.gen_range(-60.0..60.0)],
+                rng.gen_range(0.0..25.0),
+            );
+            assert_eq!(tree_range(&bulk, &q), brute_range(&pts, &q));
+        }
+    }
+
+    #[test]
+    fn bulk_load_edge_sizes() {
+        for n in [0usize, 1, 5, 16, 17, 33] {
+            let pts: Vec<([f64; 2], usize)> =
+                (0..n).map(|i| ([i as f64, -(i as f64)], i)).collect();
+            let t = RStarTree::bulk_load(pts.clone());
+            assert_eq!(t.len(), n);
+            if n > 0 {
+                t.check_invariants();
+                let all = Aabb::around([0.0, 0.0], 1e6);
+                assert_eq!(tree_range(&t, &all).len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_matching_entry() {
+        let mut tree = RStarTree::<2, usize>::new();
+        tree.insert([1.0, 1.0], 10);
+        tree.insert([1.0, 1.0], 11);
+        tree.insert([2.0, 2.0], 12);
+        let got = tree.remove([1.0, 1.0], |&v| v == 11);
+        assert_eq!(got, Some(11));
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree_range(&tree, &Aabb::point([1.0, 1.0])), vec![10]);
+        // Removing something absent is a no-op.
+        assert_eq!(tree.remove([9.0, 9.0], |_| true), None);
+        assert_eq!(tree.remove([1.0, 1.0], |&v| v == 11), None);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn remove_condenses_underfull_nodes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut tree = RStarTree::<2, usize>::new();
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            let p = [rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)];
+            tree.insert(p, i);
+            pts.push((p, i));
+        }
+        // Remove 300 random entries, verifying queries against brute force
+        // as the tree condenses and the root collapses.
+        for round in 0..300 {
+            let idx = rng.gen_range(0..pts.len());
+            let (p, v) = pts.swap_remove(idx);
+            assert_eq!(tree.remove(p, |&x| x == v), Some(v), "round {round}");
+            if round % 50 == 0 {
+                tree.check_invariants();
+                let q = Aabb::around([0.0, 0.0], 30.0);
+                assert_eq!(tree_range(&tree, &q), brute_range(&pts, &q));
+            }
+        }
+        assert_eq!(tree.len(), 100);
+        tree.check_invariants();
+        // Drain completely.
+        for (p, v) in pts.drain(..) {
+            assert_eq!(tree.remove(p, |&x| x == v), Some(v));
+        }
+        assert!(tree.is_empty());
+        assert!(tree
+            .range(&Aabb::around([0.0, 0.0], 1e6))
+            .is_empty());
+    }
+
+    #[test]
+    fn nearest_returns_sorted_neighbours() {
+        let mut tree = RStarTree::<2, usize>::new();
+        for i in 0..100 {
+            tree.insert([i as f64, 0.0], i);
+        }
+        let nn = tree.nearest([10.2, 0.0], 3);
+        let ids: Vec<usize> = nn.iter().map(|(_, &v)| v).collect();
+        assert_eq!(ids, vec![10, 11, 9]);
+        // k = 0 and k > len edge cases.
+        assert!(tree.nearest([0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.nearest([0.0, 0.0], 500).len(), 100);
+        assert!(RStarTree::<2, usize>::new().nearest([0.0, 0.0], 3).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Best-first k-NN agrees with a brute-force sort.
+        #[test]
+        fn nearest_agrees_with_brute_force(
+            points in proptest::collection::vec(prop::array::uniform2(-50.0..50.0f64), 1..300),
+            target in prop::array::uniform2(-60.0..60.0f64),
+            k in 1usize..12,
+        ) {
+            let pts: Vec<([f64; 2], usize)> =
+                points.into_iter().enumerate().map(|(i, p)| (p, i)).collect();
+            let tree = RStarTree::bulk_load(pts.clone());
+            let got: Vec<f64> = tree
+                .nearest(target, k)
+                .iter()
+                .map(|(p, _)| {
+                    let (dx, dy) = (p[0] - target[0], p[1] - target[1]);
+                    dx * dx + dy * dy
+                })
+                .collect();
+            let mut want: Vec<f64> = pts
+                .iter()
+                .map(|(p, _)| {
+                    let (dx, dy) = (p[0] - target[0], p[1] - target[1]);
+                    dx * dx + dy * dy
+                })
+                .collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+
+        /// Bulk-loaded trees answer like brute force for arbitrary sets.
+        #[test]
+        fn bulk_load_agrees_with_brute_force(
+            points in proptest::collection::vec(prop::array::uniform2(-50.0..50.0f64), 0..400),
+            center in prop::array::uniform2(-60.0..60.0f64),
+            radius in 0.0..30.0f64,
+        ) {
+            let pts: Vec<([f64; 2], usize)> =
+                points.into_iter().enumerate().map(|(i, p)| (p, i)).collect();
+            let tree = RStarTree::bulk_load(pts.clone());
+            if !pts.is_empty() {
+                tree.check_invariants();
+            }
+            let q = Aabb::around(center, radius);
+            prop_assert_eq!(tree_range(&tree, &q), brute_range(&pts, &q));
+        }
+
+        /// Insert/remove interleavings agree with a brute-force multiset.
+        #[test]
+        fn insert_remove_interleaving(
+            ops in proptest::collection::vec((0u8..4, prop::array::uniform2(-8.0..8.0f64)), 1..120),
+        ) {
+            let mut tree = RStarTree::<2, usize>::new();
+            let mut shadow: Vec<([f64; 2], usize)> = Vec::new();
+            let mut next = 0usize;
+            for (op, p) in ops {
+                // Snap to a coarse grid so removes actually hit.
+                let p = [p[0].round(), p[1].round()];
+                if op < 3 {
+                    tree.insert(p, next);
+                    shadow.push((p, next));
+                    next += 1;
+                } else if let Some(pos) = shadow.iter().position(|&(sp, _)| sp == p) {
+                    let (_, v) = shadow.swap_remove(pos);
+                    prop_assert_eq!(tree.remove(p, |&x| x == v), Some(v));
+                } else {
+                    prop_assert_eq!(tree.remove(p, |_| true), None);
+                }
+            }
+            if !tree.is_empty() {
+                tree.check_invariants();
+            }
+            let all = Aabb::around([0.0, 0.0], 1e6);
+            prop_assert_eq!(tree_range(&tree, &all).len(), shadow.len());
+        }
+
+        /// Tree range queries agree with brute force for arbitrary point
+        /// sets and query boxes, and invariants hold after every batch.
+        #[test]
+        fn agrees_with_brute_force(
+            points in proptest::collection::vec(prop::array::uniform2(-50.0..50.0f64), 0..300),
+            center in prop::array::uniform2(-60.0..60.0f64),
+            radius in 0.0..30.0f64,
+        ) {
+            let mut tree = RStarTree::<2, usize>::new();
+            let mut pts = Vec::new();
+            for (i, p) in points.into_iter().enumerate() {
+                tree.insert(p, i);
+                pts.push((p, i));
+            }
+            tree.check_invariants();
+            let q = Aabb::around(center, radius);
+            prop_assert_eq!(tree_range(&tree, &q), brute_range(&pts, &q));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Long-format CSV codec.
+
+use crate::{IoError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use trajsim_core::{Dataset, Point, Trajectory};
+
+/// Writes a dataset in long format: header `traj_id,t,c0,..,c{D-1}`, one
+/// sample per row. Implicit timestamps are written as their indices.
+pub fn write_csv<const D: usize, W: Write>(mut w: W, dataset: &Dataset<D>) -> Result<()> {
+    write!(w, "traj_id,t")?;
+    for k in 0..D {
+        write!(w, ",c{k}")?;
+    }
+    writeln!(w)?;
+    for (id, t) in dataset.iter() {
+        for (i, p) in t.iter().enumerate() {
+            write!(w, "{id},{}", t.timestamp(i))?;
+            for k in 0..D {
+                write!(w, ",{}", p[k])?;
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a long-format CSV into a dataset, validating the header and the
+/// contiguity of trajectory ids. Trajectory ids are re-densified in order
+/// of first appearance (so gaps are fine, interleaving is not).
+///
+/// # Errors
+///
+/// [`IoError::Csv`] with the offending line number for any malformed row.
+pub fn read_csv<const D: usize, R: Read>(r: R) -> Result<Dataset<D>> {
+    let mut lines = BufReader::new(r).lines().enumerate();
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| csv_err(1, "missing header"))?;
+    let header = header?;
+    let expected_cols = 2 + D;
+    let got_cols = header.split(',').count();
+    if got_cols != expected_cols {
+        return Err(csv_err(
+            1,
+            format!("header has {got_cols} columns, expected {expected_cols} (traj_id,t,c0..c{})", D - 1),
+        ));
+    }
+
+    let mut trajectories: Vec<Trajectory<D>> = Vec::new();
+    let mut current_id: Option<String> = None;
+    let mut seen_ids: Vec<String> = Vec::new();
+    let mut points: Vec<Point<D>> = Vec::new();
+    let mut timestamps: Vec<f64> = Vec::new();
+
+    let mut flush = |points: &mut Vec<Point<D>>, timestamps: &mut Vec<f64>| -> Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let t = Trajectory::with_timestamps(std::mem::take(points), std::mem::take(timestamps))
+            .map_err(|e| IoError::Csv {
+                line: 0,
+                reason: e.to_string(),
+            })?;
+        trajectories.push(t);
+        Ok(())
+    };
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected_cols {
+            return Err(csv_err(
+                line_no,
+                format!("expected {expected_cols} fields, got {}", fields.len()),
+            ));
+        }
+        let id = fields[0].trim().to_string();
+        if current_id.as_deref() != Some(&id) {
+            // New trajectory: ids must not reappear later.
+            if seen_ids.contains(&id) {
+                return Err(csv_err(
+                    line_no,
+                    format!("trajectory id {id:?} reappears non-contiguously"),
+                ));
+            }
+            flush(&mut points, &mut timestamps)?;
+            seen_ids.push(id.clone());
+            current_id = Some(id);
+        }
+        let t: f64 = parse_field(fields[1], line_no, "t")?;
+        timestamps.push(t);
+        let mut coords = [0.0f64; D];
+        for (k, c) in coords.iter_mut().enumerate() {
+            *c = parse_field(fields[2 + k], line_no, "coordinate")?;
+            if !c.is_finite() {
+                return Err(csv_err(line_no, "non-finite coordinate"));
+            }
+        }
+        points.push(Point::new(coords));
+    }
+    flush(&mut points, &mut timestamps)?;
+    Ok(Dataset::new(trajectories))
+}
+
+fn parse_field(s: &str, line: usize, what: &str) -> Result<f64> {
+    s.trim()
+        .parse()
+        .map_err(|_| csv_err(line, format!("bad {what} value {s:?}")))
+}
+
+fn csv_err(line: usize, reason: impl Into<String>) -> IoError {
+    IoError::Csv {
+        line,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::Trajectory2;
+
+    fn roundtrip(ds: &Dataset<2>) -> Dataset<2> {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, ds).unwrap();
+        read_csv(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_a_small_dataset() {
+        let ds = Dataset::new(vec![
+            Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.5)]),
+            Trajectory2::from_xy(&[(-1.5, 0.0)]),
+        ]);
+        let back = roundtrip(&ds);
+        assert_eq!(back.len(), 2);
+        for (a, b) in ds.trajectories().iter().zip(back.trajectories()) {
+            assert_eq!(a.points(), b.points());
+        }
+    }
+
+    #[test]
+    fn reads_handwritten_csv_with_blank_lines() {
+        let text = "traj_id,t,c0,c1\nA,0,1.0,2.0\nA,1,3.0,4.0\n\nB,0,5.0,6.0\n";
+        let ds: Dataset<2> = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(0).unwrap().len(), 2);
+        assert_eq!(ds.get(1).unwrap().len(), 1);
+        assert_eq!(ds.get(0).unwrap().timestamps(), Some(&[0.0, 1.0][..]));
+    }
+
+    #[test]
+    fn rejects_malformed_rows_with_line_numbers() {
+        let text = "traj_id,t,c0,c1\nA,0,1.0,2.0\nA,1,oops,4.0\n";
+        match read_csv::<2, _>(text.as_bytes()) {
+            Err(IoError::Csv { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("oops"));
+            }
+            other => panic!("expected csv error, got {other:?}"),
+        }
+        let text = "traj_id,t,c0,c1\nA,0,1.0\n";
+        assert!(matches!(
+            read_csv::<2, _>(text.as_bytes()),
+            Err(IoError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_interleaved_ids() {
+        let text = "traj_id,t,c0,c1\nA,0,1,1\nB,0,2,2\nA,1,3,3\n";
+        assert!(matches!(
+            read_csv::<2, _>(text.as_bytes()),
+            Err(IoError::Csv { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_dimension_header() {
+        let text = "traj_id,t,c0\nA,0,1\n";
+        assert!(matches!(
+            read_csv::<2, _>(text.as_bytes()),
+            Err(IoError::Csv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinates() {
+        let text = "traj_id,t,c0,c1\nA,0,1.0,NaN\n";
+        assert!(read_csv::<2, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds: Dataset<2> = Dataset::default();
+        assert_eq!(roundtrip(&ds).len(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// CSV roundtrips arbitrary finite datasets exactly (f64 Display
+        /// is shortest-roundtrip in Rust).
+        #[test]
+        fn roundtrip_is_exact(
+            trajs in proptest::collection::vec(
+                proptest::collection::vec((-1e6..1e6f64, -1e6..1e6f64), 1..12),
+                0..8,
+            ),
+        ) {
+            let ds = Dataset::new(trajs.iter().map(|t| Trajectory2::from_xy(t)).collect());
+            let back = roundtrip(&ds);
+            prop_assert_eq!(back.len(), ds.len());
+            for (a, b) in ds.trajectories().iter().zip(back.trajectories()) {
+                prop_assert_eq!(a.points(), b.points());
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! I/O error type.
+
+use std::fmt;
+
+/// Errors from reading or writing trajectory data.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed CSV content, with the 1-based line number.
+    Csv {
+        /// Line where the problem was found.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Malformed or unsupported binary content.
+    Binary(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::Csv { line, reason } => write!(f, "csv line {line}: {reason}"),
+            IoError::Binary(reason) => write!(f, "binary format: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IoError::Csv {
+            line: 7,
+            reason: "expected 4 fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = IoError::Binary("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! # trajsim-io
+//!
+//! Persistence for trajectory data sets: a human-friendly long-format CSV
+//! codec and a compact little-endian binary codec. Neither format appears
+//! in the paper — they exist because a similarity-search library is only
+//! adoptable if users can get their data *into* it.
+//!
+//! ## CSV
+//!
+//! Long format, one sample per row, with a header:
+//!
+//! ```csv
+//! traj_id,t,c0,c1
+//! 0,0,12.5,40.25
+//! 0,1,13.0,40.5
+//! 1,0,7.0,9.0
+//! ```
+//!
+//! `traj_id` must be non-decreasing (samples of one trajectory are
+//! contiguous); `t` is the timestamp; `c0..c{D-1}` are the coordinates.
+//!
+//! ## Binary
+//!
+//! `TRAJ` magic, format version, dimension, then length-prefixed
+//! trajectories of little-endian `f64`s — safe to mmap-read later, cheap
+//! to stream.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod binary;
+mod csv;
+mod error;
+
+pub use binary::{read_binary, write_binary};
+pub use csv::{read_csv, write_csv};
+pub use error::IoError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IoError>;

@@ -1,0 +1,493 @@
+//! Combining the three pruning methods (§4.4, Figures 11–13).
+
+use crate::histogram_knn::HistogramVariant;
+use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory};
+use trajsim_distance::edr;
+use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
+use trajsim_qgram::{passes_count_filter, SortedMeans};
+
+/// One of the three filters, used to spell an application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// Trajectory-histogram lower bound (§4.3).
+    Histogram,
+    /// Mean-value q-gram count filter (§4.1), merge-join variant.
+    Qgram,
+    /// Near triangle inequality (§4.2).
+    NearTriangle,
+}
+
+/// The application order of the three orthogonal filters. The paper tests
+/// all six (Figure 11); `Hqn` — histogram, then q-grams, then near
+/// triangle — is the winner, "applying a pruning method with more pruning
+/// power and less expensive computation cost first".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum PruneOrder {
+    /// histogram → q-gram → near-triangle (the paper's 2HPN / 1HPN).
+    HQN,
+    /// histogram → near-triangle → q-gram.
+    HNQ,
+    /// q-gram → histogram → near-triangle.
+    QHN,
+    /// q-gram → near-triangle → histogram.
+    QNH,
+    /// near-triangle → histogram → q-gram.
+    NHQ,
+    /// near-triangle → q-gram → histogram.
+    NQH,
+}
+
+impl PruneOrder {
+    /// All six orders, for the Figure 11 sweep.
+    pub const ALL: [PruneOrder; 6] = [
+        PruneOrder::HQN,
+        PruneOrder::HNQ,
+        PruneOrder::QHN,
+        PruneOrder::QNH,
+        PruneOrder::NHQ,
+        PruneOrder::NQH,
+    ];
+
+    /// The filters in application order.
+    pub fn filters(self) -> [Filter; 3] {
+        use Filter::*;
+        match self {
+            PruneOrder::HQN => [Histogram, Qgram, NearTriangle],
+            PruneOrder::HNQ => [Histogram, NearTriangle, Qgram],
+            PruneOrder::QHN => [Qgram, Histogram, NearTriangle],
+            PruneOrder::QNH => [Qgram, NearTriangle, Histogram],
+            PruneOrder::NHQ => [NearTriangle, Histogram, Qgram],
+            PruneOrder::NQH => [NearTriangle, Qgram, Histogram],
+        }
+    }
+
+    /// The paper's label style: e.g. `2HPN` for histogram → q-gram →
+    /// near-triangle with 2-d histograms.
+    pub fn label(self, histogram: HistogramVariant) -> String {
+        let h = match histogram {
+            HistogramVariant::Grid { .. } => "2H",
+            HistogramVariant::PerDimension => "1H",
+        };
+        let spell: String = self
+            .filters()
+            .iter()
+            .map(|f| match f {
+                Filter::Histogram => h.to_string(),
+                Filter::Qgram => "P".to_string(),
+                Filter::NearTriangle => "N".to_string(),
+            })
+            .collect();
+        spell
+    }
+}
+
+/// Configuration of the combined engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombinedConfig {
+    /// Filter application order.
+    pub order: PruneOrder,
+    /// Histogram embedding (2-d grid or per-dimension 1-d).
+    pub histogram: HistogramVariant,
+    /// Q-gram size for the merge-join count filter (the paper settles on
+    /// q = 1 with PS2 from the Figure 7–8 study).
+    pub qgram_q: usize,
+    /// Reference-pool size for near-triangle pruning (the paper uses 400).
+    pub max_triangle: usize,
+}
+
+impl Default for CombinedConfig {
+    /// The paper's best setting: histogram first (1-d histograms — the
+    /// overall winner of Figures 12–13), then merge-join q-grams of size
+    /// 1, then near-triangle with 400 references.
+    fn default() -> Self {
+        CombinedConfig {
+            order: PruneOrder::HQN,
+            histogram: HistogramVariant::PerDimension,
+            qgram_q: 1,
+            max_triangle: 400,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Hists<const D: usize> {
+    Grid(Vec<TrajectoryHistogram<D>>),
+    PerDim(Vec<Vec<TrajectoryHistogram<1>>>),
+}
+
+enum QueryHists<const D: usize> {
+    Grid(TrajectoryHistogram<D>),
+    PerDim(Vec<TrajectoryHistogram<1>>),
+}
+
+/// `EDRCombineK-NN` (Figure 6), generalized to any filter order: each
+/// candidate runs through the three lower-bound filters in the configured
+/// order and the true EDR is computed only if none of them prunes it.
+///
+/// Because the filters are orthogonal lower bounds, the *set* of pruned
+/// candidates is order-independent (the paper confirms "the six
+/// combinations achieve the same pruning power"); the order determines
+/// which filter takes the credit — and, since the filters have different
+/// costs, the wall-clock speedup (Figure 11).
+#[derive(Debug)]
+pub struct CombinedKnn<'a, const D: usize> {
+    dataset: &'a Dataset<D>,
+    eps: MatchThreshold,
+    config: CombinedConfig,
+    hists: Hists<D>,
+    qgrams: Vec<SortedMeans<D>>,
+    /// `pmatrix[r][s]` for the reference pool (first `max_triangle` ids).
+    pmatrix: Vec<Vec<usize>>,
+}
+
+impl<'a, const D: usize> CombinedKnn<'a, D> {
+    /// Builds all three filter structures for `dataset`.
+    pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold, config: CombinedConfig) -> Self {
+        let pool = config.max_triangle.min(dataset.len());
+        let pmatrix = (0..pool)
+            .map(|r| {
+                let tr = &dataset.trajectories()[r];
+                dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect()
+            })
+            .collect();
+        Self::with_pmatrix(dataset, eps, config, pmatrix)
+    }
+
+    /// Builds with an externally computed reference `pmatrix` (see
+    /// [`crate::NearTriangleKnn::from_pmatrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is inconsistent, `qgram_q == 0`, or
+    /// `eps` is zero.
+    pub fn with_pmatrix(
+        dataset: &'a Dataset<D>,
+        eps: MatchThreshold,
+        config: CombinedConfig,
+        pmatrix: Vec<Vec<usize>>,
+    ) -> Self {
+        assert!(config.qgram_q > 0, "q-gram size must be positive");
+        assert!(eps.value() > 0.0, "histogram pruning needs a positive epsilon");
+        let pool = config.max_triangle.min(dataset.len());
+        assert_eq!(pmatrix.len(), pool, "pmatrix must have one row per reference");
+        for row in &pmatrix {
+            assert_eq!(row.len(), dataset.len(), "pmatrix row length must be N");
+        }
+        let hists = match config.histogram {
+            HistogramVariant::Grid { delta } => Hists::Grid(
+                dataset
+                    .iter()
+                    .map(|(_, t)| TrajectoryHistogram::build_coarse(t, eps, delta))
+                    .collect(),
+            ),
+            HistogramVariant::PerDimension => Hists::PerDim(
+                dataset
+                    .iter()
+                    .map(|(_, t)| {
+                        (0..D)
+                            .map(|dim| TrajectoryHistogram::<D>::build_projected(t, eps, dim))
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        };
+        let qgrams = dataset
+            .iter()
+            .map(|(_, t)| SortedMeans::build(t, config.qgram_q))
+            .collect();
+        CombinedKnn {
+            dataset,
+            eps,
+            config,
+            hists,
+            qgrams,
+            pmatrix,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CombinedConfig {
+        &self.config
+    }
+
+    /// The linear quick histogram lower bound (drives the HSR visit order
+    /// and its break-out).
+    fn histogram_quick(&self, qh: &QueryHists<D>, id: usize) -> usize {
+        match (&self.hists, qh) {
+            (Hists::Grid(h), QueryHists::Grid(q)) => histogram_distance_quick(q, &h[id]),
+            (Hists::PerDim(h), QueryHists::PerDim(q)) => q
+                .iter()
+                .zip(&h[id])
+                .map(|(a, b)| histogram_distance_quick(a, b))
+                .max()
+                .unwrap_or(0),
+            _ => unreachable!("query embedded with the engine's own variant"),
+        }
+    }
+
+    /// The exact (max-flow) histogram lower bound, run per candidate when
+    /// the histogram filter's turn comes.
+    fn histogram_exact(&self, qh: &QueryHists<D>, id: usize) -> usize {
+        match (&self.hists, qh) {
+            (Hists::Grid(h), QueryHists::Grid(q)) => histogram_distance(q, &h[id]),
+            (Hists::PerDim(h), QueryHists::PerDim(q)) => q
+                .iter()
+                .zip(&h[id])
+                .map(|(a, b)| histogram_distance(a, b))
+                .max()
+                .unwrap_or(0),
+            _ => unreachable!("query embedded with the engine's own variant"),
+        }
+    }
+}
+
+impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
+    fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let qh = match self.config.histogram {
+            HistogramVariant::Grid { delta } => {
+                QueryHists::Grid(TrajectoryHistogram::build_coarse(query, self.eps, delta))
+            }
+            HistogramVariant::PerDimension => QueryHists::PerDim(
+                (0..D)
+                    .map(|dim| TrajectoryHistogram::<D>::build_projected(query, self.eps, dim))
+                    .collect(),
+            ),
+        };
+        let q_means = SortedMeans::build(query, self.config.qgram_q);
+        let mut stats = QueryStats {
+            database_size: self.dataset.len(),
+            ..Default::default()
+        };
+        let mut result = ResultSet::new(k);
+        let mut references: Vec<(usize, usize)> = Vec::new();
+        let filters = self.config.order.filters();
+        // The combination uses the HSR scan the §5.3 study selected:
+        // candidates are visited in ascending order of the quick histogram
+        // bound, regardless of the filter order, so the k-th-best distance
+        // tightens as fast as possible and — because the visit sequence is
+        // shared — all six filter orders prune the same candidate set.
+        let mut visit: Vec<(usize, usize)> = (0..self.dataset.len())
+            .map(|id| (self.histogram_quick(&qh, id), id))
+            .collect();
+        visit.sort_unstable();
+        'candidates: for (rank, &(quick_lb, id)) in visit.iter().enumerate() {
+            let s = &self.dataset.trajectories()[id];
+            let best = result.best_so_far();
+            if best != usize::MAX {
+                if quick_lb > best {
+                    // Sorted scan break-out: every remaining quick bound is
+                    // at least this one.
+                    stats.pruned_by_histogram += visit.len() - rank;
+                    break;
+                }
+                for filter in filters {
+                    let pruned = match filter {
+                        Filter::Histogram => {
+                            if self.histogram_exact(&qh, id) > best {
+                                stats.pruned_by_histogram += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        Filter::Qgram => {
+                            let v = q_means.match_count(&self.qgrams[id], self.eps);
+                            if !passes_count_filter(
+                                v,
+                                query.len(),
+                                s.len(),
+                                self.config.qgram_q,
+                                best,
+                            ) {
+                                stats.pruned_by_qgram += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        Filter::NearTriangle => {
+                            let lower = references
+                                .iter()
+                                .map(|&(r, dist_qr)| {
+                                    dist_qr as i64
+                                        - self.pmatrix[r][id] as i64
+                                        - s.len() as i64
+                                })
+                                .max();
+                            if matches!(lower, Some(l) if l > best as i64) {
+                                stats.pruned_by_triangle += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                    };
+                    if pruned {
+                        continue 'candidates;
+                    }
+                }
+            }
+            let d = edr(query, s, self.eps);
+            stats.edr_computed += 1;
+            if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
+                references.push((id, d));
+            }
+            result.offer(id, d);
+        }
+        KnnResult {
+            neighbors: result.into_neighbors(),
+            stats,
+        }
+    }
+
+    fn name(&self) -> String {
+        self.config.order.label(self.config.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialScan;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use trajsim_core::Trajectory2;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn random_db(seed: u64, n: usize, max_len: usize) -> Dataset<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..=max_len);
+                let mut x = rng.gen_range(-3.0..3.0);
+                let mut y = rng.gen_range(-3.0..3.0);
+                Trajectory2::from_xy(
+                    &(0..len)
+                        .map(|_| {
+                            x += rng.gen_range(-0.8..0.8);
+                            y += rng.gen_range(-0.8..0.8);
+                            (x, y)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_orders_match_sequential_scan_with_equal_pruning_power() {
+        let db = random_db(1, 60, 18);
+        let query = random_db(2, 1, 18).trajectories()[0].clone();
+        let e = eps(0.6);
+        let truth = SequentialScan::new(&db, e).knn(&query, 5);
+        let mut powers = Vec::new();
+        for order in PruneOrder::ALL {
+            let config = CombinedConfig {
+                order,
+                histogram: HistogramVariant::Grid { delta: 1 },
+                qgram_q: 1,
+                max_triangle: 20,
+            };
+            let engine = CombinedKnn::build(&db, e, config);
+            let r = engine.knn(&query, 5);
+            assert_eq!(r.distances(), truth.distances(), "{:?} diverged", order);
+            powers.push(r.stats.pruning_power());
+        }
+        // §4.4: "the six combinations achieve the same pruning power".
+        for p in &powers {
+            assert!((p - powers[0]).abs() < 1e-12, "powers differ: {powers:?}");
+        }
+    }
+
+    #[test]
+    fn per_filter_credit_follows_the_order() {
+        let db = random_db(3, 80, 20);
+        let query = db.trajectories()[4].clone();
+        let e = eps(0.5);
+        let mk = |order| {
+            let config = CombinedConfig {
+                order,
+                histogram: HistogramVariant::Grid { delta: 1 },
+                qgram_q: 1,
+                max_triangle: 20,
+            };
+            CombinedKnn::build(&db, e, config).knn(&query, 5).stats
+        };
+        let hqn = mk(PruneOrder::HQN);
+        let qhn = mk(PruneOrder::QHN);
+        // The first filter in the order sees every candidate, so its credit
+        // under its own ordering is at least its credit under the other.
+        assert!(hqn.pruned_by_histogram >= qhn.pruned_by_histogram);
+        assert!(qhn.pruned_by_qgram >= hqn.pruned_by_qgram);
+        assert_eq!(hqn.pruned(), qhn.pruned());
+    }
+
+    #[test]
+    fn one_dimensional_histogram_config_works() {
+        let db = random_db(5, 40, 15);
+        let query = random_db(6, 1, 15).trajectories()[0].clone();
+        let e = eps(0.5);
+        let config = CombinedConfig {
+            histogram: HistogramVariant::PerDimension,
+            ..CombinedConfig::default()
+        };
+        let engine = CombinedKnn::build(&db, e, config);
+        assert_eq!(engine.name(), "1HPN");
+        let truth = SequentialScan::new(&db, e).knn(&query, 4);
+        assert_eq!(engine.knn(&query, 4).distances(), truth.distances());
+    }
+
+    #[test]
+    fn labels_follow_the_paper() {
+        assert_eq!(
+            PruneOrder::HQN.label(HistogramVariant::Grid { delta: 1 }),
+            "2HPN"
+        );
+        assert_eq!(
+            PruneOrder::NQH.label(HistogramVariant::Grid { delta: 1 }),
+            "NP2H"
+        );
+        assert_eq!(
+            PruneOrder::HQN.label(HistogramVariant::PerDimension),
+            "1HPN"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// No false dismissals for every order on random inputs.
+        #[test]
+        fn no_false_dismissals(
+            seed in 0u64..1000,
+            k in 1usize..6,
+            e in 0.2..1.5f64,
+            delta in 1u32..3,
+        ) {
+            let db = random_db(seed, 25, 14);
+            let query = random_db(seed + 77, 1, 14).trajectories()[0].clone();
+            let e = eps(e);
+            let truth = SequentialScan::new(&db, e).knn(&query, k);
+            for order in PruneOrder::ALL {
+                let config = CombinedConfig {
+                    order,
+                    histogram: HistogramVariant::Grid { delta },
+                    qgram_q: 2,
+                    max_triangle: 8,
+                };
+                let engine = CombinedKnn::build(&db, e, config);
+                prop_assert_eq!(
+                    engine.knn(&query, k).distances(),
+                    truth.distances(),
+                    "order {:?}", order
+                );
+            }
+        }
+    }
+}

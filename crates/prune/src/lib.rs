@@ -1,0 +1,54 @@
+//! # trajsim-prune
+//!
+//! k-NN retrieval engines for EDR (§4 of Chen, Özsu, Oria, SIGMOD 2005).
+//! EDR is robust but non-metric (the matching threshold breaks the
+//! triangle inequality), so traditional distance-based indexing does not
+//! apply; instead the paper develops three *no-false-dismissal* filters
+//! that cheaply lower-bound EDR and skip the O(m·n) dynamic program for
+//! most candidates:
+//!
+//! | Engine | Paper | Technique |
+//! |---|---|---|
+//! | [`SequentialScan`] | baseline | true EDR for every trajectory |
+//! | [`QgramKnn`] | §4.1, Figs. 7–8 | mean-value q-gram counting (variants PR, PB, PS2, PS1) |
+//! | [`NearTriangleKnn`] | §4.2, Table 3 | the near triangle inequality `EDR(Q,S) >= EDR(Q,R) − EDR(S,R) − |S|` |
+//! | [`HistogramKnn`] | §4.3, Figs. 9–10 | histogram-distance lower bound (variants 1HE/2HE/2HδE × HSE/HSR) |
+//! | [`CombinedKnn`] | §4.4, Figs. 11–13 | the three filters chained in any order |
+//!
+//! Every engine implements [`KnnEngine`], returns the same distance
+//! multiset as [`SequentialScan`] (the property tests verify this — the
+//! paper's central "no false dismissals" claim), and reports
+//! [`QueryStats`] with the number of true-distance computations saved,
+//! from which the experiments derive *pruning power*.
+//!
+//! Extensions beyond the paper's pseudocode are flagged in the item docs:
+//! the per-candidate (rather than global) Theorem-1 cut-off in
+//! [`QgramKnn`] for variable-length databases, the exact (rather than
+//! greedy) histogram distance, optional early-abandoning EDR,
+//! [`range_query`] / [`cse`] for the range-search and
+//! constant-shift-embedding discussions, and [`LcssKnn`] — the
+//! histogram-pruned LCSS retrieval the paper mentions but omits.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cse;
+mod combined;
+mod histogram_knn;
+mod lcss_knn;
+mod near_triangle;
+mod qgram_knn;
+mod range;
+mod result;
+mod seqscan;
+
+pub use combined::{CombinedConfig, CombinedKnn, PruneOrder};
+pub use histogram_knn::{HistogramKnn, HistogramVariant, ScanMode};
+pub use lcss_knn::{
+    lcss_score_upper_bound, lcss_sequential_scan, LcssKnn, LcssKnnResult, LcssNeighbor,
+};
+pub use near_triangle::NearTriangleKnn;
+pub use qgram_knn::{QgramKnn, QgramVariant};
+pub use range::range_query;
+pub use result::{KnnEngine, KnnResult, Neighbor, QueryStats};
+pub use seqscan::SequentialScan;

@@ -1,0 +1,130 @@
+//! Range queries under EDR — the query form Theorem 1 was originally
+//! stated for ("retrieve all the segments of the text whose edit distance
+//! to the pattern is at most k", §4.1). The paper extends q-grams to k-NN
+//! because "in most cases, users may not know the range a priori"; the
+//! range form is still useful (and simpler), so it is provided here.
+
+use crate::result::Neighbor;
+use trajsim_core::{Dataset, MatchThreshold, Trajectory};
+use trajsim_distance::edr_within;
+use trajsim_histogram::{histogram_distance, TrajectoryHistogram};
+use trajsim_qgram::{passes_count_filter, SortedMeans};
+
+/// All database trajectories within EDR distance `k_edits` of `query`
+/// (inclusive), in ascending distance order (ties by id).
+///
+/// Candidates are filtered by the Theorem 1 q-gram count bound and the
+/// Theorem 6 histogram bound, then confirmed with an early-abandoning DP —
+/// no false dismissals, as both filters are lower bounds.
+pub fn range_query<const D: usize>(
+    dataset: &Dataset<D>,
+    eps: MatchThreshold,
+    query: &Trajectory<D>,
+    k_edits: usize,
+    q: usize,
+) -> Vec<Neighbor> {
+    assert!(q > 0, "q-gram size must be positive");
+    let q_means = SortedMeans::build(query, q);
+    let use_histogram = eps.value() > 0.0;
+    let qh = use_histogram.then(|| TrajectoryHistogram::build(query, eps));
+    let mut hits = Vec::new();
+    for (id, s) in dataset.iter() {
+        // Theorem 1 count filter at the fixed range k.
+        let v = q_means.match_count(&SortedMeans::build(s, q), eps);
+        if !passes_count_filter(v, query.len(), s.len(), q, k_edits) {
+            continue;
+        }
+        // Theorem 6 histogram filter.
+        if let Some(qh) = &qh {
+            if histogram_distance(qh, &TrajectoryHistogram::build(s, eps)) > k_edits {
+                continue;
+            }
+        }
+        if let Some(d) = edr_within(query, s, eps, k_edits) {
+            hits.push(Neighbor { id, dist: d });
+        }
+    }
+    hits.sort_by(|a, b| a.dist.cmp(&b.dist).then(a.id.cmp(&b.id)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use trajsim_core::Trajectory2;
+    use trajsim_distance::edr;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn random_db(seed: u64, n: usize, max_len: usize) -> Dataset<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..=max_len);
+                Trajectory2::from_xy(
+                    &(0..len)
+                        .map(|_| (rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_exactly_the_in_range_trajectories() {
+        let db = Dataset::new(vec![
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]), // dist 0
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (9.0, 9.0)]), // dist 1
+            Trajectory2::from_xy(&[(50.0, 50.0), (51.0, 51.0), (52.0, 52.0)]), // dist 3
+        ]);
+        let q = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let hits = range_query(&db, eps(0.25), &q, 1, 1);
+        assert_eq!(hits.len(), 2);
+        assert_eq!((hits[0].id, hits[0].dist), (0, 0));
+        assert_eq!((hits[1].id, hits[1].dist), (1, 1));
+    }
+
+    #[test]
+    fn zero_range_returns_only_matching_equals() {
+        let db = random_db(1, 10, 6);
+        let q = db.trajectories()[3].clone();
+        let hits = range_query(&db, eps(0.5), &q, 0, 1);
+        assert!(hits.iter().any(|h| h.id == 3));
+        assert!(hits.iter().all(|h| h.dist == 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Range results agree with brute force for every (seed, k, q).
+        #[test]
+        fn agrees_with_brute_force(
+            seed in 0u64..500,
+            k in 0usize..10,
+            q in 1usize..4,
+            e in 0.1..1.5f64,
+        ) {
+            let db = random_db(seed, 25, 12);
+            let query = random_db(seed + 123, 1, 12).trajectories()[0].clone();
+            let e = eps(e);
+            let got = range_query(&db, e, &query, k, q);
+            let want: Vec<(usize, usize)> = {
+                let mut w: Vec<(usize, usize)> = db
+                    .iter()
+                    .map(|(id, s)| (id, edr(&query, s, e)))
+                    .filter(|&(_, d)| d <= k)
+                    .collect();
+                w.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+                w
+            };
+            let got_pairs: Vec<(usize, usize)> =
+                got.iter().map(|n| (n.id, n.dist)).collect();
+            prop_assert_eq!(got_pairs, want);
+        }
+    }
+}

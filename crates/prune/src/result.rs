@@ -1,0 +1,215 @@
+//! Query results, statistics, and the engine trait.
+
+use trajsim_core::Trajectory;
+
+/// One k-NN answer: a database trajectory id and its EDR distance to the
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// Database id of the trajectory.
+    pub id: usize,
+    /// Its EDR distance to the query.
+    pub dist: usize,
+}
+
+/// Counters describing how a query was answered — the raw material of the
+/// paper's *pruning power* metric ("the fraction of the trajectories S in
+/// the data set for which the true distance EDR(Q, S) is not computed",
+/// §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Database size N.
+    pub database_size: usize,
+    /// Number of true EDR computations performed.
+    pub edr_computed: usize,
+    /// Candidates eliminated by a histogram lower bound.
+    pub pruned_by_histogram: usize,
+    /// Candidates eliminated by the q-gram count filter.
+    pub pruned_by_qgram: usize,
+    /// Candidates eliminated by the near triangle inequality.
+    pub pruned_by_triangle: usize,
+}
+
+impl QueryStats {
+    /// Total candidates pruned (true distance never computed).
+    pub fn pruned(&self) -> usize {
+        self.database_size - self.edr_computed
+    }
+
+    /// The paper's pruning power: `pruned / N` (0 for an empty database).
+    pub fn pruning_power(&self) -> f64 {
+        if self.database_size == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.database_size as f64
+        }
+    }
+
+    /// Merges per-filter counters of another query into this one (for
+    /// averaging over query workloads).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.database_size += other.database_size;
+        self.edr_computed += other.edr_computed;
+        self.pruned_by_histogram += other.pruned_by_histogram;
+        self.pruned_by_qgram += other.pruned_by_qgram;
+        self.pruned_by_triangle += other.pruned_by_triangle;
+    }
+}
+
+/// The result of a k-NN query: up to `k` neighbours in ascending distance
+/// order (ties by database id), plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnResult {
+    /// The neighbours, nearest first.
+    pub neighbors: Vec<Neighbor>,
+    /// How the query was answered.
+    pub stats: QueryStats,
+}
+
+impl KnnResult {
+    /// The distances only, in ascending order — what engines are compared
+    /// on (ids can legitimately differ under distance ties).
+    pub fn distances(&self) -> Vec<usize> {
+        self.neighbors.iter().map(|n| n.dist).collect()
+    }
+}
+
+/// A k-NN retrieval engine over a fixed database.
+pub trait KnnEngine<const D: usize> {
+    /// The `k` nearest database trajectories to `query` under EDR, with no
+    /// false dismissals.
+    fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult;
+
+    /// Short name for experiment tables (e.g. "PS2", "2HE-HSR").
+    fn name(&self) -> String;
+}
+
+/// Maintains the best `k` (id, dist) pairs seen so far, sorted ascending
+/// by (dist, insertion order) — the `result` array of the paper's
+/// pseudocode.
+#[derive(Debug, Clone)]
+pub(crate) struct ResultSet {
+    k: usize,
+    entries: Vec<Neighbor>,
+}
+
+impl ResultSet {
+    pub(crate) fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        ResultSet {
+            k,
+            entries: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// The pruning threshold `bestSoFar`: the current k-th distance, or
+    /// `usize::MAX` while fewer than `k` candidates have been admitted
+    /// (nothing may be pruned before the result is full).
+    pub(crate) fn best_so_far(&self) -> usize {
+        if self.entries.len() < self.k {
+            usize::MAX
+        } else {
+            self.entries[self.k - 1].dist
+        }
+    }
+
+    /// Offers a candidate; keeps it if it improves the k-NN set. Insertion
+    /// is stable: among equal distances, earlier-offered candidates rank
+    /// first (matching the paper's sorted-array update).
+    pub(crate) fn offer(&mut self, id: usize, dist: usize) {
+        let pos = self.entries.partition_point(|n| n.dist <= dist);
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, Neighbor { id, dist });
+        self.entries.truncate(self.k);
+    }
+
+    pub(crate) fn into_neighbors(self) -> Vec<Neighbor> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_set_keeps_k_smallest_stably() {
+        let mut rs = ResultSet::new(3);
+        assert_eq!(rs.best_so_far(), usize::MAX);
+        rs.offer(0, 5);
+        rs.offer(1, 2);
+        rs.offer(2, 5);
+        assert_eq!(rs.best_so_far(), 5);
+        rs.offer(3, 1);
+        // The later 5 (id 2) is evicted; the earlier 5 (id 0) stays.
+        assert_eq!(
+            rs.into_neighbors(),
+            vec![
+                Neighbor { id: 3, dist: 1 },
+                Neighbor { id: 1, dist: 2 },
+                Neighbor { id: 0, dist: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_is_by_distance_then_insertion() {
+        let mut rs = ResultSet::new(4);
+        rs.offer(10, 3);
+        rs.offer(11, 1);
+        rs.offer(12, 3);
+        rs.offer(13, 2);
+        let n = rs.into_neighbors();
+        let dists: Vec<usize> = n.iter().map(|x| x.dist).collect();
+        assert_eq!(dists, vec![1, 2, 3, 3]);
+        assert_eq!(n[2].id, 10); // first 3 offered wins the tie
+        assert_eq!(n[3].id, 12);
+    }
+
+    #[test]
+    fn worse_candidates_are_rejected_once_full() {
+        let mut rs = ResultSet::new(2);
+        rs.offer(0, 1);
+        rs.offer(1, 2);
+        rs.offer(2, 3); // strictly worse
+        rs.offer(3, 2); // ties the kth: rejected (stable)
+        let n = rs.into_neighbors();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[1], Neighbor { id: 1, dist: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = ResultSet::new(0);
+    }
+
+    #[test]
+    fn stats_pruning_power() {
+        let s = QueryStats {
+            database_size: 100,
+            edr_computed: 25,
+            ..Default::default()
+        };
+        assert_eq!(s.pruned(), 75);
+        assert!((s.pruning_power() - 0.75).abs() < 1e-12);
+        assert_eq!(QueryStats::default().pruning_power(), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = QueryStats {
+            database_size: 10,
+            edr_computed: 4,
+            pruned_by_histogram: 3,
+            pruned_by_qgram: 2,
+            pruned_by_triangle: 1,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.database_size, 20);
+        assert_eq!(a.edr_computed, 8);
+        assert_eq!(a.pruned_by_histogram, 6);
+    }
+}

@@ -1,0 +1,143 @@
+//! The sequential-scan baseline: true EDR against every trajectory.
+
+use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory};
+use trajsim_distance::{edr, edr_within};
+
+/// The brute-force baseline the paper's speedup ratios are measured
+/// against: compute `EDR(Q, S)` for every trajectory `S` and keep the `k`
+/// smallest.
+///
+/// By default every distance is a full O(m·n) DP, as in the paper's
+/// sequential scan. [`SequentialScan::with_early_abandon`] switches the
+/// true-distance computation to [`edr_within`] with the running k-th-best
+/// bound, an optimization the paper does not use; the ablation bench
+/// quantifies its effect.
+#[derive(Debug, Clone)]
+pub struct SequentialScan<'a, const D: usize> {
+    dataset: &'a Dataset<D>,
+    eps: MatchThreshold,
+    early_abandon: bool,
+}
+
+impl<'a, const D: usize> SequentialScan<'a, D> {
+    /// A scan over `dataset` with matching threshold `eps`.
+    pub fn new(dataset: &'a Dataset<D>, eps: MatchThreshold) -> Self {
+        SequentialScan {
+            dataset,
+            eps,
+            early_abandon: false,
+        }
+    }
+
+    /// Enables early-abandoning EDR (extension; see type docs).
+    #[must_use]
+    pub fn with_early_abandon(mut self) -> Self {
+        self.early_abandon = true;
+        self
+    }
+
+    /// The matching threshold.
+    pub fn eps(&self) -> MatchThreshold {
+        self.eps
+    }
+}
+
+impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
+    fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let mut result = ResultSet::new(k);
+        let mut stats = QueryStats {
+            database_size: self.dataset.len(),
+            ..Default::default()
+        };
+        for (id, s) in self.dataset.iter() {
+            stats.edr_computed += 1;
+            if self.early_abandon {
+                let bound = result.best_so_far();
+                // Anything above the current k-th best cannot enter the
+                // result; a cut-off DP suffices.
+                if bound == usize::MAX {
+                    result.offer(id, edr(query, s, self.eps));
+                } else if let Some(d) = edr_within(query, s, self.eps, bound) {
+                    result.offer(id, d);
+                }
+            } else {
+                result.offer(id, edr(query, s, self.eps));
+            }
+        }
+        KnnResult {
+            neighbors: result.into_neighbors(),
+            stats,
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.early_abandon {
+            "seq-scan(EA)".into()
+        } else {
+            "seq-scan".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::Trajectory2;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn db() -> Dataset<2> {
+        Dataset::new(vec![
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)]),
+            Trajectory2::from_xy(&[(50.0, 50.0), (51.0, 51.0), (52.0, 52.0)]),
+            Trajectory2::from_xy(&[(0.1, 0.1), (1.1, 1.1), (2.1, 2.1)]),
+        ])
+    }
+
+    #[test]
+    fn finds_the_nearest_neighbours_in_order() {
+        let data = db();
+        let q = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let scan = SequentialScan::new(&data, eps(0.25));
+        let r = scan.knn(&q, 3);
+        assert_eq!(r.distances(), vec![0, 0, 1]);
+        assert_eq!(r.neighbors[0].id, 0);
+        assert_eq!(r.neighbors[1].id, 3); // matches within eps=0.25
+        assert_eq!(r.neighbors[2].id, 1); // one noisy extra element
+        assert_eq!(r.stats.edr_computed, 4);
+        assert_eq!(r.stats.pruning_power(), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_everything() {
+        let data = db();
+        let q = Trajectory2::from_xy(&[(0.0, 0.0)]);
+        let scan = SequentialScan::new(&data, eps(0.25));
+        let r = scan.knn(&q, 10);
+        assert_eq!(r.neighbors.len(), 4);
+    }
+
+    #[test]
+    fn early_abandon_gives_identical_distances() {
+        let data = db();
+        let q = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.5, 2.5)]);
+        let plain = SequentialScan::new(&data, eps(0.25)).knn(&q, 2);
+        let fast = SequentialScan::new(&data, eps(0.25))
+            .with_early_abandon()
+            .knn(&q, 2);
+        assert_eq!(plain.distances(), fast.distances());
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let data: Dataset<2> = Dataset::default();
+        let q = Trajectory2::from_xy(&[(0.0, 0.0)]);
+        let r = SequentialScan::new(&data, eps(1.0)).knn(&q, 5);
+        assert!(r.neighbors.is_empty());
+        assert_eq!(r.stats.database_size, 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Sort-merge ε-join over mean-value q-grams — the index-free PS2/PS1
+//! pruning variants ("the second algorithm applies merge join on sorted
+//! Q-grams of trajectories to find the common Q-grams between them without
+//! any indexes", §4.1).
+
+use trajsim_core::{MatchThreshold, Point, Trajectory};
+
+/// The mean-value q-grams of one trajectory, pre-sorted by the first
+/// coordinate for merge joining (the PS2 representation).
+///
+/// Build once per trajectory at database-load time; each k-NN query then
+/// merge-joins the query's sorted means against each candidate's in
+/// near-linear time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedMeans<const D: usize> {
+    means: Vec<Point<D>>,
+    /// Length of the originating trajectory (needed by Theorem 1's bound).
+    source_len: usize,
+    /// The q-gram size the means were built with.
+    q: usize,
+}
+
+impl<const D: usize> SortedMeans<D> {
+    /// Extracts and sorts the mean-value q-grams of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn build(t: &Trajectory<D>, q: usize) -> Self {
+        let mut means = crate::mean_value_qgrams(t, q);
+        means.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite coordinates"));
+        SortedMeans {
+            means,
+            source_len: t.len(),
+            q,
+        }
+    }
+
+    /// Number of q-grams.
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// True iff the trajectory had fewer than `q` elements.
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// Length of the trajectory the means came from.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// The q-gram size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// The sorted means (ascending in the first coordinate).
+    pub fn means(&self) -> &[Point<D>] {
+        &self.means
+    }
+
+    /// Counts how many of `self`'s q-gram means have at least one
+    /// ε-matching mean in `other`, via a sort-merge join with a sliding
+    /// window on the first coordinate.
+    ///
+    /// This count upper-bounds the number of common q-grams (every truly
+    /// common q-gram's mean certainly matches, Theorem 2), so using it in
+    /// Theorem 1's filter is sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides were built with different `q`.
+    pub fn match_count(&self, other: &SortedMeans<D>, eps: MatchThreshold) -> usize {
+        assert_eq!(self.q, other.q, "q-gram sizes differ");
+        let e = eps.value();
+        let (a, b) = (&self.means, &other.means);
+        let mut lo = 0usize;
+        let mut count = 0usize;
+        for qa in a {
+            // Advance the window start past candidates too small in dim 0.
+            while lo < b.len() && b[lo][0] < qa[0] - e {
+                lo += 1;
+            }
+            let mut j = lo;
+            while j < b.len() && b[j][0] <= qa[0] + e {
+                if qa.matches(&b[j], eps) {
+                    count += 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        count
+    }
+}
+
+/// One-dimensional sorted q-gram means (the PS1 representation,
+/// Theorem 4): scalar keys, so the join window is a plain range scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedMeans1d {
+    means: Vec<f64>,
+    source_len: usize,
+    q: usize,
+}
+
+impl SortedMeans1d {
+    /// Extracts and sorts the 1-d projected q-gram means of `t` on `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `dim` is out of range.
+    pub fn build<const D: usize>(t: &Trajectory<D>, q: usize, dim: usize) -> Self {
+        let mut means = crate::mean_value_qgrams_1d(t, q, dim);
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        SortedMeans1d {
+            means,
+            source_len: t.len(),
+            q,
+        }
+    }
+
+    /// Number of q-grams.
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// True iff there are no q-grams.
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// Length of the originating trajectory.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// The q-gram size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// The sorted scalar means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Counts how many of `self`'s means have an ε-close mean in `other`
+    /// (binary-search window per mean — the 1-d merge join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides were built with different `q`.
+    pub fn match_count(&self, other: &SortedMeans1d, eps: MatchThreshold) -> usize {
+        assert_eq!(self.q, other.q, "q-gram sizes differ");
+        let e = eps.value();
+        let mut lo = 0usize;
+        let mut count = 0usize;
+        for &m in &self.means {
+            while lo < other.means.len() && other.means[lo] < m - e {
+                lo += 1;
+            }
+            if lo < other.means.len() && other.means[lo] <= m + e {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::Trajectory2;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn brute_match_count_2d(
+        a: &[Point<2>],
+        b: &[Point<2>],
+        e: MatchThreshold,
+    ) -> usize {
+        a.iter()
+            .filter(|qa| b.iter().any(|qb| qa.matches(qb, e)))
+            .count()
+    }
+
+    #[test]
+    fn identical_trajectories_match_fully() {
+        let t = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let s = SortedMeans::build(&t, 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.match_count(&s.clone(), eps(0.0)), 3);
+    }
+
+    #[test]
+    fn disjoint_trajectories_match_nothing() {
+        let a = SortedMeans::build(&Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]), 1);
+        let b = SortedMeans::build(&Trajectory2::from_xy(&[(50.0, 50.0), (60.0, 60.0)]), 1);
+        assert_eq!(a.match_count(&b, eps(1.0)), 0);
+    }
+
+    #[test]
+    fn short_trajectory_yields_no_qgrams() {
+        let a = SortedMeans::build(&Trajectory2::from_xy(&[(0.0, 0.0)]), 3);
+        assert!(a.is_empty());
+        assert_eq!(a.source_len(), 1);
+        let b = SortedMeans::build(&Trajectory2::from_xy(&[(0.0, 0.0); 5]), 3);
+        assert_eq!(a.match_count(&b, eps(1.0)), 0);
+    }
+
+    #[test]
+    fn one_dimensional_join() {
+        let t = Trajectory2::from_xy(&[(0.0, 100.0), (1.0, 200.0), (2.0, 300.0)]);
+        let s = Trajectory2::from_xy(&[(0.4, -5.0), (1.4, -5.0), (50.0, -5.0)]);
+        let (ta, sa) = (SortedMeans1d::build(&t, 1, 0), SortedMeans1d::build(&s, 1, 0));
+        // x means of t: 0,1,2; of s: 0.4, 1.4, 50. With eps 0.5: 0~0.4,
+        // 1~1.4, 2~1.4? |2-1.4|=0.6 > 0.5 -> 2 matches.
+        assert_eq!(ta.match_count(&sa, eps(0.5)), 2);
+        // y dimension is far apart everywhere.
+        let (ty, sy) = (SortedMeans1d::build(&t, 1, 1), SortedMeans1d::build(&s, 1, 1));
+        assert_eq!(ty.match_count(&sy, eps(0.5)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram sizes differ")]
+    fn mismatched_q_panics() {
+        let t = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let a = SortedMeans::build(&t, 1);
+        let b = SortedMeans::build(&t, 2);
+        let _ = a.match_count(&b, eps(1.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The sliding-window merge join agrees with brute force.
+        #[test]
+        fn join_agrees_with_brute_force(
+            a in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..25),
+            b in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..25),
+            q in 1usize..4,
+            e in 0.0..3.0f64,
+        ) {
+            let (ta, tb) = (Trajectory2::from_xy(&a), Trajectory2::from_xy(&b));
+            let (sa, sb) = (SortedMeans::build(&ta, q), SortedMeans::build(&tb, q));
+            let want = brute_match_count_2d(
+                &crate::mean_value_qgrams(&ta, q),
+                &crate::mean_value_qgrams(&tb, q),
+                eps(e),
+            );
+            prop_assert_eq!(sa.match_count(&sb, eps(e)), want);
+        }
+
+        /// 1-d joins agree with brute force too.
+        #[test]
+        fn join_1d_agrees_with_brute_force(
+            a in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..25),
+            b in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..25),
+            q in 1usize..4,
+            e in 0.0..3.0f64,
+            dim in 0usize..2,
+        ) {
+            let (ta, tb) = (Trajectory2::from_xy(&a), Trajectory2::from_xy(&b));
+            let (sa, sb) = (
+                SortedMeans1d::build(&ta, q, dim),
+                SortedMeans1d::build(&tb, q, dim),
+            );
+            let (ma, mb) = (
+                crate::mean_value_qgrams_1d(&ta, q, dim),
+                crate::mean_value_qgrams_1d(&tb, q, dim),
+            );
+            let want = ma
+                .iter()
+                .filter(|x| mb.iter().any(|y| (*x - y).abs() <= e))
+                .count();
+            prop_assert_eq!(sa.match_count(&sb, eps(e)), want);
+        }
+
+        /// The 2-d match count never exceeds the 1-d one (each 2-d match
+        /// implies a 1-d match on either projection) — the reason PS2
+        /// prunes at least as well as PS1.
+        #[test]
+        fn projection_weakens_matching(
+            a in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..20),
+            b in proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 0..20),
+            q in 1usize..4,
+            e in 0.0..3.0f64,
+        ) {
+            let (ta, tb) = (Trajectory2::from_xy(&a), Trajectory2::from_xy(&b));
+            let c2 = SortedMeans::build(&ta, q).match_count(&SortedMeans::build(&tb, q), eps(e));
+            for dim in 0..2 {
+                let c1 = SortedMeans1d::build(&ta, q, dim)
+                    .match_count(&SortedMeans1d::build(&tb, q, dim), eps(e));
+                prop_assert!(c2 <= c1, "2-d count {c2} > 1-d count {c1}");
+            }
+        }
+    }
+}

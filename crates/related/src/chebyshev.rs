@@ -1,0 +1,234 @@
+//! Chebyshev-polynomial trajectory approximation, after Cai & Ng \[5\]
+//! ("Indexing spatio-temporal trajectories with Chebyshev polynomials",
+//! SIGMOD 2004).
+//!
+//! Each coordinate sequence is treated as a function on [-1, 1] and
+//! approximated by its first `m` Chebyshev coefficients (computed by
+//! Gauss-Chebyshev quadrature at the Chebyshev nodes); the distance
+//! between two trajectories is approximated by a weighted L2 distance
+//! between coefficient vectors. Cai & Ng prove their coefficient distance
+//! lower-bounds the continuous L2 distance between the interpolants,
+//! which makes it indexable for Euclidean retrieval — and §6's point is
+//! that the underlying *Euclidean* semantics is exactly what breaks under
+//! noise and time shifting, no matter how well it is indexed. The
+//! `related_baselines` experiment shows that failure mode.
+
+use trajsim_core::{CoreError, Result, Trajectory};
+
+/// The per-dimension Chebyshev coefficients of one trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevSketch<const D: usize> {
+    /// `coeffs[dim][j]` = j-th Chebyshev coefficient of dimension `dim`.
+    coeffs: Vec<Vec<f64>>,
+}
+
+impl<const D: usize> ChebyshevSketch<D> {
+    /// Fits `m` coefficients per dimension by sampling the trajectory
+    /// (linear interpolation over the index axis) at the `m` Chebyshev
+    /// nodes and applying Gauss-Chebyshev quadrature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrajectory`] for an empty trajectory and
+    /// [`CoreError::InvalidParameter`] for `m == 0`.
+    pub fn fit(t: &Trajectory<D>, m: usize) -> Result<Self> {
+        if t.is_empty() {
+            return Err(CoreError::EmptyTrajectory);
+        }
+        if m == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "m",
+                reason: "number of coefficients must be positive",
+            });
+        }
+        let n = t.len();
+        // Value of dimension `dim` at normalized position u in [-1, 1].
+        let sample = |dim: usize, u: f64| -> f64 {
+            if n == 1 {
+                return t[0][dim];
+            }
+            let pos = (u + 1.0) * 0.5 * (n - 1) as f64;
+            let lo = (pos.floor() as usize).min(n - 2);
+            let frac = pos - lo as f64;
+            t[lo][dim] + (t[lo + 1][dim] - t[lo][dim]) * frac
+        };
+        // Chebyshev nodes u_i = cos(pi (i + 1/2) / m), i = 0..m.
+        let nodes: Vec<f64> = (0..m)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 0.5) / m as f64).cos())
+            .collect();
+        let mut coeffs = Vec::with_capacity(D);
+        for dim in 0..D {
+            let values: Vec<f64> = nodes.iter().map(|&u| sample(dim, u)).collect();
+            let mut c = Vec::with_capacity(m);
+            for j in 0..m {
+                // c_j = (2 - [j = 0]) / m * sum_i f(u_i) T_j(u_i), with
+                // T_j(cos θ) = cos(j θ).
+                let scale = if j == 0 { 1.0 } else { 2.0 } / m as f64;
+                let sum: f64 = (0..m)
+                    .map(|i| {
+                        let theta = std::f64::consts::PI * (i as f64 + 0.5) / m as f64;
+                        values[i] * ((j as f64) * theta).cos()
+                    })
+                    .sum();
+                c.push(scale * sum);
+            }
+            coeffs.push(c);
+        }
+        Ok(ChebyshevSketch { coeffs })
+    }
+
+    /// Number of coefficients per dimension.
+    pub fn degree(&self) -> usize {
+        self.coeffs[0].len()
+    }
+
+    /// The coefficients of one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= D`.
+    pub fn coeffs(&self, dim: usize) -> &[f64] {
+        &self.coeffs[dim]
+    }
+
+    /// Reconstructs the approximated trajectory at `n` evenly spaced
+    /// positions (for inspecting approximation quality).
+    pub fn reconstruct(&self, n: usize) -> Trajectory<D> {
+        let points = (0..n)
+            .map(|i| {
+                let u = if n == 1 {
+                    0.0
+                } else {
+                    -1.0 + 2.0 * i as f64 / (n - 1) as f64
+                };
+                let theta = u.clamp(-1.0, 1.0).acos();
+                let mut p = trajsim_core::Point::<D>::origin();
+                for dim in 0..D {
+                    p[dim] = self.coeffs[dim]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &c)| c * ((j as f64) * theta).cos())
+                        .sum();
+                }
+                p
+            })
+            .collect();
+        Trajectory::new(points)
+    }
+}
+
+/// Cai & Ng's coefficient distance: `sqrt(π/2 · Σ_dims Σ_j (c_j − c'_j)²)`
+/// (their weighted L2 over the coefficient deltas, summed over
+/// dimensions).
+///
+/// # Panics
+///
+/// Panics if the sketches have different degrees.
+pub fn chebyshev_distance<const D: usize>(
+    a: &ChebyshevSketch<D>,
+    b: &ChebyshevSketch<D>,
+) -> f64 {
+    assert_eq!(a.degree(), b.degree(), "sketch degrees differ");
+    let mut acc = 0.0;
+    for dim in 0..D {
+        for (x, y) in a.coeffs[dim].iter().zip(&b.coeffs[dim]) {
+            let d = x - y;
+            acc += d * d;
+        }
+    }
+    (std::f64::consts::FRAC_PI_2 * acc).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajsim_core::Trajectory2;
+
+    fn parabola(n: usize) -> Trajectory2 {
+        (0..n)
+            .map(|i| {
+                let u = -1.0 + 2.0 * i as f64 / (n - 1) as f64;
+                trajsim_core::Point2::xy(u, u * u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn low_degree_polynomials_are_captured_exactly() {
+        // x is degree-1, y = x² is degree-2: three coefficients suffice.
+        let t = parabola(101);
+        let sketch = ChebyshevSketch::fit(&t, 3).unwrap();
+        let back = sketch.reconstruct(101);
+        // The only error source is the linear interpolation between the
+        // 101 samples when evaluating at the Chebyshev nodes (~h²/8).
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert!(a.dist(b) < 1e-3, "reconstruction error {}", a.dist(b));
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let t = parabola(50);
+        let s = ChebyshevSketch::fit(&t, 8).unwrap();
+        assert_eq!(chebyshev_distance(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn more_coefficients_reduce_reconstruction_error() {
+        let mut rng_vals = Vec::new();
+        // A wiggly but smooth curve.
+        for i in 0..200 {
+            let u = i as f64 / 199.0 * 6.0;
+            rng_vals.push((u.sin() + (2.3 * u).cos(), (1.7 * u).sin()));
+        }
+        let t = Trajectory2::from_xy(&rng_vals);
+        let err = |m: usize| -> f64 {
+            let s = ChebyshevSketch::fit(&t, m).unwrap();
+            let r = s.reconstruct(t.len());
+            t.iter().zip(r.iter()).map(|(a, b)| a.dist(b)).sum::<f64>() / t.len() as f64
+        };
+        let (e4, e8, e16) = (err(4), err(8), err(16));
+        assert!(e8 < e4, "error should shrink: {e4} -> {e8}");
+        assert!(e16 < e8, "error should shrink: {e8} -> {e16}");
+        assert!(e16 < 0.01, "16 coefficients should nail a smooth curve");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(ChebyshevSketch::fit(&Trajectory2::default(), 4).is_err());
+        assert!(ChebyshevSketch::fit(&parabola(5), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees differ")]
+    fn mismatched_degrees_panic() {
+        let t = parabola(20);
+        let a = ChebyshevSketch::fit(&t, 4).unwrap();
+        let b = ChebyshevSketch::fit(&t, 8).unwrap();
+        let _ = chebyshev_distance(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The coefficient distance is a pseudo-metric: symmetric, zero on
+        /// identical inputs, triangle inequality (it is an L2 norm on
+        /// coefficient space).
+        #[test]
+        fn coefficient_distance_is_a_pseudometric(
+            a in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 2..30),
+            b in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 2..30),
+            c in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 2..30),
+        ) {
+            let m = 6;
+            let sa = ChebyshevSketch::fit(&Trajectory2::from_xy(&a), m).unwrap();
+            let sb = ChebyshevSketch::fit(&Trajectory2::from_xy(&b), m).unwrap();
+            let sc = ChebyshevSketch::fit(&Trajectory2::from_xy(&c), m).unwrap();
+            let (dab, dba) = (chebyshev_distance(&sa, &sb), chebyshev_distance(&sb, &sa));
+            prop_assert!((dab - dba).abs() < 1e-9);
+            prop_assert_eq!(chebyshev_distance(&sa, &sa), 0.0);
+            prop_assert!(dab + chebyshev_distance(&sb, &sc) >= chebyshev_distance(&sa, &sc) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # trajsim-related
+//!
+//! The related-work trajectory similarity approaches §6 of Chen, Özsu,
+//! Oria (SIGMOD 2005) positions EDR against, implemented as comparison
+//! baselines:
+//!
+//! - [`mbr`]: the minimum-bounding-rectangle sequence distance of Lee et
+//!   al. \[25\] ("Similarity search for multidimensional data sequences",
+//!   ICDE 2000). The paper's critique: "even though they can achieve very
+//!   high recall, the distance function can not avoid false dismissals" —
+//!   a test in that module demonstrates the non-lower-bound behaviour.
+//! - [`chebyshev`]: the Chebyshev-polynomial trajectory approximation of
+//!   Cai & Ng \[5\] (SIGMOD 2004), used there to index trajectories under
+//!   Euclidean-style distances; the paper's critique is that the
+//!   underlying measure "is not robust to noise or time shifting".
+//! - [`rotation`]: the rotation-invariant (turning-angle / arc-length)
+//!   representation of Vlachos et al. \[35\] (SIGKDD 2004) combined with
+//!   DTW — "DTW requires continuity along the warping path, which makes
+//!   it sensitive to noise".
+//!
+//! These exist so the claims of §6 are *runnable*: the
+//! `related_baselines` experiment compares their retrieval behaviour with
+//! EDR under the paper's noise model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chebyshev;
+pub mod mbr;
+pub mod measures;
+pub mod rotation;
+
+pub use chebyshev::{chebyshev_distance, ChebyshevSketch};
+pub use mbr::{mbr_sequence_distance, MbrSequence};
+pub use measures::{ChebyshevMeasure, MbrMeasure, RotationDtwMeasure};
+pub use rotation::{rotation_invariant_dtw, turning_profile};

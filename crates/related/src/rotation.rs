@@ -1,0 +1,169 @@
+//! Rotation-invariant trajectory comparison, after Vlachos et al. \[35\]
+//! ("Rotation invariant distance measures for trajectories", SIGKDD 2004)
+//! and in the spirit of Little & Gu's path/speed curves \[27\]: re-describe
+//! the trajectory by its *turning angles* and *arc lengths*, which are
+//! invariant to rotation and translation, then compare the profiles with
+//! DTW.
+//!
+//! §6's critique carries over unchanged: DTW over any re-description
+//! still "requires continuity along the warping path, which makes it
+//! sensitive to noise" — one glitchy sample yields two wild turning
+//! angles that every warping path must visit.
+
+use trajsim_core::{Point2, Trajectory, Trajectory2};
+use trajsim_distance::dtw_with;
+
+/// The turning profile of a 2-d trajectory: for each interior sample, the
+/// signed turning angle (radians, in (-π, π]) and the length of the
+/// outgoing step — a rotation- and translation-invariant re-description.
+///
+/// Trajectories with fewer than 3 points have an empty profile.
+/// Zero-length steps contribute a 0 turning angle.
+pub fn turning_profile(t: &Trajectory2) -> Trajectory<2> {
+    if t.len() < 3 {
+        return Trajectory::new(Vec::new());
+    }
+    let pts = t.points();
+    let mut profile = Vec::with_capacity(pts.len() - 2);
+    for w in pts.windows(3) {
+        let v1 = (w[1].x() - w[0].x(), w[1].y() - w[0].y());
+        let v2 = (w[2].x() - w[1].x(), w[2].y() - w[1].y());
+        let cross = v1.0 * v2.1 - v1.1 * v2.0;
+        let dot = v1.0 * v2.0 + v1.1 * v2.1;
+        let angle = if cross == 0.0 && dot == 0.0 {
+            0.0
+        } else {
+            cross.atan2(dot)
+        };
+        let step = (v2.0 * v2.0 + v2.1 * v2.1).sqrt();
+        profile.push(Point2::xy(angle, step));
+    }
+    Trajectory::new(profile)
+}
+
+/// Rotation-invariant DTW: DTW (with the plain Euclidean ground distance)
+/// over the two turning profiles.
+pub fn rotation_invariant_dtw(a: &Trajectory2, b: &Trajectory2) -> f64 {
+    dtw_with(
+        &turning_profile(a),
+        &turning_profile(b),
+        trajsim_distance::ElementMetric::Euclidean,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rotate(t: &Trajectory2, theta: f64) -> Trajectory2 {
+        let (s, c) = theta.sin_cos();
+        Trajectory2::from_xy(
+            &t.iter()
+                .map(|p| (c * p.x() - s * p.y(), s * p.x() + c * p.y()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn hook() -> Trajectory2 {
+        Trajectory2::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (2.0, 1.0),
+            (2.0, 2.0),
+            (1.5, 2.5),
+        ])
+    }
+
+    #[test]
+    fn profile_shape() {
+        let p = turning_profile(&hook());
+        assert_eq!(p.len(), 4); // n - 2
+        // First two steps are collinear: zero turn, unit step.
+        assert!((p[0][0]).abs() < 1e-12);
+        assert!((p[0][1] - 1.0).abs() < 1e-12);
+        // The corner turns +90 degrees.
+        assert!((p[1][0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_trajectories_have_empty_profiles() {
+        assert!(turning_profile(&Trajectory2::default()).is_empty());
+        assert!(turning_profile(&Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 0.0)])).is_empty());
+    }
+
+    #[test]
+    fn rotation_and_translation_invariance() {
+        let t = hook();
+        for theta in [0.3, 1.2, -2.5] {
+            let r = rotate(&t, theta);
+            assert!(
+                rotation_invariant_dtw(&t, &r) < 1e-9,
+                "rotation by {theta} not invariant"
+            );
+        }
+        let shifted = Trajectory2::from_xy(
+            &t.iter().map(|p| (p.x() + 50.0, p.y() - 7.0)).collect::<Vec<_>>(),
+        );
+        assert!(rotation_invariant_dtw(&t, &shifted) < 1e-9);
+    }
+
+    #[test]
+    fn different_shapes_have_positive_distance() {
+        let straight = Trajectory2::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (4.0, 0.0),
+            (5.0, 0.0),
+        ]);
+        assert!(rotation_invariant_dtw(&hook(), &straight) > 0.5);
+    }
+
+    /// §6's noise critique transfers: one glitchy sample produces large
+    /// spurious turning angles that inflate the DTW far beyond the
+    /// distance to a genuinely different smooth shape.
+    #[test]
+    fn a_single_glitch_dominates_the_profile_distance() {
+        let smooth: Trajectory2 = (0..30)
+            .map(|i| trajsim_core::Point2::xy(i as f64, (i as f64 * 0.2).sin()))
+            .collect();
+        let mut glitched: Vec<(f64, f64)> =
+            smooth.iter().map(|p| (p.x(), p.y())).collect();
+        glitched[15] = (15.0, 200.0);
+        let glitched = Trajectory2::from_xy(&glitched);
+        let gentle_variant: Trajectory2 = (0..30)
+            .map(|i| trajsim_core::Point2::xy(i as f64, (i as f64 * 0.25).sin()))
+            .collect();
+        let d_glitch = rotation_invariant_dtw(&smooth, &glitched);
+        let d_variant = rotation_invariant_dtw(&smooth, &gentle_variant);
+        assert!(
+            d_glitch > 10.0 * d_variant,
+            "glitch {d_glitch} should dwarf variant {d_variant}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Invariance holds for arbitrary shapes and angles.
+        #[test]
+        fn invariance_property(
+            pts in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 3..20),
+            theta in -3.0..3.0f64,
+            dx in -50.0..50.0f64,
+            dy in -50.0..50.0f64,
+        ) {
+            let t = Trajectory2::from_xy(&pts);
+            let moved = Trajectory2::from_xy(
+                &rotate(&t, theta)
+                    .iter()
+                    .map(|p| (p.x() + dx, p.y() + dy))
+                    .collect::<Vec<_>>(),
+            );
+            prop_assert!(rotation_invariant_dtw(&t, &moved) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the paper's worked example (§2), then a first k-NN search.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use trajsim::prelude::*;
+
+fn main() {
+    // --- The worked example of §2 -----------------------------------
+    // Four 1-d trajectories. S and P are Q with noise spikes inserted;
+    // R is genuinely different.
+    let q = Trajectory1::from_values(&[1.0, 2.0, 3.0, 4.0]);
+    let r = Trajectory1::from_values(&[10.0, 9.0, 8.0, 7.0]);
+    let s = Trajectory1::from_values(&[1.0, 100.0, 2.0, 3.0, 4.0]);
+    let p = Trajectory1::from_values(&[1.0, 100.0, 101.0, 2.0, 4.0]);
+    let eps = MatchThreshold::new(1.0).unwrap();
+
+    println!("EDR distances to Q (eps = 1):");
+    println!("  S (one noise spike):    {}", edr(&q, &s, eps));
+    println!("  P (longer noise gap):   {}", edr(&q, &p, eps));
+    println!("  R (different movement): {}", edr(&q, &r, eps));
+    println!("  -> EDR ranks S, P, R: robust to the noise, sensitive to the gap.");
+
+    println!("\nThe noise-sensitive baselines rank R first (fooled by the spikes):");
+    println!("  Euclidean(Q, R) = {:.1} < Euclidean(Q, S) = {:.1}",
+        euclidean_sliding(&q, &r), euclidean_sliding(&q, &s));
+    println!("  DTW(Q, R)       = {:.1} < DTW(Q, S)       = {:.1}", dtw(&q, &r), dtw(&q, &s));
+    println!("  ERP(Q, R)       = {:.1} < ERP(Q, S)       = {:.1}", erp(&q, &r), erp(&q, &s));
+
+    // --- A first 2-d k-NN search ------------------------------------
+    // A tiny database of 2-d trajectories; normalization makes the
+    // search invariant to spatial scaling and shifting (§2).
+    let database: Dataset<2> = vec![
+        Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]),
+        Trajectory2::from_xy(&[(0.0, 0.0), (1.1, 0.9), (2.0, 2.1), (3.0, 3.0)]),
+        Trajectory2::from_xy(&[(3.0, 0.0), (2.0, 1.0), (1.0, 2.0), (0.0, 3.0)]),
+        Trajectory2::from_xy(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0), (0.0, 3.0)]),
+    ]
+    .into_iter()
+    .collect::<Dataset<2>>()
+    .normalize();
+
+    let query = Trajectory2::from_xy(&[(10.0, 10.0), (11.0, 11.0), (12.0, 12.0), (13.0, 13.0)])
+        .normalize(); // same diagonal shape as ids 0 and 1, elsewhere in space
+
+    let eps2 = MatchThreshold::new(0.25).unwrap();
+    let scan = SequentialScan::new(&database, eps2);
+    let result = scan.knn(&query, 2);
+    println!("\n2-NN of the diagonal query (after normalization):");
+    for n in &result.neighbors {
+        println!("  trajectory {} at EDR distance {}", n.id, n.dist);
+    }
+    assert_eq!(result.neighbors[0].dist, 0, "the identical shape matches exactly");
+}

@@ -1,0 +1,150 @@
+//! The paper's headline claims, each as an executable test against the
+//! public API: the worked-example rankings of §2–3.1, the robustness
+//! comparison of §3.2, and the theorem statements of §4 on realistic
+//! (corrupted, variable-length) data rather than the unit tests' toy
+//! inputs.
+
+use trajsim::data::{corrupt, seeded_rng, CorruptionConfig};
+use trajsim::distance::{dtw, erp, euclidean_sliding, lcss, Measure, TrajectoryMeasure};
+use trajsim::histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
+use trajsim::prelude::*;
+use trajsim::qgram::{min_common_qgrams, SortedMeans};
+
+fn worked_example() -> (Trajectory1, Trajectory1, Trajectory1, Trajectory1) {
+    (
+        Trajectory1::from_values(&[1.0, 2.0, 3.0, 4.0]),
+        Trajectory1::from_values(&[10.0, 9.0, 8.0, 7.0]),
+        Trajectory1::from_values(&[1.0, 100.0, 2.0, 3.0, 4.0]),
+        Trajectory1::from_values(&[1.0, 100.0, 101.0, 2.0, 4.0]),
+    )
+}
+
+/// §2: "Euclidean distance ranks the three trajectories as R, S, P. DTW
+/// and ERP produce the same rank" — the noise-sensitivity critique.
+#[test]
+fn noise_sensitive_measures_rank_r_first() {
+    let (q, r, s, p) = worked_example();
+    for (name, d) in [
+        ("Eu", [euclidean_sliding(&q, &r), euclidean_sliding(&q, &s), euclidean_sliding(&q, &p)]),
+        ("DTW", [dtw(&q, &r), dtw(&q, &s), dtw(&q, &p)]),
+        ("ERP", [erp(&q, &r), erp(&q, &s), erp(&q, &p)]),
+    ] {
+        assert!(d[0] < d[1] && d[1] < d[2], "{name} should rank R, S, P: {d:?}");
+    }
+}
+
+/// §3.1: "the similarity ranking relative to Q with EDR (ε = 1) is
+/// S, P, R, which is the expected result."
+#[test]
+fn edr_ranks_s_p_r() {
+    let (q, r, s, p) = worked_example();
+    let eps = MatchThreshold::new(1.0).unwrap();
+    let (ds, dp, dr) = (edr(&q, &s, eps), edr(&q, &p, eps), edr(&q, &r, eps));
+    assert!(ds < dp && dp < dr, "expected S < P < R, got {ds}, {dp}, {dr}");
+}
+
+/// §2's LCSS critique, as a constructed pair: same common subsequence,
+/// different gap sizes — LCSS ties, EDR separates.
+#[test]
+fn lcss_is_gap_blind_and_edr_is_not() {
+    let q = Trajectory1::from_values(&[1.0, 2.0, 3.0, 4.0]);
+    let short_gap = Trajectory1::from_values(&[1.0, 50.0, 2.0, 3.0, 4.0]);
+    let long_gap = Trajectory1::from_values(&[1.0, 50.0, 60.0, 70.0, 80.0, 2.0, 3.0, 4.0]);
+    let eps = MatchThreshold::new(0.25).unwrap();
+    assert_eq!(lcss(&q, &short_gap, eps), lcss(&q, &long_gap, eps));
+    assert!(edr(&q, &short_gap, eps) < edr(&q, &long_gap, eps));
+}
+
+/// §3.2's robustness claim on realistic data: corrupt a trajectory with
+/// the paper's noise + time-shift model; its EDR distance to the clean
+/// original must stay below the distance to a genuinely different
+/// trajectory, for many seeds.
+#[test]
+fn edr_is_robust_to_the_papers_corruption_model() {
+    let mut wins = 0;
+    let trials = 30;
+    for seed in 0..trials {
+        let mut rng = seeded_rng(seed);
+        let base = trajsim::data::smooth_template(&mut rng, 6, 100, (0.0, 100.0, 0.0, 100.0));
+        let other = trajsim::data::smooth_template(&mut rng, 6, 100, (0.0, 100.0, 0.0, 100.0));
+        let noisy = corrupt(&mut rng, &base, &CorruptionConfig::default());
+        let (b, o, n) = (base.normalize(), other.normalize(), noisy.normalize());
+        let eps = MatchThreshold::new(0.25).unwrap();
+        if edr(&b, &n, eps) < edr(&b, &o, eps) {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= trials - 2,
+        "EDR matched the corrupted original in only {wins}/{trials} trials"
+    );
+}
+
+/// Theorem 1 via Theorem 2 (the actual filter the engines run): the
+/// matching mean-value q-gram count between corrupted real-shaped
+/// trajectories never undercuts the Theorem 1 bound at k = EDR.
+#[test]
+fn qgram_count_bound_holds_on_corrupted_data() {
+    for seed in 0..20 {
+        let mut rng = seeded_rng(seed);
+        let base = trajsim::data::smooth_template(&mut rng, 5, 60, (0.0, 50.0, 0.0, 50.0));
+        let noisy = corrupt(&mut rng, &base, &CorruptionConfig::default());
+        let (b, n) = (base.normalize(), noisy.normalize());
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let k = edr(&b, &n, eps);
+        for q in 1..=3 {
+            let count = SortedMeans::build(&b, q).match_count(&SortedMeans::build(&n, q), eps);
+            let bound = min_common_qgrams(b.len(), n.len(), q, k);
+            assert!(
+                count as i64 >= bound,
+                "seed {seed} q {q}: count {count} < bound {bound} (k = {k})"
+            );
+        }
+    }
+}
+
+/// Theorem 6 (and the quick variant) on corrupted data: both histogram
+/// bounds stay below EDR.
+#[test]
+fn histogram_bounds_hold_on_corrupted_data() {
+    for seed in 0..20 {
+        let mut rng = seeded_rng(seed + 100);
+        let base = trajsim::data::smooth_template(&mut rng, 5, 80, (0.0, 50.0, 0.0, 50.0));
+        let noisy = corrupt(&mut rng, &base, &CorruptionConfig::default());
+        let (b, n) = (base.normalize(), noisy.normalize());
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let k = edr(&b, &n, eps);
+        let hb = TrajectoryHistogram::build(&b, eps);
+        let hn = TrajectoryHistogram::build(&n, eps);
+        assert!(histogram_distance(&hb, &hn) <= k);
+        assert!(histogram_distance_quick(&hb, &hn) <= histogram_distance(&hb, &hn));
+    }
+}
+
+/// Theorem 5 on corrupted data: the near triangle inequality holds for
+/// triples drawn from realistic trajectories.
+#[test]
+fn near_triangle_inequality_holds_on_corrupted_data() {
+    for seed in 0..15 {
+        let mut rng = seeded_rng(seed + 500);
+        let a = trajsim::data::smooth_template(&mut rng, 5, 50, (0.0, 50.0, 0.0, 50.0)).normalize();
+        let b = corrupt(&mut rng, &a, &CorruptionConfig::default()).normalize();
+        let c = trajsim::data::smooth_template(&mut rng, 5, 70, (0.0, 50.0, 0.0, 50.0)).normalize();
+        let eps = MatchThreshold::new(0.5).unwrap();
+        assert!(edr(&a, &b, eps) + edr(&b, &c, eps) + b.len() >= edr(&a, &c, eps));
+    }
+}
+
+/// The five-measure line-up used by the efficacy experiments produces
+/// finite, non-negative distances on corrupted variable-length pairs.
+#[test]
+fn measure_lineup_is_total_on_messy_inputs() {
+    let mut rng = seeded_rng(4242);
+    let a = trajsim::data::smooth_template(&mut rng, 4, 35, (0.0, 10.0, 0.0, 10.0)).normalize();
+    let b = corrupt(&mut rng, &a, &CorruptionConfig::default()).normalize();
+    let eps = MatchThreshold::new(0.25).unwrap();
+    for m in Measure::lineup(eps) {
+        let d = m.distance(&a, &b);
+        assert!(d.is_finite() && d >= 0.0, "{} produced {d}", TrajectoryMeasure::<2>::name(&m));
+    }
+}
