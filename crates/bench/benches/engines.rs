@@ -33,18 +33,15 @@ fn bench_engines(c: &mut Criterion) {
     let qgram = QgramKnn::build(&data, eps, 1, QgramVariant::MergeJoin2d);
     group.bench_function("qgram_ps2", |b| b.iter(|| black_box(qgram.knn(&query, k))));
 
-    let hist = HistogramKnn::build(
-        &data,
-        eps,
-        HistogramVariant::PerDimension,
-        ScanMode::Sorted,
-    );
+    let hist = HistogramKnn::build(&data, eps, HistogramVariant::PerDimension, ScanMode::Sorted);
     group.bench_function("histogram_1he_hsr", |b| {
         b.iter(|| black_box(hist.knn(&query, k)))
     });
 
     let ntr = NearTriangleKnn::build(&data, eps, 100);
-    group.bench_function("near_triangle", |b| b.iter(|| black_box(ntr.knn(&query, k))));
+    group.bench_function("near_triangle", |b| {
+        b.iter(|| black_box(ntr.knn(&query, k)))
+    });
 
     let combined = CombinedKnn::build(
         &data,

@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use trajsim_core::MatchThreshold;
 use trajsim_data::{random_walk, seeded_rng};
-use trajsim_distance::{dtw, dtw_banded, edr, edr_within, erp, euclidean, lcss};
+use trajsim_distance::{
+    dtw, dtw_banded, edr, edr_bitparallel, edr_naive, edr_within, edr_within_banded,
+    edr_within_naive, erp, euclidean, lcss,
+};
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
 use trajsim_index::{Aabb, BPlusTree, RStarTree};
 use trajsim_qgram::{mean_value_qgrams, SortedMeans};
@@ -43,6 +46,44 @@ fn bench_distance_dps(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("euclidean", len), &len, |bch, _| {
             bch.iter(|| black_box(euclidean(&a, &b).unwrap()))
         });
+    }
+    group.finish();
+}
+
+/// The EDR kernel hierarchy head-to-head: naive rolling-row vs the
+/// bit-parallel full DP, and naive early-abandon vs the Ukkonen band,
+/// at bounds of 1%, 5%, and 25% of the trajectory length (the regimes
+/// where the band is respectively tiny, moderate, and wide).
+fn bench_edr_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edr_kernels");
+    for len in [64usize, 256, 1024] {
+        let mut rng = seeded_rng(11);
+        let a = random_walk(&mut rng, len, 1.0).normalize();
+        let b = random_walk(&mut rng, len, 1.0).normalize();
+        group.bench_with_input(BenchmarkId::new("full_naive", len), &len, |bch, _| {
+            bch.iter(|| black_box(edr_naive(&a, &b, eps())))
+        });
+        group.bench_with_input(BenchmarkId::new("full_bitparallel", len), &len, |bch, _| {
+            bch.iter(|| black_box(edr_bitparallel(&a, &b, eps())))
+        });
+        for pct in [1usize, 5, 25] {
+            let bound = (len * pct / 100).max(1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("within_naive_b{pct}pct"), len),
+                &len,
+                |bch, _| bch.iter(|| black_box(edr_within_naive(&a, &b, eps(), bound))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("within_banded_b{pct}pct"), len),
+                &len,
+                |bch, _| bch.iter(|| black_box(edr_within_banded(&a, &b, eps(), bound))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("within_dispatch_b{pct}pct"), len),
+                &len,
+                |bch, _| bch.iter(|| black_box(edr_within(&a, &b, eps(), bound))),
+            );
+        }
     }
     group.finish();
 }
@@ -148,6 +189,7 @@ fn bench_indexes(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_distance_dps,
+    bench_edr_kernels,
     bench_qgrams,
     bench_histograms,
     bench_indexes

@@ -45,7 +45,10 @@ fn main() {
         fast_run.secs_per_query * 1e3,
         ea_speedup
     );
-    json.insert("early_abandon_speedup".into(), serde_json::json!(ea_speedup));
+    json.insert(
+        "early_abandon_speedup".into(),
+        serde_json::json!(ea_speedup),
+    );
 
     // --- 2. exact vs greedy HD --------------------------------------
     // For each query, compare the two bounds against every candidate and

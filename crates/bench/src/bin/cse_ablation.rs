@@ -15,9 +15,13 @@
 //! - the false dismissals CSE produces on out-of-database (corrupted)
 //!   queries, which NTR never produces.
 
-use trajsim_bench::{parallel_pmatrix, retrieval_eps, probing_queries, render_table, write_json, Args};
+use trajsim_bench::{
+    parallel_pmatrix, probing_queries, render_table, retrieval_eps, write_json, Args,
+};
 use trajsim_core::Dataset;
-use trajsim_data::{asl_retrieval_like, corrupt, kungfu_like, seeded_rng, slip_like, CorruptionConfig};
+use trajsim_data::{
+    asl_retrieval_like, corrupt, kungfu_like, seeded_rng, slip_like, CorruptionConfig,
+};
 use trajsim_prune::cse::{cse_constant, CseKnn};
 use trajsim_prune::{KnnEngine, NearTriangleKnn, SequentialScan};
 
@@ -107,13 +111,21 @@ fn main() {
     }
     println!("\nCSE ablation (§4.2): constant shift embedding vs. near triangle inequality\n");
     let header: Vec<String> = [
-        "data", "N", "CSE c", "mean |S|", "CSE power", "NTR power", "CSE false dism.",
+        "data",
+        "N",
+        "CSE c",
+        "mean |S|",
+        "CSE power",
+        "NTR power",
+        "CSE false dism.",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
     print!("{}", render_table(&header, &rows));
-    println!("\n(c near the mean trajectory length makes the CSE bound vacuous — the paper's point.)");
+    println!(
+        "\n(c near the mean trajectory length makes the CSE bound vacuous — the paper's point.)"
+    );
     write_json("cse_ablation", &serde_json::Value::Object(json));
 }
 

@@ -7,7 +7,7 @@
 //! (2HPN) — gives the best speedup.
 
 use trajsim_bench::{
-    parallel_pmatrix, retrieval_eps, probing_queries, render_table, run_engine, write_json, Args,
+    parallel_pmatrix, probing_queries, render_table, retrieval_eps, run_engine, write_json, Args,
 };
 use trajsim_data::nhl_like;
 use trajsim_prune::{
@@ -21,7 +21,10 @@ fn main() {
     let data = nhl_like(args.seed, n).normalize();
     let eps = retrieval_eps(&data);
     let queries = probing_queries(&data, args.queries);
-    eprintln!("[NHL] N = {n}, eps = {:.3}: building pmatrix...", eps.value());
+    eprintln!(
+        "[NHL] N = {n}, eps = {:.3}: building pmatrix...",
+        eps.value()
+    );
     let pmatrix = parallel_pmatrix(&data, eps, max_triangle);
     let seq = SequentialScan::new(&data, eps);
     // Warm-up pass first (also the oracle answers): the timed baseline

@@ -13,7 +13,7 @@
 //! large sets because its many-bin histogram distances cost more.
 
 use trajsim_bench::{
-    parallel_pmatrix, retrieval_eps, probing_queries, render_table, run_engine, write_json, Args,
+    parallel_pmatrix, probing_queries, render_table, retrieval_eps, run_engine, write_json, Args,
     EngineRun,
 };
 use trajsim_core::Dataset;
@@ -38,7 +38,10 @@ fn main() {
     let datasets: Vec<(&str, Dataset<2>)> = vec![
         ("NHL", nhl_like(args.seed, nhl_n).normalize()),
         ("Mixed", mixed_like(args.seed + 1, mixed_n).normalize()),
-        ("Randomwalk", random_walk_db(args.seed + 2, walk_n).normalize()),
+        (
+            "Randomwalk",
+            random_walk_db(args.seed + 2, walk_n).normalize(),
+        ),
     ];
     let mut json = serde_json::Map::new();
     for (name, data) in &datasets {
@@ -70,11 +73,17 @@ fn main() {
             let ps2 = QgramKnn::build(data, eps, 1, QgramVariant::MergeJoin2d);
             runs.push(run_engine(&ps2, &queries, args.k, Some(&expected)));
         }
-        for variant in [HistogramVariant::PerDimension, HistogramVariant::Grid { delta: 1 }] {
+        for variant in [
+            HistogramVariant::PerDimension,
+            HistogramVariant::Grid { delta: 1 },
+        ] {
             let hist = HistogramKnn::build(data, eps, variant, ScanMode::Sorted);
             runs.push(run_engine(&hist, &queries, args.k, Some(&expected)));
         }
-        for histogram in [HistogramVariant::PerDimension, HistogramVariant::Grid { delta: 1 }] {
+        for histogram in [
+            HistogramVariant::PerDimension,
+            HistogramVariant::Grid { delta: 1 },
+        ] {
             let config = CombinedConfig {
                 order: PruneOrder::HQN,
                 histogram,

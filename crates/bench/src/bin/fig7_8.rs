@@ -8,7 +8,9 @@
 //! variants (index traversal costs more than it saves; PR/PB can drop
 //! below 1), and PS2 at q = 1 is the best overall.
 
-use trajsim_bench::{retrieval_eps_scaled, probing_queries, render_table, run_engine, write_json, Args};
+use trajsim_bench::{
+    probing_queries, render_table, retrieval_eps_scaled, run_engine, write_json, Args,
+};
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, kungfu_like, slip_like};
 use trajsim_prune::{KnnEngine, QgramKnn, QgramVariant, SequentialScan};
@@ -65,8 +67,12 @@ fn main() {
                     "q": q,
                     "pruning_power": run.pruning_power,
                     "speedup": speedup,
+                    "dp_cells": run.stats.dp_cells,
                 }));
-                eprintln!("  {label} q={q}: power {:.3}, speedup {speedup:.2}", run.pruning_power);
+                eprintln!(
+                    "  {label} q={q}: power {:.3}, speedup {speedup:.2}",
+                    run.pruning_power
+                );
             }
             power_rows.push(power_row);
             speed_rows.push(speed_row);
@@ -76,13 +82,20 @@ fn main() {
             "seq_secs_per_query".into(),
             serde_json::json!(seq_run.secs_per_query),
         );
+        set_json.insert(
+            "seq_dp_cells".into(),
+            serde_json::json!(seq_run.stats.dp_cells),
+        );
         json.insert(name.to_string(), serde_json::Value::Object(set_json));
 
         let header: Vec<String> = ["method", "q=1", "q=2", "q=3", "q=4"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        println!("\nFigure 7 ({name}): pruning power of mean-value Q-grams (k = {})\n", args.k);
+        println!(
+            "\nFigure 7 ({name}): pruning power of mean-value Q-grams (k = {})\n",
+            args.k
+        );
         print!("{}", render_table(&header, &power_rows));
         println!("\nFigure 8 ({name}): speedup ratio of mean-value Q-grams\n");
         print!("{}", render_table(&header, &speed_rows));

@@ -9,7 +9,9 @@
 //! enlarged-bin variants; HSR ≥ HSE in both pruning power and speedup;
 //! histograms generally beat mean-value q-grams.
 
-use trajsim_bench::{retrieval_eps_scaled, probing_queries, render_table, run_engine, write_json, Args};
+use trajsim_bench::{
+    probing_queries, render_table, retrieval_eps_scaled, run_engine, write_json, Args,
+};
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, kungfu_like, slip_like};
 use trajsim_prune::{HistogramKnn, HistogramVariant, KnnEngine, ScanMode, SequentialScan};
@@ -89,7 +91,10 @@ fn main() {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        println!("\nFigure 9 ({name}): pruning power of histograms (k = {})\n", args.k);
+        println!(
+            "\nFigure 9 ({name}): pruning power of histograms (k = {})\n",
+            args.k
+        );
         print!("{}", render_table(&header, &power_rows));
         println!("\nFigure 10 ({name}): speedup ratio of histograms\n");
         print!("{}", render_table(&header, &speed_rows));

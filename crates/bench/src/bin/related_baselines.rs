@@ -17,7 +17,7 @@ use trajsim_distance::{Measure, TrajectoryMeasure};
 use trajsim_eval::loo_error_rate;
 use trajsim_related::{ChebyshevMeasure, MbrMeasure, RotationDtwMeasure};
 
-fn measure_set(eps: MatchThreshold) -> Vec<Box<dyn TrajectoryMeasure<2>>> {
+fn measure_set(eps: MatchThreshold) -> Vec<Box<dyn TrajectoryMeasure<2> + Sync>> {
     vec![
         Box::new(Measure::Edr { eps }),
         Box::new(Measure::Dtw { band: None }),

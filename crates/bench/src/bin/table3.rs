@@ -11,7 +11,7 @@
 //! differ).
 
 use trajsim_bench::{
-    parallel_pmatrix, retrieval_eps, probing_queries, render_table, run_engine, write_json, Args,
+    parallel_pmatrix, probing_queries, render_table, retrieval_eps, run_engine, write_json, Args,
 };
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, random_walk_set, seeded_rng, LengthDistribution};
@@ -51,11 +51,16 @@ fn main() {
 
     let mut power_row = vec!["Pruning Power".to_string()];
     let mut speed_row = vec!["Speedup Ratio".to_string()];
+    let mut cells_row = vec!["DP Cells vs Scan".to_string()];
     let mut json = serde_json::Map::new();
     for (name, data) in &datasets {
         let eps = retrieval_eps(data);
         let queries = probing_queries(data, args.queries);
-        eprintln!("[{name}] N = {}, eps = {:.3}: building pmatrix...", data.len(), eps.value());
+        eprintln!(
+            "[{name}] N = {}, eps = {:.3}: building pmatrix...",
+            data.len(),
+            eps.value()
+        );
         let pmatrix = parallel_pmatrix(data, eps, max_triangle);
         let seq = SequentialScan::new(data, eps);
         // Warm-up pass first (it also yields the oracle answers): the
@@ -71,6 +76,10 @@ fn main() {
         let speedup = run.speedup(seq_run.secs_per_query);
         power_row.push(format!("{:.2}", run.pruning_power));
         speed_row.push(format!("{speedup:.2}"));
+        cells_row.push(format!(
+            "{:.3e} / {:.3e}",
+            run.stats.dp_cells as f64, seq_run.stats.dp_cells as f64
+        ));
         json.insert(
             name.to_string(),
             serde_json::json!({
@@ -79,6 +88,8 @@ fn main() {
                 "n": data.len(),
                 "seq_secs_per_query": seq_run.secs_per_query,
                 "ntr_secs_per_query": run.secs_per_query,
+                "ntr_dp_cells": run.stats.dp_cells,
+                "seq_dp_cells": seq_run.stats.dp_cells,
             }),
         );
     }
@@ -87,6 +98,9 @@ fn main() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    print!("{}", render_table(&header, &[power_row, speed_row]));
+    print!(
+        "{}",
+        render_table(&header, &[power_row, speed_row, cells_row])
+    );
     write_json("table3", &serde_json::Value::Object(json));
 }

@@ -163,69 +163,26 @@ pub fn run_engine<const D: usize, E: KnnEngine<D>>(
 }
 
 /// Computes the reference-pool pmatrix rows (`EDR(db[r], ·)` for
-/// `r < pool`) in parallel with crossbeam scoped threads — the offline
-/// phase of near-triangle pruning, which the paper also precomputes.
-pub fn parallel_pmatrix(
-    dataset: &Dataset<2>,
-    eps: MatchThreshold,
-    pool: usize,
-) -> Vec<Vec<usize>> {
+/// `r < pool`) in parallel via [`trajsim_parallel::par_map`] — the
+/// offline phase of near-triangle pruning, which the paper also
+/// precomputes. Dynamic chunking balances the uneven row costs.
+pub fn parallel_pmatrix(dataset: &Dataset<2>, eps: MatchThreshold, pool: usize) -> Vec<Vec<usize>> {
     let pool = pool.min(dataset.len());
-    if pool == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(pool);
-    let chunk_size = pool.div_ceil(threads);
-    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); pool];
-    crossbeam::thread::scope(|scope| {
-        for (tid, chunk) in rows.chunks_mut(chunk_size).enumerate() {
-            let base = tid * chunk_size;
-            scope.spawn(move |_| {
-                for (off, row) in chunk.iter_mut().enumerate() {
-                    let r = base + off;
-                    let tr = &dataset.trajectories()[r];
-                    *row = dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect();
-                }
-            });
-        }
+    let refs = &dataset.trajectories()[..pool];
+    trajsim_parallel::par_map(refs, |_, tr| {
+        dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect()
     })
-    .expect("pmatrix worker panicked");
-    rows
 }
 
-/// Answers a batch of queries in parallel with crossbeam scoped threads —
-/// engines take `&self`, so one engine instance serves all worker
-/// threads. Results are returned in query order. (The library's query
-/// path is single-threaded like the paper's; parallelism across *queries*
-/// is the natural deployment form and lives here in the harness.)
+/// Answers a batch of queries in parallel — a thin wrapper over
+/// [`KnnEngine::knn_batch`], kept for the harness binaries. Results are
+/// returned in query order.
 pub fn batch_knn<E: KnnEngine<2> + Sync>(
     engine: &E,
     queries: &[Trajectory<2>],
     k: usize,
 ) -> Vec<trajsim_prune::KnnResult> {
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(queries.len().max(1));
-    let chunk = queries.len().div_ceil(threads).max(1);
-    let mut results: Vec<Option<trajsim_prune::KnnResult>> = vec![None; queries.len()];
-    crossbeam::thread::scope(|scope| {
-        for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                    *slot = Some(engine.knn(q, k));
-                }
-            });
-        }
-    })
-    .expect("batch worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    engine.knn_batch(queries, k)
 }
 
 /// Selects `count` probing queries: evenly spaced members of the data set
@@ -278,8 +235,11 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
         .join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[results written to results/{name}.json]");
 }
 

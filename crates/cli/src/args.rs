@@ -19,9 +19,10 @@ impl Parsed {
         let mut out = Parsed::default();
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
-            let key = arg
-                .strip_prefix("--")
-                .or_else(|| arg.strip_prefix('-').filter(|k| !k.is_empty() && !k.starts_with(char::is_numeric)));
+            let key = arg.strip_prefix("--").or_else(|| {
+                arg.strip_prefix('-')
+                    .filter(|k| !k.is_empty() && !k.starts_with(char::is_numeric))
+            });
             if let Some(key) = key {
                 let value = it
                     .next()

@@ -8,8 +8,8 @@ use trajsim_core::{max_std_dev, Dataset, MatchThreshold};
 use trajsim_data::{seeded_rng, LengthDistribution};
 use trajsim_eval::{agglomerative, Dendrogram, DistanceMatrix, Linkage};
 use trajsim_prune::{
-    range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine,
-    KnnResult, QgramKnn, QgramVariant, ScanMode, SequentialScan,
+    range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, KnnResult,
+    QgramKnn, QgramVariant, ScanMode, SequentialScan,
 };
 
 const USAGE: &str = "\
@@ -23,11 +23,17 @@ commands:
   range    <file> --query I --edits K [--eps E]
   cluster  <file> [--k K] [--eps E] [--tree yes]
 
+global options:
+  --threads N   worker threads for parallel phases (default: all cores;
+                also settable via TRAJSIM_THREADS)
+
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
 
 /// Dispatches the parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(argv)?;
+    let threads: usize = parsed.get_or("threads", 0usize)?;
+    trajsim_parallel::set_num_threads(threads);
     match parsed.positional(0) {
         Some("generate") => generate(&parsed),
         Some("convert") => convert(&parsed),
@@ -130,7 +136,13 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
         total as f64 / ds.len() as f64,
         lens.iter().max().unwrap()
     );
-    println!("  extent:       x [{:.2}, {:.2}], y [{:.2}, {:.2}]", lo.x(), hi.x(), lo.y(), hi.y());
+    println!(
+        "  extent:       x [{:.2}, {:.2}], y [{:.2}, {:.2}]",
+        lo.x(),
+        hi.x(),
+        lo.y(),
+        hi.y()
+    );
     Ok(())
 }
 
@@ -146,6 +158,10 @@ fn report(result: &KnnResult) {
         result.stats.pruned_by_histogram,
         result.stats.pruned_by_qgram,
         result.stats.pruned_by_triangle,
+    );
+    println!(
+        "  [{} true EDR computations, {} DP cells filled]",
+        result.stats.edr_computed, result.stats.dp_cells,
     );
 }
 
@@ -165,15 +181,13 @@ fn knn(parsed: &Parsed) -> Result<(), String> {
         eps.value()
     );
     let result = match engine.as_str() {
-        "scan" => SequentialScan::new(&ds, eps).knn(&query, k),
+        // The parallel scan degrades to the serial one on a single worker.
+        "scan" => SequentialScan::new(&ds, eps).with_parallel().knn(&query, k),
         "qgram" => QgramKnn::build(&ds, eps, 1, QgramVariant::MergeJoin2d).knn(&query, k),
-        "histogram" => HistogramKnn::build(
-            &ds,
-            eps,
-            HistogramVariant::PerDimension,
-            ScanMode::Sorted,
-        )
-        .knn(&query, k),
+        "histogram" => {
+            HistogramKnn::build(&ds, eps, HistogramVariant::PerDimension, ScanMode::Sorted)
+                .knn(&query, k)
+        }
         "combined" => {
             let config = CombinedConfig {
                 max_triangle: 100,
@@ -220,7 +234,10 @@ fn cluster(parsed: &Parsed) -> Result<(), String> {
     let measure = trajsim_distance::Measure::Edr { eps };
     let matrix = DistanceMatrix::compute(&ds, &measure);
     let assignment = agglomerative(&matrix, k, Linkage::Complete);
-    println!("clustering {} trajectories into {k} clusters (EDR, complete linkage):", ds.len());
+    println!(
+        "clustering {} trajectories into {k} clusters (EDR, complete linkage):",
+        ds.len()
+    );
     for c in 0..k {
         let members: Vec<String> = assignment
             .iter()
@@ -254,7 +271,9 @@ mod tests {
     #[test]
     fn usage_and_unknown_commands() {
         assert!(run(&[]).unwrap_err().contains("usage"));
-        assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]

@@ -54,14 +54,22 @@ impl<const D: usize> Dataset<D> {
     /// Length of the longest trajectory in the database (the paper's
     /// `l_max`), or 0 for an empty database.
     pub fn max_len(&self) -> usize {
-        self.trajectories.iter().map(Trajectory::len).max().unwrap_or(0)
+        self.trajectories
+            .iter()
+            .map(Trajectory::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Normalizes every trajectory (see [`Trajectory::normalize`]).
     #[must_use]
     pub fn normalize(&self) -> Self {
         Dataset {
-            trajectories: self.trajectories.iter().map(Trajectory::normalize).collect(),
+            trajectories: self
+                .trajectories
+                .iter()
+                .map(Trajectory::normalize)
+                .collect(),
         }
     }
 
@@ -104,11 +112,7 @@ impl<const D: usize> LabeledDataset<D> {
     /// Returns [`CoreError::LengthMismatch`] if `labels` and the dataset
     /// disagree in length, and [`CoreError::InvalidParameter`] if a label is
     /// out of range of `class_names`.
-    pub fn new(
-        dataset: Dataset<D>,
-        labels: Vec<usize>,
-        class_names: Vec<String>,
-    ) -> Result<Self> {
+    pub fn new(dataset: Dataset<D>, labels: Vec<usize>, class_names: Vec<String>) -> Result<Self> {
         if dataset.len() != labels.len() {
             return Err(CoreError::LengthMismatch {
                 left: dataset.len(),
@@ -200,10 +204,7 @@ impl<const D: usize> LabeledDataset<D> {
         LabeledDataset::new(
             Dataset::new(trajectories),
             labels,
-            vec![
-                self.class_names[a].clone(),
-                self.class_names[b].clone(),
-            ],
+            vec![self.class_names[a].clone(), self.class_names[b].clone()],
         )
     }
 

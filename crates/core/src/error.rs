@@ -90,7 +90,9 @@ mod tests {
         };
         assert!(e.to_string().contains("4 points"));
         assert!(CoreError::EmptyTrajectory.to_string().contains("non-empty"));
-        assert!(CoreError::NonFiniteValue { index: 7 }.to_string().contains('7'));
+        assert!(CoreError::NonFiniteValue { index: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -246,18 +246,13 @@ mod tests {
     #[test]
     fn arc_length_resampling_equalizes_speed() {
         // Slow at the start (dense samples), fast at the end.
-        let t = Trajectory2::from_xy(&[
-            (0.0, 0.0),
-            (0.1, 0.0),
-            (0.2, 0.0),
-            (0.3, 0.0),
-            (10.0, 0.0),
-        ]);
+        let t =
+            Trajectory2::from_xy(&[(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (0.3, 0.0), (10.0, 0.0)]);
         let r = t.resample_by_arc_length(11).unwrap();
         let steps: Vec<f64> = r.points().windows(2).map(|w| w[0].dist(&w[1])).collect();
-        let (min, max) = steps
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        let (min, max) = steps.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| {
+            (lo.min(s), hi.max(s))
+        });
         assert!(max - min < 1e-9, "steps not uniform: {steps:?}");
         assert!((r.arc_length() - t.arc_length()).abs() < 1e-9);
     }

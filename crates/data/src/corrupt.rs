@@ -87,11 +87,7 @@ pub fn corrupt_dataset<R: Rng + ?Sized>(
 
 /// Stretches a random segment and compresses the rest via monotone
 /// re-sampling; output length equals input length.
-fn local_time_shift<R: Rng + ?Sized>(
-    rng: &mut R,
-    t: &Trajectory2,
-    shift_frac: f64,
-) -> Trajectory2 {
+fn local_time_shift<R: Rng + ?Sized>(rng: &mut R, t: &Trajectory2, shift_frac: f64) -> Trajectory2 {
     let n = t.len();
     if shift_frac <= 0.0 || n < 3 {
         return t.clone();
@@ -99,7 +95,7 @@ fn local_time_shift<R: Rng + ?Sized>(
     // Pick a segment [a, b) of the *source* index space and a stretch
     // factor; build a piecewise-linear monotone map from output position to
     // source position that over-samples the segment.
-    let seg_len = ((n as f64) * rng.gen_range(0.1..0.3)).max(2.0) as usize;
+    let seg_len = ((n as f64) * rng.gen_range(0.1..0.3f64)).max(2.0) as usize;
     let a = rng.gen_range(0..n - seg_len.min(n - 1));
     let b = (a + seg_len).min(n - 1);
     let stretch = 1.0 + rng.gen_range(0.0..shift_frac) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };

@@ -1,8 +1,8 @@
 //! Labelled benchmark sets for the efficacy experiments (§3.2): synthetic
 //! stand-ins for the Cameramouse and ASL data.
 
-use crate::template::{instance_of, smooth_template};
 use crate::seeded_rng;
+use crate::template::{instance_of, smooth_template};
 use rand::Rng;
 use trajsim_core::{Dataset, LabeledDataset};
 
@@ -120,18 +120,15 @@ fn with_detour<R: Rng + ?Sized>(
         let u = j as f64 / (detour_len - 1) as f64;
         let out = (u * PI).sin() * radius; // out and back to the anchor
         let swing = angle + (u - 0.5) * 0.8;
-        trajsim_core::Point2::xy(anchor.x() + out * swing.cos(), anchor.y() + out * swing.sin())
+        trajsim_core::Point2::xy(
+            anchor.x() + out * swing.cos(),
+            anchor.y() + out * swing.sin(),
+        )
     });
     let mut pts = base.points()[..at].to_vec();
     pts.extend(detour);
     pts.extend_from_slice(&base.points()[at..]);
-    instance_of(
-        rng,
-        &trajsim_core::Trajectory2::new(pts),
-        out_len,
-        0.0,
-        0.0,
-    )
+    instance_of(rng, &trajsim_core::Trajectory2::new(pts), out_len, 0.0, 0.0)
 }
 
 /// A Cameramouse-like set (CM, \[11\]): "15 trajectories of 5 words (3 for

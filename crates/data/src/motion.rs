@@ -2,9 +2,9 @@
 //! Mixed set, generated with the statistical shape the pruning experiments
 //! depend on (sizes, lengths, and value ranges).
 
+use crate::seeded_rng;
 use crate::template::{instance_of, smooth_template};
 use crate::walk::{random_walk, random_walk_set, LengthDistribution};
-use crate::seeded_rng;
 use rand::Rng;
 use trajsim_core::{Dataset, Point2, Trajectory2};
 
@@ -28,7 +28,7 @@ pub fn kungfu_like(seed: u64) -> Dataset<2> {
             let base = smooth_template(&mut rng, stances, 640, BOUNDS);
             // Re-time the move so it dwells at stances: a sharpened
             // sinusoidal schedule with template-specific tempo.
-            let tempo = rng.gen_range(1.5..6.0);
+            let tempo = rng.gen_range(1.5..6.0f64);
             let sharpness = rng.gen_range(1.0..4.0f64);
             let n = base.len();
             Trajectory2::new(
@@ -38,7 +38,8 @@ pub fn kungfu_like(seed: u64) -> Dataset<2> {
                         // Dwell-and-strike: compress transitions.
                         let phase = (u * tempo).fract();
                         let eased = 0.5
-                            - 0.5 * (std::f64::consts::PI * phase).cos().signum()
+                            - 0.5
+                                * (std::f64::consts::PI * phase).cos().signum()
                                 * (std::f64::consts::PI * phase).cos().abs().powf(sharpness);
                         let cycle = (u * tempo).floor();
                         let pos = ((cycle + eased) / tempo).clamp(0.0, 1.0);
@@ -72,7 +73,8 @@ pub fn slip_like(seed: u64) -> Dataset<2> {
         .map(|_| {
             let len = 400usize;
             let fall_at = rng.gen_range(len / 4..len / 2);
-            let recover_at = rng.gen_range(fall_at + len / 8..(3 * len / 4).max(fall_at + len / 8 + 1));
+            let recover_at =
+                rng.gen_range(fall_at + len / 8..(3 * len / 4).max(fall_at + len / 8 + 1));
             let x0 = rng.gen_range(0.0..2.0);
             let stand_y = rng.gen_range(4.5..5.5);
             let floor_y = rng.gen_range(0.0..0.5);
@@ -146,7 +148,7 @@ fn circle_sweep<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Trajectory2 {
     let cx = rng.gen_range(20.0..80.0);
     let cy = rng.gen_range(20.0..80.0);
     let radius = rng.gen_range(5.0..30.0);
-    let turns = rng.gen_range(0.5..3.0);
+    let turns = rng.gen_range(0.5..3.0f64);
     let phase = rng.gen_range(0.0..std::f64::consts::TAU);
     let points = (0..len)
         .map(|i| {
@@ -165,7 +167,11 @@ fn circle_sweep<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Trajectory2 {
 /// full-scale set; the harness defaults to a scaled-down `n`.
 pub fn random_walk_db(seed: u64, n: usize) -> Dataset<2> {
     let mut rng = seeded_rng(seed);
-    random_walk_set(&mut rng, n, LengthDistribution::Uniform { min: 30, max: 1024 })
+    random_walk_set(
+        &mut rng,
+        n,
+        LengthDistribution::Uniform { min: 30, max: 1024 },
+    )
 }
 
 #[cfg(test)]

@@ -89,8 +89,10 @@ pub fn instance_of<R: Rng + ?Sized>(
             } else {
                 (template[i], template[i + 1])
             };
-            let x = a.x() + (b.x() - a.x()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
-            let y = a.y() + (b.y() - a.y()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
+            let x =
+                a.x() + (b.x() - a.x()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
+            let y =
+                a.y() + (b.y() - a.y()) * frac + jitter.sample(rng) * jitter_signum(jitter_sigma);
             Point2::xy(x, y)
         })
         .collect();

@@ -47,8 +47,8 @@ impl LengthDistribution {
                 min,
                 max,
             } => {
-                let normal = Normal::new(mean, std_dev.max(f64::MIN_POSITIVE))
-                    .expect("finite parameters");
+                let normal =
+                    Normal::new(mean, std_dev.max(f64::MIN_POSITIVE)).expect("finite parameters");
                 let v = normal.sample(rng).round();
                 (v.max(min as f64) as usize).min(max)
             }
@@ -142,8 +142,7 @@ mod tests {
             max: 256,
         };
         let ds = random_walk_set(&mut rng, 300, dist);
-        let mean: f64 =
-            ds.iter().map(|(_, t)| t.len() as f64).sum::<f64>() / ds.len() as f64;
+        let mean: f64 = ds.iter().map(|(_, t)| t.len() as f64).sum::<f64>() / ds.len() as f64;
         assert!((mean - 140.0).abs() < 10.0, "sample mean {mean}");
         assert!(ds.iter().all(|(_, t)| (30..=256).contains(&t.len())));
     }

@@ -74,7 +74,11 @@ fn dtw_impl<const D: usize>(
         for j in lo..hi {
             let d = metric.eval(ri, &sp[j]);
             let best = prev[j].min(prev[j + 1]).min(curr[j]);
-            curr[j + 1] = if best.is_finite() { d + best } else { f64::INFINITY };
+            curr[j + 1] = if best.is_finite() {
+                d + best
+            } else {
+                f64::INFINITY
+            };
         }
         std::mem::swap(&mut prev, &mut curr);
     }

@@ -26,9 +26,7 @@ pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
         curr[0] = i + 1;
         for (j, ij) in inner.iter().enumerate() {
             let subcost = usize::from(oi != ij);
-            curr[j + 1] = (prev[j] + subcost)
-                .min(prev[j + 1] + 1)
-                .min(curr[j] + 1);
+            curr[j + 1] = (prev[j] + subcost).min(prev[j + 1] + 1).min(curr[j] + 1);
         }
         std::mem::swap(&mut prev, &mut curr);
     }

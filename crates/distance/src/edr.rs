@@ -1,6 +1,7 @@
 //! EDR — Edit Distance on Real sequence (Definition 2), the paper's
 //! contribution.
 
+use crate::kernel;
 use std::collections::HashMap;
 use trajsim_core::{MatchThreshold, Trajectory};
 
@@ -21,8 +22,9 @@ use trajsim_core::{MatchThreshold, Trajectory};
 ///   their length, so EDR distinguishes trajectories with the same common
 ///   subsequence but different gaps.
 ///
-/// The computation is the textbook O(m·n) dynamic program with a two-row
-/// rolling buffer (O(min-row) memory).
+/// The computation runs on the bit-parallel Myers/Hyyrö kernel (see
+/// [`crate::kernel`]); the `naive-kernel` feature reroutes it to the
+/// textbook O(m·n) rolling-row DP for differential testing.
 ///
 /// ```
 /// use trajsim_core::{Trajectory2, MatchThreshold};
@@ -34,39 +36,34 @@ use trajsim_core::{MatchThreshold, Trajectory};
 /// assert_eq!(edr(&r, &s, eps), 1);
 /// ```
 pub fn edr<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>, eps: MatchThreshold) -> usize {
-    edr_points(r.points(), s.points(), eps)
+    edr_counted(r, s, eps).0
 }
 
-/// EDR over raw point slices (used internally and by the pruning crates,
-/// which slice q-grams out of trajectories).
-pub(crate) fn edr_points<const D: usize>(
-    r: &[trajsim_core::Point<D>],
-    s: &[trajsim_core::Point<D>],
+/// [`edr`] plus the number of DP cells (bit lanes for the bit-parallel
+/// kernel) the computation materialized — the cost accounting surfaced as
+/// `QueryStats::dp_cells` by the k-NN engines.
+pub fn edr_counted<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
     eps: MatchThreshold,
-) -> usize {
-    // Keep the rolling rows as short as the shorter sequence.
-    let (outer, inner) = if r.len() >= s.len() { (r, s) } else { (s, r) };
-    let n = inner.len();
-    if outer.is_empty() {
-        return 0;
+) -> (usize, u64) {
+    // Keep the rolling state as short as the shorter sequence.
+    let (outer, inner) = if r.len() >= s.len() {
+        (r.points(), s.points())
+    } else {
+        (s.points(), r.points())
+    };
+    if inner.is_empty() {
+        return (outer.len(), 0);
     }
-    if n == 0 {
-        return outer.len();
+    #[cfg(feature = "naive-kernel")]
+    {
+        kernel::naive_counted(outer, inner, eps)
     }
-    let mut prev: Vec<usize> = (0..=n).collect();
-    let mut curr: Vec<usize> = vec![0; n + 1];
-    for (i, oi) in outer.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, ij) in inner.iter().enumerate() {
-            let subcost = usize::from(!oi.matches(ij, eps));
-            let replace = prev[j] + subcost;
-            let delete = prev[j + 1] + 1;
-            let insert = curr[j] + 1;
-            curr[j + 1] = replace.min(delete).min(insert);
-        }
-        std::mem::swap(&mut prev, &mut curr);
+    #[cfg(not(feature = "naive-kernel"))]
+    {
+        kernel::bitparallel_counted(outer, inner, eps)
     }
-    prev[n]
 }
 
 /// Early-abandoning EDR: returns `Some(EDR(R, S))` if it is at most
@@ -94,42 +91,53 @@ pub fn edr_within<const D: usize>(
     eps: MatchThreshold,
     bound: usize,
 ) -> Option<usize> {
+    edr_within_counted(r, s, eps, bound).0
+}
+
+/// [`edr_within`] plus the number of DP cells the computation
+/// materialized (0 when a pre-check or the `bound == 0` pointwise scan
+/// decided without running a DP).
+pub fn edr_within_counted<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    eps: MatchThreshold,
+    bound: usize,
+) -> (Option<usize>, u64) {
+    // Lengths alone already decide some cases: EDR >= |m - n|.
+    if r.len().abs_diff(s.len()) > bound {
+        return (None, 0);
+    }
     let (outer, inner) = if r.len() >= s.len() {
         (r.points(), s.points())
     } else {
         (s.points(), r.points())
     };
-    // Lengths alone already decide some cases: EDR >= |m - n|.
-    if outer.len() - inner.len() > bound {
-        return None;
+    if inner.is_empty() {
+        // <= bound by the length pre-check; covers outer empty too.
+        return (Some(outer.len()), 0);
     }
-    let n = inner.len();
-    if outer.is_empty() {
-        return Some(0);
+    if bound == 0 {
+        // Equal lengths (pre-check) and no edits allowed: EDR is 0 iff
+        // every aligned pair ε-matches — a pointwise scan, no DP rows or
+        // allocation at all.
+        let all = outer.iter().zip(inner).all(|(a, b)| a.matches(b, eps));
+        return (all.then_some(0), 0);
     }
-    if n == 0 {
-        return Some(outer.len()); // <= bound by the check above
+    #[cfg(feature = "naive-kernel")]
+    {
+        kernel::within_naive_counted(outer, inner, eps, bound)
     }
-    let mut prev: Vec<usize> = (0..=n).collect();
-    let mut curr: Vec<usize> = vec![0; n + 1];
-    for (i, oi) in outer.iter().enumerate() {
-        curr[0] = i + 1;
-        let mut row_min = curr[0];
-        for (j, ij) in inner.iter().enumerate() {
-            let subcost = usize::from(!oi.matches(ij, eps));
-            let replace = prev[j] + subcost;
-            let delete = prev[j + 1] + 1;
-            let insert = curr[j] + 1;
-            let v = replace.min(delete).min(insert);
-            curr[j + 1] = v;
-            row_min = row_min.min(v);
+    #[cfg(not(feature = "naive-kernel"))]
+    {
+        if 2 * bound + 1 >= inner.len() {
+            // The band would cover (nearly) every column; the full
+            // bit-parallel kernel is cheaper than a banded scalar DP.
+            let (d, cells) = kernel::bitparallel_counted(outer, inner, eps);
+            ((d <= bound).then_some(d), cells)
+        } else {
+            kernel::within_banded_counted(outer, inner, eps, bound)
         }
-        if row_min > bound {
-            return None;
-        }
-        std::mem::swap(&mut prev, &mut curr);
     }
-    (prev[n] <= bound).then_some(prev[n])
 }
 
 /// `EDR_{δ·ε}`: EDR computed with the matching threshold scaled by δ
@@ -219,7 +227,10 @@ mod tests {
         let e = eps(1.0);
         let (ds, dp, dr) = (edr(&q, &s, e), edr(&q, &p, e), edr(&q, &r, e));
         assert!(ds < dp, "S must rank before P (gap penalty): {ds} vs {dp}");
-        assert!(dp < dr, "P must rank before R (noise robustness): {dp} vs {dr}");
+        assert!(
+            dp < dr,
+            "P must rank before R (noise robustness): {dp} vs {dr}"
+        );
         // Concrete values: S needs one delete of the noise element. For P,
         // deleting 100 and 101 leaves [1, 2, 4], and under ε = 1 the
         // elements 2~3 and 4~4 (or 3~4) still match, so two edits suffice.
@@ -247,8 +258,7 @@ mod tests {
     #[test]
     fn one_outlier_costs_at_most_one_edit() {
         let clean = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
-        let mut noisy_xy: Vec<(f64, f64)> =
-            clean.points().iter().map(|p| (p.x(), p.y())).collect();
+        let mut noisy_xy: Vec<(f64, f64)> = clean.points().iter().map(|p| (p.x(), p.y())).collect();
         noisy_xy[2] = (1_000.0, -1_000.0); // replace one element with an outlier
         let noisy = Trajectory2::from_xy(&noisy_xy);
         assert_eq!(edr(&clean, &noisy, eps(0.5)), 1);

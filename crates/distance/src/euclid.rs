@@ -19,11 +19,7 @@ pub fn euclidean<const D: usize>(r: &Trajectory<D>, s: &Trajectory<D>) -> Result
             right: s.len(),
         });
     }
-    let sum: f64 = r
-        .iter()
-        .zip(s.iter())
-        .map(|(a, b)| a.dist_sq(b))
-        .sum();
+    let sum: f64 = r.iter().zip(s.iter()).map(|(a, b)| a.dist_sq(b)).sum();
     Ok(sum.sqrt())
 }
 

@@ -1,0 +1,437 @@
+//! The EDR kernel hierarchy: interchangeable inner loops behind
+//! [`crate::edr`] and [`crate::edr_within`].
+//!
+//! Three kernels compute the same Definition-2 dynamic program:
+//!
+//! - **naive** — the textbook O(m·n) rolling-row DP, kept as the
+//!   differential-testing oracle and selectable via the `naive-kernel`
+//!   feature;
+//! - **banded** — Ukkonen's observation that `D[i][j] >= |i - j|` lets a
+//!   bounded computation fill only the cells with `|i - j| <= bound`,
+//!   O(m·min(2·bound+1, n)) instead of O(m·n);
+//! - **bit-parallel** — Myers/Hyyrö bit-vector edit distance. EDR is
+//!   exactly unit-cost Levenshtein with "character equality" replaced by
+//!   the ε-match relation, and the Myers recurrence never needs that
+//!   relation to be transitive: the match bit-vector is rebuilt per outer
+//!   element with branch-free compares, then each DP row collapses to a
+//!   handful of word operations per 64 inner elements.
+//!
+//! Every kernel also reports how many DP cells it materialized, surfaced
+//! as `QueryStats::dp_cells` by the k-NN engines in `trajsim-prune`:
+//! m·n for naive, the band area for banded, and
+//! m·64·⌈n/64⌉ bit lanes for bit-parallel (padding lanes included — they
+//! are computed, that is the point).
+//!
+//! Dispatch (in [`crate::edr`] / [`crate::edr_within`]): `edr` uses the
+//! bit-parallel kernel; `edr_within` uses the banded kernel while the
+//! band is narrower than the inner sequence and the bit-parallel kernel
+//! once the bound stops excluding anything. The `naive-kernel` feature
+//! reroutes both to the naive kernel so any result can be reproduced on
+//! the reference path.
+
+use trajsim_core::{MatchThreshold, Point, Trajectory};
+
+/// Branch-free ε-match: 1 iff every coordinate differs by at most `e`
+/// (mirrors [`Point::matches`], including its NaN-never-matches
+/// behavior, without the early return).
+#[inline(always)]
+fn match_bit<const D: usize>(a: &Point<D>, b: &Point<D>, e: f64) -> u64 {
+    let mut ok = true;
+    for k in 0..D {
+        ok &= (a[k] - b[k]).abs() <= e;
+    }
+    u64::from(ok)
+}
+
+/// The textbook O(m·n) rolling-row DP, counting filled cells.
+///
+/// Callers guarantee `outer.len() >= inner.len()` and `inner` non-empty.
+pub(crate) fn naive_counted<const D: usize>(
+    outer: &[Point<D>],
+    inner: &[Point<D>],
+    eps: MatchThreshold,
+) -> (usize, u64) {
+    let n = inner.len();
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut curr: Vec<usize> = vec![0; n + 1];
+    for (i, oi) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, ij) in inner.iter().enumerate() {
+            let subcost = usize::from(!oi.matches(ij, eps));
+            let replace = prev[j] + subcost;
+            let delete = prev[j + 1] + 1;
+            let insert = curr[j] + 1;
+            curr[j + 1] = replace.min(delete).min(insert);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    (prev[n], (outer.len() * n) as u64)
+}
+
+/// Naive bounded DP with whole-row early abandoning, counting filled
+/// cells. Same contract as [`naive_counted`]; additionally the caller has
+/// checked `outer.len() - inner.len() <= bound`.
+pub(crate) fn within_naive_counted<const D: usize>(
+    outer: &[Point<D>],
+    inner: &[Point<D>],
+    eps: MatchThreshold,
+    bound: usize,
+) -> (Option<usize>, u64) {
+    let n = inner.len();
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut curr: Vec<usize> = vec![0; n + 1];
+    let mut cells = 0u64;
+    for (i, oi) in outer.iter().enumerate() {
+        curr[0] = i + 1;
+        let mut row_min = curr[0];
+        for (j, ij) in inner.iter().enumerate() {
+            let subcost = usize::from(!oi.matches(ij, eps));
+            let replace = prev[j] + subcost;
+            let delete = prev[j + 1] + 1;
+            let insert = curr[j] + 1;
+            let v = replace.min(delete).min(insert);
+            curr[j + 1] = v;
+            row_min = row_min.min(v);
+        }
+        cells += n as u64;
+        if row_min > bound {
+            return (None, cells);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    ((prev[n] <= bound).then_some(prev[n]), cells)
+}
+
+/// Ukkonen-banded bounded DP: fills only the cells with
+/// `|i - j| <= bound` (every other cell is at least `bound + 1` because
+/// `D[i][j] >= |i - j|`), with whole-band early abandoning.
+///
+/// Callers guarantee `outer.len() >= inner.len()`,
+/// `outer.len() - inner.len() <= bound`, `bound >= 1`, and `inner`
+/// non-empty.
+pub(crate) fn within_banded_counted<const D: usize>(
+    outer: &[Point<D>],
+    inner: &[Point<D>],
+    eps: MatchThreshold,
+    bound: usize,
+) -> (Option<usize>, u64) {
+    let (m, n) = (outer.len(), inner.len());
+    let e = eps.value();
+    // Any value above `bound` behaves identically; clamping to this
+    // sentinel keeps out-of-band reads harmless.
+    let sentinel = bound + 1;
+    let mut prev: Vec<usize> = vec![sentinel; n + 1];
+    let mut curr: Vec<usize> = vec![sentinel; n + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(n.min(bound) + 1) {
+        *slot = j; // row 0: D[0][j] = j where it is in band
+    }
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = (i + bound).min(n);
+        curr[0] = if i <= bound { i } else { sentinel };
+        if lo > 1 {
+            curr[lo - 1] = sentinel; // stale cell from two rows ago
+        }
+        let mut row_min = curr[0];
+        let oi = &outer[i - 1];
+        for j in lo..=hi {
+            let subcost = usize::from(match_bit(oi, &inner[j - 1], e) == 0);
+            let v = (prev[j - 1] + subcost)
+                .min(prev[j] + 1)
+                .min(curr[j - 1] + 1)
+                .min(sentinel);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        cells += (hi + 1 - lo) as u64;
+        if row_min > bound {
+            return (None, cells);
+        }
+        if hi < n {
+            curr[hi + 1] = sentinel; // next row reads one past this band
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[n];
+    ((d <= bound).then_some(d), cells)
+}
+
+/// Myers/Hyyrö bit-parallel edit distance over ε-match bit-vectors,
+/// counting materialized bit lanes.
+///
+/// The inner sequence plays the pattern role, packed 64 elements per
+/// block into vertical-delta vectors `VP`/`VN`; each outer element
+/// rebuilds the match vector `Eq` branch-free and advances every block,
+/// chaining the horizontal delta (`hin`/`hout`) between blocks. The
+/// running score tracks the last DP row `D[n][·]` at the last real bit
+/// lane of the last block; padding lanes above it only ever feed upward,
+/// so they never corrupt it.
+///
+/// Callers guarantee `outer.len() >= inner.len()` and `inner` non-empty.
+pub(crate) fn bitparallel_counted<const D: usize>(
+    outer: &[Point<D>],
+    inner: &[Point<D>],
+    eps: MatchThreshold,
+) -> (usize, u64) {
+    let n = inner.len();
+    let w = n.div_ceil(64);
+    let last_bit = (n - 1) % 64;
+    let e = eps.value();
+    let mut vp = vec![u64::MAX; w];
+    let mut vn = vec![0u64; w];
+    let mut eq = vec![0u64; w];
+    let mut score = n;
+    for oi in outer {
+        for (b, chunk) in inner.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (k, ij) in chunk.iter().enumerate() {
+                word |= match_bit(oi, ij, e) << k;
+            }
+            eq[b] = word;
+        }
+        // Boundary row: D[0][j] - D[0][j-1] = +1.
+        let mut hin: i32 = 1;
+        for b in 0..w {
+            let pv = vp[b];
+            let mv = vn[b];
+            let mut eqb = eq[b];
+            let xv = eqb | mv;
+            eqb |= u64::from(hin < 0);
+            let xh = (((eqb & pv).wrapping_add(pv)) ^ pv) | eqb;
+            let ph = mv | !(xh | pv);
+            let mh = pv & xh;
+            if b == w - 1 {
+                score += ((ph >> last_bit) & 1) as usize;
+                score -= ((mh >> last_bit) & 1) as usize;
+            }
+            let hout: i32 = (((ph >> 63) & 1) as i32) - (((mh >> 63) & 1) as i32);
+            let mut ph = ph << 1;
+            let mut mh = mh << 1;
+            match hin {
+                1 => ph |= 1,
+                -1 => mh |= 1,
+                _ => {}
+            }
+            vp[b] = mh | !(xv | ph);
+            vn[b] = ph & xv;
+            hin = hout;
+        }
+    }
+    (score, (outer.len() * w * 64) as u64)
+}
+
+/// Splits into (longer, shorter) point slices, mirroring the rolling-row
+/// convention every kernel assumes.
+#[inline]
+fn ordered<'a, const D: usize>(
+    r: &'a Trajectory<D>,
+    s: &'a Trajectory<D>,
+) -> (&'a [Point<D>], &'a [Point<D>]) {
+    if r.len() >= s.len() {
+        (r.points(), s.points())
+    } else {
+        (s.points(), r.points())
+    }
+}
+
+/// [`edr`](crate::edr) computed by the naive rolling-row kernel — the
+/// differential-testing reference.
+pub fn edr_naive<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    eps: MatchThreshold,
+) -> usize {
+    let (outer, inner) = ordered(r, s);
+    if inner.is_empty() {
+        return outer.len();
+    }
+    naive_counted(outer, inner, eps).0
+}
+
+/// [`edr`](crate::edr) computed by the bit-parallel kernel.
+pub fn edr_bitparallel<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    eps: MatchThreshold,
+) -> usize {
+    let (outer, inner) = ordered(r, s);
+    if inner.is_empty() {
+        return outer.len();
+    }
+    bitparallel_counted(outer, inner, eps).0
+}
+
+/// [`edr_within`](crate::edr_within) computed by the naive
+/// early-abandoning kernel — the differential-testing reference.
+pub fn edr_within_naive<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    eps: MatchThreshold,
+    bound: usize,
+) -> Option<usize> {
+    let (outer, inner) = ordered(r, s);
+    if outer.len() - inner.len() > bound {
+        return None;
+    }
+    if inner.is_empty() {
+        return Some(outer.len());
+    }
+    within_naive_counted(outer, inner, eps, bound).0
+}
+
+/// [`edr_within`](crate::edr_within) computed by the Ukkonen-banded
+/// kernel.
+pub fn edr_within_banded<const D: usize>(
+    r: &Trajectory<D>,
+    s: &Trajectory<D>,
+    eps: MatchThreshold,
+    bound: usize,
+) -> Option<usize> {
+    let (outer, inner) = ordered(r, s);
+    if outer.len() - inner.len() > bound {
+        return None;
+    }
+    if inner.is_empty() {
+        return Some(outer.len());
+    }
+    if bound == 0 {
+        // Zero band: only the diagonal can survive — a pointwise scan,
+        // no DP rows at all.
+        let all = outer.iter().zip(inner).all(|(a, b)| a.matches(b, eps));
+        return all.then_some(0);
+    }
+    within_banded_counted(outer, inner, eps, bound).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edr::edr_recursive_reference;
+    use proptest::prelude::*;
+    use trajsim_core::Trajectory2;
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    fn traj(points: &[(f64, f64)]) -> Trajectory<2> {
+        Trajectory2::from_xy(points)
+    }
+
+    #[test]
+    fn long_sequences_cross_block_boundaries() {
+        // Lengths straddling the 64-bit lane width stress the multi-block
+        // carry chain of the bit-parallel kernel.
+        for n in [63usize, 64, 65, 127, 128, 129, 200] {
+            let a: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+            let b: Vec<(f64, f64)> = (0..n).map(|i| (i as f64 + 0.1, 0.0)).collect();
+            let (ta, tb) = (traj(&a), traj(&b));
+            assert_eq!(edr_bitparallel(&ta, &tb, eps(0.25)), 0, "n={n}");
+            // Shifting one sequence by two positions costs two edits.
+            let c: Vec<(f64, f64)> = (0..n).map(|i| (i as f64 + 2.0, 0.0)).collect();
+            let tc = traj(&c);
+            assert_eq!(
+                edr_bitparallel(&ta, &tc, eps(0.25)),
+                edr_naive(&ta, &tc, eps(0.25)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_handles_extreme_bounds() {
+        let a = traj(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = traj(&[(9.0, 9.0), (8.0, 8.0), (7.0, 7.0), (6.0, 6.0)]);
+        // True distance is 4 (nothing matches): every bound below that
+        // abandons, the exact bound reports it.
+        for bound in 0..4 {
+            assert_eq!(edr_within_banded(&a, &b, eps(0.5), bound), None);
+        }
+        assert_eq!(edr_within_banded(&a, &b, eps(0.5), 4), Some(4));
+        assert_eq!(edr_within_banded(&a, &b, eps(0.5), 100), Some(4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// All three full-distance kernels agree with the recursive
+        /// reference on random 2-d trajectories.
+        #[test]
+        fn full_kernels_agree_with_reference(
+            r in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 0..14),
+            s in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 0..14),
+            e in 0.05..3.0f64,
+        ) {
+            let (r, s) = (traj(&r), traj(&s));
+            let e = eps(e);
+            let want = edr_recursive_reference(&r, &s, e);
+            prop_assert_eq!(edr_naive(&r, &s, e), want);
+            prop_assert_eq!(edr_bitparallel(&r, &s, e), want);
+        }
+
+        /// The banded kernel agrees with the naive early-abandoning kernel
+        /// for bounds straddling the true distance (below, equal, above).
+        #[test]
+        fn banded_agrees_across_the_straddle(
+            r in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 1..18),
+            s in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 1..18),
+            e in 0.05..3.0f64,
+        ) {
+            let (r, s) = (traj(&r), traj(&s));
+            let e = eps(e);
+            let true_d = edr_naive(&r, &s, e);
+            for bound in [
+                true_d.saturating_sub(2),
+                true_d.saturating_sub(1),
+                true_d,
+                true_d + 1,
+                true_d + 5,
+            ] {
+                let want = edr_within_naive(&r, &s, e, bound);
+                prop_assert_eq!(
+                    edr_within_banded(&r, &s, e, bound), want,
+                    "bound {} (true {})", bound, true_d
+                );
+                // And the public dispatcher (banded or bit-parallel,
+                // whichever it picks) returns the same verdict.
+                prop_assert_eq!(crate::edr_within(&r, &s, e, bound), want);
+            }
+        }
+
+        /// Bit-parallel kernels on longer inputs than the recursive
+        /// reference can afford, against the naive DP.
+        #[test]
+        fn bitparallel_agrees_on_long_inputs(
+            r in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 0..90),
+            s in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 0..90),
+            e in 0.05..3.0f64,
+        ) {
+            let (r, s) = (traj(&r), traj(&s));
+            let e = eps(e);
+            prop_assert_eq!(edr_bitparallel(&r, &s, e), edr_naive(&r, &s, e));
+        }
+
+        /// DP-cell accounting: the banded kernel fills no more cells than
+        /// the naive one, and a tighter bound never fills more.
+        #[test]
+        fn banded_cell_counts_shrink_with_the_bound(
+            r in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 4..24),
+            s in proptest::collection::vec((-4.0..4.0f64, -4.0..4.0f64), 4..24),
+            e in 0.05..2.0f64,
+        ) {
+            let (r, s) = (traj(&r), traj(&s));
+            let e = eps(e);
+            let (outer, inner) = ordered(&r, &s);
+            let diff = outer.len() - inner.len();
+            let naive_cells = (outer.len() as u64) * (inner.len() as u64);
+            let mut prev = 0u64;
+            for bound in diff.max(1)..outer.len() {
+                let (_, cells) = within_banded_counted(outer, inner, e, bound);
+                prop_assert!(cells <= naive_cells);
+                prop_assert!(cells >= prev, "bound {} shrank the band", bound);
+                prev = cells;
+            }
+        }
+    }
+}

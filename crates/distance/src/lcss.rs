@@ -97,7 +97,10 @@ mod tests {
         let e = eps(0.25);
         assert_eq!(lcss(&q, &short_gap, e), 4);
         assert_eq!(lcss(&q, &long_gap, e), 4);
-        assert_eq!(lcss_distance(&q, &short_gap, e), lcss_distance(&q, &long_gap, e));
+        assert_eq!(
+            lcss_distance(&q, &short_gap, e),
+            lcss_distance(&q, &long_gap, e)
+        );
         // EDR distinguishes them by the gap length.
         assert_eq!(crate::edr(&q, &short_gap, e), 1);
         assert_eq!(crate::edr(&q, &long_gap, e), 3);

@@ -36,6 +36,7 @@ mod edit;
 mod edr;
 mod erp;
 mod euclid;
+pub mod kernel;
 mod lcss;
 mod measure;
 mod metric;
@@ -43,9 +44,13 @@ mod subsequence;
 
 pub use dtw::{dtw, dtw_banded, dtw_with};
 pub use edit::edit_distance;
-pub use edr::{edr, edr_projected, edr_recursive_reference, edr_scaled, edr_within};
+pub use edr::{
+    edr, edr_counted, edr_projected, edr_recursive_reference, edr_scaled, edr_within,
+    edr_within_counted,
+};
 pub use erp::{erp, erp_with, erp_with_gap};
 pub use euclid::{euclidean, euclidean_sliding};
+pub use kernel::{edr_bitparallel, edr_naive, edr_within_banded, edr_within_naive};
 pub use lcss::{lcss, lcss_distance};
 pub use measure::{Measure, TrajectoryMeasure};
 pub use metric::ElementMetric;

@@ -105,8 +105,7 @@ fn backtrack_start<const D: usize>(
     end: usize,
     dist: usize,
 ) -> usize {
-    let rev_text: Trajectory<D> =
-        text.points()[..end].iter().rev().copied().collect();
+    let rev_text: Trajectory<D> = text.points()[..end].iter().rev().copied().collect();
     let rev_pattern: Trajectory<D> = pattern.points().iter().rev().copied().collect();
     let rev_ends = edr_subsequence_ends(&rev_text, &rev_pattern, eps);
     // The earliest reverse end achieving the same distance gives the
@@ -169,13 +168,8 @@ mod tests {
 
     #[test]
     fn two_dimensional_patterns_work() {
-        let text = Trajectory2::from_xy(&[
-            (0.0, 0.0),
-            (5.0, 5.0),
-            (6.0, 6.0),
-            (7.0, 7.0),
-            (0.0, 0.0),
-        ]);
+        let text =
+            Trajectory2::from_xy(&[(0.0, 0.0), (5.0, 5.0), (6.0, 6.0), (7.0, 7.0), (0.0, 0.0)]);
         let pattern = Trajectory2::from_xy(&[(5.0, 5.0), (6.0, 6.0), (7.0, 7.0)]);
         let matches = edr_find_matches(&text, &pattern, eps(0.1), 0);
         assert_eq!(matches.len(), 1);

@@ -18,7 +18,7 @@ use trajsim_distance::TrajectoryMeasure;
 ///
 /// Panics if the dataset has fewer than two trajectories (no neighbour to
 /// leave in).
-pub fn loo_predictions<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+pub fn loo_predictions<const D: usize, M: TrajectoryMeasure<D> + ?Sized + Sync>(
     data: &LabeledDataset<D>,
     measure: &M,
 ) -> Vec<usize> {
@@ -46,7 +46,7 @@ pub fn loo_predictions<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
 
 /// The leave-one-out 1-NN classification error rate: fraction of
 /// trajectories whose predicted class differs from their label.
-pub fn loo_error_rate<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+pub fn loo_error_rate<const D: usize, M: TrajectoryMeasure<D> + ?Sized + Sync>(
     data: &LabeledDataset<D>,
     measure: &M,
 ) -> f64 {
@@ -71,7 +71,14 @@ mod tests {
 
     fn two_class_set() -> LabeledDataset<2> {
         LabeledDataset::new(
-            Dataset::new(vec![mk(0.0), mk(0.2), mk(0.4), mk(50.0), mk(50.2), mk(50.4)]),
+            Dataset::new(vec![
+                mk(0.0),
+                mk(0.2),
+                mk(0.4),
+                mk(50.0),
+                mk(50.2),
+                mk(50.4),
+            ]),
             vec![0, 0, 0, 1, 1, 1],
             vec!["near".into(), "far".into()],
         )
@@ -92,7 +99,14 @@ mod tests {
         // nearest neighbours are all class 0, so it must be a miss; its
         // former classmates still resolve correctly.
         let data = LabeledDataset::new(
-            Dataset::new(vec![mk(0.0), mk(0.2), mk(0.4), mk(50.0), mk(50.2), mk(50.4)]),
+            Dataset::new(vec![
+                mk(0.0),
+                mk(0.2),
+                mk(0.4),
+                mk(50.0),
+                mk(50.2),
+                mk(50.4),
+            ]),
             vec![0, 0, 1, 1, 1, 1],
             vec!["near".into(), "far".into()],
         )
@@ -114,12 +128,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn singleton_panics() {
-        let data = LabeledDataset::new(
-            Dataset::new(vec![mk(0.0)]),
-            vec![0],
-            vec!["only".into()],
-        )
-        .unwrap();
+        let data =
+            LabeledDataset::new(Dataset::new(vec![mk(0.0)]), vec![0], vec!["only".into()]).unwrap();
         let eps = MatchThreshold::new(0.5).unwrap();
         let _ = loo_predictions(&data, &Measure::Edr { eps });
     }

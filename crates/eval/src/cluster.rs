@@ -119,7 +119,7 @@ pub fn partition_matches_labels(assignment: &[usize], labels: &[usize]) -> bool 
 /// `measure` and count how many pairs are partitioned correctly.
 ///
 /// Returns `(correct, total_pairs)`.
-pub fn correct_pair_partitions<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+pub fn correct_pair_partitions<const D: usize, M: TrajectoryMeasure<D> + ?Sized + Sync>(
     data: &LabeledDataset<D>,
     measure: &M,
 ) -> (usize, usize) {

@@ -92,7 +92,11 @@ impl Dendrogram {
             assert!(k > 0, "cannot request zero clusters");
             return Vec::new();
         }
-        assert!(k >= 1 && k <= self.n, "k = {k} out of range for n = {}", self.n);
+        assert!(
+            k >= 1 && k <= self.n,
+            "k = {k} out of range for n = {}",
+            self.n
+        );
         // Union-find over the first n - k merges.
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
         fn find(parent: &mut [usize], x: usize) -> usize {

@@ -22,9 +22,7 @@ mod matrix;
 mod metrics;
 
 pub use classify::{loo_error_rate, loo_predictions};
-pub use cluster::{
-    agglomerative, correct_pair_partitions, partition_matches_labels, Linkage,
-};
+pub use cluster::{agglomerative, correct_pair_partitions, partition_matches_labels, Linkage};
 pub use dendrogram::{Dendrogram, Merge};
 pub use matrix::DistanceMatrix;
 pub use metrics::{purity, rand_index, ConfusionMatrix};

@@ -14,18 +14,18 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes the full pairwise matrix of `measure` over `data`.
-    pub fn compute<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+    /// Computes the full pairwise matrix of `measure` over `data` with one
+    /// parallel task per matrix row (thread count per `trajsim-parallel`;
+    /// the dynamic chunking evens out the triangle's skewed row lengths).
+    pub fn compute<const D: usize, M: TrajectoryMeasure<D> + ?Sized + Sync>(
         data: &Dataset<D>,
         measure: &M,
     ) -> Self {
-        Self::from_fn(data.len(), |i, j| {
-            measure.distance(&data.trajectories()[i], &data.trajectories()[j])
-        })
+        Self::from_trajectories(data.trajectories(), measure)
     }
 
     /// Computes the matrix from an arbitrary symmetric distance closure
-    /// (called only for `i > j`).
+    /// (called only for `i > j`), serially.
     pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut dist: F) -> Self {
         let mut lower = Vec::with_capacity(n.saturating_sub(1) * n / 2);
         for i in 1..n {
@@ -36,14 +36,25 @@ impl DistanceMatrix {
         DistanceMatrix { n, lower }
     }
 
-    /// Computes the matrix over a slice of trajectories.
-    pub fn from_trajectories<const D: usize, M: TrajectoryMeasure<D> + ?Sized>(
+    /// Computes the matrix over a slice of trajectories (parallel; see
+    /// [`DistanceMatrix::compute`]).
+    pub fn from_trajectories<const D: usize, M: TrajectoryMeasure<D> + ?Sized + Sync>(
         trajectories: &[Trajectory<D>],
         measure: &M,
     ) -> Self {
-        Self::from_fn(trajectories.len(), |i, j| {
-            measure.distance(&trajectories[i], &trajectories[j])
-        })
+        let n = trajectories.len();
+        // Row i of the strict lower triangle is (i, 0..i) — contiguous in
+        // the flat buffer, so parallel rows concatenate back losslessly.
+        let rows: Vec<Vec<f64>> = trajsim_parallel::par_for_map(n.saturating_sub(1), |r| {
+            let i = r + 1;
+            (0..i)
+                .map(|j| measure.distance(&trajectories[i], &trajectories[j]))
+                .collect()
+        });
+        DistanceMatrix {
+            n,
+            lower: rows.concat(),
+        }
     }
 
     /// Number of items.

@@ -58,10 +58,7 @@ impl<T: Ord + Clone> FrequencyVector<T> {
 /// **Lower bound**: `FD(FV(a), FV(b)) <= edit_distance(a, b)` — each edit
 /// operation changes the vector difference by at most one step's worth.
 /// (The property test checks this against the real edit distance.)
-pub fn frequency_distance<T: Ord + Clone>(
-    a: &FrequencyVector<T>,
-    b: &FrequencyVector<T>,
-) -> usize {
+pub fn frequency_distance<T: Ord + Clone>(a: &FrequencyVector<T>, b: &FrequencyVector<T>) -> usize {
     let mut surplus_a = 0usize; // symbols a has more of
     let mut surplus_b = 0usize;
     for (sym, &ca) in &a.counts {

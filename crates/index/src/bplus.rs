@@ -171,12 +171,7 @@ impl<V> BPlusTree<V> {
 
     /// Recursive removal; underflow in the child is repaired here (the
     /// parent has the sibling access needed for borrow/merge).
-    fn remove_rec<F: FnMut(&V) -> bool>(
-        &mut self,
-        id: usize,
-        key: f64,
-        pred: &mut F,
-    ) -> Option<V> {
+    fn remove_rec<F: FnMut(&V) -> bool>(&mut self, id: usize, key: f64, pred: &mut F) -> Option<V> {
         match &mut self.nodes[id] {
             Node::Leaf { keys, values, .. } => {
                 // Duplicates of `key` are contiguous; test each.
@@ -245,7 +240,11 @@ impl<V> BPlusTree<V> {
         if self.key_count(child) >= Self::MIN_KEYS {
             return;
         }
-        let (left_idx, right_idx) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (left_idx, right_idx) = if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         let (left, right, sep_idx) = match &self.nodes[parent] {
             Node::Internal { children, .. } => {
                 if right_idx >= children.len() {
@@ -633,7 +632,7 @@ mod tests {
             let idx = rng.gen_range(0..shadow.len());
             let (k, v) = shadow.swap_remove(idx);
             assert_eq!(t.remove_one(k, |&x| x == v), Some(v));
-            if shadow.len() % 250 == 0 {
+            if shadow.len().is_multiple_of(250) {
                 let lo = rng.gen_range(-25.0..0.0);
                 let hi = lo + rng.gen_range(0.0..25.0);
                 let got: Vec<f64> = t.range(lo, hi).map(|(k, _)| k).collect();

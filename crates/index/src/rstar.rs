@@ -343,8 +343,13 @@ impl<const D: usize, T> RStarTree<D, T> {
         }
         let rect_dist_sq = |rect: &Aabb<D>| -> f64 {
             let mut acc = 0.0;
+            // Indexes three arrays at once, so the range loop is the
+            // clear form.
+            #[allow(clippy::needless_range_loop)]
             for d in 0..D {
-                let gap = (rect.min[d] - target[d]).max(target[d] - rect.max[d]).max(0.0);
+                let gap = (rect.min[d] - target[d])
+                    .max(target[d] - rect.max[d])
+                    .max(0.0);
                 acc += gap * gap;
             }
             acc
@@ -541,19 +546,16 @@ impl<const D: usize, T> RStarTree<D, T> {
         let mut scored: Vec<(f64, usize)> = self.nodes[id]
             .children
             .iter()
-            .map(|&c| {
-                (
-                    self.slot_rect(c, level).center_dist_sq(&center_rect),
-                    c,
-                )
-            })
+            .map(|&c| (self.slot_rect(c, level).center_dist_sq(&center_rect), c))
             .collect();
         // Farthest first.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
-        let evicted: Vec<usize> = scored.iter().take(REINSERT_COUNT).map(|&(_, c)| c).collect();
-        self.nodes[id]
-            .children
-            .retain(|c| !evicted.contains(c));
+        let evicted: Vec<usize> = scored
+            .iter()
+            .take(REINSERT_COUNT)
+            .map(|&(_, c)| c)
+            .collect();
+        self.nodes[id].children.retain(|c| !evicted.contains(c));
         self.recompute_rect(id);
         for c in evicted {
             let rect = self.slot_rect(c, level);
@@ -654,7 +656,9 @@ impl<const D: usize, T> RStarTree<D, T> {
     #[doc(hidden)]
     pub fn check_invariants(&self) -> usize {
         fn contains<const D: usize>(outer: &Aabb<D>, inner: &Aabb<D>) -> bool {
-            (0..D).all(|k| outer.min[k] <= inner.min[k] + 1e-12 && outer.max[k] >= inner.max[k] - 1e-12)
+            (0..D).all(|k| {
+                outer.min[k] <= inner.min[k] + 1e-12 && outer.max[k] >= inner.max[k] - 1e-12
+            })
         }
         let mut count = 0usize;
         let mut stack = vec![self.root];
@@ -771,9 +775,7 @@ mod tests {
         let tree = RStarTree::<2, usize>::new();
         assert!(tree.is_empty());
         assert_eq!(tree.height(), 1);
-        assert!(tree
-            .range(&Aabb::around([0.0, 0.0], 1000.0))
-            .is_empty());
+        assert!(tree.range(&Aabb::around([0.0, 0.0], 1000.0)).is_empty());
     }
 
     #[test]
@@ -981,9 +983,7 @@ mod tests {
             assert_eq!(tree.remove(p, |&x| x == v), Some(v));
         }
         assert!(tree.is_empty());
-        assert!(tree
-            .range(&Aabb::around([0.0, 0.0], 1e6))
-            .is_empty());
+        assert!(tree.range(&Aabb::around([0.0, 0.0], 1e6)).is_empty());
     }
 
     #[test]
@@ -998,7 +998,9 @@ mod tests {
         // k = 0 and k > len edge cases.
         assert!(tree.nearest([0.0, 0.0], 0).is_empty());
         assert_eq!(tree.nearest([0.0, 0.0], 500).len(), 100);
-        assert!(RStarTree::<2, usize>::new().nearest([0.0, 0.0], 3).is_empty());
+        assert!(RStarTree::<2, usize>::new()
+            .nearest([0.0, 0.0], 3)
+            .is_empty());
     }
 
     proptest! {

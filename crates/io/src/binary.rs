@@ -101,8 +101,7 @@ pub fn read_binary<const D: usize, R: Read>(mut r: R) -> Result<Dataset<D>> {
             for _ in 0..len {
                 ts.push(buf.get_f64_le());
             }
-            Trajectory::with_timestamps(points, ts)
-                .map_err(|e| IoError::Binary(e.to_string()))?
+            Trajectory::with_timestamps(points, ts).map_err(|e| IoError::Binary(e.to_string()))?
         } else {
             Trajectory::new(points)
         };
@@ -172,9 +171,15 @@ mod tests {
         // Bad magic.
         let mut bad = buf.clone();
         bad[0] = b'X';
-        assert!(matches!(read_binary::<2, _>(&bad[..]), Err(IoError::Binary(_))));
+        assert!(matches!(
+            read_binary::<2, _>(&bad[..]),
+            Err(IoError::Binary(_))
+        ));
         // Wrong dimension.
-        assert!(matches!(read_binary::<3, _>(&buf[..]), Err(IoError::Binary(_))));
+        assert!(matches!(
+            read_binary::<3, _>(&buf[..]),
+            Err(IoError::Binary(_))
+        ));
         // Truncation.
         assert!(read_binary::<2, _>(&buf[..buf.len() - 4]).is_err());
         // Trailing garbage.

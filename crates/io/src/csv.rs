@@ -34,16 +34,17 @@ pub fn write_csv<const D: usize, W: Write>(mut w: W, dataset: &Dataset<D>) -> Re
 pub fn read_csv<const D: usize, R: Read>(r: R) -> Result<Dataset<D>> {
     let mut lines = BufReader::new(r).lines().enumerate();
     // Header.
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| csv_err(1, "missing header"))?;
+    let (_, header) = lines.next().ok_or_else(|| csv_err(1, "missing header"))?;
     let header = header?;
     let expected_cols = 2 + D;
     let got_cols = header.split(',').count();
     if got_cols != expected_cols {
         return Err(csv_err(
             1,
-            format!("header has {got_cols} columns, expected {expected_cols} (traj_id,t,c0..c{})", D - 1),
+            format!(
+                "header has {got_cols} columns, expected {expected_cols} (traj_id,t,c0..c{})",
+                D - 1
+            ),
         ));
     }
 

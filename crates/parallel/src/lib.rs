@@ -1,0 +1,260 @@
+//! # trajsim-parallel
+//!
+//! Data-parallel primitives for the trajsim workspace, built on
+//! `std::thread::scope` — no external runtime. Provides what rayon's
+//! `par_iter().map().collect()` would: [`par_map`] over a slice and
+//! [`par_for`] over an index range, both with **dynamic chunking** (a
+//! shared atomic cursor hands out small index blocks, so uneven work —
+//! e.g. early-abandoned EDR computations — balances across threads).
+//!
+//! The thread count is resolved per call by [`num_threads`]:
+//! [`set_num_threads`] override, else the `TRAJSIM_THREADS` environment
+//! variable, else `std::thread::available_parallelism`. With one thread
+//! (or one item) everything degrades to the serial loop, so callers can
+//! use these primitives unconditionally.
+//!
+//! Worker panics propagate to the caller (matching rayon).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the number of worker threads used by this crate; `0` restores
+/// automatic selection.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel calls will use:
+/// [`set_num_threads`] override, else `TRAJSIM_THREADS`, else
+/// `available_parallelism` (at least 1).
+pub fn num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Some(n) = std::env::var("TRAJSIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// How many indices a worker claims per grab: small enough to balance
+/// uneven work, large enough to keep cursor contention negligible.
+fn block_size(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).clamp(1, 1024)
+}
+
+/// Applies `f(index, &item)` to every item, in parallel, returning the
+/// results in item order. Equivalent to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`.
+///
+/// # Panics
+///
+/// Re-raises a panic from any invocation of `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let block = block_size(n, threads);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for (i, item) in items
+                            .iter()
+                            .enumerate()
+                            .take((start + block).min(n))
+                            .skip(start)
+                        {
+                            out.push((i, f(i, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Applies `f(i)` to every `i in 0..n`, in parallel, returning the
+/// results in index order — [`par_map`] without a backing slice (e.g.
+/// triangular matrix rows of varying length).
+///
+/// # Panics
+///
+/// Re-raises a panic from any invocation of `f`.
+pub fn par_for_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+/// Runs `f(i)` for every `i in 0..n`, in parallel, with the same dynamic
+/// chunking as [`par_map`]. Use when results land in shared state
+/// (atomics, pre-split slices) instead of a returned `Vec`.
+///
+/// # Panics
+///
+/// Re-raises a panic from any invocation of `f`.
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let block = block_size(n, threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + block).min(n) {
+                        f(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_in_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let parallel = par_map(&items, |_, &x| x * x + 1);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn par_map_passes_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = par_map(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, ["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[5u8], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn par_for_map_matches_serial() {
+        let got = par_for_map(10, |i| vec![i; i]);
+        let want: Vec<Vec<usize>> = (0..10).map(|i| vec![i; i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let n = 1234;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_work_still_completes() {
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map(&items, |_, &x| {
+            // Skewed workload: later items cost much more.
+            (0..x * x).map(|v| v as u64).sum::<u64>()
+        });
+        assert_eq!(got.len(), 64);
+        assert_eq!(got[2], 1 + 2 + 3);
+    }
+
+    /// Serializes the tests that touch the global thread override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(2);
+        let guard = ResetThreads;
+        let items: Vec<usize> = (0..100).collect();
+        let _ = par_map(&items, |_, &x| {
+            assert!(x != 50, "boom");
+            x
+        });
+        drop(guard);
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(3);
+        let _guard = ResetThreads;
+        assert_eq!(num_threads(), 3);
+    }
+
+    /// Restores automatic thread selection even if a test panics.
+    struct ResetThreads;
+
+    impl Drop for ResetThreads {
+        fn drop(&mut self) {
+            set_num_threads(0);
+        }
+    }
+}

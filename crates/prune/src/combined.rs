@@ -3,7 +3,7 @@
 use crate::histogram_knn::HistogramVariant;
 use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr;
+use trajsim_distance::{edr, edr_counted};
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
 use trajsim_qgram::{passes_count_filter, SortedMeans};
 
@@ -143,15 +143,15 @@ pub struct CombinedKnn<'a, const D: usize> {
 }
 
 impl<'a, const D: usize> CombinedKnn<'a, D> {
-    /// Builds all three filter structures for `dataset`.
+    /// Builds all three filter structures for `dataset`. The reference
+    /// `pmatrix` rows are computed in parallel (one task per reference;
+    /// thread count per `trajsim-parallel`).
     pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold, config: CombinedConfig) -> Self {
         let pool = config.max_triangle.min(dataset.len());
-        let pmatrix = (0..pool)
-            .map(|r| {
-                let tr = &dataset.trajectories()[r];
-                dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect()
-            })
-            .collect();
+        let refs = &dataset.trajectories()[..pool];
+        let pmatrix = trajsim_parallel::par_map(refs, |_, tr| {
+            dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect()
+        });
         Self::with_pmatrix(dataset, eps, config, pmatrix)
     }
 
@@ -169,9 +169,16 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
         pmatrix: Vec<Vec<usize>>,
     ) -> Self {
         assert!(config.qgram_q > 0, "q-gram size must be positive");
-        assert!(eps.value() > 0.0, "histogram pruning needs a positive epsilon");
+        assert!(
+            eps.value() > 0.0,
+            "histogram pruning needs a positive epsilon"
+        );
         let pool = config.max_triangle.min(dataset.len());
-        assert_eq!(pmatrix.len(), pool, "pmatrix must have one row per reference");
+        assert_eq!(
+            pmatrix.len(),
+            pool,
+            "pmatrix must have one row per reference"
+        );
         for row in &pmatrix {
             assert_eq!(row.len(), dataset.len(), "pmatrix row length must be N");
         }
@@ -311,9 +318,7 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                             let lower = references
                                 .iter()
                                 .map(|&(r, dist_qr)| {
-                                    dist_qr as i64
-                                        - self.pmatrix[r][id] as i64
-                                        - s.len() as i64
+                                    dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
                                 })
                                 .max();
                             if matches!(lower, Some(l) if l > best as i64) {
@@ -329,7 +334,8 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                     }
                 }
             }
-            let d = edr(query, s, self.eps);
+            let (d, cells) = edr_counted(query, s, self.eps);
+            stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
                 references.push((id, d));

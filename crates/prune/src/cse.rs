@@ -19,7 +19,7 @@
 
 use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr;
+use trajsim_distance::{edr, edr_counted};
 
 /// The smallest constant that makes `dist + c` obey the triangle
 /// inequality on the given symmetric pairwise matrix: the maximum of
@@ -62,11 +62,7 @@ pub fn pairwise_edr_matrix<const D: usize>(
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = edr(
-                &dataset.trajectories()[i],
-                &dataset.trajectories()[j],
-                eps,
-            );
+            let d = edr(&dataset.trajectories()[i], &dataset.trajectories()[j], eps);
             m[i][j] = d;
             m[j][i] = d;
         }
@@ -159,7 +155,8 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
                     continue;
                 }
             }
-            let d = edr(query, s, self.eps);
+            let (d, cells) = edr_counted(query, s, self.eps);
+            stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.max_references {
                 references.push((id, d));
@@ -192,22 +189,14 @@ mod tests {
     #[test]
     fn constant_is_zero_for_metric_data() {
         // A matrix that already satisfies the triangle inequality.
-        let m = vec![
-            vec![0, 1, 2],
-            vec![1, 0, 1],
-            vec![2, 1, 0],
-        ];
+        let m = vec![vec![0, 1, 2], vec![1, 0, 1], vec![2, 1, 0]];
         assert_eq!(cse_constant(&m), 0);
     }
 
     #[test]
     fn constant_covers_the_worst_violation() {
         // d(0,2) = 10 but d(0,1) + d(1,2) = 2: violation 8.
-        let m = vec![
-            vec![0, 1, 10],
-            vec![1, 0, 1],
-            vec![10, 1, 0],
-        ];
+        let m = vec![vec![0, 1, 10], vec![1, 0, 1], vec![10, 1, 0]];
         assert_eq!(cse_constant(&m), 8);
     }
 

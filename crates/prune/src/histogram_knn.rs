@@ -2,7 +2,7 @@
 
 use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr;
+use trajsim_distance::edr_counted;
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
 
 /// Which histogram embedding the engine uses.
@@ -65,7 +65,10 @@ impl<'a, const D: usize> HistogramKnn<'a, D> {
         variant: HistogramVariant,
         mode: ScanMode,
     ) -> Self {
-        assert!(eps.value() > 0.0, "histogram pruning needs a positive epsilon");
+        assert!(
+            eps.value() > 0.0,
+            "histogram pruning needs a positive epsilon"
+        );
         let built = match variant {
             HistogramVariant::Grid { delta } => {
                 assert!(delta >= 1, "bin-size multiplier must be at least 1");
@@ -117,9 +120,7 @@ impl<'a, const D: usize> HistogramKnn<'a, D> {
     /// bound fails to prune.
     fn exact_bound(&self, query: &QueryHistograms<D>, id: usize) -> usize {
         match (&self.built, query) {
-            (Built::Grid(hists), QueryHistograms::Grid(qh)) => {
-                histogram_distance(qh, &hists[id])
-            }
+            (Built::Grid(hists), QueryHistograms::Grid(qh)) => histogram_distance(qh, &hists[id]),
             (Built::PerDim(hists), QueryHistograms::PerDim(qh)) => qh
                 .iter()
                 .zip(&hists[id])
@@ -168,7 +169,9 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                         continue;
                     }
                     stats.edr_computed += 1;
-                    result.offer(id, edr(query, s, self.eps));
+                    let (d, cells) = edr_counted(query, s, self.eps);
+                    stats.dp_cells += cells;
+                    result.offer(id, d);
                 }
             }
             ScanMode::Sorted => {
@@ -193,7 +196,9 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                         }
                     }
                     stats.edr_computed += 1;
-                    result.offer(id, edr(query, &self.dataset.trajectories()[id], self.eps));
+                    let (d, cells) = edr_counted(query, &self.dataset.trajectories()[id], self.eps);
+                    stats.dp_cells += cells;
+                    result.offer(id, d);
                 }
             }
         }
@@ -283,8 +288,18 @@ mod tests {
         let db = random_db(3, 80, 20);
         let query = db.trajectories()[5].clone();
         let e = eps(0.5);
-        let hse = HistogramKnn::build(&db, e, HistogramVariant::Grid { delta: 1 }, ScanMode::Sequential);
-        let hsr = HistogramKnn::build(&db, e, HistogramVariant::Grid { delta: 1 }, ScanMode::Sorted);
+        let hse = HistogramKnn::build(
+            &db,
+            e,
+            HistogramVariant::Grid { delta: 1 },
+            ScanMode::Sequential,
+        );
+        let hsr = HistogramKnn::build(
+            &db,
+            e,
+            HistogramVariant::Grid { delta: 1 },
+            ScanMode::Sorted,
+        );
         let (a, b) = (hse.knn(&query, 5), hsr.knn(&query, 5));
         assert_eq!(a.distances(), b.distances());
         assert!(
@@ -300,11 +315,20 @@ mod tests {
         let db = random_db(4, 80, 20);
         let query = db.trajectories()[7].clone();
         let e = eps(0.5);
-        let fine = HistogramKnn::build(&db, e, HistogramVariant::Grid { delta: 1 }, ScanMode::Sorted)
-            .knn(&query, 5);
-        let coarse =
-            HistogramKnn::build(&db, e, HistogramVariant::Grid { delta: 4 }, ScanMode::Sorted)
-                .knn(&query, 5);
+        let fine = HistogramKnn::build(
+            &db,
+            e,
+            HistogramVariant::Grid { delta: 1 },
+            ScanMode::Sorted,
+        )
+        .knn(&query, 5);
+        let coarse = HistogramKnn::build(
+            &db,
+            e,
+            HistogramVariant::Grid { delta: 4 },
+            ScanMode::Sorted,
+        )
+        .knn(&query, 5);
         assert_eq!(fine.distances(), coarse.distances());
         assert!(fine.stats.pruning_power() >= coarse.stats.pruning_power());
     }
@@ -314,9 +338,18 @@ mod tests {
         let db = random_db(5, 3, 5);
         let e = eps(0.5);
         let mk = |v, m| HistogramKnn::build(&db, e, v, m).name();
-        assert_eq!(mk(HistogramVariant::Grid { delta: 1 }, ScanMode::Sorted), "2HE-HSR");
-        assert_eq!(mk(HistogramVariant::Grid { delta: 3 }, ScanMode::Sequential), "2H3E-HSE");
-        assert_eq!(mk(HistogramVariant::PerDimension, ScanMode::Sorted), "1HE-HSR");
+        assert_eq!(
+            mk(HistogramVariant::Grid { delta: 1 }, ScanMode::Sorted),
+            "2HE-HSR"
+        );
+        assert_eq!(
+            mk(HistogramVariant::Grid { delta: 3 }, ScanMode::Sequential),
+            "2H3E-HSE"
+        );
+        assert_eq!(
+            mk(HistogramVariant::PerDimension, ScanMode::Sorted),
+            "1HE-HSR"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
     ///
     /// Panics if `eps` is zero (histogram cells need positive size).
     pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold) -> Self {
-        assert!(eps.value() > 0.0, "histogram pruning needs a positive epsilon");
+        assert!(
+            eps.value() > 0.0,
+            "histogram pruning needs a positive epsilon"
+        );
         LcssKnn {
             dataset,
             eps,
@@ -158,7 +161,12 @@ pub fn lcss_sequential_scan<const D: usize>(
             dist: lcss_distance(query, s, eps),
         })
         .collect();
-    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite").then(a.id.cmp(&b.id)));
+    all.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("finite")
+            .then(a.id.cmp(&b.id))
+    });
     all.truncate(k);
     all
 }

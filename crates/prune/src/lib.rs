@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod cse;
 mod combined;
+pub mod cse;
 mod histogram_knn;
 mod lcss_knn;
 mod near_triangle;

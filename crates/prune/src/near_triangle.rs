@@ -2,7 +2,7 @@
 
 use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr;
+use trajsim_distance::{edr, edr_counted};
 
 /// The `NearTrianglePruning` k-NN engine (Figure 4), built on Theorem 5:
 ///
@@ -38,18 +38,18 @@ impl<'a, const D: usize> NearTriangleKnn<'a, D> {
     /// Precomputes the pairwise-distance rows of the first `max_triangle`
     /// trajectories (the reference pool). O(maxTriangle · N) EDR
     /// computations — done once per database, amortized over all queries,
-    /// exactly like the paper's offline `pmatrix`.
+    /// exactly like the paper's offline `pmatrix`. Rows are computed in
+    /// parallel (one task per reference; thread count per
+    /// `trajsim-parallel`).
     pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold, max_triangle: usize) -> Self {
         let pool = max_triangle.min(dataset.len());
-        let pmatrix = (0..pool)
-            .map(|r| {
-                let tr = &dataset.trajectories()[r];
-                dataset
-                    .iter()
-                    .map(|(_, s)| edr(tr, s, eps))
-                    .collect::<Vec<usize>>()
-            })
-            .collect();
+        let refs = &dataset.trajectories()[..pool];
+        let pmatrix = trajsim_parallel::par_map(refs, |_, tr| {
+            dataset
+                .iter()
+                .map(|(_, s)| edr(tr, s, eps))
+                .collect::<Vec<usize>>()
+        });
         Self::from_pmatrix(dataset, eps, max_triangle, pmatrix)
     }
 
@@ -67,7 +67,11 @@ impl<'a, const D: usize> NearTriangleKnn<'a, D> {
         pmatrix: Vec<Vec<usize>>,
     ) -> Self {
         let pool = max_triangle.min(dataset.len());
-        assert_eq!(pmatrix.len(), pool, "pmatrix must have one row per reference");
+        assert_eq!(
+            pmatrix.len(),
+            pool,
+            "pmatrix must have one row per reference"
+        );
         for row in &pmatrix {
             assert_eq!(row.len(), dataset.len(), "pmatrix row length must be N");
         }
@@ -109,7 +113,8 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
                     continue;
                 }
             }
-            let d = edr(query, s, self.eps);
+            let (d, cells) = edr_counted(query, s, self.eps);
+            stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.max_triangle {
                 references.push((id, d));

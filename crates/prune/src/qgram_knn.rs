@@ -3,7 +3,7 @@
 
 use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr;
+use trajsim_distance::edr_counted;
 use trajsim_index::{Aabb, BPlusTree, RStarTree};
 use trajsim_qgram::{
     mean_value_qgrams, mean_value_qgrams_1d, min_common_qgrams, passes_count_filter, SortedMeans,
@@ -47,9 +47,15 @@ impl QgramVariant {
 #[derive(Debug)]
 enum Built<const D: usize> {
     Rtree(RStarTree<D, QgramRef>),
-    Btree { dim: usize, tree: BPlusTree<usize> },
+    Btree {
+        dim: usize,
+        tree: BPlusTree<usize>,
+    },
     Sorted2d(Vec<SortedMeans<D>>),
-    Sorted1d { dim: usize, means: Vec<SortedMeans1d> },
+    Sorted1d {
+        dim: usize,
+        means: Vec<SortedMeans1d>,
+    },
 }
 
 /// `(trajectory id, q-gram ordinal)` payload for the indexed variants: the
@@ -223,7 +229,9 @@ impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
                 }
             }
             stats.edr_computed += 1;
-            result.offer(id, edr(query, s, self.eps));
+            let (d, cells) = edr_counted(query, s, self.eps);
+            stats.dp_cells += cells;
+            result.offer(id, d);
         }
         KnnResult {
             neighbors: result.into_neighbors(),
@@ -304,7 +312,11 @@ mod tests {
         let truth = SequentialScan::new(&db, e).knn(&query, 3);
         for q in 1..=4 {
             let engine = QgramKnn::build(&db, e, q, QgramVariant::MergeJoin2d);
-            assert_eq!(engine.knn(&query, 3).distances(), truth.distances(), "q={q}");
+            assert_eq!(
+                engine.knn(&query, 3).distances(),
+                truth.distances(),
+                "q={q}"
+            );
         }
     }
 

@@ -28,6 +28,10 @@ pub struct QueryStats {
     pub pruned_by_qgram: usize,
     /// Candidates eliminated by the near triangle inequality.
     pub pruned_by_triangle: usize,
+    /// DP cells the EDR kernels materialized answering this query — the
+    /// work the pruning saved shows up here as *missing* cells (cf. the
+    /// kernel accounting in `trajsim-distance::kernel`).
+    pub dp_cells: u64,
 }
 
 impl QueryStats {
@@ -53,6 +57,7 @@ impl QueryStats {
         self.pruned_by_histogram += other.pruned_by_histogram;
         self.pruned_by_qgram += other.pruned_by_qgram;
         self.pruned_by_triangle += other.pruned_by_triangle;
+        self.dp_cells += other.dp_cells;
     }
 }
 
@@ -82,6 +87,18 @@ pub trait KnnEngine<const D: usize> {
 
     /// Short name for experiment tables (e.g. "PS2", "2HE-HSR").
     fn name(&self) -> String;
+
+    /// Answers a batch of queries in parallel (one task per query with
+    /// dynamic chunking; thread count per `trajsim-parallel`), returning
+    /// results in query order. Each result is exactly what [`Self::knn`]
+    /// returns for that query — engines answer queries through `&self`,
+    /// so one instance serves every worker thread.
+    fn knn_batch(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult>
+    where
+        Self: Sync,
+    {
+        trajsim_parallel::par_map(queries, |_, q| self.knn(q, k))
+    }
 }
 
 /// Maintains the best `k` (id, dist) pairs seen so far, sorted ascending
@@ -206,10 +223,12 @@ mod tests {
             pruned_by_histogram: 3,
             pruned_by_qgram: 2,
             pruned_by_triangle: 1,
+            dp_cells: 640,
         };
         a.accumulate(&a.clone());
         assert_eq!(a.database_size, 20);
         assert_eq!(a.edr_computed, 8);
         assert_eq!(a.pruned_by_histogram, 6);
+        assert_eq!(a.dp_cells, 1280);
     }
 }

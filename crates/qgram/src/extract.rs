@@ -25,11 +25,7 @@ pub fn qgram_windows<const D: usize>(t: &Trajectory<D>, q: usize) -> Vec<&[Point
 ///
 /// Panics if the q-grams have different sizes (they come from the same
 /// `q`).
-pub fn qgrams_match<const D: usize>(
-    r: &[Point<D>],
-    s: &[Point<D>],
-    eps: MatchThreshold,
-) -> bool {
+pub fn qgrams_match<const D: usize>(r: &[Point<D>], s: &[Point<D>], eps: MatchThreshold) -> bool {
     assert_eq!(r.len(), s.len(), "q-grams must have equal size");
     r.iter().zip(s).all(|(a, b)| a.matches(b, eps))
 }
@@ -71,7 +67,10 @@ pub fn mean_value_qgrams<const D: usize>(t: &Trajectory<D>, q: usize) -> Vec<Poi
 /// Panics if `q == 0` or `dim >= D`.
 pub fn mean_value_qgrams_1d<const D: usize>(t: &Trajectory<D>, q: usize, dim: usize) -> Vec<f64> {
     assert!(dim < D, "projection dimension out of range");
-    mean_value_qgrams(t, q).into_iter().map(|p| p[dim]).collect()
+    mean_value_qgrams(t, q)
+        .into_iter()
+        .map(|p| p[dim])
+        .collect()
 }
 
 #[cfg(test)]
@@ -86,7 +85,8 @@ mod tests {
 
     #[test]
     fn window_counts() {
-        let t = Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0), (9.0, 10.0)]);
+        let t =
+            Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0), (9.0, 10.0)]);
         assert_eq!(qgram_windows(&t, 1).len(), 5);
         assert_eq!(qgram_windows(&t, 3).len(), 3);
         assert_eq!(qgram_windows(&t, 5).len(), 1);
@@ -97,11 +97,16 @@ mod tests {
     fn paper_example_means() {
         // §4.1's example: S = [(1,2), (3,4), (5,6), (7,8), (9,10)], q = 3
         // -> mean value pairs (3,4), (5,6), (7,8).
-        let t = Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0), (9.0, 10.0)]);
+        let t =
+            Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0), (9.0, 10.0)]);
         let means = mean_value_qgrams(&t, 3);
         assert_eq!(
             means,
-            vec![Point2::xy(3.0, 4.0), Point2::xy(5.0, 6.0), Point2::xy(7.0, 8.0)]
+            vec![
+                Point2::xy(3.0, 4.0),
+                Point2::xy(5.0, 6.0),
+                Point2::xy(7.0, 8.0)
+            ]
         );
     }
 

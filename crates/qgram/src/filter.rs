@@ -73,12 +73,7 @@ mod tests {
     /// bipartite matching is the faithful reading; greedy per-side counting
     /// upper-bounds that matching, so testing `matching >= p` is the
     /// strictest check).
-    fn max_matching_common(
-        r: &Trajectory2,
-        s: &Trajectory2,
-        q: usize,
-        e: MatchThreshold,
-    ) -> usize {
+    fn max_matching_common(r: &Trajectory2, s: &Trajectory2, q: usize, e: MatchThreshold) -> usize {
         use crate::extract::{qgram_windows, qgrams_match};
         let (rg, sg) = (qgram_windows(r, q), qgram_windows(s, q));
         // Hungarian-lite: small sizes, do simple augmenting paths.
@@ -102,8 +97,7 @@ mod tests {
             for &v in &adj[u] {
                 if !seen[v] {
                     seen[v] = true;
-                    if match_of_s[v] == usize::MAX
-                        || augment(match_of_s[v], adj, match_of_s, seen)
+                    if match_of_s[v] == usize::MAX || augment(match_of_s[v], adj, match_of_s, seen)
                     {
                         match_of_s[v] = u;
                         return true;

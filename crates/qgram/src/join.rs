@@ -179,11 +179,7 @@ mod tests {
         MatchThreshold::new(v).unwrap()
     }
 
-    fn brute_match_count_2d(
-        a: &[Point<2>],
-        b: &[Point<2>],
-        e: MatchThreshold,
-    ) -> usize {
+    fn brute_match_count_2d(a: &[Point<2>], b: &[Point<2>], e: MatchThreshold) -> usize {
         a.iter()
             .filter(|qa| b.iter().any(|qb| qa.matches(qb, e)))
             .count()
@@ -217,12 +213,18 @@ mod tests {
     fn one_dimensional_join() {
         let t = Trajectory2::from_xy(&[(0.0, 100.0), (1.0, 200.0), (2.0, 300.0)]);
         let s = Trajectory2::from_xy(&[(0.4, -5.0), (1.4, -5.0), (50.0, -5.0)]);
-        let (ta, sa) = (SortedMeans1d::build(&t, 1, 0), SortedMeans1d::build(&s, 1, 0));
+        let (ta, sa) = (
+            SortedMeans1d::build(&t, 1, 0),
+            SortedMeans1d::build(&s, 1, 0),
+        );
         // x means of t: 0,1,2; of s: 0.4, 1.4, 50. With eps 0.5: 0~0.4,
         // 1~1.4, 2~1.4? |2-1.4|=0.6 > 0.5 -> 2 matches.
         assert_eq!(ta.match_count(&sa, eps(0.5)), 2);
         // y dimension is far apart everywhere.
-        let (ty, sy) = (SortedMeans1d::build(&t, 1, 1), SortedMeans1d::build(&s, 1, 1));
+        let (ty, sy) = (
+            SortedMeans1d::build(&t, 1, 1),
+            SortedMeans1d::build(&s, 1, 1),
+        );
         assert_eq!(ty.match_count(&sy, eps(0.5)), 0);
     }
 

@@ -124,10 +124,7 @@ impl<const D: usize> ChebyshevSketch<D> {
 /// # Panics
 ///
 /// Panics if the sketches have different degrees.
-pub fn chebyshev_distance<const D: usize>(
-    a: &ChebyshevSketch<D>,
-    b: &ChebyshevSketch<D>,
-) -> f64 {
+pub fn chebyshev_distance<const D: usize>(a: &ChebyshevSketch<D>, b: &ChebyshevSketch<D>) -> f64 {
     assert_eq!(a.degree(), b.degree(), "sketch degrees differ");
     let mut acc = 0.0;
     for dim in 0..D {

@@ -100,7 +100,11 @@ pub fn mbr_sequence_distance<const D: usize>(a: &MbrSequence<D>, b: &MbrSequence
         for (j, rb) in bb.iter().enumerate() {
             let d = box_min_dist(ra, rb);
             let best = prev[j].min(prev[j + 1]).min(curr[j]);
-            curr[j + 1] = if best.is_finite() { d + best } else { f64::INFINITY };
+            curr[j + 1] = if best.is_finite() {
+                d + best
+            } else {
+                f64::INFINITY
+            };
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -168,7 +172,10 @@ mod tests {
         // the offset large enough to separate the boxes yet within ε of
         // nothing? To keep EDR small we instead shift x by within-ε:
         let a = Trajectory2::from_xy(
-            &query.iter().map(|p| (p.x(), p.y() + 2.0)).collect::<Vec<_>>(),
+            &query
+                .iter()
+                .map(|p| (p.x(), p.y() + 2.0))
+                .collect::<Vec<_>>(),
         );
         // Candidate B: a zig-zag through the query's x-range with y in
         // ±3 — no point ε-matches (EDR = 12 = max), yet its boxes CONTAIN
@@ -187,7 +194,10 @@ mod tests {
         // point-level reading:
         let edr_a = edr(&query, &a, eps);
         let edr_b = edr(&query, &b, eps);
-        assert!(edr_a >= 12 && edr_b >= 12, "both are non-matching under eps");
+        assert!(
+            edr_a >= 12 && edr_b >= 12,
+            "both are non-matching under eps"
+        );
         // The summary inverts the geometric ordering: B's covering boxes
         // score 0, A's offset boxes score > 0.
         let qs = MbrSequence::build(&query, 4).unwrap();

@@ -4,8 +4,7 @@
 //! form of §6's claims.
 
 use crate::{
-    chebyshev_distance, mbr_sequence_distance, rotation_invariant_dtw, ChebyshevSketch,
-    MbrSequence,
+    chebyshev_distance, mbr_sequence_distance, rotation_invariant_dtw, ChebyshevSketch, MbrSequence,
 };
 use trajsim_core::{Trajectory, Trajectory2};
 use trajsim_distance::TrajectoryMeasure;

@@ -80,7 +80,7 @@ mod tests {
     fn profile_shape() {
         let p = turning_profile(&hook());
         assert_eq!(p.len(), 4); // n - 2
-        // First two steps are collinear: zero turn, unit step.
+                                // First two steps are collinear: zero turn, unit step.
         assert!((p[0][0]).abs() < 1e-12);
         assert!((p[0][1] - 1.0).abs() < 1e-12);
         // The corner turns +90 degrees.
@@ -104,7 +104,9 @@ mod tests {
             );
         }
         let shifted = Trajectory2::from_xy(
-            &t.iter().map(|p| (p.x() + 50.0, p.y() - 7.0)).collect::<Vec<_>>(),
+            &t.iter()
+                .map(|p| (p.x() + 50.0, p.y() - 7.0))
+                .collect::<Vec<_>>(),
         );
         assert!(rotation_invariant_dtw(&t, &shifted) < 1e-9);
     }
@@ -130,8 +132,7 @@ mod tests {
         let smooth: Trajectory2 = (0..30)
             .map(|i| trajsim_core::Point2::xy(i as f64, (i as f64 * 0.2).sin()))
             .collect();
-        let mut glitched: Vec<(f64, f64)> =
-            smooth.iter().map(|p| (p.x(), p.y())).collect();
+        let mut glitched: Vec<(f64, f64)> = smooth.iter().map(|p| (p.x(), p.y())).collect();
         glitched[15] = (15.0, 200.0);
         let glitched = Trajectory2::from_xy(&glitched);
         let gentle_variant: Trajectory2 = (0..30)

@@ -43,7 +43,10 @@ fn main() {
     let eps = MatchThreshold::new(1.0).unwrap();
     let budget = maneuver.len() / 5; // allow 20% of the maneuver to be edited
 
-    println!("searching {} tracks for the loop maneuver (budget {budget} edits):", tracks.len());
+    println!(
+        "searching {} tracks for the loop maneuver (budget {budget} edits):",
+        tracks.len()
+    );
     for (i, track) in tracks.iter().enumerate() {
         let matches = edr_find_matches(track, &maneuver, eps, budget);
         match matches.as_slice() {
@@ -60,15 +63,10 @@ fn main() {
         // Cross-check against the ground truth.
         match truth[i].1 {
             Some(at) => {
-                let hit = matches
-                    .iter()
-                    .any(|m| m.start.abs_diff(at) <= 5);
+                let hit = matches.iter().any(|m| m.start.abs_diff(at) <= 5);
                 assert!(hit, "track {i}: spliced maneuver at {at} was missed");
             }
-            None => assert!(
-                matches.is_empty(),
-                "track {i}: spurious match {matches:?}"
-            ),
+            None => assert!(matches.is_empty(), "track {i}: spurious match {matches:?}"),
         }
     }
     println!("all spliced occurrences found, no spurious matches.");

@@ -21,10 +21,21 @@ fn main() {
     println!("  -> EDR ranks S, P, R: robust to the noise, sensitive to the gap.");
 
     println!("\nThe noise-sensitive baselines rank R first (fooled by the spikes):");
-    println!("  Euclidean(Q, R) = {:.1} < Euclidean(Q, S) = {:.1}",
-        euclidean_sliding(&q, &r), euclidean_sliding(&q, &s));
-    println!("  DTW(Q, R)       = {:.1} < DTW(Q, S)       = {:.1}", dtw(&q, &r), dtw(&q, &s));
-    println!("  ERP(Q, R)       = {:.1} < ERP(Q, S)       = {:.1}", erp(&q, &r), erp(&q, &s));
+    println!(
+        "  Euclidean(Q, R) = {:.1} < Euclidean(Q, S) = {:.1}",
+        euclidean_sliding(&q, &r),
+        euclidean_sliding(&q, &s)
+    );
+    println!(
+        "  DTW(Q, R)       = {:.1} < DTW(Q, S)       = {:.1}",
+        dtw(&q, &r),
+        dtw(&q, &s)
+    );
+    println!(
+        "  ERP(Q, R)       = {:.1} < ERP(Q, S)       = {:.1}",
+        erp(&q, &r),
+        erp(&q, &s)
+    );
 
     // --- A first 2-d k-NN search ------------------------------------
     // A tiny database of 2-d trajectories; normalization makes the
@@ -39,8 +50,8 @@ fn main() {
     .collect::<Dataset<2>>()
     .normalize();
 
-    let query = Trajectory2::from_xy(&[(10.0, 10.0), (11.0, 11.0), (12.0, 12.0), (13.0, 13.0)])
-        .normalize(); // same diagonal shape as ids 0 and 1, elsewhere in space
+    let query =
+        Trajectory2::from_xy(&[(10.0, 10.0), (11.0, 11.0), (12.0, 12.0), (13.0, 13.0)]).normalize(); // same diagonal shape as ids 0 and 1, elsewhere in space
 
     let eps2 = MatchThreshold::new(0.25).unwrap();
     let scan = SequentialScan::new(&database, eps2);
@@ -49,5 +60,8 @@ fn main() {
     for n in &result.neighbors {
         println!("  trajectory {} at EDR distance {}", n.id, n.dist);
     }
-    assert_eq!(result.neighbors[0].dist, 0, "the identical shape matches exactly");
+    assert_eq!(
+        result.neighbors[0].dist, 0,
+        "the identical shape matches exactly"
+    );
 }

@@ -31,9 +31,19 @@ fn every_engine_agrees_with_sequential_scan() {
     let engines: Vec<Box<dyn KnnEngine<2>>> = vec![
         Box::new(SequentialScan::new(&db, eps).with_early_abandon()),
         Box::new(QgramKnn::build(&db, eps, 1, QgramVariant::IndexedRtree)),
-        Box::new(QgramKnn::build(&db, eps, 2, QgramVariant::IndexedBtree { dim: 1 })),
+        Box::new(QgramKnn::build(
+            &db,
+            eps,
+            2,
+            QgramVariant::IndexedBtree { dim: 1 },
+        )),
         Box::new(QgramKnn::build(&db, eps, 1, QgramVariant::MergeJoin2d)),
-        Box::new(QgramKnn::build(&db, eps, 3, QgramVariant::MergeJoin1d { dim: 0 })),
+        Box::new(QgramKnn::build(
+            &db,
+            eps,
+            3,
+            QgramVariant::MergeJoin1d { dim: 0 },
+        )),
         Box::new(HistogramKnn::build(
             &db,
             eps,
@@ -104,7 +114,10 @@ fn efficacy_pipeline_runs_end_to_end() {
     // Clustering (Table 1 machinery).
     let (correct, total) = eval::correct_pair_partitions(&herds, &Measure::Edr { eps });
     assert_eq!(total, 10);
-    assert!(correct >= 8, "EDR should separate nearly all CM pairs, got {correct}");
+    assert!(
+        correct >= 8,
+        "EDR should separate nearly all CM pairs, got {correct}"
+    );
     // Classification (Table 2 machinery) on a corrupted copy.
     let noisy = data::corrupt_dataset(
         &mut data::seeded_rng(123),

@@ -25,11 +25,21 @@ fn worked_example() -> (Trajectory1, Trajectory1, Trajectory1, Trajectory1) {
 fn noise_sensitive_measures_rank_r_first() {
     let (q, r, s, p) = worked_example();
     for (name, d) in [
-        ("Eu", [euclidean_sliding(&q, &r), euclidean_sliding(&q, &s), euclidean_sliding(&q, &p)]),
+        (
+            "Eu",
+            [
+                euclidean_sliding(&q, &r),
+                euclidean_sliding(&q, &s),
+                euclidean_sliding(&q, &p),
+            ],
+        ),
         ("DTW", [dtw(&q, &r), dtw(&q, &s), dtw(&q, &p)]),
         ("ERP", [erp(&q, &r), erp(&q, &s), erp(&q, &p)]),
     ] {
-        assert!(d[0] < d[1] && d[1] < d[2], "{name} should rank R, S, P: {d:?}");
+        assert!(
+            d[0] < d[1] && d[1] < d[2],
+            "{name} should rank R, S, P: {d:?}"
+        );
     }
 }
 
@@ -40,7 +50,10 @@ fn edr_ranks_s_p_r() {
     let (q, r, s, p) = worked_example();
     let eps = MatchThreshold::new(1.0).unwrap();
     let (ds, dp, dr) = (edr(&q, &s, eps), edr(&q, &p, eps), edr(&q, &r, eps));
-    assert!(ds < dp && dp < dr, "expected S < P < R, got {ds}, {dp}, {dr}");
+    assert!(
+        ds < dp && dp < dr,
+        "expected S < P < R, got {ds}, {dp}, {dr}"
+    );
 }
 
 /// §2's LCSS critique, as a constructed pair: same common subsequence,
@@ -145,6 +158,10 @@ fn measure_lineup_is_total_on_messy_inputs() {
     let eps = MatchThreshold::new(0.25).unwrap();
     for m in Measure::lineup(eps) {
         let d = m.distance(&a, &b);
-        assert!(d.is_finite() && d >= 0.0, "{} produced {d}", TrajectoryMeasure::<2>::name(&m));
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "{} produced {d}",
+            TrajectoryMeasure::<2>::name(&m)
+        );
     }
 }

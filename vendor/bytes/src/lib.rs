@@ -1,0 +1,269 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
+//! crate.
+//!
+//! Implements the subset the trajsim binary codec uses: [`BytesMut`] as a
+//! growable little-endian writer (via [`BufMut`]), [`Bytes`] as a
+//! consuming reader cursor (via [`Buf`]), and `Deref<Target = [u8]>` on
+//! both. No shared-ownership slicing — `Bytes` here owns its buffer and
+//! tracks a read cursor, which is all the codec needs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed byte slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` while any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies exactly `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice out of bounds: {} > {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Owned immutable bytes with a read cursor for decoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Bytes {
+    /// Total length including already-consumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer was empty to begin with.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.remaining(),
+            "advance out of bounds: {cnt} > {}",
+            self.remaining()
+        );
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_slice(b"TRAJ");
+        w.put_u8(7);
+        w.put_u16_le(1234);
+        w.put_u32_le(0xdead_beef);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_f64_le(-2.5);
+        assert_eq!(w.len(), 4 + 1 + 2 + 4 + 8 + 8);
+
+        let mut r = Bytes::from(w.to_vec());
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"TRAJ");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 1234);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn deref_exposes_written_bytes() {
+        let mut w = BytesMut::new();
+        w.put_u16_le(0x0201);
+        let slice: &[u8] = &w;
+        assert_eq!(slice, &[0x01, 0x02]);
+        assert_eq!(&*w.freeze(), &[0x01, 0x02]);
+    }
+
+    #[test]
+    fn cursor_tracks_remaining() {
+        let mut r = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(r.remaining(), 4);
+        r.get_u8();
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(&*r, &[2, 3, 4]);
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn over_read_panics() {
+        let mut r = Bytes::from(vec![1u8]);
+        let _ = r.get_u16_le();
+    }
+}

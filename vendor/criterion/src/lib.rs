@@ -1,0 +1,428 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the trajsim bench targets use: benchmark groups,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Honors cargo's harness contract for `harness = false` targets:
+//!
+//! - `cargo bench` passes `--bench` → full measurement (warm-up, then
+//!   `sample_size` timed samples; mean/median/min reported in ns/iter);
+//! - `cargo test` passes no `--bench` → test mode, each benchmark body
+//!   runs exactly once so the suite stays fast and still smoke-tests the
+//!   benchmark code;
+//! - a bare positional argument filters benchmarks by substring.
+//!
+//! When `TRAJSIM_CRITERION_JSON` names a file, measured results are also
+//! written there as JSON (used to commit baselines under `results/`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so user code can `use criterion::black_box` if it wants;
+/// the std version is the canonical one.
+pub use std::hint::black_box;
+
+/// One measured benchmark outcome, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// The harness entry point; one per process, created by
+/// [`criterion_main!`].
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: true,
+            filter: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies cargo's command-line contract (see crate docs).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut bench_flag = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => bench_flag = true,
+                // Flags cargo's test runner may pass; those that take a
+                // value consume it.
+                "--color" | "--format" | "--logfile" | "--skip" | "-Z" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        self.test_mode = !bench_flag;
+        self.filter = filter;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    fn finalize(&mut self) {
+        if self.test_mode || self.records.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("TRAJSIM_CRITERION_JSON") {
+            let mut root = serde_json::Map::new();
+            for r in &self.records {
+                let entry = serde_json::json!({
+                    "mean_ns": r.mean_ns,
+                    "median_ns": r.median_ns,
+                    "min_ns": r.min_ns,
+                    "samples": r.samples,
+                    "iters_per_sample": r.iters_per_sample,
+                });
+                match root.get(&r.group) {
+                    Some(serde_json::Value::Object(_)) => {}
+                    _ => {
+                        root.insert(
+                            r.group.clone(),
+                            serde_json::Value::Object(serde_json::Map::new()),
+                        );
+                    }
+                }
+                // Rebuild the group map with the new entry (Map exposes
+                // no get_mut; groups are small so this stays cheap).
+                if let Some(serde_json::Value::Object(group_map)) = root.get(&r.group) {
+                    let mut updated = group_map.clone();
+                    updated.insert(r.bench.clone(), entry);
+                    root.insert(r.group.clone(), serde_json::Value::Object(updated));
+                }
+            }
+            let text = serde_json::to_string_pretty(&serde_json::Value::Object(root))
+                .expect("criterion json");
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("criterion: cannot write {path}: {e}");
+            } else {
+                eprintln!("criterion: results written to {path}");
+            }
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and (unless filtered out) runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let bench_name = id.into_benchmark_id();
+        self.run(bench_name, |b| f(b));
+        self
+    }
+
+    /// Like [`Self::bench_function`], threading `input` through to the
+    /// closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let bench_name = id.into_benchmark_id();
+        self.run(bench_name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Reports are emitted per-benchmark as they run.)
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, bench_name: String, mut f: F) {
+        let full = format!("{}/{}", self.name, bench_name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                sample_ns: Vec::new(),
+                iters_per_sample: 1,
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+
+        // Calibration: find an iteration count putting one sample at
+        // roughly `SAMPLE_TARGET`.
+        const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+        let mut calib = Bencher {
+            mode: Mode::Measure,
+            sample_ns: Vec::new(),
+            iters_per_sample: 1,
+        };
+        let mut iters = 1u64;
+        loop {
+            calib.iters_per_sample = iters;
+            calib.sample_ns.clear();
+            f(&mut calib);
+            let sample = Duration::from_nanos(*calib.sample_ns.last().unwrap_or(&0));
+            if sample >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            let scale =
+                (SAMPLE_TARGET.as_nanos() as f64 / sample.as_nanos().max(1) as f64).min(1024.0);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters * 2);
+        }
+
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            sample_ns: Vec::new(),
+            iters_per_sample: iters,
+        };
+        // Warm-up sample, discarded.
+        f(&mut b);
+        b.sample_ns.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+
+        let mut per_iter: Vec<f64> = b
+            .sample_ns
+            .iter()
+            .map(|&ns| ns as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{full:<48} mean {:>12} median {:>12} min {:>12} ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            per_iter.len(),
+            iters
+        );
+        println!("{line}");
+
+        self.criterion.records.push(Record {
+            group: self.name.clone(),
+            bench: bench_name,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure,
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) method times
+/// the routine.
+pub struct Bencher {
+    mode: Mode,
+    sample_ns: Vec<u64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via
+    /// [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.sample_ns.push(start.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+}
+
+/// A benchmark name with an attached parameter, printed as
+/// `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just `parameter` (for groups whose name carries the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            $crate::__finalize(&mut c);
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __finalize(c: &mut Criterion) {
+    c.finalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion::default();
+        assert!(c.test_mode);
+        sample_bench(&mut c);
+        assert!(c.records.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_records_results() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            records: Vec::new(),
+        };
+        sample_bench(&mut c);
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].group, "shim");
+        assert_eq!(c.records[0].bench, "sum");
+        assert_eq!(c.records[1].bench, "sum_to/50");
+        assert!(c.records.iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: Some("sum_to".into()),
+            records: Vec::new(),
+        };
+        sample_bench(&mut c);
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].bench, "sum_to/50");
+    }
+}

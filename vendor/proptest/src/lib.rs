@@ -1,0 +1,318 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset the trajsim test suites use: the [`proptest!`]
+//! macro (with an optional `#![proptest_config(...)]` header),
+//! [`ProptestConfig::with_cases`], numeric range strategies, tuple
+//! strategies, [`collection::vec`], [`array::uniform2`], and the
+//! `prop_assert!` / `prop_assert_eq!` assertions.
+//!
+//! Differences from real proptest, deliberate for simplicity:
+//!
+//! - cases are sampled from a deterministic per-test RNG (seeded from the
+//!   test's source location, overridable with `PROPTEST_SEED`), so runs
+//!   are reproducible;
+//! - there is no shrinking — a failing case reports its exact inputs
+//!   instead;
+//! - `prop_assert!` panics immediately rather than returning `Err`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration; only the number of cases is configurable.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast while
+        // still exercising a healthy spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    use super::*;
+
+    /// The deterministic RNG driving a property test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// An RNG seeded from the test's source location (stable across
+        /// runs) unless `PROPTEST_SEED` overrides it.
+        pub fn for_test(file: &str, line: u32) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in file.bytes().chain(line.to_le_bytes()) {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                });
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Prints the failing inputs if the test body panics.
+    pub struct FailureReporter {
+        pub case: u32,
+        pub inputs: String,
+        pub armed: bool,
+    }
+
+    impl Drop for FailureReporter {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest: case {} failed with inputs: {}",
+                    self.case, self.inputs
+                );
+            }
+        }
+    }
+}
+
+/// Strategies: value generators sampled once per case.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+            let n = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::array` — fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `[T; 2]` with both elements drawn from `element`.
+    pub fn uniform2<S: Strategy>(element: S) -> Uniform2<S> {
+        Uniform2(element)
+    }
+
+    /// See [`uniform2`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform2<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+        fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+            [self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+}
+
+/// The commonly glob-imported surface.
+pub mod prelude {
+    /// `prop::collection::vec`, `prop::array::uniform2`, … — the crate
+    /// root doubles as the `prop` module.
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(file!(), line!());
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let mut __reporter = $crate::test_runner::FailureReporter {
+                    case: __case,
+                    inputs: format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg,)+
+                    ),
+                    armed: true,
+                };
+                { $body }
+                __reporter.armed = false;
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("x", 1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(0usize..5), &mut rng);
+            assert!(v < 5);
+            let (a, b) = Strategy::sample(&(-1.0..1.0f64, 0u8..4), &mut rng);
+            assert!((-1.0..1.0).contains(&a) && b < 4);
+            let xs = Strategy::sample(&prop::collection::vec(0i32..3, 2..6), &mut rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| (0..3).contains(&x)));
+            let [p, q] = Strategy::sample(&prop::array::uniform2(0.0..9.0f64), &mut rng);
+            assert!((0.0..9.0).contains(&p) && (0.0..9.0).contains(&q));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(
+            a in 0usize..10,
+            b in prop::collection::vec((-1.0..1.0f64, -1.0..1.0f64), 0..5),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.len(), b.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

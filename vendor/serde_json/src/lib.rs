@@ -1,0 +1,414 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate.
+//!
+//! The trajsim workspace only builds JSON values imperatively ([`Map`],
+//! [`Value`], the [`json!`] macro) and pretty-prints them with
+//! [`to_string_pretty`]; no serde derive machinery is involved. This crate
+//! implements exactly that surface.
+//!
+//! Differences from the real crate: [`Map`] preserves insertion order
+//! (like serde_json's `preserve_order` feature), and non-finite floats
+//! serialize as `null`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object.
+    Object(Map),
+}
+
+/// A JSON number: integer or float, kept apart so integers print exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            // `{:?}` keeps a trailing `.0` on integral floats and prints
+            // the shortest round-trippable form otherwise — matching
+            // serde_json's output closely enough for our result files.
+            Number::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed JSON object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any existing
+    /// entry with the same key. Returns the previous value, if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(unused_comparisons)]
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )+};
+}
+
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serialization failure. Building values imperatively cannot fail, so
+/// this is never produced; it exists so signatures match the real crate.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints `value` with 2-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Prints `value` in compact form.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                push_indent(indent + 1, out);
+                push_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => push_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Fresh array buffer for [`json!`] expansion (a function call so the
+/// push-heavy expansion stays lint-clean at local call sites).
+#[doc(hidden)]
+pub fn __new_array() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Builds a [`Value`] from JSON-like syntax: objects with string-literal
+/// keys and expression values (nesting allowed), arrays, and bare
+/// expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($entries:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::__json_object!(map, $($entries)+);
+        $crate::Value::Object(map)
+    }};
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($items:tt)+ ]) => {{
+        let mut items = $crate::__new_array();
+        $crate::__json_array!(items, $($items)+);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Munches `"key": value` entries; values may be nested JSON syntax or
+/// arbitrary Rust expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident,) => {};
+    ($map:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::__json_object!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::__json_object!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::__json_object!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : $val:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+        $crate::__json_object!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $val:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+    };
+}
+
+/// Munches array items; same value grammar as [`__json_object!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($items:ident,) => {};
+    ($items:ident, null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::__json_array!($items, $($($rest)*)?);
+    };
+    ($items:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::__json_array!($items, $($($rest)*)?);
+    };
+    ($items:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::__json_array!($items, $($($rest)*)?);
+    };
+    ($items:ident, $val:expr , $($rest:tt)*) => {
+        $items.push($crate::Value::from($val));
+        $crate::__json_array!($items, $($rest)*);
+    };
+    ($items:ident, $val:expr) => {
+        $items.push($crate::Value::from($val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let n = 3usize;
+        let v = json!({
+            "q": n,
+            "power": 0.5,
+            "name": "seq",
+            "ok": true,
+            "nested": { "k": 1 },
+            "arr": [1, 2],
+        });
+        let Value::Object(map) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(map.get("q"), Some(&Value::Number(Number::PosInt(3))));
+        assert_eq!(map.get("power"), Some(&Value::Number(Number::Float(0.5))));
+        assert_eq!(map.get("name"), Some(&Value::String("seq".into())));
+        assert_eq!(map.len(), 6);
+    }
+
+    #[test]
+    fn pretty_output_matches_serde_json_shape() {
+        let v = json!({ "a": 1, "b": [1.5, -2], "c": { "d": "x\"y" } });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"a\": 1,\n  \"b\": [\n    1.5,\n    -2\n  ],\n  \"c\": {\n    \"d\": \"x\\\"y\"\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2u32)).unwrap(), "2");
+        assert_eq!(to_string(&Value::from(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".to_string(), json!(1));
+        m.insert("b".to_string(), json!(2));
+        assert_eq!(m.insert("a".to_string(), json!(9)), Some(json!(1)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+        assert_eq!(m.get("a"), Some(&json!(9)));
+    }
+
+    #[test]
+    fn empty_containers_print_compact() {
+        assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+    }
+}
