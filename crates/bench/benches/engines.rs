@@ -25,6 +25,23 @@ fn bench_engines(c: &mut Criterion) {
     let seq = SequentialScan::new(&data, eps);
     group.bench_function("seq_scan", |b| b.iter(|| black_box(seq.knn(&query, k))));
 
+    // The observability acceptance budget: with a sink installed and the
+    // debug level on (every query emits its knn.query event), the scan may
+    // not run more than ~5% slower than the default-off path above.
+    struct NullSink;
+    impl trajsim_obs::Sink for NullSink {
+        fn emit(&self, record: &trajsim_obs::Record) {
+            black_box(record.name);
+        }
+    }
+    trajsim_obs::set_sink(Some(std::sync::Arc::new(NullSink)));
+    trajsim_obs::set_level(trajsim_obs::Level::Debug);
+    group.bench_function("seq_scan_traced", |b| {
+        b.iter(|| black_box(seq.knn(&query, k)))
+    });
+    trajsim_obs::set_level(trajsim_obs::Level::Off);
+    trajsim_obs::set_sink(None);
+
     let seq_ea = SequentialScan::new(&data, eps).with_early_abandon();
     group.bench_function("seq_scan_early_abandon", |b| {
         b.iter(|| black_box(seq_ea.knn(&query, k)))

@@ -9,7 +9,8 @@
 //! below 1), and PS2 at q = 1 is the best overall.
 
 use trajsim_bench::{
-    probing_queries, render_table, retrieval_eps_scaled, run_engine, write_json, Args,
+    engine_run_json, probing_queries, render_table, retrieval_eps_scaled, run_engine, threads_json,
+    write_json, Args,
 };
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, kungfu_like, slip_like};
@@ -68,6 +69,7 @@ fn main() {
                     "pruning_power": run.pruning_power,
                     "speedup": speedup,
                     "dp_cells": run.stats.dp_cells,
+                    "run": engine_run_json(&run),
                 }));
                 eprintln!(
                     "  {label} q={q}: power {:.3}, speedup {speedup:.2}",
@@ -86,6 +88,7 @@ fn main() {
             "seq_dp_cells".into(),
             serde_json::json!(seq_run.stats.dp_cells),
         );
+        set_json.insert("seq".into(), engine_run_json(&seq_run));
         json.insert(name.to_string(), serde_json::Value::Object(set_json));
 
         let header: Vec<String> = ["method", "q=1", "q=2", "q=3", "q=4"]
@@ -100,5 +103,6 @@ fn main() {
         println!("\nFigure 8 ({name}): speedup ratio of mean-value Q-grams\n");
         print!("{}", render_table(&header, &speed_rows));
     }
+    json.insert("threads".to_string(), threads_json());
     write_json("fig7_8", &serde_json::Value::Object(json));
 }

@@ -10,7 +10,8 @@
 //! histograms generally beat mean-value q-grams.
 
 use trajsim_bench::{
-    probing_queries, render_table, retrieval_eps_scaled, run_engine, write_json, Args,
+    engine_run_json, probing_queries, render_table, retrieval_eps_scaled, run_engine, threads_json,
+    write_json, Args,
 };
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, kungfu_like, slip_like};
@@ -70,6 +71,7 @@ fn main() {
                     serde_json::json!({
                         "pruning_power": run.pruning_power,
                         "speedup": speedup,
+                        "run": engine_run_json(&run),
                     }),
                 );
                 eprintln!(
@@ -85,6 +87,7 @@ fn main() {
             "seq_secs_per_query".into(),
             serde_json::json!(seq_run.secs_per_query),
         );
+        set_json.insert("seq".into(), engine_run_json(&seq_run));
         json.insert(name.to_string(), serde_json::Value::Object(set_json));
 
         let header: Vec<String> = ["variant", "HSE", "HSR"]
@@ -99,5 +102,6 @@ fn main() {
         println!("\nFigure 10 ({name}): speedup ratio of histograms\n");
         print!("{}", render_table(&header, &speed_rows));
     }
+    json.insert("threads".to_string(), threads_json());
     write_json("fig9_10", &serde_json::Value::Object(json));
 }

@@ -11,7 +11,8 @@
 //! differ).
 
 use trajsim_bench::{
-    parallel_pmatrix, probing_queries, render_table, retrieval_eps, run_engine, write_json, Args,
+    engine_run_json, parallel_pmatrix, probing_queries, render_table, retrieval_eps, run_engine,
+    threads_json, write_json, Args,
 };
 use trajsim_core::Dataset;
 use trajsim_data::{asl_retrieval_like, random_walk_set, seeded_rng, LengthDistribution};
@@ -90,9 +91,12 @@ fn main() {
                 "ntr_secs_per_query": run.secs_per_query,
                 "ntr_dp_cells": run.stats.dp_cells,
                 "seq_dp_cells": seq_run.stats.dp_cells,
+                "seq": engine_run_json(&seq_run),
+                "ntr": engine_run_json(&run),
             }),
         );
     }
+    json.insert("threads".to_string(), threads_json());
     println!("\nTable 3: Test results of near triangle inequality (k = {}, maxTriangle = {max_triangle})\n", args.k);
     let header: Vec<String> = ["", "ASL", "RandN", "RandU"]
         .iter()

@@ -162,6 +162,25 @@ pub fn run_engine<const D: usize, E: KnnEngine<D>>(
     }
 }
 
+/// JSON for one engine run: headline numbers plus the accumulated
+/// [`QueryStats`] with the per-stage breakdown under `"stats"."stages"`
+/// (summed over the workload's queries).
+pub fn engine_run_json(run: &EngineRun) -> serde_json::Value {
+    serde_json::json!({
+        "name": run.name.clone(),
+        "pruning_power": run.pruning_power,
+        "secs_per_query": run.secs_per_query,
+        "stats": run.stats.to_json(),
+    })
+}
+
+/// JSON describing the worker-thread configuration the run resolved to —
+/// recorded in every bench result file so timings are attributable.
+pub fn threads_json() -> serde_json::Value {
+    let (count, source) = trajsim_parallel::num_threads_with_source();
+    serde_json::json!({ "count": count, "source": source.as_str() })
+}
+
 /// Computes the reference-pool pmatrix rows (`EDR(db[r], ·)` for
 /// `r < pool`) in parallel via [`trajsim_parallel::par_map`] — the
 /// offline phase of near-triangle pruning, which the paper also

@@ -1,4 +1,5 @@
-//! Tiny flag parser: positional arguments plus `--key value` options.
+//! Tiny flag parser: positional arguments plus `--key value` options and
+//! bare `--flag` booleans.
 
 use std::collections::BTreeMap;
 
@@ -9,25 +10,36 @@ pub struct Parsed {
     options: BTreeMap<String, String>,
 }
 
+/// Does this token name an option (`--key` / `-key`) rather than a value?
+/// A leading digit after `-` reads as a negative number, not an option.
+fn option_key(arg: &str) -> Option<&str> {
+    arg.strip_prefix("--").or_else(|| {
+        arg.strip_prefix('-')
+            .filter(|k| !k.is_empty() && !k.starts_with(char::is_numeric))
+    })
+}
+
 impl Parsed {
-    /// Splits `argv` into positionals and `--key value` options.
+    /// Splits `argv` into positionals and `--key value` options. A `--key`
+    /// followed by another option token — or by nothing — is a boolean
+    /// flag and gets the value `"true"` (see [`Parsed::flag`]).
     ///
     /// # Errors
     ///
-    /// Fails on a dangling `--key` with no value.
+    /// Currently infallible; the `Result` keeps the signature stable for
+    /// stricter future parsing.
     pub fn parse(argv: &[String]) -> Result<Parsed, String> {
         let mut out = Parsed::default();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
-            let key = arg.strip_prefix("--").or_else(|| {
-                arg.strip_prefix('-')
-                    .filter(|k| !k.is_empty() && !k.starts_with(char::is_numeric))
-            });
-            if let Some(key) = key {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("option --{key} needs a value"))?;
-                out.options.insert(key.to_string(), value.clone());
+            if let Some(key) = option_key(arg) {
+                let takes_value = it.peek().is_some_and(|next| option_key(next).is_none());
+                let value = if takes_value {
+                    it.next().expect("peeked").clone()
+                } else {
+                    "true".to_string()
+                };
+                out.options.insert(key.to_string(), value);
             } else {
                 out.positionals.push(arg.clone());
             }
@@ -49,6 +61,16 @@ impl Parsed {
     /// A string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// A boolean flag: true when `--key` was given bare (or with an
+    /// explicit value other than `false`/`0`).
+    pub fn flag(&self, key: &str) -> bool {
+        match self.options.get(key).map(String::as_str) {
+            None => false,
+            Some("false") | Some("0") => false,
+            Some(_) => true,
+        }
     }
 
     /// A parsed numeric/typed option, with a default.
@@ -100,9 +122,22 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(Parsed::parse(&args(&["--dangling"])).is_err());
         let p = Parsed::parse(&args(&["--k", "abc"])).unwrap();
         assert!(p.get_or("k", 0usize).is_err());
         assert!(p.require::<usize>("nope").is_err());
+    }
+
+    #[test]
+    fn bare_flags_are_boolean() {
+        // Trailing bare flag, bare flag followed by another option, and an
+        // explicit value all parse; negative numbers stay values.
+        let p = Parsed::parse(&args(&["--trace", "--k", "5", "--verbose"])).unwrap();
+        assert!(p.flag("trace"));
+        assert!(p.flag("verbose"));
+        assert_eq!(p.get_or("k", 0usize).unwrap(), 5);
+        assert!(!p.flag("absent"));
+        let p = Parsed::parse(&args(&["--trace", "false", "--shift", "-3"])).unwrap();
+        assert!(!p.flag("trace"));
+        assert_eq!(p.get_or("shift", 0i64).unwrap(), -3);
     }
 }

@@ -20,12 +20,15 @@ commands:
   convert  <in> <out>
   stats    <file>
   knn      <file> --query I [--k K] [--eps E] [--engine scan|qgram|histogram|combined]
+           [--metrics-out FILE]
   range    <file> --query I --edits K [--eps E]
-  cluster  <file> [--k K] [--eps E] [--tree yes]
+  cluster  <file> [--k K] [--eps E] [--tree]
 
 global options:
-  --threads N   worker threads for parallel phases (default: all cores;
-                also settable via TRAJSIM_THREADS)
+  --threads N     worker threads for parallel phases (default: all cores;
+                  also settable via TRAJSIM_THREADS)
+  --trace [LVL]   structured trace events as JSON lines on stderr
+                  (bare --trace means debug; LVL: error|warn|info|debug|trace)
 
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
 
@@ -34,6 +37,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(argv)?;
     let threads: usize = parsed.get_or("threads", 0usize)?;
     trajsim_parallel::set_num_threads(threads);
+    if let Some(lvl) = parsed.get("trace") {
+        // Bare `--trace` parses as the flag value "true" → debug.
+        let level = if lvl == "true" {
+            trajsim_obs::Level::Debug
+        } else {
+            lvl.parse().map_err(|e| format!("option --trace: {e}"))?
+        };
+        trajsim_obs::set_sink(Some(std::sync::Arc::new(
+            trajsim_obs::JsonLinesSink::stderr(),
+        )));
+        trajsim_obs::set_level(level);
+    }
     match parsed.positional(0) {
         Some("generate") => generate(&parsed),
         Some("convert") => convert(&parsed),
@@ -163,6 +178,68 @@ fn report(result: &KnnResult) {
         "  [{} true EDR computations, {} DP cells filled]",
         result.stats.edr_computed, result.stats.dp_cells,
     );
+    let (threads, source) = trajsim_parallel::num_threads_with_source();
+    println!("  [threads: {threads} ({})]", source.as_str());
+    report_stages(&result.stats.timings);
+}
+
+/// Millisecond rendering of a nanosecond stage time.
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// The per-stage timing table: one row per stage that did any work.
+fn report_stages(t: &trajsim_prune::StageTimings) {
+    println!("  stage timings (wall, per this query):");
+    println!(
+        "    {:<12} {:>10} {:>12} {:>12}",
+        "stage", "ms", "cand. in", "cand. out"
+    );
+    if t.setup_ns > 0 {
+        println!(
+            "    {:<12} {:>10.3} {:>12} {:>12}",
+            "setup",
+            ms(t.setup_ns),
+            "-",
+            "-"
+        );
+    }
+    for (name, s) in [
+        ("histogram", &t.histogram),
+        ("qgram", &t.qgram),
+        ("triangle", &t.triangle),
+    ] {
+        if s.filter_ns > 0 || s.candidates_in > 0 {
+            println!(
+                "    {:<12} {:>10.3} {:>12} {:>12}",
+                name,
+                ms(s.filter_ns),
+                s.candidates_in,
+                s.candidates_out
+            );
+        }
+    }
+    println!(
+        "    {:<12} {:>10.3} {:>12} {:>12}",
+        "refine",
+        ms(t.refine_ns),
+        "-",
+        "-"
+    );
+    println!(
+        "    {:<12} {:>10.3} {:>12} {:>12}",
+        "other",
+        ms(t.other_ns()),
+        "-",
+        "-"
+    );
+    println!(
+        "    {:<12} {:>10.3} {:>12} {:>12}",
+        "total",
+        ms(t.total_ns),
+        "-",
+        "-"
+    );
 }
 
 fn knn(parsed: &Parsed) -> Result<(), String> {
@@ -198,7 +275,38 @@ fn knn(parsed: &Parsed) -> Result<(), String> {
         other => return Err(format!("unknown engine {other:?}")),
     };
     report(&result);
+    if let Some(out) = parsed.get("metrics-out") {
+        write_metrics(out, &engine, query_id, k, eps.value(), &result)?;
+        println!("  [metrics written to {out}]");
+    }
     Ok(())
+}
+
+/// Serializes the query's stats (with stage breakdown), the resolved
+/// thread configuration, and a snapshot of the global metrics registry.
+fn write_metrics(
+    path: &str,
+    engine: &str,
+    query_id: usize,
+    k: usize,
+    eps: f64,
+    result: &KnnResult,
+) -> Result<(), String> {
+    let (threads, source) = trajsim_parallel::num_threads_with_source();
+    let doc = serde_json::json!({
+        "engine": engine,
+        "query": query_id,
+        "k": k,
+        "eps": eps,
+        "threads": {
+            "count": threads,
+            "source": source.as_str(),
+        },
+        "stats": result.stats.to_json(),
+        "metrics": trajsim_obs::metrics::global().snapshot_json(),
+    });
+    let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(path, text + "\n").map_err(|e| format!("write {path}: {e}"))
 }
 
 fn range(parsed: &Parsed) -> Result<(), String> {
@@ -247,7 +355,7 @@ fn cluster(parsed: &Parsed) -> Result<(), String> {
             .collect();
         println!("  cluster {c}: {}", members.join(", "));
     }
-    if parsed.get("tree").is_some() {
+    if parsed.flag("tree") {
         println!("\ndendrogram:");
         print!("{}", Dendrogram::build(&matrix, Linkage::Complete).render());
     }
@@ -302,6 +410,72 @@ mod tests {
         // Bad engine and bad query id fail cleanly.
         assert!(run(&["knn", &csv, "--query", "0", "--engine", "magic"]).is_err());
         assert!(run(&["knn", &csv, "--query", "9999"]).is_err());
+    }
+
+    #[test]
+    fn metrics_out_emits_parsable_stage_json() {
+        let csv = tmp("metrics.csv");
+        let out = tmp("metrics.json");
+        run(&["generate", "walk", "--n", "25", "--seed", "9", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--query",
+            "1",
+            "--k",
+            "3",
+            "--engine",
+            "combined",
+            "--metrics-out",
+            &out,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = serde_json::from_str(&text).expect("metrics file is valid JSON");
+        assert_eq!(doc.get("engine").and_then(|v| v.as_str()), Some("combined"));
+        let threads = doc.get("threads").expect("threads key");
+        assert!(threads.get("count").and_then(|v| v.as_u64()).unwrap() >= 1);
+        assert!(threads.get("source").and_then(|v| v.as_str()).is_some());
+        let stages = doc
+            .get("stats")
+            .and_then(|s| s.get("stages"))
+            .expect("stats.stages key");
+        for key in [
+            "setup_ns",
+            "histogram",
+            "qgram",
+            "triangle",
+            "refine_ns",
+            "total_ns",
+        ] {
+            assert!(stages.get(key).is_some(), "missing stage key {key}");
+        }
+        assert!(
+            stages.get("total_ns").and_then(|v| v.as_u64()).unwrap() > 0,
+            "total stage time should be positive"
+        );
+        // The global registry snapshot carries the knn counters.
+        let metrics = doc.get("metrics").expect("metrics key");
+        let counters = metrics.get("counters").expect("counters section");
+        assert!(
+            counters
+                .get("knn.queries")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn trace_flag_accepts_bare_and_leveled_forms() {
+        let csv = tmp("trace.csv");
+        run(&["generate", "walk", "--n", "10", "--seed", "2", "-o", &csv]).unwrap();
+        run(&["knn", &csv, "--query", "0", "--k", "2", "--trace"]).unwrap();
+        run(&["knn", &csv, "--query", "0", "--k", "2", "--trace", "info"]).unwrap();
+        assert!(run(&["knn", &csv, "--query", "0", "--trace", "blorp"]).is_err());
+        // Quiet the process-global tracing again for other tests.
+        trajsim_obs::set_level(trajsim_obs::Level::Off);
+        trajsim_obs::set_sink(None);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! # trajsim-obs
+//!
+//! The observability backbone of the trajsim workspace: a lightweight
+//! structured-tracing layer and an always-on metrics registry, both
+//! implemented in-tree (the build is offline) and cheap enough to leave
+//! enabled in release binaries.
+//!
+//! **Tracing** ([`trace`], the [`span!`] / [`event!`] macros): leveled
+//! records with key/value fields. The level is set programmatically
+//! ([`set_level`]) or by the `TRAJSIM_LOG` environment variable; records
+//! go to a process-global [`Sink`] — ship one JSON object per line with
+//! [`JsonLinesSink`]. With tracing off (the default) an instrumentation
+//! site costs one relaxed atomic load and its fields are never
+//! evaluated.
+//!
+//! **Metrics** ([`metrics`]): named [`Counter`]s, [`Gauge`]s, and
+//! fixed-bucket [`Histogram`]s held in a [`Registry`] (the shared one is
+//! [`metrics::global`]). Recording is relaxed atomics only — no locks on
+//! the hot path — so the k-NN engines keep their instruments on in
+//! release builds; [`Registry::snapshot_json`] serializes everything for
+//! the CLI's `--metrics-out` and the bench harness.
+//!
+//! Span/metric taxonomy: see `DESIGN.md` §9 (span names are dotted,
+//! `knn.query` / `parallel.pool`; metric names likewise,
+//! `knn.edr_computed`, `parallel.worker_busy_ns`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_NS};
+pub use trace::{
+    emit, enabled, level, set_level, set_sink, FieldValue, JsonLinesSink, Level, Record, Sink, Span,
+};

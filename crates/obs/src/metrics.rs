@@ -1,0 +1,401 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Designed to stay enabled in release builds: every recording operation
+//! is a handful of relaxed atomic adds, and no lock is taken on the hot
+//! path. The only locking is the registry's name → handle map, touched
+//! when a handle is first created (or when a caller looks one up by name
+//! instead of caching the returned [`Arc`] — fine per query, not per
+//! candidate).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds in nanoseconds: powers of four
+/// from 1 µs to ≈ 4.4 s (12 finite buckets), plus the implicit overflow
+/// bucket. Wide enough for a DP-kernel call on one end and a full-scan
+/// query on a paper-scale database on the other.
+pub const DEFAULT_LATENCY_BOUNDS_NS: [u64; 12] = [
+    1 << 10, // ~1 µs
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20, // ~1 ms
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30, // ~1.1 s
+    1 << 32, // ~4.3 s
+];
+
+/// A fixed-bucket histogram. Bucket `i` counts recorded values `v` with
+/// `v <= bounds[i]` (and greater than the previous bound); one extra
+/// overflow bucket counts everything above the last bound. Recording is
+/// a binary search over the (immutable) bounds plus three relaxed atomic
+/// adds — no allocation, no locks.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with [`DEFAULT_LATENCY_BOUNDS_NS`].
+    pub fn latency() -> Self {
+        Histogram::with_bounds(DEFAULT_LATENCY_BOUNDS_NS.to_vec())
+    }
+
+    /// The bucket index `value` falls into: the first bound `>= value`,
+    /// or the overflow bucket.
+    pub fn bucket_index(&self, value: u64) -> usize {
+        self.bounds.partition_point(|&b| b < value)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[self.bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wraps on overflow, like Prometheus counters).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The mean observation, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The bucket upper bounds (the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A process-wide collection of named metrics. Handles are created on
+/// first use and shared; recording through a handle never locks.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().expect("registry lock").get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created with the default latency
+    /// buckets on first use. To choose bounds, create it first via
+    /// [`Registry::histogram_with_bounds`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::latency())),
+        )
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (an existing histogram keeps its original bounds).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: Vec<u64>) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds))),
+        )
+    }
+
+    /// Drops every metric (tests; snapshots of long-lived processes
+    /// should subtract instead).
+    pub fn clear(&self) {
+        self.counters.write().expect("registry lock").clear();
+        self.gauges.write().expect("registry lock").clear();
+        self.histograms.write().expect("registry lock").clear();
+    }
+
+    /// The registry's state as a JSON value:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count", "sum", "mean", "buckets": [{"le", "count"}, ...]}}}`.
+    pub fn snapshot_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (name, c) in self.counters.read().expect("registry lock").iter() {
+            counters.insert(name.clone(), serde_json::Value::from(c.get()));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (name, g) in self.gauges.read().expect("registry lock").iter() {
+            gauges.insert(name.clone(), serde_json::Value::from(g.get()));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (name, h) in self.histograms.read().expect("registry lock").iter() {
+            let counts = h.bucket_counts();
+            let mut buckets = Vec::with_capacity(counts.len());
+            for (i, count) in counts.iter().enumerate() {
+                let le = h
+                    .bounds()
+                    .get(i)
+                    .map(|&b| serde_json::Value::from(b))
+                    .unwrap_or_else(|| serde_json::Value::from("+inf"));
+                buckets.push(serde_json::json!({ "le": le, "count": *count }));
+            }
+            histograms.insert(
+                name.clone(),
+                serde_json::json!({
+                    "count": h.count(),
+                    "sum": h.sum(),
+                    "mean": h.mean(),
+                    "buckets": buckets,
+                }),
+            );
+        }
+        serde_json::json!({
+            "counters": serde_json::Value::Object(counters),
+            "gauges": serde_json::Value::Object(gauges),
+            "histograms": serde_json::Value::Object(histograms),
+        })
+    }
+}
+
+/// The process-global registry the trajsim crates record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a").get(), 5);
+        let g = r.gauge("b");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(r.gauge("b").get(), 7);
+        r.clear();
+        assert_eq!(r.counter("a").get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::with_bounds(vec![10, 100, 1000]);
+        // On the bound goes into that bucket; one above spills over.
+        for (v, idx) in [
+            (0u64, 0usize),
+            (10, 0),
+            (11, 1),
+            (100, 1),
+            (101, 2),
+            (1000, 2),
+            (1001, 3),
+            (u64::MAX, 3),
+        ] {
+            assert_eq!(h.bucket_index(v), idx, "value {v}");
+        }
+        h.record(10);
+        h.record(11);
+        h.record(5000);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 0, 1]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5021);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::with_bounds(vec![10, 10]);
+    }
+
+    #[test]
+    fn default_latency_bounds_are_ascending() {
+        let h = Histogram::latency();
+        assert_eq!(h.bounds(), &DEFAULT_LATENCY_BOUNDS_NS);
+        assert_eq!(h.bucket_counts().len(), DEFAULT_LATENCY_BOUNDS_NS.len() + 1);
+    }
+
+    #[test]
+    fn counter_accumulates_under_par_for() {
+        // The satellite check: concurrent recording through the shared
+        // handles loses nothing.
+        trajsim_parallel::set_num_threads(4);
+        let r = Registry::new();
+        let c = r.counter("hits");
+        let h = r.histogram_with_bounds("lat", vec![100, 10_000]);
+        let n = 10_000u64;
+        trajsim_parallel::par_for(n as usize, |i| {
+            c.add(1);
+            h.record(i as u64);
+        });
+        trajsim_parallel::set_num_threads(0);
+        assert_eq!(c.get(), n);
+        assert_eq!(h.count(), n);
+        assert_eq!(h.sum(), n * (n - 1) / 2);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn snapshot_contains_every_metric() {
+        let r = Registry::new();
+        r.counter("c1").add(2);
+        r.gauge("g1").set(-4);
+        r.histogram("h1").record(2048);
+        let snap = r.snapshot_json();
+        let text = serde_json::to_string(&snap).unwrap();
+        assert!(text.contains("\"c1\":2"));
+        assert!(text.contains("\"g1\":-4"));
+        assert!(text.contains("\"h1\""));
+        assert!(text.contains("+inf"));
+    }
+
+    proptest! {
+        /// Every value lands in exactly one bucket, and that bucket's
+        /// bounds bracket it.
+        #[test]
+        fn bucket_index_brackets_the_value(
+            raw in proptest::collection::vec(1u64..1_000_000, 1..12),
+            value in 0u64..2_000_000,
+        ) {
+            let mut bounds = raw.clone();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let h = Histogram::with_bounds(bounds.clone());
+            let idx = h.bucket_index(value);
+            if idx < bounds.len() {
+                prop_assert!(value <= bounds[idx]);
+            } else {
+                prop_assert!(value > *bounds.last().unwrap());
+            }
+            if idx > 0 {
+                prop_assert!(value > bounds[idx - 1]);
+            }
+        }
+    }
+}

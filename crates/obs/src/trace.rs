@@ -1,0 +1,520 @@
+//! A minimal structured-tracing layer: leveled events and timed spans
+//! with key/value fields, dispatched to a process-global sink.
+//!
+//! The build is offline, so this is an in-tree shim of the `tracing`
+//! idea rather than the crate: the [`span!`](crate::span) and
+//! [`event!`](crate::event) macros check [`enabled`] *before* evaluating
+//! their field expressions, so with tracing off (the default) the cost
+//! of an instrumentation site is one relaxed atomic load.
+//!
+//! The level comes from [`set_level`] or, lazily on first use, the
+//! `TRAJSIM_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`; default `off`). Records go to the sink installed
+//! with [`set_sink`] — usually a [`JsonLinesSink`].
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Verbosity levels, coarsest first. `Off` disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Tracing disabled.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// Coarse lifecycle events (one per query / pool run).
+    Info = 3,
+    /// Per-stage detail (filter/refine spans).
+    Debug = 4,
+    /// Everything, including per-candidate events.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+
+    /// The level's lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level {other:?}")),
+        }
+    }
+}
+
+/// A field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One record handed to the sink: an instantaneous event or the close of
+/// a timed span.
+#[derive(Debug)]
+pub struct Record<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Event or span name (dotted taxonomy, e.g. `knn.query`).
+    pub name: &'a str,
+    /// Wall-clock duration for span closes, `None` for plain events.
+    pub elapsed_ns: Option<u64>,
+    /// Key/value fields.
+    pub fields: &'a [(&'static str, FieldValue)],
+}
+
+/// Receives records. Implementations must be cheap enough for the chosen
+/// level and are responsible for their own synchronization.
+pub trait Sink: Send + Sync {
+    /// Handles one record.
+    fn emit(&self, record: &Record<'_>);
+}
+
+/// `u8::MAX` = "not yet resolved from the environment".
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// The current level, resolving `TRAJSIM_LOG` on first call.
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != u8::MAX {
+        return Level::from_u8(raw);
+    }
+    let resolved = std::env::var("TRAJSIM_LOG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Level::Off);
+    LEVEL.store(resolved as u8, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the level (wins over `TRAJSIM_LOG`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `l` are currently emitted.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && l <= level()
+}
+
+/// Installs (or with `None` removes) the global sink.
+pub fn set_sink(sink: Option<Arc<dyn Sink>>) {
+    *SINK.write().expect("sink lock") = sink;
+}
+
+/// Sends an event straight to the sink if `level` is enabled. Prefer the
+/// [`event!`](crate::event) macro, which skips field construction when
+/// disabled.
+pub fn emit(level: Level, name: &str, fields: &[(&'static str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    if let Some(sink) = SINK.read().expect("sink lock").as_ref() {
+        sink.emit(&Record {
+            level,
+            name,
+            elapsed_ns: None,
+            fields,
+        });
+    }
+}
+
+/// A timed span: emits a record with `elapsed_ns` when dropped. Created
+/// by the [`span!`](crate::span) macro; a disabled span is inert.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    level: Level,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// A live span; used by the macro once `enabled` passed.
+    pub fn new(level: Level, name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+        Span {
+            name,
+            level,
+            start: Some(Instant::now()),
+            fields,
+        }
+    }
+
+    /// An inert span (the disabled arm of the macro).
+    pub fn disabled() -> Span {
+        Span {
+            name: "",
+            level: Level::Off,
+            start: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a field after creation (results discovered mid-span).
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        // Re-check: the level may have dropped while the span was open.
+        if !enabled(self.level) {
+            return;
+        }
+        if let Some(sink) = SINK.read().expect("sink lock").as_ref() {
+            sink.emit(&Record {
+                level: self.level,
+                name: self.name,
+                elapsed_ns: Some(start.elapsed().as_nanos() as u64),
+                fields: &self.fields,
+            });
+        }
+    }
+}
+
+/// A sink writing one JSON object per record per line:
+/// `{"ts_us": ..., "level": "...", "name": "...", "elapsed_ns": ...,
+/// "fields": {...}}`.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// A sink over any writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A sink appending to standard error.
+    pub fn stderr() -> Self {
+        JsonLinesSink::new(Box::new(std::io::stderr()))
+    }
+
+    /// A sink writing (truncating) to `path`.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonLinesSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&self, record: &Record<'_>) {
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut fields = serde_json::Map::new();
+        for (k, v) in record.fields {
+            let value = match v {
+                FieldValue::U64(x) => serde_json::Value::from(*x),
+                FieldValue::I64(x) => serde_json::Value::from(*x),
+                FieldValue::F64(x) => serde_json::Value::from(*x),
+                FieldValue::Bool(x) => serde_json::Value::from(*x),
+                FieldValue::Str(x) => serde_json::Value::from(x.as_str()),
+            };
+            fields.insert((*k).to_string(), value);
+        }
+        let mut obj = serde_json::Map::new();
+        obj.insert("ts_us".into(), serde_json::Value::from(ts_us));
+        obj.insert(
+            "level".into(),
+            serde_json::Value::from(record.level.as_str()),
+        );
+        obj.insert("name".into(), serde_json::Value::from(record.name));
+        if let Some(ns) = record.elapsed_ns {
+            obj.insert("elapsed_ns".into(), serde_json::Value::from(ns));
+        }
+        obj.insert("fields".into(), serde_json::Value::Object(fields));
+        let line =
+            serde_json::to_string(&serde_json::Value::Object(obj)).expect("serialize record");
+        let mut out = self.out.lock().expect("sink writer lock");
+        // Tracing must never take the process down; drop the line on I/O
+        // errors (e.g. a closed pipe).
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Opens a [`Span`] if its level is enabled; fields are
+/// `key = value` pairs evaluated only when enabled.
+///
+/// ```
+/// use trajsim_obs::{span, Level};
+/// let _span = span!(Level::Debug, "knn.query", k = 5usize, engine = "seq-scan");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled($lvl) {
+            $crate::Span::new(
+                $lvl,
+                $name,
+                vec![$((stringify!($k), $crate::FieldValue::from($v))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Emits an instantaneous event if its level is enabled; same field
+/// grammar as [`span!`](crate::span).
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled($lvl) {
+            $crate::emit(
+                $lvl,
+                $name,
+                &[$((stringify!($k), $crate::FieldValue::from($v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Collects records for assertions.
+    #[derive(Default)]
+    struct Capture {
+        lines: Mutex<Vec<String>>,
+        count: AtomicUsize,
+    }
+
+    impl Sink for Capture {
+        fn emit(&self, r: &Record<'_>) {
+            self.count.fetch_add(1, Ordering::SeqCst);
+            let fields: Vec<String> = r.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.lines.lock().unwrap().push(format!(
+                "{} {} {:?} [{}]",
+                r.level.as_str(),
+                r.name,
+                r.elapsed_ns.is_some(),
+                fields.join(", ")
+            ));
+        }
+    }
+
+    /// The level and sink are process globals; serialize the tests that
+    /// touch them.
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_capture(level: Level, f: impl FnOnce(&Capture)) {
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let capture = Arc::new(Capture::default());
+        set_level(level);
+        set_sink(Some(capture.clone() as Arc<dyn Sink>));
+        f(&capture);
+        set_sink(None);
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn events_respect_the_level() {
+        with_capture(Level::Info, |cap| {
+            crate::event!(Level::Info, "coarse", n = 3usize);
+            crate::event!(Level::Debug, "fine");
+            assert_eq!(cap.count.load(Ordering::SeqCst), 1);
+            let lines = cap.lines.lock().unwrap();
+            assert_eq!(lines[0], "info coarse false [n=3]");
+        });
+    }
+
+    #[test]
+    fn spans_emit_elapsed_on_drop() {
+        with_capture(Level::Debug, |cap| {
+            {
+                let mut s = crate::span!(Level::Debug, "stage", filter = "histogram");
+                s.record("pruned", 7usize);
+            }
+            let lines = cap.lines.lock().unwrap();
+            assert_eq!(
+                lines.as_slice(),
+                ["debug stage true [filter=histogram, pruned=7]"]
+            );
+        });
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        with_capture(Level::Off, |cap| {
+            let _s = crate::span!(Level::Error, "never");
+            drop(_s);
+            assert_eq!(cap.count.load(Ordering::SeqCst), 0);
+        });
+    }
+
+    #[test]
+    fn level_parses_and_round_trips() {
+        for (s, l) in [
+            ("off", Level::Off),
+            ("ERROR", Level::Error),
+            ("warn", Level::Warn),
+            ("Info", Level::Info),
+            ("debug", Level::Debug),
+            ("trace", Level::Trace),
+        ] {
+            assert_eq!(s.parse::<Level>().unwrap(), l);
+        }
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!(Level::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join("trajsim-obs-sink-test.jsonl");
+        set_level(Level::Trace);
+        set_sink(Some(Arc::new(JsonLinesSink::to_file(&path).unwrap())));
+        crate::event!(Level::Info, "hello", engine = "PS2", ok = true, x = 1.5);
+        {
+            let _s = crate::span!(Level::Trace, "timed");
+        }
+        set_sink(None); // flush via drop
+        set_level(Level::Off);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(
+            first.get("name"),
+            Some(&serde_json::Value::String("hello".into()))
+        );
+        let second = serde_json::from_str(lines[1]).unwrap();
+        assert!(second.get("elapsed_ns").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -9,15 +9,24 @@
 //!
 //! The thread count is resolved per call by [`num_threads`]:
 //! [`set_num_threads`] override, else the `TRAJSIM_THREADS` environment
-//! variable, else `std::thread::available_parallelism`. With one thread
-//! (or one item) everything degrades to the serial loop, so callers can
-//! use these primitives unconditionally.
+//! variable, else `std::thread::available_parallelism`
+//! ([`num_threads_with_source`] also reports which of the three won).
+//! With one thread (or one item) everything degrades to the serial loop,
+//! so callers can use these primitives unconditionally.
+//!
+//! Every genuinely parallel pool run feeds the `trajsim-obs` global
+//! metrics registry — `parallel.pool_runs`, `parallel.tasks`, summed
+//! `parallel.worker_busy_ns` / `parallel.worker_idle_ns`, and a
+//! `parallel.worker_tasks` histogram of per-worker task counts (load
+//! balance) — and emits a `parallel.pool` debug trace event. The serial
+//! fallback records nothing.
 //!
 //! Worker panics propagate to the caller (matching rayon).
 
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Process-wide thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -28,24 +37,88 @@ pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
+/// Where the resolved thread count came from, in resolution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// A [`set_num_threads`] override is in effect.
+    Override,
+    /// The `TRAJSIM_THREADS` environment variable.
+    Env,
+    /// `std::thread::available_parallelism` (or 1 if unavailable).
+    Auto,
+}
+
+impl ThreadSource {
+    /// Stable lowercase label for reports and JSON ("override" / "env" /
+    /// "auto").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ThreadSource::Override => "override",
+            ThreadSource::Env => "env",
+            ThreadSource::Auto => "auto",
+        }
+    }
+}
+
 /// The number of worker threads parallel calls will use:
 /// [`set_num_threads`] override, else `TRAJSIM_THREADS`, else
 /// `available_parallelism` (at least 1).
 pub fn num_threads() -> usize {
+    num_threads_with_source().0
+}
+
+/// [`num_threads`] plus which resolution step produced the count — the
+/// CLI and bench harness report both so measurements are attributable.
+pub fn num_threads_with_source() -> (usize, ThreadSource) {
     let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if over > 0 {
-        return over;
+        return (over, ThreadSource::Override);
     }
     if let Some(n) = std::env::var("TRAJSIM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
     {
-        return n;
+        return (n, ThreadSource::Env);
     }
-    std::thread::available_parallelism()
+    let auto = std::thread::available_parallelism()
         .map(|t| t.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    (auto, ThreadSource::Auto)
+}
+
+/// Elapsed nanoseconds since `start`, saturating into `u64`.
+#[inline]
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Pool-run epilogue: global metrics plus a `parallel.pool` trace event.
+/// `busy_ns` is summed across workers; idle is the pool's wall time the
+/// workers did not spend busy (`threads × wall − busy`, saturating).
+fn record_pool(tasks: usize, threads: usize, wall_ns: u64, busy_ns: u64, worker_tasks: &[u64]) {
+    let m = trajsim_obs::metrics::global();
+    m.counter("parallel.pool_runs").inc();
+    m.counter("parallel.tasks").add(tasks as u64);
+    m.counter("parallel.worker_busy_ns").add(busy_ns);
+    let idle_ns = (wall_ns * threads as u64).saturating_sub(busy_ns);
+    m.counter("parallel.worker_idle_ns").add(idle_ns);
+    let per_worker = m.histogram_with_bounds(
+        "parallel.worker_tasks",
+        (0..16).map(|i| 1u64 << i).collect(),
+    );
+    for &t in worker_tasks {
+        per_worker.record(t);
+    }
+    trajsim_obs::event!(
+        trajsim_obs::Level::Debug,
+        "parallel.pool",
+        tasks = tasks,
+        threads = threads,
+        wall_ns = wall_ns,
+        busy_ns = busy_ns,
+        idle_ns = idle_ns,
+    );
 }
 
 /// How many indices a worker claims per grab: small enough to balance
@@ -73,12 +146,15 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let t_pool = Instant::now();
     let cursor = AtomicUsize::new(0);
+    let busy_total = AtomicU64::new(0);
     let block = block_size(n, threads);
     let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let t_worker = Instant::now();
                     let mut out = Vec::new();
                     loop {
                         let start = cursor.fetch_add(block, Ordering::Relaxed);
@@ -94,6 +170,7 @@ where
                             out.push((i, f(i, item)));
                         }
                     }
+                    busy_total.fetch_add(elapsed_ns(t_worker), Ordering::Relaxed);
                     out
                 })
             })
@@ -103,6 +180,14 @@ where
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     });
+    let worker_tasks: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+    record_pool(
+        n,
+        threads,
+        elapsed_ns(t_pool),
+        busy_total.load(Ordering::Relaxed),
+        &worker_tasks,
+    );
 
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in buckets.into_iter().flatten() {
@@ -149,26 +234,44 @@ where
         return;
     }
 
+    let t_pool = Instant::now();
     let cursor = AtomicUsize::new(0);
+    let busy_total = AtomicU64::new(0);
     let block = block_size(n, threads);
-    std::thread::scope(|scope| {
+    let worker_tasks: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let start = cursor.fetch_add(block, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+                scope.spawn(|| {
+                    let t_worker = Instant::now();
+                    let mut done = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + block).min(n);
+                        for i in start..end {
+                            f(i);
+                        }
+                        done += (end - start) as u64;
                     }
-                    for i in start..(start + block).min(n) {
-                        f(i);
-                    }
+                    busy_total.fetch_add(elapsed_ns(t_worker), Ordering::Relaxed);
+                    done
                 })
             })
             .collect();
-        for h in handles {
-            h.join().expect("parallel worker panicked");
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
     });
+    record_pool(
+        n,
+        threads,
+        elapsed_ns(t_pool),
+        busy_total.load(Ordering::Relaxed),
+        &worker_tasks,
+    );
 }
 
 #[cfg(test)]
@@ -247,6 +350,36 @@ mod tests {
         set_num_threads(3);
         let _guard = ResetThreads;
         assert_eq!(num_threads(), 3);
+    }
+
+    #[test]
+    fn thread_source_tracks_the_override() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(5);
+        let _guard = ResetThreads;
+        assert_eq!(num_threads_with_source(), (5, ThreadSource::Override));
+        assert_eq!(ThreadSource::Override.as_str(), "override");
+        set_num_threads(0);
+        // Without an override the source is Env or Auto depending on the
+        // ambient environment — never Override.
+        let (n, source) = num_threads_with_source();
+        assert!(n >= 1);
+        assert_ne!(source, ThreadSource::Override);
+    }
+
+    #[test]
+    fn pool_runs_feed_the_global_metrics() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        let _guard = ResetThreads;
+        let m = trajsim_obs::metrics::global();
+        let runs_before = m.counter("parallel.pool_runs").get();
+        let tasks_before = m.counter("parallel.tasks").get();
+        let items: Vec<u64> = (0..321).collect();
+        let _ = par_map(&items, |_, &x| x + 1);
+        assert_eq!(m.counter("parallel.pool_runs").get(), runs_before + 1);
+        assert_eq!(m.counter("parallel.tasks").get(), tasks_before + 321);
+        assert!(m.counter("parallel.worker_busy_ns").get() > 0);
     }
 
     /// Restores automatic thread selection even if a test panics.

@@ -1,7 +1,8 @@
 //! Combining the three pruning methods (§4.4, Figures 11–13).
 
 use crate::histogram_knn::HistogramVariant;
-use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{edr, edr_counted};
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
@@ -252,6 +253,7 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
 
 impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
         let qh = match self.config.histogram {
             HistogramVariant::Grid { delta } => {
                 QueryHists::Grid(TrajectoryHistogram::build_coarse(query, self.eps, delta))
@@ -267,6 +269,7 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
             database_size: self.dataset.len(),
             ..Default::default()
         };
+        stats.timings.setup_ns = elapsed_ns(t_query);
         let mut result = ResultSet::new(k);
         let mut references: Vec<(usize, usize)> = Vec::new();
         let filters = self.config.order.filters();
@@ -275,10 +278,18 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
         // bound, regardless of the filter order, so the k-th-best distance
         // tightens as fast as possible and — because the visit sequence is
         // shared — all six filter orders prune the same candidate set.
+        //
+        // Stage accounting: the visit-order build (quick bounds + sort) is
+        // charged to the histogram filter's time; each stage's
+        // candidates_in/out count its per-candidate evaluations, so
+        // sorted break-out prunes appear in `pruned_by_histogram` but not
+        // in the histogram stage's candidate flow.
+        let t_filter = Instant::now();
         let mut visit: Vec<(usize, usize)> = (0..self.dataset.len())
             .map(|id| (self.histogram_quick(&qh, id), id))
             .collect();
         visit.sort_unstable();
+        stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
         'candidates: for (rank, &(quick_lb, id)) in visit.iter().enumerate() {
             let s = &self.dataset.trajectories()[id];
             let best = result.best_so_far();
@@ -292,39 +303,54 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                 for filter in filters {
                     let pruned = match filter {
                         Filter::Histogram => {
-                            if self.histogram_exact(&qh, id) > best {
+                            stats.timings.histogram.candidates_in += 1;
+                            let t = Instant::now();
+                            let prune = self.histogram_exact(&qh, id) > best;
+                            stats.timings.histogram.filter_ns += elapsed_ns(t);
+                            if prune {
                                 stats.pruned_by_histogram += 1;
                                 true
                             } else {
+                                stats.timings.histogram.candidates_out += 1;
                                 false
                             }
                         }
                         Filter::Qgram => {
+                            stats.timings.qgram.candidates_in += 1;
+                            let t = Instant::now();
                             let v = q_means.match_count(&self.qgrams[id], self.eps);
-                            if !passes_count_filter(
+                            let prune = !passes_count_filter(
                                 v,
                                 query.len(),
                                 s.len(),
                                 self.config.qgram_q,
                                 best,
-                            ) {
+                            );
+                            stats.timings.qgram.filter_ns += elapsed_ns(t);
+                            if prune {
                                 stats.pruned_by_qgram += 1;
                                 true
                             } else {
+                                stats.timings.qgram.candidates_out += 1;
                                 false
                             }
                         }
                         Filter::NearTriangle => {
+                            stats.timings.triangle.candidates_in += 1;
+                            let t = Instant::now();
                             let lower = references
                                 .iter()
                                 .map(|&(r, dist_qr)| {
                                     dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
                                 })
                                 .max();
-                            if matches!(lower, Some(l) if l > best as i64) {
+                            let prune = matches!(lower, Some(l) if l > best as i64);
+                            stats.timings.triangle.filter_ns += elapsed_ns(t);
+                            if prune {
                                 stats.pruned_by_triangle += 1;
                                 true
                             } else {
+                                stats.timings.triangle.candidates_out += 1;
                                 false
                             }
                         }
@@ -334,7 +360,9 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                     }
                 }
             }
+            let t_refine = Instant::now();
             let (d, cells) = edr_counted(query, s, self.eps);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
             stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
@@ -342,6 +370,8 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
             }
             result.offer(id, d);
         }
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &stats);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,

@@ -17,7 +17,8 @@
 //! hope for, so our ablation is an upper bound on CSE's usefulness (and it
 //! still prunes essentially nothing; see the `cse_ablation` bench).
 
-use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{edr, edr_counted};
 
@@ -134,6 +135,7 @@ impl<'a, const D: usize> CseKnn<'a, D> {
 
 impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
             ..Default::default()
@@ -143,6 +145,9 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
         for (id, s) in self.dataset.iter() {
             let best = result.best_so_far();
             if best != usize::MAX && !references.is_empty() {
+                // CSE is a triangle-style reference bound; its work is
+                // charged to the triangle stage.
+                let t_filter = Instant::now();
                 let lower = references
                     .iter()
                     .map(|&(r, dist_qr)| {
@@ -150,12 +155,15 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
                     })
                     .max()
                     .expect("non-empty references");
+                stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
                 if lower > best as i64 {
                     stats.pruned_by_triangle += 1;
                     continue;
                 }
             }
+            let t_refine = Instant::now();
             let (d, cells) = edr_counted(query, s, self.eps);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
             stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.max_references {
@@ -163,6 +171,10 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
             }
             result.offer(id, d);
         }
+        stats.timings.triangle.candidates_in = stats.database_size;
+        stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &stats);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,

@@ -1,6 +1,7 @@
 //! Histogram-distance pruning (§4.3, Figures 9–10).
 
-use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::edr_counted;
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
@@ -152,24 +153,32 @@ enum QueryHistograms<const D: usize> {
 
 impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
         let qh = self.embed_query(query);
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
             ..Default::default()
         };
+        stats.timings.setup_ns = elapsed_ns(t_query);
         let mut result = ResultSet::new(k);
         match self.mode {
             ScanMode::Sequential => {
                 for (id, s) in self.dataset.iter() {
                     let best = result.best_so_far();
-                    if best != usize::MAX
-                        && (self.quick_bound(&qh, id) > best || self.exact_bound(&qh, id) > best)
-                    {
-                        stats.pruned_by_histogram += 1;
-                        continue;
+                    if best != usize::MAX {
+                        let t_filter = Instant::now();
+                        let pruned =
+                            self.quick_bound(&qh, id) > best || self.exact_bound(&qh, id) > best;
+                        stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
+                        if pruned {
+                            stats.pruned_by_histogram += 1;
+                            continue;
+                        }
                     }
                     stats.edr_computed += 1;
+                    let t_refine = Instant::now();
                     let (d, cells) = edr_counted(query, s, self.eps);
+                    stats.timings.refine_ns += elapsed_ns(t_refine);
                     stats.dp_cells += cells;
                     result.offer(id, d);
                 }
@@ -178,10 +187,12 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                 // Sort by the cheap bound; refine survivors with the exact
                 // one. Both are sound EDR lower bounds, so the break-out
                 // over the sorted cheap bounds dismisses nothing falsely.
+                let t_filter = Instant::now();
                 let mut bounds: Vec<(usize, usize)> = (0..self.dataset.len())
                     .map(|id| (self.quick_bound(&qh, id), id))
                     .collect();
                 bounds.sort_unstable();
+                stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
                 for (rank, &(quick_lb, id)) in bounds.iter().enumerate() {
                     let best = result.best_so_far();
                     if best != usize::MAX {
@@ -190,18 +201,27 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                             stats.pruned_by_histogram += bounds.len() - rank;
                             break;
                         }
-                        if self.exact_bound(&qh, id) > best {
+                        let t_filter = Instant::now();
+                        let pruned = self.exact_bound(&qh, id) > best;
+                        stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
+                        if pruned {
                             stats.pruned_by_histogram += 1;
                             continue;
                         }
                     }
                     stats.edr_computed += 1;
+                    let t_refine = Instant::now();
                     let (d, cells) = edr_counted(query, &self.dataset.trajectories()[id], self.eps);
+                    stats.timings.refine_ns += elapsed_ns(t_refine);
                     stats.dp_cells += cells;
                     result.offer(id, d);
                 }
             }
         }
+        stats.timings.histogram.candidates_in = stats.database_size;
+        stats.timings.histogram.candidates_out = stats.database_size - stats.pruned_by_histogram;
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &stats);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,

@@ -19,7 +19,8 @@
 //! analogue of Theorem 1, so this engine uses histograms only — the
 //! strongest of the three filters in the paper's own study.
 
-use crate::result::QueryStats;
+use crate::result::{elapsed_ns, finish_query, QueryStats};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::lcss_distance;
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
@@ -88,13 +89,16 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
     /// with no false dismissals.
     pub fn knn(&self, query: &Trajectory<D>, k: usize) -> LcssKnnResult {
         assert!(k > 0, "k must be positive");
+        let t_query = Instant::now();
         let qh = TrajectoryHistogram::build(query, self.eps);
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
             ..Default::default()
         };
+        stats.timings.setup_ns = elapsed_ns(t_query);
         // Quick bounds: histogram_distance_quick = max(m, n) − cap with
         // cap >= maximum matching >= LCSS.
+        let t_filter = Instant::now();
         let mut order: Vec<(u64, usize)> = (0..self.dataset.len())
             .map(|id| {
                 let s = &self.dataset.trajectories()[id];
@@ -107,6 +111,7 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
             })
             .collect();
         order.sort_unstable();
+        stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
 
         let mut neighbors: Vec<LcssNeighbor> = Vec::new();
         let best_so_far = |neigh: &Vec<LcssNeighbor>| -> f64 {
@@ -126,15 +131,20 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
                 }
                 // Exact matching bound: M = max(m, n) − HD.
                 let s = &self.dataset.trajectories()[id];
+                let t_filter = Instant::now();
                 let hd = histogram_distance(&qh, &self.hists[id]);
                 let matching = query.len().max(s.len()) - hd;
-                if Self::distance_bound(matching, query.len(), s.len()) > best {
+                let prune = Self::distance_bound(matching, query.len(), s.len()) > best;
+                stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
+                if prune {
                     stats.pruned_by_histogram += 1;
                     continue;
                 }
             }
             let s = &self.dataset.trajectories()[id];
+            let t_refine = Instant::now();
             let d = lcss_distance(query, s, self.eps);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
             stats.edr_computed += 1; // "true distance computed" counter
             let pos = neighbors.partition_point(|n| n.dist <= d);
             if pos < k {
@@ -142,6 +152,10 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
                 neighbors.truncate(k);
             }
         }
+        stats.timings.histogram.candidates_in = stats.database_size;
+        stats.timings.histogram.candidates_out = stats.database_size - stats.pruned_by_histogram;
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query("LCSS-HSR", &stats);
         LcssKnnResult { neighbors, stats }
     }
 }

@@ -19,7 +19,11 @@
 //! multiset as [`SequentialScan`] (the property tests verify this — the
 //! paper's central "no false dismissals" claim), and reports
 //! [`QueryStats`] with the number of true-distance computations saved,
-//! from which the experiments derive *pruning power*.
+//! from which the experiments derive *pruning power*. Each query also
+//! carries a [`StageTimings`] breakdown — wall time and candidate flow
+//! per filter stage plus EDR refinement time — and every engine feeds the
+//! global `trajsim-obs` metrics registry (`knn.*` counters/histograms)
+//! and emits a `knn.query` trace event.
 //!
 //! Extensions beyond the paper's pseudocode are flagged in the item docs:
 //! the per-candidate (rather than global) Theorem-1 cut-off in
@@ -50,5 +54,5 @@ pub use lcss_knn::{
 pub use near_triangle::NearTriangleKnn;
 pub use qgram_knn::{QgramKnn, QgramVariant};
 pub use range::range_query;
-pub use result::{KnnEngine, KnnResult, Neighbor, QueryStats};
+pub use result::{KnnEngine, KnnResult, Neighbor, QueryStats, StageStats, StageTimings};
 pub use seqscan::SequentialScan;

@@ -1,6 +1,7 @@
 //! Near-triangle-inequality pruning (§4.2, Figure 4, Table 3).
 
-use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{edr, edr_counted};
 
@@ -91,6 +92,7 @@ impl<'a, const D: usize> NearTriangleKnn<'a, D> {
 
 impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
             ..Default::default()
@@ -101,6 +103,7 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
         for (id, s) in self.dataset.iter() {
             let best = result.best_so_far();
             if best != usize::MAX && !references.is_empty() {
+                let t_filter = Instant::now();
                 let lower = references
                     .iter()
                     .map(|&(r, dist_qr)| {
@@ -108,12 +111,15 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
                     })
                     .max()
                     .expect("non-empty references");
+                stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
                 if lower > best as i64 {
                     stats.pruned_by_triangle += 1;
                     continue;
                 }
             }
+            let t_refine = Instant::now();
             let (d, cells) = edr_counted(query, s, self.eps);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
             stats.dp_cells += cells;
             stats.edr_computed += 1;
             if id < self.pmatrix.len() && references.len() < self.max_triangle {
@@ -121,6 +127,10 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
             }
             result.offer(id, d);
         }
+        stats.timings.triangle.candidates_in = stats.database_size;
+        stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &stats);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,

@@ -1,7 +1,8 @@
 //! Mean-value Q-gram pruning (§4.1): the four implementation variants
 //! compared in Figures 7–8.
 
-use crate::result::{KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::edr_counted;
 use trajsim_index::{Aabb, BPlusTree, RStarTree};
@@ -198,6 +199,11 @@ impl<'a, const D: usize> QgramKnn<'a, D> {
 
 impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
+        // The bulk counter pass plus the descending-counter ordering is
+        // the q-gram filter's own work; the per-candidate Theorem 1 test
+        // below is plain arithmetic and lands in `other_ns`.
+        let t_filter = Instant::now();
         let counters = self.counters(query);
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
@@ -206,6 +212,7 @@ impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
         // Visit candidates in descending counter order (Figure 3, line 5).
         let mut order: Vec<usize> = (0..self.dataset.len()).collect();
         order.sort_by(|&a, &b| counters[b].cmp(&counters[a]).then(a.cmp(&b)));
+        stats.timings.qgram.filter_ns = elapsed_ns(t_filter);
 
         let mut result = ResultSet::new(k);
         let lq = query.len();
@@ -229,10 +236,16 @@ impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
                 }
             }
             stats.edr_computed += 1;
+            let t_refine = Instant::now();
             let (d, cells) = edr_counted(query, s, self.eps);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
             stats.dp_cells += cells;
             result.offer(id, d);
         }
+        stats.timings.qgram.candidates_in = stats.database_size;
+        stats.timings.qgram.candidates_out = stats.database_size - stats.pruned_by_qgram;
+        stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &stats);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,

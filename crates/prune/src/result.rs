@@ -1,6 +1,106 @@
-//! Query results, statistics, and the engine trait.
+//! Query results, statistics, per-stage timings, and the engine trait.
 
+use serde_json::{json, Value};
 use trajsim_core::Trajectory;
+
+/// Candidate flow and wall time through one pruning filter: how many
+/// candidates the filter examined, how many survived it, and how long the
+/// filter's own work took (bound computation and comparison — not the EDR
+/// refinement of the survivors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Candidates the filter examined.
+    pub candidates_in: usize,
+    /// Candidates that survived the filter (passed on downstream).
+    pub candidates_out: usize,
+    /// Wall time spent inside the filter, in nanoseconds.
+    pub filter_ns: u64,
+}
+
+impl StageStats {
+    /// Candidates this filter eliminated.
+    pub fn pruned(&self) -> usize {
+        self.candidates_in.saturating_sub(self.candidates_out)
+    }
+
+    /// Merges another stage's counters into this one.
+    pub fn accumulate(&mut self, other: &StageStats) {
+        self.candidates_in += other.candidates_in;
+        self.candidates_out += other.candidates_out;
+        self.filter_ns += other.filter_ns;
+    }
+
+    fn to_json(self) -> Value {
+        json!({
+            "candidates_in": self.candidates_in,
+            "candidates_out": self.candidates_out,
+            "filter_ns": self.filter_ns,
+        })
+    }
+}
+
+/// Per-stage wall-time breakdown of one k-NN query: index/embedding setup,
+/// each pruning filter (with candidate flow), and the EDR refinement of
+/// whatever survived. Stages an engine does not run stay zero.
+///
+/// Serial engines measure wall time directly. The parallel sequential scan
+/// reports `refine_ns` as busy time *summed across workers*, so it can
+/// exceed `total_ns` (which is always wall time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Query-side setup before any candidate is examined (query histogram
+    /// embedding, reference-row lookup).
+    pub setup_ns: u64,
+    /// The histogram lower-bound filter (quick and exact bounds, and the
+    /// HSR visit-order build where applicable).
+    pub histogram: StageStats,
+    /// The q-gram count filter.
+    pub qgram: StageStats,
+    /// The (near-)triangle-inequality filter.
+    pub triangle: StageStats,
+    /// True-distance (EDR/LCSS) computation over surviving candidates.
+    pub refine_ns: u64,
+    /// End-to-end wall time of the query.
+    pub total_ns: u64,
+}
+
+impl StageTimings {
+    /// Merges another query's stage breakdown into this one (for averaging
+    /// over query workloads).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.setup_ns += other.setup_ns;
+        self.histogram.accumulate(&other.histogram);
+        self.qgram.accumulate(&other.qgram);
+        self.triangle.accumulate(&other.triangle);
+        self.refine_ns += other.refine_ns;
+        self.total_ns += other.total_ns;
+    }
+
+    /// Wall time not attributed to any named stage (result-set upkeep,
+    /// visit-order iteration, instrumentation itself).
+    pub fn other_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(
+            self.setup_ns
+                + self.histogram.filter_ns
+                + self.qgram.filter_ns
+                + self.triangle.filter_ns
+                + self.refine_ns,
+        )
+    }
+
+    /// JSON object mirroring the struct, shared by the CLI's
+    /// `--metrics-out` and the bench harness result files.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "setup_ns": self.setup_ns,
+            "histogram": self.histogram.to_json(),
+            "qgram": self.qgram.to_json(),
+            "triangle": self.triangle.to_json(),
+            "refine_ns": self.refine_ns,
+            "total_ns": self.total_ns,
+        })
+    }
+}
 
 /// One k-NN answer: a database trajectory id and its EDR distance to the
 /// query.
@@ -32,12 +132,20 @@ pub struct QueryStats {
     /// work the pruning saved shows up here as *missing* cells (cf. the
     /// kernel accounting in `trajsim-distance::kernel`).
     pub dp_cells: u64,
+    /// Per-stage wall-time breakdown and per-filter candidate flow.
+    pub timings: StageTimings,
 }
 
 impl QueryStats {
     /// Total candidates pruned (true distance never computed).
     pub fn pruned(&self) -> usize {
-        self.database_size - self.edr_computed
+        debug_assert!(
+            self.edr_computed <= self.database_size,
+            "edr_computed ({}) exceeds database_size ({})",
+            self.edr_computed,
+            self.database_size
+        );
+        self.database_size.saturating_sub(self.edr_computed)
     }
 
     /// The paper's pruning power: `pruned / N` (0 for an empty database).
@@ -58,7 +166,56 @@ impl QueryStats {
         self.pruned_by_qgram += other.pruned_by_qgram;
         self.pruned_by_triangle += other.pruned_by_triangle;
         self.dp_cells += other.dp_cells;
+        self.timings.accumulate(&other.timings);
     }
+
+    /// JSON object with every counter plus the stage breakdown under
+    /// `"stages"` — the shared shape for `--metrics-out` and bench files.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "database_size": self.database_size,
+            "edr_computed": self.edr_computed,
+            "pruned": self.pruned(),
+            "pruned_by_histogram": self.pruned_by_histogram,
+            "pruned_by_qgram": self.pruned_by_qgram,
+            "pruned_by_triangle": self.pruned_by_triangle,
+            "pruning_power": self.pruning_power(),
+            "dp_cells": self.dp_cells,
+            "stages": self.timings.to_json(),
+        })
+    }
+}
+
+/// One-stop query epilogue every engine calls right before returning:
+/// bumps the global metrics registry and emits a `knn.query` debug event
+/// with the headline numbers. Metrics are relaxed atomics; the trace event
+/// costs one atomic load when tracing is off.
+pub(crate) fn finish_query(engine: &str, stats: &QueryStats) {
+    let m = trajsim_obs::metrics::global();
+    m.counter("knn.queries").inc();
+    m.counter("knn.edr_computed").add(stats.edr_computed as u64);
+    m.counter("knn.pruned").add(stats.pruned() as u64);
+    m.counter("knn.dp_cells").add(stats.dp_cells);
+    m.histogram("knn.query_ns").record(stats.timings.total_ns);
+    m.histogram("knn.refine_ns").record(stats.timings.refine_ns);
+    trajsim_obs::event!(
+        trajsim_obs::Level::Debug,
+        "knn.query",
+        engine = engine,
+        database_size = stats.database_size,
+        edr_computed = stats.edr_computed,
+        pruned = stats.pruned(),
+        dp_cells = stats.dp_cells,
+        total_ns = stats.timings.total_ns,
+        refine_ns = stats.timings.refine_ns,
+    );
+}
+
+/// Elapsed nanoseconds since `start`, saturating into `u64` — the stage
+/// stopwatch used by every engine.
+#[inline]
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The result of a k-NN query: up to `k` neighbours in ascending distance
@@ -224,11 +381,112 @@ mod tests {
             pruned_by_qgram: 2,
             pruned_by_triangle: 1,
             dp_cells: 640,
+            ..Default::default()
         };
         a.accumulate(&a.clone());
         assert_eq!(a.database_size, 20);
         assert_eq!(a.edr_computed, 8);
         assert_eq!(a.pruned_by_histogram, 6);
         assert_eq!(a.dp_cells, 1280);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_adds_every_field() {
+        let one = StageTimings {
+            setup_ns: 10,
+            histogram: StageStats {
+                candidates_in: 100,
+                candidates_out: 40,
+                filter_ns: 7,
+            },
+            qgram: StageStats {
+                candidates_in: 40,
+                candidates_out: 25,
+                filter_ns: 5,
+            },
+            triangle: StageStats {
+                candidates_in: 25,
+                candidates_out: 20,
+                filter_ns: 3,
+            },
+            refine_ns: 50,
+            total_ns: 90,
+        };
+        let mut acc = StageTimings::default();
+        acc.accumulate(&one);
+        acc.accumulate(&one);
+        assert_eq!(acc.setup_ns, 20);
+        assert_eq!(acc.histogram.candidates_in, 200);
+        assert_eq!(acc.histogram.candidates_out, 80);
+        assert_eq!(acc.histogram.pruned(), 120);
+        assert_eq!(acc.qgram.filter_ns, 10);
+        assert_eq!(acc.triangle.candidates_out, 40);
+        assert_eq!(acc.refine_ns, 100);
+        assert_eq!(acc.total_ns, 180);
+        // Unattributed remainder: 180 − (20 + 14 + 10 + 6 + 100).
+        assert_eq!(acc.other_ns(), 30);
+    }
+
+    #[test]
+    fn stage_timings_survive_stats_accumulate() {
+        let mut a = QueryStats {
+            database_size: 10,
+            edr_computed: 4,
+            ..Default::default()
+        };
+        a.timings.refine_ns = 11;
+        a.timings.total_ns = 13;
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.timings.refine_ns, 22);
+        assert_eq!(a.timings.total_ns, 26);
+    }
+
+    #[test]
+    fn pruned_saturates_instead_of_wrapping() {
+        // Release builds must degrade gracefully on inconsistent counters
+        // (debug builds assert).
+        let s = QueryStats {
+            database_size: 3,
+            edr_computed: 5,
+            ..Default::default()
+        };
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| s.pruned()).is_err());
+        } else {
+            assert_eq!(s.pruned(), 0);
+        }
+    }
+
+    #[test]
+    fn stats_json_has_the_stage_keys() {
+        let mut s = QueryStats {
+            database_size: 8,
+            edr_computed: 2,
+            ..Default::default()
+        };
+        s.timings.setup_ns = 5;
+        s.timings.qgram = StageStats {
+            candidates_in: 8,
+            candidates_out: 2,
+            filter_ns: 3,
+        };
+        let v = s.to_json();
+        assert_eq!(v.get("pruned").and_then(Value::as_u64), Some(6));
+        let stages = v.get("stages").expect("stages key");
+        assert_eq!(stages.get("setup_ns").and_then(Value::as_u64), Some(5));
+        let qgram = stages.get("qgram").expect("qgram stage");
+        assert_eq!(qgram.get("candidates_in").and_then(Value::as_u64), Some(8));
+        assert_eq!(qgram.get("candidates_out").and_then(Value::as_u64), Some(2));
+        // The serialized form round-trips through the parser.
+        let text = serde_json::to_string(&v).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            back.get("stages")
+                .and_then(|s| s.get("qgram"))
+                .and_then(|q| q.get("filter_ns"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! The sequential-scan baseline: true EDR against every trajectory.
 
-use crate::result::{KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet};
+use crate::result::{
+    elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
+};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{edr_counted, edr_within_counted};
 
@@ -66,6 +69,9 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
             database_size: self.dataset.len(),
             ..Default::default()
         };
+        // The whole scan is refinement: one stopwatch around the loop
+        // keeps the instrumentation overhead at two clock reads per query.
+        let t_refine = Instant::now();
         for (id, s) in self.dataset.iter() {
             stats.edr_computed += 1;
             if self.early_abandon {
@@ -89,6 +95,7 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
                 result.offer(id, d);
             }
         }
+        stats.timings.refine_ns = elapsed_ns(t_refine);
         KnnResult {
             neighbors: result.into_neighbors(),
             stats,
@@ -117,8 +124,10 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
         let shared_bound = AtomicUsize::new(usize::MAX);
         let computed = AtomicUsize::new(0);
         let cells_total = AtomicU64::new(0);
+        let busy_total = AtomicU64::new(0);
         let partials: Vec<Vec<Neighbor>> =
             trajsim_parallel::par_map(&chunks, |_, &(base, trajs)| {
+                let t_chunk = Instant::now();
                 let mut local = ResultSet::new(k);
                 let mut cells_local = 0u64;
                 for (off, s) in trajs.iter().enumerate() {
@@ -146,30 +155,39 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
                 }
                 computed.fetch_add(trajs.len(), Ordering::Relaxed);
                 cells_total.fetch_add(cells_local, Ordering::Relaxed);
+                busy_total.fetch_add(elapsed_ns(t_chunk), Ordering::Relaxed);
                 local.into_neighbors()
             });
         let mut merged: Vec<Neighbor> = partials.into_iter().flatten().collect();
         merged.sort_by_key(|nb| (nb.dist, nb.id));
         merged.truncate(k);
+        let mut stats = QueryStats {
+            database_size: n,
+            edr_computed: computed.load(Ordering::Relaxed),
+            dp_cells: cells_total.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        // Summed across workers, so it can exceed the query's wall time.
+        stats.timings.refine_ns = busy_total.load(Ordering::Relaxed);
         KnnResult {
             neighbors: merged,
-            stats: QueryStats {
-                database_size: n,
-                edr_computed: computed.load(Ordering::Relaxed),
-                dp_cells: cells_total.load(Ordering::Relaxed),
-                ..Default::default()
-            },
+            stats,
         }
     }
 }
 
 impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
-        if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
-            self.knn_parallel(query, k)
-        } else {
-            self.knn_serial(query, k)
-        }
+        let t_query = Instant::now();
+        let mut r =
+            if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
+                self.knn_parallel(query, k)
+            } else {
+                self.knn_serial(query, k)
+            };
+        r.stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &r.stats);
+        r
     }
 
     fn name(&self) -> String {
@@ -187,6 +205,7 @@ impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StageStats;
     use trajsim_core::Trajectory2;
 
     fn eps(v: f64) -> MatchThreshold {
@@ -273,6 +292,22 @@ mod tests {
             assert_eq!(par_ea.neighbors, serial_ea.neighbors, "EA k={k}");
         }
         trajsim_parallel::set_num_threads(0);
+    }
+
+    #[test]
+    fn stage_timings_cover_the_scan() {
+        let data = db();
+        let q = Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]);
+        let r = SequentialScan::new(&data, eps(0.25)).knn(&q, 2);
+        let t = r.stats.timings;
+        assert!(t.total_ns > 0);
+        assert!(t.refine_ns > 0);
+        assert!(t.refine_ns <= t.total_ns, "serial refine is wall-clocked");
+        // A pure scan has no filter stages.
+        assert_eq!(t.setup_ns, 0);
+        assert_eq!(t.histogram, StageStats::default());
+        assert_eq!(t.qgram, StageStats::default());
+        assert_eq!(t.triangle, StageStats::default());
     }
 
     #[test]

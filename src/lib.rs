@@ -31,6 +31,8 @@ pub use trajsim_eval as eval;
 pub use trajsim_histogram as histogram;
 pub use trajsim_index as index;
 pub use trajsim_io as io;
+pub use trajsim_obs as obs;
+pub use trajsim_parallel as parallel;
 pub use trajsim_prune as prune;
 pub use trajsim_qgram as qgram;
 pub use trajsim_related as related;
@@ -47,7 +49,7 @@ pub mod prelude {
     pub use trajsim_histogram::{histogram_distance, TrajectoryHistogram};
     pub use trajsim_prune::{
         CombinedKnn, HistogramKnn, KnnEngine, KnnResult, NearTriangleKnn, PruneOrder, QgramKnn,
-        SequentialScan,
+        QueryStats, SequentialScan, StageTimings,
     };
     pub use trajsim_qgram::{mean_value_qgrams, qgram_count_lower_bound};
 }

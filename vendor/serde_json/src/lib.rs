@@ -9,6 +9,11 @@
 //! Differences from the real crate: [`Map`] preserves insertion order
 //! (like serde_json's `preserve_order` feature), and non-finite floats
 //! serialize as `null`.
+//!
+//! [`from_str`] parses JSON text back into a [`Value`] (the observability
+//! pipeline validates its own emitted metrics/trace files with it); it
+//! accepts exactly RFC 8259 with the usual serde_json relaxations (no
+//! comments, no trailing commas).
 
 #![forbid(unsafe_code)]
 
@@ -98,6 +103,75 @@ impl Map {
     }
 }
 
+impl Value {
+    /// Object member access: `value.get("key")`, `None` off objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::NegInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Any number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
 macro_rules! impl_from_int {
     ($($t:ty),+ $(,)?) => {$(
         impl From<$t> for Value {
@@ -161,14 +235,29 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
     }
 }
 
-/// Serialization failure. Building values imperatively cannot fail, so
-/// this is never produced; it exists so signatures match the real crate.
+/// Serialization or parse failure. Building values imperatively cannot
+/// fail, so serialization never produces this; [`from_str`] reports the
+/// byte offset and nature of a syntax error.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(offset: usize, what: impl fmt::Display) -> Error {
+        Error {
+            msg: format!("{what} at byte {offset}"),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialization error")
+        if self.msg.is_empty() {
+            write!(f, "json serialization error")
+        } else {
+            write!(f, "json error: {}", self.msg)
+        }
     }
 }
 
@@ -271,6 +360,269 @@ fn push_escaped(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Reports the byte offset of the first syntax error; trailing
+/// non-whitespace after the value is an error too.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON parser over raw bytes (string contents are
+/// re-validated as UTF-8 when sliced back out).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::at(self.pos, format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::at(self.pos, format!("unexpected {:?}", c as char))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::at(start, "invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let scalar = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: require the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(Error::at(self.pos, "unpaired surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| Error::at(self.pos, "invalid codepoint"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::at(
+                                self.pos - 1,
+                                format!("invalid escape {:?}", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::at(self.pos, "control character in string")),
+                None => return Err(Error::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::at(self.pos, "truncated \\u escape"))?;
+        let text =
+            std::str::from_utf8(slice).map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        let v =
+            u32::from_str_radix(text, 16).map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(Error::at(self.pos, "expected digit"));
+        }
+        // Leading-zero rule: 0 must not be followed by another digit.
+        if self.peek() == Some(b'0') {
+            self.pos += 1;
+        } else {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(Error::at(self.pos, "expected fraction digit"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(Error::at(self.pos, "expected exponent digit"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+            // Out-of-range integer: fall through to f64 like serde_json's
+            // arbitrary_precision-off behaviour.
+        }
+        let v = text
+            .parse::<f64>()
+            .map_err(|_| Error::at(start, "invalid number"))?;
+        if v.is_finite() {
+            Ok(Value::Number(Number::Float(v)))
+        } else {
+            Err(Error::at(start, "number out of range"))
+        }
+    }
 }
 
 /// Fresh array buffer for [`json!`] expansion (a function call so the
@@ -410,5 +762,76 @@ mod tests {
     fn empty_containers_print_compact() {
         assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
         assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_round_trips_own_output() {
+        let v = json!({
+            "a": 1,
+            "b": [1.5, -2, true, null],
+            "c": { "d": "x\"y\n", "e": [] },
+            "f": 1e3,
+            "g": -0.25,
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "tab\t quote\" u\u00e9 pair\ud83d\ude00"}"#).unwrap();
+        assert_eq!(
+            v.get("s").unwrap().as_str(),
+            Some("tab\t quote\" ué pair😀")
+        );
+    }
+
+    #[test]
+    fn parse_number_forms() {
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str("2.5e2").unwrap().as_f64(), Some(250.0));
+        assert_eq!(from_str("0").unwrap().as_u64(), Some(0));
+        // u64-overflowing integers degrade to floats, as in serde_json
+        // with arbitrary_precision off.
+        assert_eq!(
+            from_str("99999999999999999999999").unwrap().as_f64(),
+            Some(1e23)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"",
+            "[1] x",
+            "nan",
+            "+1",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_select_the_right_variant() {
+        let v = json!({ "n": 3, "s": "x", "b": false, "a": [1] });
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.as_object().is_some());
+        assert!(v.get("missing").is_none());
+        assert!(v.get("s").unwrap().as_u64().is_none());
     }
 }
