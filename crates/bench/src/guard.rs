@@ -1,0 +1,681 @@
+//! The continuous-benchmark regression guard: a pinned micro-suite of
+//! EDR kernels and pruning engines, timestamped result files, and a
+//! noise-aware comparison against a committed baseline.
+//!
+//! Raw wall times are useless across machines, so every case is scored
+//! relative to a per-suite *anchor* case measured in the same process:
+//! `score = median(case) / median(anchor)`. Anchor-normalized scores are
+//! ratios of similar work and transfer across hardware far better than
+//! seconds do. The comparison tolerance widens with the measured
+//! dispersion of both sides (median absolute deviation relative to the
+//! median), so noisy environments do not produce false alarms — and a
+//! genuine 2x slowdown still always trips the guard (the tolerance is
+//! capped well below 100%). The model is documented in `DESIGN.md` §9.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use trajsim_data::{random_walk_set, seeded_rng, LengthDistribution};
+use trajsim_distance::{edr, edr_within};
+use trajsim_prune::{
+    CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, NearTriangleKnn,
+    QgramKnn, QgramVariant, QueryStats, ScanMode, SequentialScan,
+};
+
+/// Median of a sample (mean of the middle pair for even sizes).
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation: `median(|x - median(xs)|)` — the robust
+/// dispersion measure the guard's noise model is built on.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// The machine identity recorded in every result file, so a baseline
+/// measured elsewhere is recognizable as such.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+}
+
+impl Fingerprint {
+    /// The fingerprint of the current process.
+    pub fn current() -> Fingerprint {
+        let (threads, _) = trajsim_parallel::num_threads_with_source();
+        Fingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            threads,
+        }
+    }
+}
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name (`edr_128`, `filter_qgram`, ...).
+    pub name: String,
+    /// Every run's wall time, seconds, in measurement order.
+    pub runs_s: Vec<f64>,
+    /// Median wall time, seconds.
+    pub median_s: f64,
+    /// Median absolute deviation of the runs, seconds.
+    pub mad_s: f64,
+    /// `median_s / anchor median_s` — the machine-portable number the
+    /// guard compares. The anchor case scores exactly 1.
+    pub score: f64,
+    /// Accumulated query statistics, for engine cases (kernel cases have
+    /// none). Counters are deterministic; only timings vary run to run.
+    pub stats: Option<QueryStats>,
+}
+
+impl CaseResult {
+    /// `mad_s / median_s`: the case's relative dispersion, the input of
+    /// the noise-aware tolerance.
+    pub fn rel_dispersion(&self) -> f64 {
+        if self.median_s > 0.0 {
+            self.mad_s / self.median_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One full suite measurement: what `BENCH_<suite>.json` holds.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Suite name (`kernels` or `filters`).
+    pub suite: String,
+    /// Name of the anchor case every score is normalized by.
+    pub anchor: String,
+    /// Seconds since the Unix epoch when the suite ran.
+    pub timestamp_unix_s: u64,
+    /// Runs measured per case.
+    pub runs_per_case: usize,
+    /// Machine identity of the measurement.
+    pub fingerprint: Fingerprint,
+    /// Every case, anchor first.
+    pub cases: Vec<CaseResult>,
+}
+
+/// How to run a suite.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Timed repetitions per case (median over these). Default 5.
+    pub runs: usize,
+    /// `(case name, factor)` pairs: multiply the measured times of the
+    /// named case by the factor. A self-test knob — `--inject edr_128:2.0`
+    /// demonstrates that the guard catches a 2x slowdown without having
+    /// to plant one in the kernel.
+    pub inject: Vec<(String, f64)>,
+    /// Shrink data sizes to test scale (for the guard's own tests and
+    /// smoke runs; baselines must use `quick: false`).
+    pub quick: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            runs: 5,
+            inject: Vec::new(),
+            quick: false,
+        }
+    }
+}
+
+/// The two pinned suites.
+pub const SUITES: [&str; 2] = ["kernels", "filters"];
+
+struct Case<'a> {
+    name: String,
+    work: Box<dyn FnMut() -> Option<QueryStats> + 'a>,
+}
+
+fn measure(cases: Vec<Case<'_>>, anchor: &str, suite: &str, cfg: &GuardConfig) -> SuiteRun {
+    let mut results: Vec<CaseResult> = Vec::new();
+    for mut case in cases {
+        let mut runs_s = Vec::with_capacity(cfg.runs);
+        let mut stats: Option<QueryStats> = None;
+        for _ in 0..cfg.runs {
+            let t = Instant::now();
+            let s = (case.work)();
+            runs_s.push(t.elapsed().as_secs_f64());
+            stats = s.or(stats);
+        }
+        if let Some((_, factor)) = cfg.inject.iter().find(|(n, _)| *n == case.name) {
+            for r in &mut runs_s {
+                *r *= factor;
+            }
+        }
+        let median_s = median(&runs_s);
+        results.push(CaseResult {
+            name: std::mem::take(&mut case.name),
+            median_s,
+            mad_s: mad(&runs_s),
+            runs_s,
+            score: 0.0, // filled below once the anchor median is known
+            stats,
+        });
+    }
+    let anchor_median = results
+        .iter()
+        .find(|c| c.name == anchor)
+        .map(|c| c.median_s)
+        .expect("anchor case is part of the suite");
+    for c in &mut results {
+        c.score = if anchor_median > 0.0 {
+            c.median_s / anchor_median
+        } else {
+            1.0
+        };
+    }
+    SuiteRun {
+        suite: suite.to_string(),
+        anchor: anchor.to_string(),
+        timestamp_unix_s: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        runs_per_case: cfg.runs,
+        fingerprint: Fingerprint::current(),
+        cases: results,
+    }
+}
+
+/// Runs the named suite.
+///
+/// - `kernels` times the EDR kernels on pinned random-walk pairs:
+///   full-matrix EDR at three lengths (anchor: the longest) and the
+///   early-abandoning `edr_within` at a tight bound.
+/// - `filters` times each pruning engine answering a pinned k-NN
+///   workload (anchor: the sequential scan), so a regression in any
+///   single filter is attributable.
+///
+/// # Errors
+///
+/// Fails on an unknown suite name.
+pub fn run_suite(suite: &str, cfg: &GuardConfig) -> Result<SuiteRun, String> {
+    match suite {
+        "kernels" => Ok(run_kernels(cfg)),
+        "filters" => Ok(run_filters(cfg)),
+        other => Err(format!("unknown suite {other:?} (kernels|filters)")),
+    }
+}
+
+fn run_kernels(cfg: &GuardConfig) -> SuiteRun {
+    let (lens, reps): (&[usize], usize) = if cfg.quick {
+        (&[16, 32, 64], 1)
+    } else {
+        (&[64, 128, 256], 3)
+    };
+    let mut rng = seeded_rng(0xBEEF);
+    let pairs: Vec<_> = lens
+        .iter()
+        .map(|&len| {
+            let ds = random_walk_set(
+                &mut rng,
+                2,
+                LengthDistribution::Uniform { min: len, max: len },
+            );
+            let eps = crate::pick_eps(&ds);
+            (ds, eps)
+        })
+        .collect();
+    let anchor = format!("edr_{}", lens[2]);
+    let mut cases: Vec<Case<'_>> = Vec::new();
+    for (i, &len) in lens.iter().enumerate() {
+        let (ds, eps) = &pairs[i];
+        let (r, s) = (&ds.trajectories()[0], &ds.trajectories()[1]);
+        cases.push(Case {
+            name: format!("edr_{len}"),
+            work: Box::new(move || {
+                for _ in 0..reps {
+                    std::hint::black_box(edr(r, s, *eps));
+                }
+                None
+            }),
+        });
+    }
+    // Early-abandoning kernel under a tight bound, on the longest pair.
+    let (ds, eps) = &pairs[2];
+    let (r, s) = (&ds.trajectories()[0], &ds.trajectories()[1]);
+    let bound = r.len() / 8;
+    cases.push(Case {
+        name: format!("edr_within_{}", lens[2]),
+        work: Box::new(move || {
+            for _ in 0..reps {
+                std::hint::black_box(edr_within(r, s, *eps, bound));
+            }
+            None
+        }),
+    });
+    measure(cases, &anchor, "kernels", cfg)
+}
+
+fn run_filters(cfg: &GuardConfig) -> SuiteRun {
+    let (n, lens, queries, k, pool) = if cfg.quick {
+        (16, (16, 48), 3, 3, 8)
+    } else {
+        (96, (30, 192), 5, 5, 48)
+    };
+    let ds = random_walk_set(
+        &mut seeded_rng(0xF00D),
+        n,
+        LengthDistribution::Uniform {
+            min: lens.0,
+            max: lens.1,
+        },
+    );
+    let eps = crate::retrieval_eps(&ds);
+    let qs = crate::probing_queries(&ds, queries);
+    let scan = SequentialScan::new(&ds, eps);
+    let qgram = QgramKnn::build(&ds, eps, 1, QgramVariant::MergeJoin2d);
+    let histogram = HistogramKnn::build(&ds, eps, HistogramVariant::PerDimension, ScanMode::Sorted);
+    let triangle = NearTriangleKnn::build(&ds, eps, pool);
+    let combined = CombinedKnn::build(
+        &ds,
+        eps,
+        CombinedConfig {
+            max_triangle: pool,
+            ..Default::default()
+        },
+    );
+    let workload = |engine: &dyn Fn(usize) -> QueryStats| -> QueryStats {
+        let mut acc = QueryStats::default();
+        for qi in 0..qs.len() {
+            acc.accumulate(&engine(qi));
+        }
+        acc
+    };
+    let cases: Vec<Case<'_>> = vec![
+        Case {
+            name: "seqscan".into(),
+            work: Box::new(|| Some(workload(&|qi| scan.knn(&qs[qi], k).stats))),
+        },
+        Case {
+            name: "filter_qgram".into(),
+            work: Box::new(|| Some(workload(&|qi| qgram.knn(&qs[qi], k).stats))),
+        },
+        Case {
+            name: "filter_histogram".into(),
+            work: Box::new(|| Some(workload(&|qi| histogram.knn(&qs[qi], k).stats))),
+        },
+        Case {
+            name: "filter_triangle".into(),
+            work: Box::new(|| Some(workload(&|qi| triangle.knn(&qs[qi], k).stats))),
+        },
+        Case {
+            name: "filter_combined".into(),
+            work: Box::new(|| Some(workload(&|qi| combined.knn(&qs[qi], k).stats))),
+        },
+    ];
+    measure(cases, "seqscan", "filters", cfg)
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+impl SuiteRun {
+    /// The `BENCH_<suite>.json` document.
+    pub fn to_json(&self) -> serde_json::Value {
+        let cases: Vec<serde_json::Value> = self
+            .cases
+            .iter()
+            .map(|c| {
+                let runs: Vec<serde_json::Value> = c
+                    .runs_s
+                    .iter()
+                    .map(|&r| serde_json::Value::from(r))
+                    .collect();
+                serde_json::json!({
+                    "name": c.name.as_str(),
+                    "runs_s": serde_json::Value::Array(runs),
+                    "median_s": c.median_s,
+                    "mad_s": c.mad_s,
+                    "score": c.score,
+                    "stats": match &c.stats {
+                        Some(s) => s.to_json(),
+                        None => serde_json::Value::Null,
+                    },
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "suite": self.suite.as_str(),
+            "anchor": self.anchor.as_str(),
+            "timestamp_unix_s": self.timestamp_unix_s,
+            "runs_per_case": self.runs_per_case,
+            "fingerprint": {
+                "os": self.fingerprint.os.as_str(),
+                "arch": self.fingerprint.arch.as_str(),
+                "threads": self.fingerprint.threads,
+            },
+            "cases": serde_json::Value::Array(cases),
+        })
+    }
+
+    /// Parses a `BENCH_<suite>.json` document. Only the fields the
+    /// comparison needs are required; per-case `stats` are not read back.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing or mistyped fields.
+    pub fn from_json(v: &serde_json::Value) -> Result<SuiteRun, String> {
+        let str_field = |v: &serde_json::Value, k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let f64_field = |v: &serde_json::Value, k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let fp = v.get("fingerprint").ok_or("missing fingerprint")?;
+        let cases_json = v
+            .get("cases")
+            .and_then(|x| x.as_array())
+            .ok_or("missing cases array")?;
+        let mut cases = Vec::with_capacity(cases_json.len());
+        for c in cases_json {
+            let runs_s: Vec<f64> = c
+                .get("runs_s")
+                .and_then(|x| x.as_array())
+                .map(|a| a.iter().filter_map(|x| x.as_f64()).collect())
+                .unwrap_or_default();
+            cases.push(CaseResult {
+                name: str_field(c, "name")?,
+                runs_s,
+                median_s: f64_field(c, "median_s")?,
+                mad_s: f64_field(c, "mad_s")?,
+                score: f64_field(c, "score")?,
+                stats: None,
+            });
+        }
+        Ok(SuiteRun {
+            suite: str_field(v, "suite")?,
+            anchor: str_field(v, "anchor")?,
+            timestamp_unix_s: v
+                .get("timestamp_unix_s")
+                .and_then(|x| x.as_u64())
+                .unwrap_or(0),
+            runs_per_case: v.get("runs_per_case").and_then(|x| x.as_u64()).unwrap_or(0) as usize,
+            fingerprint: Fingerprint {
+                os: str_field(fp, "os")?,
+                arch: str_field(fp, "arch")?,
+                threads: fp.get("threads").and_then(|x| x.as_u64()).unwrap_or(0) as usize,
+            },
+            cases,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// One case's baseline-vs-current verdict.
+#[derive(Debug, Clone)]
+pub struct CaseCompare {
+    /// Case name.
+    pub name: String,
+    /// Baseline anchor-normalized score.
+    pub base_score: f64,
+    /// Current anchor-normalized score.
+    pub cur_score: f64,
+    /// `(cur − base) / base`: positive means slower than baseline.
+    pub rel_change: f64,
+    /// The noise-aware threshold `rel_change` was held against.
+    pub tolerance: f64,
+    /// Whether this case regressed (`rel_change > tolerance`).
+    pub regressed: bool,
+}
+
+/// Floor of the regression tolerance: changes under 35% are never flagged
+/// (micro-benchmarks on shared CI runners jitter this much).
+pub const TOLERANCE_FLOOR: f64 = 0.35;
+/// Ceiling of the regression tolerance: a 2x slowdown (rel change 1.0)
+/// always trips the guard no matter how noisy the environment claims to
+/// be.
+pub const TOLERANCE_CEIL: f64 = 0.80;
+/// Weight of the measured relative dispersion in the tolerance.
+pub const DISPERSION_WEIGHT: f64 = 4.0;
+
+/// The noise-aware threshold for one case: the floor widened by the
+/// measured dispersion of both measurements, capped at the ceiling.
+pub fn tolerance(base: &CaseResult, cur: &CaseResult) -> f64 {
+    let spread = base.rel_dispersion() + cur.rel_dispersion();
+    (TOLERANCE_FLOOR + DISPERSION_WEIGHT * spread).min(TOLERANCE_CEIL)
+}
+
+/// Compares a current suite run against the committed baseline, case by
+/// case on anchor-normalized scores. The anchor itself (score 1 on both
+/// sides by construction) carries no signal and is skipped. A case
+/// present in the baseline but missing from the current run is an error
+/// — silently dropping a benchmark must not pass the guard.
+///
+/// # Errors
+///
+/// Fails on mismatched suite names or a missing case.
+pub fn compare(base: &SuiteRun, cur: &SuiteRun) -> Result<Vec<CaseCompare>, String> {
+    if base.suite != cur.suite {
+        return Err(format!(
+            "suite mismatch: baseline {:?} vs current {:?}",
+            base.suite, cur.suite
+        ));
+    }
+    let mut out = Vec::new();
+    for b in &base.cases {
+        if b.name == base.anchor {
+            continue;
+        }
+        let c = cur
+            .cases
+            .iter()
+            .find(|c| c.name == b.name)
+            .ok_or_else(|| format!("case {:?} missing from the current run", b.name))?;
+        let rel_change = if b.score > 0.0 {
+            (c.score - b.score) / b.score
+        } else {
+            0.0
+        };
+        let tol = tolerance(b, c);
+        out.push(CaseCompare {
+            name: b.name.clone(),
+            base_score: b.score,
+            cur_score: c.score,
+            rel_change,
+            tolerance: tol,
+            regressed: rel_change > tol,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the comparison as an aligned table (one row per case).
+pub fn render_compare(cmps: &[CaseCompare]) -> String {
+    let header: Vec<String> = ["case", "base", "current", "change", "tolerance", "verdict"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = cmps
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.3}", c.base_score),
+                format!("{:.3}", c.cur_score),
+                format!("{:+.1}%", c.rel_change * 100.0),
+                format!("{:.1}%", c.tolerance * 100.0),
+                if c.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> GuardConfig {
+        GuardConfig {
+            runs: 3,
+            inject: Vec::new(),
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        // One wild outlier barely moves either statistic.
+        assert_eq!(median(&[1.0, 1.0, 1.0, 100.0]), 1.0);
+        assert_eq!(mad(&[1.0, 1.0, 1.0, 100.0]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn suites_run_and_score_against_their_anchor() {
+        for suite in SUITES {
+            let run = run_suite(suite, &quick()).unwrap();
+            assert_eq!(run.suite, suite);
+            assert_eq!(run.runs_per_case, 3);
+            let anchor = run.cases.iter().find(|c| c.name == run.anchor).unwrap();
+            assert!((anchor.score - 1.0).abs() < 1e-12, "anchor scores 1");
+            for c in &run.cases {
+                assert_eq!(c.runs_s.len(), 3);
+                assert!(c.median_s > 0.0, "{}: zero median", c.name);
+                assert!(c.score > 0.0);
+            }
+        }
+        assert!(run_suite("nope", &quick()).is_err());
+    }
+
+    #[test]
+    fn filters_suite_carries_deterministic_stage_stats() {
+        let run = run_suite("filters", &quick()).unwrap();
+        let combined = run
+            .cases
+            .iter()
+            .find(|c| c.name == "filter_combined")
+            .unwrap();
+        let stats = combined.stats.as_ref().expect("engine cases carry stats");
+        assert!(stats.database_size > 0);
+        // And the scan case refines everything (no pruning).
+        let scan = run.cases.iter().find(|c| c.name == "seqscan").unwrap();
+        let scan_stats = scan.stats.as_ref().unwrap();
+        assert_eq!(scan_stats.edr_computed, scan_stats.database_size);
+    }
+
+    #[test]
+    fn suite_json_round_trips() {
+        let run = run_suite("kernels", &quick()).unwrap();
+        let text = serde_json::to_string_pretty(&run.to_json()).unwrap();
+        let back = SuiteRun::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.suite, run.suite);
+        assert_eq!(back.anchor, run.anchor);
+        assert_eq!(back.fingerprint, run.fingerprint);
+        assert_eq!(back.cases.len(), run.cases.len());
+        for (a, b) in run.cases.iter().zip(&back.cases) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.runs_s, b.runs_s);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass_the_guard() {
+        let run = run_suite("kernels", &quick()).unwrap();
+        let cmps = compare(&run, &run).unwrap();
+        assert!(!cmps.is_empty());
+        assert!(cmps.iter().all(|c| !c.regressed), "{cmps:?}");
+        // The anchor is skipped.
+        assert!(cmps.iter().all(|c| c.name != run.anchor));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_and_small_jitter_passes() {
+        let base = run_suite("kernels", &quick()).unwrap();
+        let slow = run_suite(
+            "kernels",
+            &GuardConfig {
+                inject: vec![("edr_16".to_string(), 2.0)],
+                ..quick()
+            },
+        )
+        .unwrap();
+        let cmps = compare(&base, &slow).unwrap();
+        let hit = cmps.iter().find(|c| c.name == "edr_16").unwrap();
+        assert!(hit.regressed, "2x slowdown must trip the guard: {hit:?}");
+        // A few percent of injected jitter stays under the floor. Built
+        // from the same measurement so real noise cannot interfere.
+        let mut jitter = base.clone();
+        for c in &mut jitter.cases {
+            c.score *= 1.05;
+        }
+        let cmps = compare(&base, &jitter).unwrap();
+        assert!(cmps.iter().all(|c| !c.regressed), "{cmps:?}");
+    }
+
+    #[test]
+    fn tolerance_is_floored_and_capped() {
+        let case = |median_s: f64, mad_s: f64| CaseResult {
+            name: "x".into(),
+            runs_s: vec![],
+            median_s,
+            mad_s,
+            score: 1.0,
+            stats: None,
+        };
+        // Perfectly stable measurements: the floor.
+        assert!((tolerance(&case(1.0, 0.0), &case(1.0, 0.0)) - TOLERANCE_FLOOR).abs() < 1e-12);
+        // Wildly noisy measurements: the cap, below a 2x change.
+        let t = tolerance(&case(1.0, 0.5), &case(1.0, 0.5));
+        assert!((t - TOLERANCE_CEIL).abs() < 1e-12);
+        const { assert!(TOLERANCE_CEIL < 1.0, "a 2x slowdown must always fail") };
+    }
+
+    #[test]
+    fn dropped_cases_and_suite_mismatch_are_errors() {
+        let base = run_suite("kernels", &quick()).unwrap();
+        let mut dropped = base.clone();
+        dropped.cases.retain(|c| c.name != "edr_16");
+        assert!(compare(&base, &dropped).unwrap_err().contains("edr_16"));
+        let other = run_suite("filters", &quick()).unwrap();
+        assert!(compare(&base, &other).unwrap_err().contains("mismatch"));
+    }
+
+    #[test]
+    fn render_compare_lists_every_case() {
+        let run = run_suite("kernels", &quick()).unwrap();
+        let cmps = compare(&run, &run).unwrap();
+        let text = render_compare(&cmps);
+        for c in &cmps {
+            assert!(text.contains(&c.name));
+        }
+        assert!(text.contains("ok"));
+    }
+}

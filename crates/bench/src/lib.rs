@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod guard;
+
 use std::time::Instant;
 use trajsim_core::{max_std_dev, Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::edr;

@@ -4,12 +4,14 @@ use crate::args::Parsed;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
-use trajsim_core::{max_std_dev, Dataset, MatchThreshold};
+use std::sync::Arc;
+use trajsim_core::{max_std_dev, Dataset, MatchThreshold, Trajectory};
 use trajsim_data::{seeded_rng, LengthDistribution};
 use trajsim_eval::{agglomerative, Dendrogram, DistanceMatrix, Linkage};
+use trajsim_profile::{ProfileCollector, TeeSink};
 use trajsim_prune::{
     range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, KnnResult,
-    QgramKnn, QgramVariant, ScanMode, SequentialScan,
+    NearTriangleKnn, QgramKnn, QgramVariant, QueryStats, ScanMode, SequentialScan,
 };
 
 const USAGE: &str = "\
@@ -19,46 +21,147 @@ commands:
   generate <nhl|mixed|walk|asl|kungfu|slip> -o FILE [--n N] [--seed S]
   convert  <in> <out>
   stats    <file>
-  knn      <file> --query I [--k K] [--eps E] [--engine scan|qgram|histogram|combined]
-           [--metrics-out FILE]
+  knn      <file> --query I [--k K] [--eps E] [--engine ENGINE]
+           [--max-triangle M] [--metrics-out FILE]
+  explain  <file> (--query I | --queries N) [--k K] [--eps E]
+           [--engine ENGINE] [--max-triangle M] [--json FILE]
   range    <file> --query I --edits K [--eps E]
   cluster  <file> [--k K] [--eps E] [--tree]
 
+engines: scan|qgram|histogram|triangle|combined (default: combined)
+
 global options:
-  --threads N     worker threads for parallel phases (default: all cores;
-                  also settable via TRAJSIM_THREADS)
-  --trace [LVL]   structured trace events as JSON lines on stderr
-                  (bare --trace means debug; LVL: error|warn|info|debug|trace)
+  --threads N           worker threads for parallel phases (default: all
+                        cores; also settable via TRAJSIM_THREADS)
+  --trace [LVL]         structured trace events as JSON lines on stderr
+                        (bare --trace means debug;
+                        LVL: error|warn|info|debug|trace)
+  --profile-out FILE    collect the span stream of the whole run and write
+                        it as a profile on exit
+  --profile-format FMT  chrome (default: Chrome-trace JSON for Perfetto /
+                        chrome://tracing) or collapsed (folded stacks for
+                        flamegraph.pl / speedscope)
 
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
+
+/// Tracing/profiling requested on the command line, resolved and
+/// validated before the command runs.
+struct Telemetry {
+    trace_level: Option<trajsim_obs::Level>,
+    profile: Option<(String, String, Arc<ProfileCollector>)>,
+}
+
+impl Telemetry {
+    fn from_args(parsed: &Parsed) -> Result<Telemetry, String> {
+        let trace_level = match parsed.get("trace") {
+            // Bare `--trace` parses as the flag value "true" → debug.
+            Some("true") => Some(trajsim_obs::Level::Debug),
+            Some(lvl) => Some(lvl.parse().map_err(|e| format!("option --trace: {e}"))?),
+            None => None,
+        };
+        let profile = match parsed.get("profile-out") {
+            Some(path) => {
+                let format: String = parsed.get_or("profile-format", "chrome".to_string())?;
+                if format != "chrome" && format != "collapsed" {
+                    return Err(format!(
+                        "option --profile-format: unknown format {format:?} (chrome|collapsed)"
+                    ));
+                }
+                // Fail before the workload runs, not after: an unwritable
+                // path is a clean error up front.
+                File::create(path).map_err(|e| format!("--profile-out {path}: {e}"))?;
+                Some((path.to_string(), format, ProfileCollector::new()))
+            }
+            None => None,
+        };
+        Ok(Telemetry {
+            trace_level,
+            profile,
+        })
+    }
+
+    /// Installs the global sink and level. The profile collector needs
+    /// span records, which are debug-level, so `--profile-out` raises the
+    /// level to at least debug; a more verbose `--trace trace` wins.
+    fn install(&self) {
+        let trace_sink: Option<Arc<dyn trajsim_obs::Sink>> = self
+            .trace_level
+            .map(|_| Arc::new(trajsim_obs::JsonLinesSink::stderr()) as Arc<dyn trajsim_obs::Sink>);
+        match (&trace_sink, &self.profile) {
+            (None, None) => return,
+            (Some(t), None) => trajsim_obs::set_sink(Some(t.clone())),
+            (None, Some((_, _, c))) => {
+                trajsim_obs::set_sink(Some(c.clone() as Arc<dyn trajsim_obs::Sink>))
+            }
+            (Some(t), Some((_, _, c))) => {
+                trajsim_obs::set_sink(Some(Arc::new(TeeSink::new(vec![
+                    t.clone(),
+                    c.clone() as Arc<dyn trajsim_obs::Sink>,
+                ]))))
+            }
+        }
+        let mut level = self.trace_level.unwrap_or(trajsim_obs::Level::Off);
+        if self.profile.is_some() {
+            level = level.max(trajsim_obs::Level::Debug);
+        }
+        trajsim_obs::set_level(level);
+    }
+
+    /// Writes the collected profile (if any) and, when profiling forced
+    /// the tracing globals, puts them back the way `--trace` alone would
+    /// have left them.
+    fn finish(&self) -> Result<(), String> {
+        let Some((path, format, collector)) = &self.profile else {
+            return Ok(());
+        };
+        let records = collector.take();
+        match format.as_str() {
+            "chrome" => {
+                trajsim_profile::write_chrome_trace(Path::new(path), &records)
+                    .map_err(|e| format!("--profile-out {path}: {e}"))?;
+            }
+            _ => {
+                std::fs::write(path, trajsim_profile::collapsed_stacks(&records))
+                    .map_err(|e| format!("--profile-out {path}: {e}"))?;
+            }
+        }
+        eprintln!("profile: {} records -> {path} ({format})", records.len());
+        match self.trace_level {
+            Some(lvl) => {
+                trajsim_obs::set_sink(Some(Arc::new(trajsim_obs::JsonLinesSink::stderr())));
+                trajsim_obs::set_level(lvl);
+            }
+            None => {
+                trajsim_obs::set_sink(None);
+                trajsim_obs::set_level(trajsim_obs::Level::Off);
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Dispatches the parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(argv)?;
     let threads: usize = parsed.get_or("threads", 0usize)?;
     trajsim_parallel::set_num_threads(threads);
-    if let Some(lvl) = parsed.get("trace") {
-        // Bare `--trace` parses as the flag value "true" → debug.
-        let level = if lvl == "true" {
-            trajsim_obs::Level::Debug
-        } else {
-            lvl.parse().map_err(|e| format!("option --trace: {e}"))?
-        };
-        trajsim_obs::set_sink(Some(std::sync::Arc::new(
-            trajsim_obs::JsonLinesSink::stderr(),
-        )));
-        trajsim_obs::set_level(level);
-    }
-    match parsed.positional(0) {
+    let telemetry = Telemetry::from_args(&parsed)?;
+    telemetry.install();
+    let result = match parsed.positional(0) {
         Some("generate") => generate(&parsed),
         Some("convert") => convert(&parsed),
         Some("stats") => stats(&parsed),
         Some("knn") => knn(&parsed),
+        Some("explain") => explain(&parsed),
         Some("range") => range(&parsed),
         Some("cluster") => cluster(&parsed),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
-    }
+    };
+    // Export whatever was collected even when the command failed — a
+    // profile of the work done before the error is still useful.
+    let finished = telemetry.finish();
+    result.and(finished)
 }
 
 fn load(path: &str) -> Result<Dataset<2>, String> {
@@ -242,6 +345,48 @@ fn report_stages(t: &trajsim_prune::StageTimings) {
     );
 }
 
+/// A built k-NN engine behind one query closure, so `knn` and `explain`
+/// construct engines identically (build once, query many).
+type EngineFn<'a> = Box<dyn Fn(&Trajectory<2>, usize) -> KnnResult + 'a>;
+
+/// Builds the named engine over `ds`. `max_triangle` bounds the
+/// reference pool of the (near-)triangle filter where one is used.
+fn build_engine<'a>(
+    ds: &'a Dataset<2>,
+    eps: MatchThreshold,
+    name: &str,
+    max_triangle: usize,
+) -> Result<EngineFn<'a>, String> {
+    Ok(match name {
+        // The parallel scan degrades to the serial one on a single worker.
+        "scan" => {
+            let e = SequentialScan::new(ds, eps).with_parallel();
+            Box::new(move |q, k| e.knn(q, k))
+        }
+        "qgram" => {
+            let e = QgramKnn::build(ds, eps, 1, QgramVariant::MergeJoin2d);
+            Box::new(move |q, k| e.knn(q, k))
+        }
+        "histogram" => {
+            let e = HistogramKnn::build(ds, eps, HistogramVariant::PerDimension, ScanMode::Sorted);
+            Box::new(move |q, k| e.knn(q, k))
+        }
+        "triangle" => {
+            let e = NearTriangleKnn::build(ds, eps, max_triangle);
+            Box::new(move |q, k| e.knn(q, k))
+        }
+        "combined" => {
+            let config = CombinedConfig {
+                max_triangle,
+                ..Default::default()
+            };
+            let e = CombinedKnn::build(ds, eps, config);
+            Box::new(move |q, k| e.knn(q, k))
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
 fn knn(parsed: &Parsed) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("knn: missing file")?;
     let ds = load(path)?.normalize();
@@ -253,31 +398,57 @@ fn knn(parsed: &Parsed) -> Result<(), String> {
         .clone();
     let eps = pick_eps(parsed, &ds)?;
     let engine: String = parsed.get_or("engine", "combined".to_string())?;
+    let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
     println!(
         "k-NN: query {query_id}, k = {k}, eps = {:.4}, engine = {engine}",
         eps.value()
     );
-    let result = match engine.as_str() {
-        // The parallel scan degrades to the serial one on a single worker.
-        "scan" => SequentialScan::new(&ds, eps).with_parallel().knn(&query, k),
-        "qgram" => QgramKnn::build(&ds, eps, 1, QgramVariant::MergeJoin2d).knn(&query, k),
-        "histogram" => {
-            HistogramKnn::build(&ds, eps, HistogramVariant::PerDimension, ScanMode::Sorted)
-                .knn(&query, k)
-        }
-        "combined" => {
-            let config = CombinedConfig {
-                max_triangle: 100,
-                ..Default::default()
-            };
-            CombinedKnn::build(&ds, eps, config).knn(&query, k)
-        }
-        other => return Err(format!("unknown engine {other:?}")),
-    };
+    let result = build_engine(&ds, eps, &engine, max_triangle)?(&query, k);
     report(&result);
     if let Some(out) = parsed.get("metrics-out") {
         write_metrics(out, &engine, query_id, k, eps.value(), &result)?;
         println!("  [metrics written to {out}]");
+    }
+    Ok(())
+}
+
+/// `trajsim explain`: runs k-NN through the chosen engine — one query
+/// (`--query I`) or a workload of the first N trajectories (`--queries
+/// N`) — and prints the per-stage pruning-power report built from the
+/// live query statistics.
+fn explain(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("explain: missing file")?;
+    let ds = load(path)?.normalize();
+    let k: usize = parsed.get_or("k", 10usize)?;
+    let eps = pick_eps(parsed, &ds)?;
+    let engine: String = parsed.get_or("engine", "combined".to_string())?;
+    let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
+    let query_ids: Vec<usize> = match (parsed.get("query"), parsed.get("queries")) {
+        (Some(_), None) => vec![parsed.require("query")?],
+        (None, Some(_)) => {
+            let n: usize = parsed.require("queries")?;
+            if n == 0 || n > ds.len() {
+                return Err(format!("--queries must be in 1..={}", ds.len()));
+            }
+            (0..n).collect()
+        }
+        _ => return Err("explain: need exactly one of --query I or --queries N".into()),
+    };
+    if let Some(&bad) = query_ids.iter().find(|&&id| id >= ds.len()) {
+        return Err(format!("query id {bad} out of range (N = {})", ds.len()));
+    }
+    let run = build_engine(&ds, eps, &engine, max_triangle)?;
+    let mut acc = QueryStats::default();
+    for &id in &query_ids {
+        let result = run(ds.get(id).expect("checked above"), k);
+        acc.accumulate(&result.stats);
+    }
+    let report = trajsim_profile::ExplainReport::from_stats(&engine, query_ids.len(), &acc);
+    print!("{}", report.render());
+    if let Some(out) = parsed.get("json") {
+        let text = serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?;
+        std::fs::write(out, text + "\n").map_err(|e| format!("write {out}: {e}"))?;
+        println!("  [report written to {out}]");
     }
     Ok(())
 }
@@ -368,6 +539,14 @@ mod tests {
 
     fn run(args: &[&str]) -> Result<(), String> {
         dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// Tests that install or reset the process-global tracing sink hold
+    /// this lock so they cannot clobber each other's captures.
+    static SINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn sink_guard() -> std::sync::MutexGuard<'static, ()> {
+        SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn tmp(name: &str) -> String {
@@ -468,6 +647,7 @@ mod tests {
 
     #[test]
     fn trace_flag_accepts_bare_and_leveled_forms() {
+        let _g = sink_guard();
         let csv = tmp("trace.csv");
         run(&["generate", "walk", "--n", "10", "--seed", "2", "-o", &csv]).unwrap();
         run(&["knn", &csv, "--query", "0", "--k", "2", "--trace"]).unwrap();
@@ -476,6 +656,214 @@ mod tests {
         // Quiet the process-global tracing again for other tests.
         trajsim_obs::set_level(trajsim_obs::Level::Off);
         trajsim_obs::set_sink(None);
+    }
+
+    #[test]
+    fn explain_report_matches_the_engine_stats_exactly() {
+        let csv = tmp("explain.csv");
+        let json = tmp("explain.json");
+        run(&["generate", "walk", "--n", "40", "--seed", "11", "-o", &csv]).unwrap();
+        run(&[
+            "explain",
+            &csv,
+            "--queries",
+            "3",
+            "--k",
+            "3",
+            "--engine",
+            "combined",
+            "--json",
+            &json,
+        ])
+        .unwrap();
+        // Re-run the identical workload directly through the engine and
+        // check the written report against the live stats: the counter
+        // fields are deterministic and must match exactly.
+        let ds = load(&csv).unwrap().normalize();
+        let eps = pick_eps(&Parsed::default(), &ds).unwrap();
+        let engine = build_engine(&ds, eps, "combined", 100).unwrap();
+        let mut expected = QueryStats::default();
+        for id in 0..3 {
+            expected.accumulate(&engine(ds.get(id).unwrap(), 3).stats);
+        }
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(doc.get("engine").and_then(|v| v.as_str()), Some("combined"));
+        assert_eq!(doc.get("queries").and_then(|v| v.as_u64()), Some(3));
+        for (key, want) in [
+            ("database_size", expected.database_size as u64),
+            ("edr_computed", expected.edr_computed as u64),
+            ("pruned", expected.pruned() as u64),
+            ("dp_cells", expected.dp_cells),
+        ] {
+            assert_eq!(doc.get(key).and_then(|v| v.as_u64()), Some(want), "{key}");
+        }
+        assert_eq!(
+            doc.get("pruning_power").and_then(|v| v.as_f64()),
+            Some(expected.pruning_power())
+        );
+        // Per-stage candidate flow and selectivity, stage by stage.
+        let stages = doc.get("stages").unwrap().as_array().unwrap();
+        let want_stages = [
+            ("histogram", &expected.timings.histogram),
+            ("qgram", &expected.timings.qgram),
+            ("triangle", &expected.timings.triangle),
+        ];
+        for got in stages {
+            let name = got.get("name").and_then(|v| v.as_str()).unwrap();
+            let (_, want) = want_stages
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("unexpected stage {name}"));
+            assert_eq!(
+                got.get("candidates_in").and_then(|v| v.as_u64()),
+                Some(want.candidates_in as u64),
+                "{name} candidates_in"
+            );
+            assert_eq!(
+                got.get("candidates_out").and_then(|v| v.as_u64()),
+                Some(want.candidates_out as u64),
+                "{name} candidates_out"
+            );
+            assert_eq!(
+                got.get("pruned").and_then(|v| v.as_u64()),
+                Some(want.pruned() as u64),
+                "{name} pruned"
+            );
+            let want_sel = if want.candidates_in == 0 {
+                0.0
+            } else {
+                want.candidates_out as f64 / want.candidates_in as f64
+            };
+            assert_eq!(
+                got.get("selectivity").and_then(|v| v.as_f64()),
+                Some(want_sel),
+                "{name} selectivity"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_runs_every_engine_and_validates_its_arguments() {
+        let csv = tmp("explain-engines.csv");
+        run(&["generate", "walk", "--n", "20", "--seed", "4", "-o", &csv]).unwrap();
+        for engine in ["scan", "qgram", "histogram", "triangle", "combined"] {
+            run(&[
+                "explain", &csv, "--query", "0", "--k", "2", "--engine", engine,
+            ])
+            .unwrap();
+        }
+        // Exactly one of --query / --queries; ranges validated.
+        assert!(run(&["explain", &csv]).unwrap_err().contains("exactly one"));
+        assert!(run(&["explain", &csv, "--query", "0", "--queries", "2"]).is_err());
+        assert!(run(&["explain", &csv, "--queries", "0"]).is_err());
+        assert!(run(&["explain", &csv, "--queries", "999"]).is_err());
+        assert!(run(&["explain", &csv, "--query", "999"]).is_err());
+    }
+
+    #[test]
+    fn profile_out_emits_schema_valid_chrome_trace() {
+        let _g = sink_guard();
+        let csv = tmp("profile.csv");
+        let out = tmp("profile.json");
+        run(&["generate", "walk", "--n", "25", "--seed", "8", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--query",
+            "0",
+            "--k",
+            "3",
+            "--profile-out",
+            &out,
+        ])
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&out).unwrap())
+            .expect("profile file is valid JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+            Some("ms")
+        );
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        let mut saw_query_slice = false;
+        for e in events {
+            let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+            assert!(["M", "X", "i"].contains(&ph), "unknown phase {ph:?}");
+            assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+            assert!(e.get("pid").and_then(|v| v.as_u64()).is_some());
+            assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+            if ph != "M" {
+                assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            }
+            if ph == "X" {
+                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+                if e.get("name").and_then(|v| v.as_str()) == Some("knn.query") {
+                    saw_query_slice = true;
+                    let args = e.get("args").expect("args");
+                    assert!(args.get("engine").and_then(|v| v.as_str()).is_some());
+                    assert!(args.get("pruned").and_then(|v| v.as_u64()).is_some());
+                }
+            }
+        }
+        assert!(saw_query_slice, "no knn.query slice in {out}");
+        // The profile run restored tracing; a plain knn emits nothing.
+        assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
+    }
+
+    #[test]
+    fn profile_out_collapsed_format_folds_the_query_stack() {
+        let _g = sink_guard();
+        let csv = tmp("profile-collapsed.csv");
+        let out = tmp("profile.folded");
+        run(&["generate", "walk", "--n", "20", "--seed", "6", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--query",
+            "0",
+            "--k",
+            "3",
+            "--profile-out",
+            &out,
+            "--profile-format",
+            "collapsed",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let query_line = text
+            .lines()
+            .find(|l| l.contains(";knn.query") && !l.contains("knn.stage"))
+            .expect("a knn.query stack line");
+        assert!(query_line.starts_with("thread-"));
+        let value: u64 = query_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value >= 1);
+        // Bad format is rejected up front.
+        assert!(run(&[
+            "knn",
+            &csv,
+            "--query",
+            "0",
+            "--profile-out",
+            &out,
+            "--profile-format",
+            "svg",
+        ])
+        .unwrap_err()
+        .contains("profile-format"));
+    }
+
+    #[test]
+    fn unwritable_output_paths_fail_cleanly() {
+        let csv = tmp("unwritable.csv");
+        run(&["generate", "walk", "--n", "10", "--seed", "1", "-o", &csv]).unwrap();
+        let bad = tmp("no-such-dir/out.json");
+        let err = run(&["knn", &csv, "--query", "0", "--profile-out", &bad]).unwrap_err();
+        assert!(err.contains("--profile-out"), "unexpected error: {err}");
+        let err = run(&["knn", &csv, "--query", "0", "--metrics-out", &bad]).unwrap_err();
+        assert!(err.contains("write"), "unexpected error: {err}");
+        let err = run(&["explain", &csv, "--query", "0", "--json", &bad]).unwrap_err();
+        assert!(err.contains("write"), "unexpected error: {err}");
     }
 
     #[test]

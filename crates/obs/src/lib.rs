@@ -32,5 +32,6 @@ pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_NS};
 pub use trace::{
-    emit, enabled, level, set_level, set_sink, FieldValue, JsonLinesSink, Level, Record, Sink, Span,
+    emit, emit_span, enabled, level, set_level, set_sink, thread_id, FieldValue, JsonLinesSink,
+    Level, Record, Sink, Span,
 };

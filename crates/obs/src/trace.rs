@@ -191,6 +191,11 @@ static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 
 /// The current level, resolving `TRAJSIM_LOG` on first call.
+///
+/// The lazy resolution installs its result with a compare-exchange
+/// against the "unresolved" sentinel, so exactly one writer wins: a
+/// concurrent [`set_level`] (or another thread's first use) can never be
+/// clobbered by a stale environment read.
 pub fn level() -> Level {
     let raw = LEVEL.load(Ordering::Relaxed);
     if raw != u8::MAX {
@@ -200,8 +205,23 @@ pub fn level() -> Level {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(Level::Off);
-    LEVEL.store(resolved as u8, Ordering::Relaxed);
-    resolved
+    match LEVEL.compare_exchange(
+        u8::MAX,
+        resolved as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    ) {
+        Ok(_) => resolved,
+        Err(installed) => Level::from_u8(installed),
+    }
+}
+
+/// Puts the level back into the "unresolved from the environment" state
+/// (tests of the lazy-init path; the CLI and library callers never need
+/// this).
+#[doc(hidden)]
+pub fn reset_level_to_unresolved() {
+    LEVEL.store(u8::MAX, Ordering::SeqCst);
 }
 
 /// Overrides the level (wins over `TRAJSIM_LOG`).
@@ -235,6 +255,42 @@ pub fn emit(level: Level, name: &str, fields: &[(&'static str, FieldValue)]) {
             fields,
         });
     }
+}
+
+/// Sends a span-shaped record (one carrying `elapsed_ns`) straight to
+/// the sink if `level` is enabled — for subsystems that measure a
+/// duration themselves (stage stopwatches, worker busy time) instead of
+/// holding a [`Span`] open across the work.
+pub fn emit_span(level: Level, name: &str, elapsed_ns: u64, fields: &[(&'static str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    if let Some(sink) = SINK.read().expect("sink lock").as_ref() {
+        sink.emit(&Record {
+            level,
+            name,
+            elapsed_ns: Some(elapsed_ns),
+            fields,
+        });
+    }
+}
+
+/// A small dense id for the calling thread, assigned in first-use order
+/// (the main thread is not guaranteed id 0). Profile exporters key
+/// Chrome-trace `tid` fields and per-worker stacks on this; unlike
+/// `std::thread::ThreadId` it is stable, compact, and numeric.
+pub fn thread_id() -> u64 {
+    use std::cell::Cell;
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    thread_local! {
+        static ID: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    ID.with(|id| {
+        if id.get() == u64::MAX {
+            id.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
 }
 
 /// A timed span: emits a record with `elapsed_ns` when dropped. Created
@@ -491,6 +547,63 @@ mod tests {
         }
         assert!("loud".parse::<Level>().is_err());
         assert_eq!(Level::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn lazy_init_never_clobbers_a_concurrent_set_level() {
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Race N readers doing the lazy environment resolution against
+        // one writer calling set_level. With the compare-exchange install
+        // the writer always wins; the old unconditional store could land
+        // after the set_level and silently drop it.
+        for _ in 0..200 {
+            reset_level_to_unresolved();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        let _ = level();
+                    });
+                }
+                scope.spawn(|| set_level(Level::Debug));
+            });
+            assert_eq!(level(), Level::Debug, "set_level lost the race");
+        }
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn concurrent_first_uses_agree_on_one_level() {
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_level_to_unresolved();
+        let seen: Vec<Level> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(level)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every thread must observe the same resolved level.
+        assert!(
+            seen.windows(2).all(|w| w[0] == w[1]),
+            "levels diverged: {seen:?}"
+        );
+        set_level(Level::Off);
+    }
+
+    #[test]
+    fn emit_span_carries_the_measured_elapsed() {
+        with_capture(Level::Debug, |cap| {
+            emit_span(Level::Debug, "stage.manual", 1234, &[("n", 2usize.into())]);
+            emit_span(Level::Trace, "stage.hidden", 1, &[]);
+            assert_eq!(cap.count.load(Ordering::SeqCst), 1);
+            let lines = cap.lines.lock().unwrap();
+            assert_eq!(lines[0], "debug stage.manual true [n=2]");
+        });
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_stable() {
+        let mine = thread_id();
+        assert_eq!(mine, thread_id(), "id must be stable within a thread");
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, other, "different threads get different ids");
     }
 
     #[test]

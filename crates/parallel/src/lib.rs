@@ -93,6 +93,24 @@ fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Worker epilogue, called on the worker's own thread so sinks that
+/// capture thread ids (the profile collector) attribute the record to
+/// the right worker: a span-shaped `parallel.worker` debug record with
+/// the worker's busy time and task count.
+fn record_worker(busy_ns: u64, tasks: u64) {
+    if trajsim_obs::enabled(trajsim_obs::Level::Debug) {
+        trajsim_obs::emit_span(
+            trajsim_obs::Level::Debug,
+            "parallel.worker",
+            busy_ns,
+            &[
+                ("tasks", tasks.into()),
+                ("thread", trajsim_obs::thread_id().into()),
+            ],
+        );
+    }
+}
+
 /// Pool-run epilogue: global metrics plus a `parallel.pool` trace event.
 /// `busy_ns` is summed across workers; idle is the pool's wall time the
 /// workers did not spend busy (`threads × wall − busy`, saturating).
@@ -170,7 +188,9 @@ where
                             out.push((i, f(i, item)));
                         }
                     }
-                    busy_total.fetch_add(elapsed_ns(t_worker), Ordering::Relaxed);
+                    let busy = elapsed_ns(t_worker);
+                    busy_total.fetch_add(busy, Ordering::Relaxed);
+                    record_worker(busy, out.len() as u64);
                     out
                 })
             })
@@ -255,7 +275,9 @@ where
                         }
                         done += (end - start) as u64;
                     }
-                    busy_total.fetch_add(elapsed_ns(t_worker), Ordering::Relaxed);
+                    let busy = elapsed_ns(t_worker);
+                    busy_total.fetch_add(busy, Ordering::Relaxed);
+                    record_worker(busy, done);
                     done
                 })
             })
@@ -380,6 +402,60 @@ mod tests {
         assert_eq!(m.counter("parallel.pool_runs").get(), runs_before + 1);
         assert_eq!(m.counter("parallel.tasks").get(), tasks_before + 321);
         assert!(m.counter("parallel.worker_busy_ns").get() > 0);
+    }
+
+    #[test]
+    fn worker_records_carry_thread_ids() {
+        use std::sync::{Arc, Mutex};
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(3);
+        let _guard = ResetThreads;
+
+        type WorkerFields = (Option<u64>, Option<u64>, Option<u64>);
+        #[derive(Default)]
+        struct Cap {
+            workers: Mutex<Vec<WorkerFields>>,
+        }
+        impl trajsim_obs::Sink for Cap {
+            fn emit(&self, r: &trajsim_obs::Record<'_>) {
+                if r.name != "parallel.worker" {
+                    return;
+                }
+                let field = |key: &str| {
+                    r.fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| match v {
+                            trajsim_obs::FieldValue::U64(x) => *x,
+                            _ => panic!("{key} should be u64"),
+                        })
+                };
+                self.workers
+                    .lock()
+                    .unwrap()
+                    .push((r.elapsed_ns, field("tasks"), field("thread")));
+            }
+        }
+
+        let cap = Arc::new(Cap::default());
+        trajsim_obs::set_sink(Some(cap.clone() as Arc<dyn trajsim_obs::Sink>));
+        trajsim_obs::set_level(trajsim_obs::Level::Debug);
+        let items: Vec<u64> = (0..500).collect();
+        let _ = par_map(&items, |_, &x| x * 3);
+        trajsim_obs::set_level(trajsim_obs::Level::Off);
+        trajsim_obs::set_sink(None);
+
+        let workers = cap.workers.lock().unwrap();
+        assert!(workers.len() >= 3, "one record per worker, got {workers:?}");
+        let mut tasks_sum = 0;
+        let mut threads = std::collections::BTreeSet::new();
+        for (elapsed, tasks, thread) in workers.iter() {
+            assert!(elapsed.is_some(), "worker records are span-shaped");
+            tasks_sum += tasks.expect("tasks field");
+            threads.insert(thread.expect("thread field"));
+        }
+        assert_eq!(tasks_sum, 500, "workers account for every task");
+        assert!(threads.len() >= 2, "records come from distinct threads");
     }
 
     /// Restores automatic thread selection even if a test panics.

@@ -1,0 +1,172 @@
+//! Chrome-trace-format export (the JSON `chrome://tracing` and Perfetto
+//! load): <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>.
+
+use crate::collector::ProfileRecord;
+use serde_json::Value;
+use trajsim_obs::FieldValue;
+
+fn field_value_json(v: &FieldValue) -> Value {
+    match v {
+        FieldValue::U64(x) => Value::from(*x),
+        FieldValue::I64(x) => Value::from(*x),
+        FieldValue::F64(x) => Value::from(*x),
+        FieldValue::Bool(x) => Value::from(*x),
+        FieldValue::Str(x) => Value::from(x.as_str()),
+    }
+}
+
+/// Renders collected records as a Chrome-trace JSON document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+///
+/// Span-shaped records become complete (`"ph": "X"`) slices with the
+/// start reconstructed as `end − duration` — for stage records emitted at
+/// query end this makes starts end-aligned approximations (`DESIGN.md`
+/// §9). Plain events become instant (`"ph": "i"`) thread-scoped marks.
+/// Each obs thread id maps to its own `tid` track under one `pid`, and
+/// per-track metadata (`thread_name`) rows are included so the viewer
+/// labels them.
+pub fn chrome_trace(records: &[ProfileRecord]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    let mut tids: Vec<u64> = records.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        events.push(serde_json::json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1u64,
+            "tid": *tid,
+            "args": { "name": format!("obs-thread-{tid}") },
+        }));
+    }
+    for r in records {
+        let mut args = serde_json::Map::new();
+        args.insert("level".to_string(), Value::from(r.level.as_str()));
+        for (k, v) in &r.fields {
+            args.insert(k.clone(), field_value_json(v));
+        }
+        let event = match r.elapsed_ns {
+            Some(ns) => {
+                let dur_us = ns as f64 / 1_000.0;
+                let start_us = r.ts_us as f64 - dur_us;
+                serde_json::json!({
+                    "name": r.name.as_str(),
+                    "cat": "trajsim",
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": dur_us,
+                    "pid": 1u64,
+                    "tid": r.tid,
+                    "args": Value::Object(args),
+                })
+            }
+            None => serde_json::json!({
+                "name": r.name.as_str(),
+                "cat": "trajsim",
+                "ph": "i",
+                "s": "t",
+                "ts": r.ts_us as f64,
+                "pid": 1u64,
+                "tid": r.tid,
+                "args": Value::Object(args),
+            }),
+        };
+        events.push(event);
+    }
+    serde_json::json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms",
+    })
+}
+
+/// Writes [`chrome_trace`] of `records` to `path` (pretty-printed, with a
+/// trailing newline).
+///
+/// # Errors
+///
+/// Propagates I/O errors; serialization itself cannot fail.
+pub fn write_chrome_trace(
+    path: &std::path::Path,
+    records: &[ProfileRecord],
+) -> std::io::Result<()> {
+    let doc = chrome_trace(records);
+    let text =
+        serde_json::to_string_pretty(&doc).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_obs::Level;
+
+    fn span(ts_us: u64, ns: u64, tid: u64, name: &str) -> ProfileRecord {
+        ProfileRecord {
+            ts_us,
+            level: Level::Debug,
+            name: name.to_string(),
+            elapsed_ns: Some(ns),
+            tid,
+            fields: vec![("k".to_string(), FieldValue::U64(7))],
+        }
+    }
+
+    #[test]
+    fn spans_become_complete_slices() {
+        let doc = chrome_trace(&[span(10_000, 2_000_000, 3, "knn.query")]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // One metadata row for tid 3 plus the slice.
+        assert_eq!(events.len(), 2);
+        let slice = &events[1];
+        assert_eq!(slice.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(slice.get("name").and_then(Value::as_str), Some("knn.query"));
+        assert_eq!(slice.get("tid").and_then(Value::as_u64), Some(3));
+        assert_eq!(slice.get("dur").and_then(Value::as_f64), Some(2_000.0));
+        // start = end − duration: 10_000 µs − 2_000 µs.
+        assert_eq!(slice.get("ts").and_then(Value::as_f64), Some(8_000.0));
+        let args = slice.get("args").unwrap();
+        assert_eq!(args.get("k").and_then(Value::as_u64), Some(7));
+        assert_eq!(args.get("level").and_then(Value::as_str), Some("debug"));
+    }
+
+    #[test]
+    fn events_become_instants_and_threads_get_named_tracks() {
+        let mut e = span(500, 100, 1, "x");
+        e.elapsed_ns = None;
+        let records = [e, span(900, 300, 2, "y")];
+        let doc = chrome_trace(&records);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Two metadata rows (tids 1, 2) + instant + slice.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("obs-thread-1")
+        );
+        let instant = &events[2];
+        assert_eq!(instant.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
+        assert!(instant.get("dur").is_none());
+    }
+
+    #[test]
+    fn document_round_trips_through_the_parser() {
+        let doc = chrome_trace(&[span(10_000, 1_000, 0, "a"), span(20_000, 2_000, 1, "b")]);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn empty_input_still_yields_a_valid_document() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Collapsed-stack ("folded") export: one line per unique stack,
+//! `frame;frame;frame value`, the input format of `flamegraph.pl` and
+//! speedscope. Nesting is reconstructed per thread from span
+//! containment, since the tracing layer emits flat span-close records.
+
+use crate::collector::ProfileRecord;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct SpanSlice {
+    name: String,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Folds span-shaped records into collapsed-stack lines. Each thread gets
+/// a synthetic root frame `thread-<tid>`; within a thread, span A is a
+/// child of span B when A's `[start, end)` interval lies inside B's
+/// (starts are reconstructed as emit-time − duration, so stage records
+/// emitted at query end nest under their `knn.query` span). The value of
+/// a line is the stack's *self* time in microseconds (total minus
+/// children, rounded up so short frames stay visible). Lines are sorted;
+/// identical stacks are merged by summing. Plain events are ignored.
+pub fn collapsed_stacks(records: &[ProfileRecord]) -> String {
+    let mut by_tid: BTreeMap<u64, Vec<SpanSlice>> = BTreeMap::new();
+    for r in records {
+        if let Some(ns) = r.elapsed_ns {
+            let end_ns = r.ts_us.saturating_mul(1_000);
+            by_tid.entry(r.tid).or_default().push(SpanSlice {
+                name: r.name.clone(),
+                start_ns: end_ns.saturating_sub(ns),
+                end_ns,
+            });
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (tid, mut spans) in by_tid {
+        // Earliest start first; on ties the longer span is the parent.
+        spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+        let root = format!("thread-{tid}");
+        // Sweep with a stack of currently open spans:
+        // (path, start_ns, end_ns, child_ns).
+        let mut open: Vec<(String, u64, u64, u64)> = Vec::new();
+        let mut closed: Vec<(String, u64, u64)> = Vec::new(); // (path, total_ns, child_ns)
+        let pop = |open: &mut Vec<(String, u64, u64, u64)>,
+                   closed: &mut Vec<(String, u64, u64)>| {
+            let (path, start, end, child_ns) = open.pop().expect("pop on non-empty stack");
+            let total = end - start;
+            if let Some(parent) = open.last_mut() {
+                parent.3 += total;
+            }
+            closed.push((path, total, child_ns));
+        };
+        for s in spans {
+            while open.last().is_some_and(|&(_, _, end, _)| end <= s.start_ns) {
+                pop(&mut open, &mut closed);
+            }
+            let path = match open.last() {
+                Some((parent_path, ..)) => format!("{parent_path};{}", s.name),
+                None => format!("{root};{}", s.name),
+            };
+            open.push((path, s.start_ns, s.end_ns, 0));
+        }
+        while !open.is_empty() {
+            pop(&mut open, &mut closed);
+        }
+        for (path, total_ns, child_ns) in closed {
+            let self_us = total_ns.saturating_sub(child_ns).div_ceil(1_000);
+            *folded.entry(path).or_insert(0) += self_us.max(1);
+        }
+    }
+    let mut out = String::new();
+    for (path, value) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_obs::Level;
+
+    /// A span ending at `end_us` µs with duration `dur_us` µs.
+    fn span(end_us: u64, dur_us: u64, tid: u64, name: &str) -> ProfileRecord {
+        ProfileRecord {
+            ts_us: end_us,
+            level: Level::Debug,
+            name: name.to_string(),
+            elapsed_ns: Some(dur_us * 1_000),
+            tid,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn containment_reconstructs_nesting() {
+        // query: [0, 1000); setup inside: [0, 100); refine: [600, 1000).
+        let records = [
+            span(1_000, 1_000, 0, "knn.query"),
+            span(100, 100, 0, "knn.stage.setup"),
+            span(1_000, 400, 0, "knn.stage.refine"),
+        ];
+        let text = collapsed_stacks(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "thread-0;knn.query 500",
+                "thread-0;knn.query;knn.stage.refine 400",
+                "thread-0;knn.query;knn.stage.setup 100",
+            ],
+            "full output:\n{text}"
+        );
+    }
+
+    #[test]
+    fn threads_fold_separately_and_repeats_merge() {
+        let records = [
+            span(1_000, 500, 0, "work"),
+            span(2_000, 500, 0, "work"),
+            span(1_000, 250, 1, "work"),
+        ];
+        let text = collapsed_stacks(&records);
+        assert_eq!(
+            text.lines().collect::<Vec<_>>(),
+            ["thread-0;work 1000", "thread-1;work 250"]
+        );
+    }
+
+    #[test]
+    fn events_are_ignored_and_short_spans_stay_visible() {
+        let mut e = span(10, 1, 0, "note");
+        e.elapsed_ns = None;
+        let tiny = ProfileRecord {
+            elapsed_ns: Some(10), // 10 ns → rounds up to 1 µs
+            ..span(10, 0, 0, "blink")
+        };
+        let text = collapsed_stacks(&[e, tiny]);
+        assert_eq!(text, "thread-0;blink 1\n");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert_eq!(collapsed_stacks(&[]), "");
+    }
+}

@@ -1,0 +1,181 @@
+//! The in-memory record collector and a fan-out sink.
+
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+use trajsim_obs::{FieldValue, Level, Record, Sink};
+
+/// One collected record: an owned copy of a [`Record`] plus the
+/// wall-clock time it was emitted and the dense id of the emitting
+/// thread ([`trajsim_obs::thread_id`]).
+///
+/// For span-shaped records `ts_us` is the span's *end* (records are
+/// emitted when the stopwatch stops); the start is reconstructed as
+/// `ts_us − elapsed_ns/1000` by the exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRecord {
+    /// Microseconds since the Unix epoch at emit time.
+    pub ts_us: u64,
+    /// Severity of the record.
+    pub level: Level,
+    /// Dotted record name (`knn.query`, `parallel.worker`, ...).
+    pub name: String,
+    /// Wall-clock duration for span-shaped records.
+    pub elapsed_ns: Option<u64>,
+    /// Dense id of the thread that emitted the record.
+    pub tid: u64,
+    /// Key/value fields, owned.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A [`Sink`] that buffers every record in memory for later export.
+/// Install it with [`trajsim_obs::set_sink`] (alone, or fanned out next
+/// to a [`trajsim_obs::JsonLinesSink`] via [`TeeSink`]), run the
+/// workload, then hand [`ProfileCollector::take`] to an exporter.
+#[derive(Debug, Default)]
+pub struct ProfileCollector {
+    records: Mutex<Vec<ProfileRecord>>,
+}
+
+impl ProfileCollector {
+    /// An empty collector, ready to install as the global sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ProfileCollector::default())
+    }
+
+    /// Drains and returns everything collected so far, oldest first.
+    pub fn take(&self) -> Vec<ProfileRecord> {
+        std::mem::take(&mut *self.records.lock().expect("collector lock"))
+    }
+
+    /// A copy of everything collected so far, oldest first.
+    pub fn snapshot(&self) -> Vec<ProfileRecord> {
+        self.records.lock().expect("collector lock").clone()
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("collector lock").len()
+    }
+
+    /// Whether nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for ProfileCollector {
+    fn emit(&self, record: &Record<'_>) {
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let owned = ProfileRecord {
+            ts_us,
+            level: record.level,
+            name: record.name.to_string(),
+            elapsed_ns: record.elapsed_ns,
+            tid: trajsim_obs::thread_id(),
+            fields: record
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        };
+        self.records.lock().expect("collector lock").push(owned);
+    }
+}
+
+/// Fans every record out to several sinks — the CLI uses it when both
+/// `--trace` (JSON lines on stderr) and `--profile-out` (collector) are
+/// requested, since the tracing layer holds a single global sink.
+pub struct TeeSink(Vec<Arc<dyn Sink>>);
+
+impl TeeSink {
+    /// A sink forwarding to every sink in `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        TeeSink(sinks)
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TeeSink").field(&self.0.len()).finish()
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, record: &Record<'_>) {
+        for sink in &self.0 {
+            sink.emit(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_captures_records_with_thread_and_time() {
+        let c = ProfileCollector::new();
+        c.emit(&Record {
+            level: Level::Debug,
+            name: "knn.query",
+            elapsed_ns: Some(5_000),
+            fields: &[("engine", FieldValue::Str("scan".into()))],
+        });
+        c.emit(&Record {
+            level: Level::Info,
+            name: "note",
+            elapsed_ns: None,
+            fields: &[],
+        });
+        assert_eq!(c.len(), 2);
+        let records = c.take();
+        assert!(c.is_empty(), "take drains");
+        assert_eq!(records[0].name, "knn.query");
+        assert_eq!(records[0].elapsed_ns, Some(5_000));
+        assert_eq!(records[0].tid, trajsim_obs::thread_id());
+        assert!(records[0].ts_us > 0);
+        assert_eq!(
+            records[0].fields,
+            vec![("engine".to_string(), FieldValue::Str("scan".into()))]
+        );
+        assert_eq!(records[1].elapsed_ns, None);
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_sink() {
+        let a = ProfileCollector::new();
+        let b = ProfileCollector::new();
+        let tee = TeeSink::new(vec![a.clone() as Arc<dyn Sink>, b.clone() as Arc<dyn Sink>]);
+        tee.emit(&Record {
+            level: Level::Debug,
+            name: "x",
+            elapsed_ns: None,
+            fields: &[],
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn collector_works_as_the_global_sink_under_parallel_load() {
+        let c = ProfileCollector::new();
+        trajsim_obs::set_sink(Some(c.clone() as Arc<dyn Sink>));
+        trajsim_obs::set_level(Level::Debug);
+        trajsim_parallel::set_num_threads(3);
+        trajsim_parallel::par_for(64, |_| {});
+        trajsim_parallel::set_num_threads(0);
+        trajsim_obs::set_level(Level::Off);
+        trajsim_obs::set_sink(None);
+        let records = c.take();
+        let workers: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "parallel.worker")
+            .collect();
+        assert!(workers.len() >= 2, "collected worker records: {records:?}");
+        let tids: std::collections::BTreeSet<u64> = workers.iter().map(|r| r.tid).collect();
+        assert!(tids.len() >= 2, "workers recorded from distinct threads");
+    }
+}

@@ -1,0 +1,37 @@
+//! # trajsim-profile
+//!
+//! Turns the raw telemetry of `trajsim-obs` into actionable artifacts —
+//! the observability layer the paper's own evaluation is built on
+//! (pruning power per filter, Figures 7–10, and speedup per stage):
+//!
+//! - [`ProfileCollector`]: a [`Sink`](trajsim_obs::Sink) that buffers the
+//!   span/event stream in memory with wall-clock end times and dense
+//!   thread ids, so a whole CLI run (or test) can be exported afterwards;
+//! - [`chrome_trace`]: renders collected records as Chrome-trace-format
+//!   JSON (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev) load
+//!   it directly) — complete `"X"` slices for span-shaped records,
+//!   instant `"i"` events for the rest, one track per thread;
+//! - [`collapsed_stacks`]: folds the same records into the
+//!   collapsed-stack text format (`frame;frame;frame value`) consumed by
+//!   `flamegraph.pl` and [speedscope](https://speedscope.app), with
+//!   nesting reconstructed per thread from span containment;
+//! - [`ExplainReport`]: the per-stage pruning-power EXPLAIN built from
+//!   live [`QueryStats`](trajsim_prune::QueryStats) — candidates in/out,
+//!   selectivity, EDR calls saved, and wall time per candidate for each
+//!   filter, for one query or aggregated over a workload.
+//!
+//! The CLI wires these up as `trajsim ... --profile-out FILE` and
+//! `trajsim explain ...`; the shapes are documented in `DESIGN.md` §9.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chrome;
+mod collapsed;
+mod collector;
+mod explain;
+
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use collapsed::collapsed_stacks;
+pub use collector::{ProfileCollector, ProfileRecord, TeeSink};
+pub use explain::{ExplainReport, StageReport};

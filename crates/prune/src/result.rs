@@ -62,18 +62,72 @@ pub struct StageTimings {
     pub refine_ns: u64,
     /// End-to-end wall time of the query.
     pub total_ns: u64,
+    /// Smallest per-query `total_ns` folded in by [`Self::accumulate`].
+    /// Zero together with `max_total_ns` means "raw single-query value";
+    /// read through [`Self::total_range`].
+    pub min_total_ns: u64,
+    /// Largest per-query `total_ns` folded in (see `min_total_ns`).
+    pub max_total_ns: u64,
+    /// Smallest per-query `refine_ns` folded in (see `min_total_ns`).
+    pub min_refine_ns: u64,
+    /// Largest per-query `refine_ns` folded in (see `min_total_ns`).
+    pub max_refine_ns: u64,
 }
 
 impl StageTimings {
+    /// `(min, max)` of the per-query total wall time across every query
+    /// folded in with [`Self::accumulate`]. A raw single-query value —
+    /// engines only fill `total_ns` — reports `(total_ns, total_ns)`.
+    pub fn total_range(&self) -> (u64, u64) {
+        if self.min_total_ns == 0 && self.max_total_ns == 0 {
+            (self.total_ns, self.total_ns)
+        } else {
+            (self.min_total_ns, self.max_total_ns)
+        }
+    }
+
+    /// `(min, max)` of the per-query refine time across every query
+    /// folded in (same sentinel convention as [`Self::total_range`]).
+    pub fn refine_range(&self) -> (u64, u64) {
+        if self.min_refine_ns == 0 && self.max_refine_ns == 0 {
+            (self.refine_ns, self.refine_ns)
+        } else {
+            (self.min_refine_ns, self.max_refine_ns)
+        }
+    }
+
     /// Merges another query's stage breakdown into this one (for averaging
-    /// over query workloads).
+    /// over query workloads). Alongside the totals it keeps the per-batch
+    /// extremes of the total and refine times, so aggregated reports can
+    /// show tail behavior instead of only means; the fold is associative —
+    /// any grouping of the same queries yields the same extremes.
     pub fn accumulate(&mut self, other: &StageTimings) {
+        // Ranges are taken before the sums mutate `self`: a raw
+        // single-query left operand contributes (total_ns, total_ns).
+        let fresh = *self == StageTimings::default();
+        let (self_min_total, self_max_total) = self.total_range();
+        let (self_min_refine, self_max_refine) = self.refine_range();
+        let (other_min_total, other_max_total) = other.total_range();
+        let (other_min_refine, other_max_refine) = other.refine_range();
         self.setup_ns += other.setup_ns;
         self.histogram.accumulate(&other.histogram);
         self.qgram.accumulate(&other.qgram);
         self.triangle.accumulate(&other.triangle);
         self.refine_ns += other.refine_ns;
         self.total_ns += other.total_ns;
+        if fresh {
+            // A default accumulator adopts the other side's extremes
+            // instead of folding its own zeros into the minima.
+            self.min_total_ns = other_min_total;
+            self.max_total_ns = other_max_total;
+            self.min_refine_ns = other_min_refine;
+            self.max_refine_ns = other_max_refine;
+        } else {
+            self.min_total_ns = self_min_total.min(other_min_total);
+            self.max_total_ns = self_max_total.max(other_max_total);
+            self.min_refine_ns = self_min_refine.min(other_min_refine);
+            self.max_refine_ns = self_max_refine.max(other_max_refine);
+        }
     }
 
     /// Wall time not attributed to any named stage (result-set upkeep,
@@ -89,8 +143,12 @@ impl StageTimings {
     }
 
     /// JSON object mirroring the struct, shared by the CLI's
-    /// `--metrics-out` and the bench harness result files.
+    /// `--metrics-out` and the bench harness result files. The min/max
+    /// keys report [`Self::total_range`] / [`Self::refine_range`], so a
+    /// raw single-query value serializes its own totals as both extremes.
     pub fn to_json(&self) -> Value {
+        let (min_total, max_total) = self.total_range();
+        let (min_refine, max_refine) = self.refine_range();
         json!({
             "setup_ns": self.setup_ns,
             "histogram": self.histogram.to_json(),
@@ -98,6 +156,10 @@ impl StageTimings {
             "triangle": self.triangle.to_json(),
             "refine_ns": self.refine_ns,
             "total_ns": self.total_ns,
+            "min_total_ns": min_total,
+            "max_total_ns": max_total,
+            "min_refine_ns": min_refine,
+            "max_refine_ns": max_refine,
         })
     }
 }
@@ -187,9 +249,15 @@ impl QueryStats {
 }
 
 /// One-stop query epilogue every engine calls right before returning:
-/// bumps the global metrics registry and emits a `knn.query` debug event
-/// with the headline numbers. Metrics are relaxed atomics; the trace event
-/// costs one atomic load when tracing is off.
+/// bumps the global metrics registry and emits the `knn.query` /
+/// `knn.stage.*` debug records. Metrics are relaxed atomics; with tracing
+/// off the whole trace block costs one atomic load.
+///
+/// The stage records are span-shaped (they carry `elapsed_ns` from the
+/// engine's own stage stopwatches) so profile exporters can render the
+/// per-stage breakdown. They are emitted at query end, which makes their
+/// reconstructed start times end-aligned approximations — fine for
+/// selectivity/duration analysis, documented in `DESIGN.md` §9.
 pub(crate) fn finish_query(engine: &str, stats: &QueryStats) {
     let m = trajsim_obs::metrics::global();
     m.counter("knn.queries").inc();
@@ -198,17 +266,61 @@ pub(crate) fn finish_query(engine: &str, stats: &QueryStats) {
     m.counter("knn.dp_cells").add(stats.dp_cells);
     m.histogram("knn.query_ns").record(stats.timings.total_ns);
     m.histogram("knn.refine_ns").record(stats.timings.refine_ns);
-    trajsim_obs::event!(
-        trajsim_obs::Level::Debug,
-        "knn.query",
-        engine = engine,
-        database_size = stats.database_size,
-        edr_computed = stats.edr_computed,
-        pruned = stats.pruned(),
-        dp_cells = stats.dp_cells,
-        total_ns = stats.timings.total_ns,
-        refine_ns = stats.timings.refine_ns,
-    );
+    if trajsim_obs::enabled(trajsim_obs::Level::Debug) {
+        let t = &stats.timings;
+        if t.setup_ns > 0 {
+            trajsim_obs::emit_span(
+                trajsim_obs::Level::Debug,
+                "knn.stage.setup",
+                t.setup_ns,
+                &[],
+            );
+        }
+        for (name, stage, pruned_here) in [
+            (
+                "knn.stage.histogram",
+                &t.histogram,
+                stats.pruned_by_histogram,
+            ),
+            ("knn.stage.qgram", &t.qgram, stats.pruned_by_qgram),
+            ("knn.stage.triangle", &t.triangle, stats.pruned_by_triangle),
+        ] {
+            if stage.filter_ns > 0 || stage.candidates_in > 0 || pruned_here > 0 {
+                trajsim_obs::emit_span(
+                    trajsim_obs::Level::Debug,
+                    name,
+                    stage.filter_ns,
+                    &[
+                        ("candidates_in", stage.candidates_in.into()),
+                        ("candidates_out", stage.candidates_out.into()),
+                        ("pruned", pruned_here.into()),
+                    ],
+                );
+            }
+        }
+        if t.refine_ns > 0 {
+            trajsim_obs::emit_span(
+                trajsim_obs::Level::Debug,
+                "knn.stage.refine",
+                t.refine_ns,
+                &[("edr_computed", stats.edr_computed.into())],
+            );
+        }
+        trajsim_obs::emit_span(
+            trajsim_obs::Level::Debug,
+            "knn.query",
+            t.total_ns,
+            &[
+                ("engine", engine.into()),
+                ("database_size", stats.database_size.into()),
+                ("edr_computed", stats.edr_computed.into()),
+                ("pruned", stats.pruned().into()),
+                ("dp_cells", stats.dp_cells.into()),
+                ("total_ns", t.total_ns.into()),
+                ("refine_ns", t.refine_ns.into()),
+            ],
+        );
+    }
 }
 
 /// Elapsed nanoseconds since `start`, saturating into `u64` — the stage
@@ -411,6 +523,7 @@ mod tests {
             },
             refine_ns: 50,
             total_ns: 90,
+            ..Default::default()
         };
         let mut acc = StageTimings::default();
         acc.accumulate(&one);
@@ -425,6 +538,65 @@ mod tests {
         assert_eq!(acc.total_ns, 180);
         // Unattributed remainder: 180 − (20 + 14 + 10 + 6 + 100).
         assert_eq!(acc.other_ns(), 30);
+    }
+
+    /// A raw single-query timings value (engines fill only the sums).
+    fn raw_query(total: u64, refine: u64) -> StageTimings {
+        StageTimings {
+            refine_ns: refine,
+            total_ns: total,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accumulate_tracks_per_batch_extremes() {
+        let mut acc = StageTimings::default();
+        for (t, r) in [(90, 50), (10, 4), (200, 120)] {
+            acc.accumulate(&raw_query(t, r));
+        }
+        assert_eq!(acc.total_ns, 300);
+        assert_eq!(acc.total_range(), (10, 200));
+        assert_eq!(acc.refine_range(), (4, 120));
+    }
+
+    #[test]
+    fn extremes_fold_is_associative() {
+        // Any grouping of the same queries yields the same extremes:
+        // ((a+b)+c) vs (a+(b+c)) vs one flat fold.
+        let qs = [raw_query(90, 50), raw_query(10, 4), raw_query(200, 120)];
+        let mut flat = StageTimings::default();
+        for q in &qs {
+            flat.accumulate(q);
+        }
+        let mut left = StageTimings::default();
+        left.accumulate(&qs[0]);
+        left.accumulate(&qs[1]);
+        let mut grouped_left = StageTimings::default();
+        grouped_left.accumulate(&left);
+        grouped_left.accumulate(&qs[2]);
+        let mut right = StageTimings::default();
+        right.accumulate(&qs[1]);
+        right.accumulate(&qs[2]);
+        let mut grouped_right = qs[0];
+        grouped_right.accumulate(&right);
+        for (label, got) in [("left", grouped_left), ("right", grouped_right)] {
+            assert_eq!(got.total_range(), flat.total_range(), "{label} grouping");
+            assert_eq!(got.refine_range(), flat.refine_range(), "{label} grouping");
+            assert_eq!(got.total_ns, flat.total_ns, "{label} grouping");
+        }
+    }
+
+    #[test]
+    fn single_query_range_is_its_own_total() {
+        let one = raw_query(42, 17);
+        assert_eq!(one.total_range(), (42, 42));
+        assert_eq!(one.refine_range(), (17, 17));
+        let v = one.to_json();
+        assert_eq!(v.get("min_total_ns").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("max_total_ns").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("min_refine_ns").and_then(Value::as_u64), Some(17));
+        assert_eq!(v.get("max_refine_ns").and_then(Value::as_u64), Some(17));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Round-trip tests for the JSON shapes the profile exporters and the
+//! bench guard actually write: nested arrays of event objects, float
+//! timestamps/durations, escaped strings, and null stats — plus a
+//! seeded fuzz-ish sweep over randomly generated documents.
+
+use serde_json::{json, Map, Value};
+
+fn roundtrip(v: &Value) -> Value {
+    let compact = serde_json::to_string(v).expect("serialize compact");
+    let pretty = serde_json::to_string_pretty(v).expect("serialize pretty");
+    let from_compact: Value = serde_json::from_str(&compact).expect("parse compact");
+    let from_pretty: Value = serde_json::from_str(&pretty).expect("parse pretty");
+    assert_eq!(from_compact, from_pretty, "pretty and compact disagree");
+    from_compact
+}
+
+#[test]
+fn chrome_trace_shape_round_trips() {
+    let doc = json!({
+        "traceEvents": [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1u64,
+                "tid": 0u64,
+                "args": { "name": "obs-thread-0" },
+            },
+            {
+                "name": "knn.query",
+                "cat": "trajsim",
+                "ph": "X",
+                "ts": 1786002277329891.5f64,
+                "dur": 13454.006f64,
+                "pid": 1u64,
+                "tid": 0u64,
+                "args": {
+                    "level": "debug",
+                    "engine": "2HE-HSR",
+                    "database_size": 1000u64,
+                    "pruned": 940u64,
+                },
+            },
+            {
+                "name": "note",
+                "ph": "i",
+                "s": "t",
+                "ts": 12.25f64,
+                "pid": 1u64,
+                "tid": 3u64,
+                "args": {},
+            },
+        ],
+        "displayTimeUnit": "ms",
+    });
+    let back = roundtrip(&doc);
+    assert_eq!(back, doc);
+    let events = back.get("traceEvents").unwrap().as_array().unwrap();
+    assert_eq!(events.len(), 3);
+    assert_eq!(
+        events[1].get("dur").and_then(Value::as_f64),
+        Some(13454.006)
+    );
+    assert_eq!(
+        events[1]
+            .get("args")
+            .and_then(|a| a.get("engine"))
+            .and_then(Value::as_str),
+        Some("2HE-HSR")
+    );
+}
+
+#[test]
+fn bench_guard_shape_round_trips_with_null_stats() {
+    let doc = json!({
+        "suite": "kernels",
+        "anchor": "edr_256",
+        "timestamp_unix_s": 1754438400u64,
+        "runs_per_case": 5u64,
+        "fingerprint": { "os": "linux", "arch": "x86_64", "threads": 8u64 },
+        "cases": [
+            {
+                "name": "edr_128",
+                "runs_s": [0.000061f64, 0.0000605f64, 0.0000625f64],
+                "median_s": 0.000061f64,
+                "mad_s": 0.0000005f64,
+                "score": 0.246f64,
+                "stats": Value::Null,
+            },
+        ],
+    });
+    let back = roundtrip(&doc);
+    assert_eq!(back, doc);
+    let case = &back.get("cases").unwrap().as_array().unwrap()[0];
+    assert_eq!(case.get("stats"), Some(&Value::Null));
+    let runs = case.get("runs_s").unwrap().as_array().unwrap();
+    assert_eq!(runs.len(), 3);
+    assert_eq!(runs[0].as_f64(), Some(0.000061));
+}
+
+#[test]
+fn escaped_strings_survive_both_directions() {
+    let nasty = "tab\there \"quotes\" back\\slash\nnewline \u{1F600} nul:\u{0} ctrl:\u{1B}";
+    let doc = json!({ "name": nasty, "path": "thread-0;knn.query;knn.stage.refine" });
+    let back = roundtrip(&doc);
+    assert_eq!(back.get("name").and_then(Value::as_str), Some(nasty));
+    // And parsing hand-written escapes produces the same value.
+    let parsed: Value = serde_json::from_str("{\"name\": \"a\\tb\\\"c\\\\d\\ne\\u0041\"}").unwrap();
+    assert_eq!(
+        parsed.get("name").and_then(Value::as_str),
+        Some("a\tb\"c\\d\neA")
+    );
+}
+
+#[test]
+fn float_extremes_round_trip_or_degrade_to_null() {
+    for x in [0.0f64, -0.0, 1e-308, 1e308, 0.1 + 0.2, f64::MIN, f64::MAX] {
+        let doc = json!({ "x": x });
+        let back = roundtrip(&doc);
+        assert_eq!(back.get("x").and_then(Value::as_f64), Some(x), "{x}");
+    }
+    // Non-finite floats cannot be represented in JSON; the vendored shim
+    // (like real serde_json's to_value) maps them to null at From time.
+    for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Value::from(x), Value::Null, "{x} should become null");
+    }
+}
+
+/// A small deterministic LCG so the fuzz sweep needs no external crates
+/// and reproduces exactly.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        // Numerical Recipes LCG constants.
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random JSON value of bounded depth: every scalar kind, strings with
+/// escapes, nested arrays and objects — the grammar the profile and
+/// bench files draw from.
+fn random_value(rng: &mut Lcg, depth: u32) -> Value {
+    let choice = if depth == 0 { rng.pick(5) } else { rng.pick(7) };
+    match choice {
+        0 => Value::Null,
+        1 => Value::from(rng.pick(2) == 1),
+        2 => Value::from(rng.next() as i64),
+        3 => {
+            // Finite floats only: ratios of u32-sized integers.
+            let num = rng.pick(1 << 32) as f64 - (1u64 << 31) as f64;
+            let den = (rng.pick(1 << 20) + 1) as f64;
+            Value::from(num / den)
+        }
+        4 => {
+            let alphabet = ["a", "β", "\"", "\\", "\n", "\t", ";", "🚀", "\u{7f}", " "];
+            let len = rng.pick(12) as usize;
+            let s: String = (0..len)
+                .map(|_| alphabet[rng.pick(alphabet.len() as u64) as usize])
+                .collect();
+            Value::from(s)
+        }
+        5 => {
+            let len = rng.pick(5) as usize;
+            Value::Array((0..len).map(|_| random_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.pick(5) as usize;
+            let mut m = Map::new();
+            for i in 0..len {
+                m.insert(
+                    format!("k{}_{i}", rng.pick(100)),
+                    random_value(rng, depth - 1),
+                );
+            }
+            Value::Object(m)
+        }
+    }
+}
+
+#[test]
+fn fuzzed_documents_round_trip() {
+    let mut rng = Lcg(0x5EED_CAFE);
+    for i in 0..500 {
+        let doc = random_value(&mut rng, 4);
+        let back = roundtrip(&doc);
+        assert_eq!(back, doc, "iteration {i}: {doc:?}");
+    }
+}
