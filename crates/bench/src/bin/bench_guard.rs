@@ -2,7 +2,7 @@
 //! `trajsim_bench::guard` and DESIGN.md §9).
 //!
 //! ```text
-//! bench_guard [--suite kernels|filters|all] [--runs N] [--dir PATH]
+//! bench_guard [--suite kernels|filters|refine|all] [--runs N] [--dir PATH]
 //!             [--check] [--update] [--inject case:factor] [--quick]
 //! ```
 //!
@@ -29,7 +29,7 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_guard [--suite kernels|filters|all] [--runs N] [--dir PATH]\n\
+        "usage: bench_guard [--suite kernels|filters|refine|all] [--runs N] [--dir PATH]\n\
          \x20                  [--check] [--update] [--inject case:factor] [--quick]"
     );
     exit(2)

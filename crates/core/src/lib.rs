@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod dataset;
 mod error;
 mod matching;
@@ -55,6 +56,7 @@ mod process;
 mod stats;
 mod trajectory;
 
+pub use arena::{ArenaView, CoordSeq, TrajectoryArena};
 pub use dataset::{Dataset, LabeledDataset};
 pub use error::{CoreError, Result};
 pub use matching::MatchThreshold;

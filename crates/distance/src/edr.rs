@@ -2,8 +2,9 @@
 //! contribution.
 
 use crate::kernel;
+use crate::workspace::{with_workspace, EdrWorkspace};
 use std::collections::HashMap;
-use trajsim_core::{MatchThreshold, Trajectory};
+use trajsim_core::{CoordSeq, MatchThreshold, Trajectory};
 
 /// Edit Distance on Real sequence (Definition 2).
 ///
@@ -47,22 +48,45 @@ pub fn edr_counted<const D: usize>(
     s: &Trajectory<D>,
     eps: MatchThreshold,
 ) -> (usize, u64) {
+    with_workspace(|ws| edr_counted_with(r.points(), s.points(), eps, ws))
+}
+
+/// [`edr_counted`] on caller-provided scratch, generic over the coordinate
+/// layout of both sides ([`CoordSeq`]): point slices, arena views, or a
+/// precomputed [`QueryContext`](crate::QueryContext). This is the engines'
+/// allocation-free entry point — the workspace is borrowed, never
+/// reallocated once warm.
+pub fn edr_counted_with<const D: usize, A: CoordSeq<D>, B: CoordSeq<D>>(
+    r: A,
+    s: B,
+    eps: MatchThreshold,
+    ws: &mut EdrWorkspace,
+) -> (usize, u64) {
     // Keep the rolling state as short as the shorter sequence.
-    let (outer, inner) = if r.len() >= s.len() {
-        (r.points(), s.points())
+    if r.len() >= s.len() {
+        full_counted(r, s, eps, ws)
     } else {
-        (s.points(), r.points())
-    };
+        full_counted(s, r, eps, ws)
+    }
+}
+
+/// Full-distance dispatch; `outer.len() >= inner.len()`.
+fn full_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
+    eps: MatchThreshold,
+    ws: &mut EdrWorkspace,
+) -> (usize, u64) {
     if inner.is_empty() {
         return (outer.len(), 0);
     }
     #[cfg(feature = "naive-kernel")]
     {
-        kernel::naive_counted(outer, inner, eps)
+        kernel::naive_counted(outer, inner, eps, ws)
     }
     #[cfg(not(feature = "naive-kernel"))]
     {
-        kernel::bitparallel_counted(outer, inner, eps)
+        kernel::bitparallel_counted(outer, inner, eps, ws)
     }
 }
 
@@ -103,15 +127,39 @@ pub fn edr_within_counted<const D: usize>(
     eps: MatchThreshold,
     bound: usize,
 ) -> (Option<usize>, u64) {
+    with_workspace(|ws| edr_within_counted_with(r.points(), s.points(), eps, bound, ws))
+}
+
+/// [`edr_within_counted`] on caller-provided scratch, generic over the
+/// coordinate layout of both sides ([`CoordSeq`]). See
+/// [`edr_counted_with`].
+pub fn edr_within_counted_with<const D: usize, A: CoordSeq<D>, B: CoordSeq<D>>(
+    r: A,
+    s: B,
+    eps: MatchThreshold,
+    bound: usize,
+    ws: &mut EdrWorkspace,
+) -> (Option<usize>, u64) {
     // Lengths alone already decide some cases: EDR >= |m - n|.
     if r.len().abs_diff(s.len()) > bound {
         return (None, 0);
     }
-    let (outer, inner) = if r.len() >= s.len() {
-        (r.points(), s.points())
+    if r.len() >= s.len() {
+        within_counted(r, s, eps, bound, ws)
     } else {
-        (s.points(), r.points())
-    };
+        within_counted(s, r, eps, bound, ws)
+    }
+}
+
+/// Bounded-distance dispatch; `outer.len() >= inner.len()` and the length
+/// pre-check has passed.
+fn within_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
+    eps: MatchThreshold,
+    bound: usize,
+    ws: &mut EdrWorkspace,
+) -> (Option<usize>, u64) {
     if inner.is_empty() {
         // <= bound by the length pre-check; covers outer empty too.
         return (Some(outer.len()), 0);
@@ -120,22 +168,23 @@ pub fn edr_within_counted<const D: usize>(
         // Equal lengths (pre-check) and no edits allowed: EDR is 0 iff
         // every aligned pair ε-matches — a pointwise scan, no DP rows or
         // allocation at all.
-        let all = outer.iter().zip(inner).all(|(a, b)| a.matches(b, eps));
+        let e = eps.value();
+        let all = (0..outer.len()).all(|i| kernel::coord_match(outer, i, inner, i, e) == 1);
         return (all.then_some(0), 0);
     }
     #[cfg(feature = "naive-kernel")]
     {
-        kernel::within_naive_counted(outer, inner, eps, bound)
+        kernel::within_naive_counted(outer, inner, eps, bound, ws)
     }
     #[cfg(not(feature = "naive-kernel"))]
     {
         if 2 * bound + 1 >= inner.len() {
             // The band would cover (nearly) every column; the full
             // bit-parallel kernel is cheaper than a banded scalar DP.
-            let (d, cells) = kernel::bitparallel_counted(outer, inner, eps);
+            let (d, cells) = kernel::bitparallel_counted(outer, inner, eps, ws);
             ((d <= bound).then_some(d), cells)
         } else {
-            kernel::within_banded_counted(outer, inner, eps, bound)
+            kernel::within_banded_counted(outer, inner, eps, bound, ws)
         }
     }
 }

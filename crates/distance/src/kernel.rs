@@ -16,6 +16,14 @@
 //!   element with branch-free compares, then each DP row collapses to a
 //!   handful of word operations per 64 inner elements.
 //!
+//! Every kernel is generic over [`CoordSeq`], so plain `&[Point<D>]`
+//! slices, columnar [`TrajectoryArena`](trajsim_core::TrajectoryArena)
+//! views, and precomputed [`QueryContext`](crate::QueryContext) columns
+//! all monomorphize into the same loops, and every kernel borrows its
+//! scratch (DP rows, bit-vector blocks) from an [`EdrWorkspace`] instead
+//! of allocating — after the workspace has warmed up to the workload's
+//! maximum pair size, a kernel call performs no heap allocation at all.
+//!
 //! Every kernel also reports how many DP cells it materialized, surfaced
 //! as `QueryStats::dp_cells` by the k-NN engines in `trajsim-prune`:
 //! m·n for naive, the band area for banded, and
@@ -29,16 +37,23 @@
 //! reroutes both to the naive kernel so any result can be reproduced on
 //! the reference path.
 
-use trajsim_core::{MatchThreshold, Point, Trajectory};
+use crate::workspace::EdrWorkspace;
+use trajsim_core::{CoordSeq, MatchThreshold, Point, Trajectory};
 
 /// Branch-free ε-match: 1 iff every coordinate differs by at most `e`
 /// (mirrors [`Point::matches`], including its NaN-never-matches
 /// behavior, without the early return).
 #[inline(always)]
-fn match_bit<const D: usize>(a: &Point<D>, b: &Point<D>, e: f64) -> u64 {
+pub(crate) fn coord_match<const D: usize, A: CoordSeq<D>, B: CoordSeq<D>>(
+    a: A,
+    i: usize,
+    b: B,
+    j: usize,
+    e: f64,
+) -> u64 {
     let mut ok = true;
-    for k in 0..D {
-        ok &= (a[k] - b[k]).abs() <= e;
+    for d in 0..D {
+        ok &= (a.coord(i, d) - b.coord(j, d)).abs() <= e;
     }
     u64::from(ok)
 }
@@ -46,46 +61,54 @@ fn match_bit<const D: usize>(a: &Point<D>, b: &Point<D>, e: f64) -> u64 {
 /// The textbook O(m·n) rolling-row DP, counting filled cells.
 ///
 /// Callers guarantee `outer.len() >= inner.len()` and `inner` non-empty.
-pub(crate) fn naive_counted<const D: usize>(
-    outer: &[Point<D>],
-    inner: &[Point<D>],
+pub(crate) fn naive_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
     eps: MatchThreshold,
+    ws: &mut EdrWorkspace,
 ) -> (usize, u64) {
-    let n = inner.len();
-    let mut prev: Vec<usize> = (0..=n).collect();
-    let mut curr: Vec<usize> = vec![0; n + 1];
-    for (i, oi) in outer.iter().enumerate() {
+    let (m, n) = (outer.len(), inner.len());
+    let e = eps.value();
+    let (prev, curr) = ws.rows(n + 1, 0);
+    for (j, slot) in prev.iter_mut().enumerate() {
+        *slot = j;
+    }
+    for i in 0..m {
         curr[0] = i + 1;
-        for (j, ij) in inner.iter().enumerate() {
-            let subcost = usize::from(!oi.matches(ij, eps));
+        for j in 0..n {
+            let subcost = usize::from(coord_match(outer, i, inner, j, e) == 0);
             let replace = prev[j] + subcost;
             let delete = prev[j + 1] + 1;
             let insert = curr[j] + 1;
             curr[j + 1] = replace.min(delete).min(insert);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
-    (prev[n], (outer.len() * n) as u64)
+    (prev[n], (m * n) as u64)
 }
 
 /// Naive bounded DP with whole-row early abandoning, counting filled
 /// cells. Same contract as [`naive_counted`]; additionally the caller has
 /// checked `outer.len() - inner.len() <= bound`.
-pub(crate) fn within_naive_counted<const D: usize>(
-    outer: &[Point<D>],
-    inner: &[Point<D>],
+pub(crate) fn within_naive_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
     eps: MatchThreshold,
     bound: usize,
+    ws: &mut EdrWorkspace,
 ) -> (Option<usize>, u64) {
-    let n = inner.len();
-    let mut prev: Vec<usize> = (0..=n).collect();
-    let mut curr: Vec<usize> = vec![0; n + 1];
+    let (m, n) = (outer.len(), inner.len());
+    let e = eps.value();
+    let (prev, curr) = ws.rows(n + 1, 0);
+    for (j, slot) in prev.iter_mut().enumerate() {
+        *slot = j;
+    }
     let mut cells = 0u64;
-    for (i, oi) in outer.iter().enumerate() {
+    for i in 0..m {
         curr[0] = i + 1;
         let mut row_min = curr[0];
-        for (j, ij) in inner.iter().enumerate() {
-            let subcost = usize::from(!oi.matches(ij, eps));
+        for j in 0..n {
+            let subcost = usize::from(coord_match(outer, i, inner, j, e) == 0);
             let replace = prev[j] + subcost;
             let delete = prev[j + 1] + 1;
             let insert = curr[j] + 1;
@@ -97,7 +120,7 @@ pub(crate) fn within_naive_counted<const D: usize>(
         if row_min > bound {
             return (None, cells);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     ((prev[n] <= bound).then_some(prev[n]), cells)
 }
@@ -109,19 +132,19 @@ pub(crate) fn within_naive_counted<const D: usize>(
 /// Callers guarantee `outer.len() >= inner.len()`,
 /// `outer.len() - inner.len() <= bound`, `bound >= 1`, and `inner`
 /// non-empty.
-pub(crate) fn within_banded_counted<const D: usize>(
-    outer: &[Point<D>],
-    inner: &[Point<D>],
+pub(crate) fn within_banded_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
     eps: MatchThreshold,
     bound: usize,
+    ws: &mut EdrWorkspace,
 ) -> (Option<usize>, u64) {
     let (m, n) = (outer.len(), inner.len());
     let e = eps.value();
     // Any value above `bound` behaves identically; clamping to this
     // sentinel keeps out-of-band reads harmless.
     let sentinel = bound + 1;
-    let mut prev: Vec<usize> = vec![sentinel; n + 1];
-    let mut curr: Vec<usize> = vec![sentinel; n + 1];
+    let (prev, curr) = ws.rows(n + 1, sentinel);
     for (j, slot) in prev.iter_mut().enumerate().take(n.min(bound) + 1) {
         *slot = j; // row 0: D[0][j] = j where it is in band
     }
@@ -134,9 +157,8 @@ pub(crate) fn within_banded_counted<const D: usize>(
             curr[lo - 1] = sentinel; // stale cell from two rows ago
         }
         let mut row_min = curr[0];
-        let oi = &outer[i - 1];
         for j in lo..=hi {
-            let subcost = usize::from(match_bit(oi, &inner[j - 1], e) == 0);
+            let subcost = usize::from(coord_match(outer, i - 1, inner, j - 1, e) == 0);
             let v = (prev[j - 1] + subcost)
                 .min(prev[j] + 1)
                 .min(curr[j - 1] + 1)
@@ -151,7 +173,7 @@ pub(crate) fn within_banded_counted<const D: usize>(
         if hi < n {
             curr[hi + 1] = sentinel; // next row reads one past this band
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     let d = prev[n];
     ((d <= bound).then_some(d), cells)
@@ -169,26 +191,27 @@ pub(crate) fn within_banded_counted<const D: usize>(
 /// so they never corrupt it.
 ///
 /// Callers guarantee `outer.len() >= inner.len()` and `inner` non-empty.
-pub(crate) fn bitparallel_counted<const D: usize>(
-    outer: &[Point<D>],
-    inner: &[Point<D>],
+pub(crate) fn bitparallel_counted<const D: usize, O: CoordSeq<D>, I: CoordSeq<D>>(
+    outer: O,
+    inner: I,
     eps: MatchThreshold,
+    ws: &mut EdrWorkspace,
 ) -> (usize, u64) {
-    let n = inner.len();
+    let (m, n) = (outer.len(), inner.len());
     let w = n.div_ceil(64);
     let last_bit = (n - 1) % 64;
     let e = eps.value();
-    let mut vp = vec![u64::MAX; w];
-    let mut vn = vec![0u64; w];
-    let mut eq = vec![0u64; w];
+    let (vp, vn, eq) = ws.bits(w);
     let mut score = n;
-    for oi in outer {
-        for (b, chunk) in inner.chunks(64).enumerate() {
-            let mut word = 0u64;
-            for (k, ij) in chunk.iter().enumerate() {
-                word |= match_bit(oi, ij, e) << k;
+    for i in 0..m {
+        for (b, word) in eq.iter_mut().enumerate() {
+            let base = b * 64;
+            let lanes = 64.min(n - base);
+            let mut bitsword = 0u64;
+            for k in 0..lanes {
+                bitsword |= coord_match(outer, i, inner, base + k, e) << k;
             }
-            eq[b] = word;
+            *word = bitsword;
         }
         // Boundary row: D[0][j] - D[0][j-1] = +1.
         let mut hin: i32 = 1;
@@ -218,7 +241,7 @@ pub(crate) fn bitparallel_counted<const D: usize>(
             hin = hout;
         }
     }
-    (score, (outer.len() * w * 64) as u64)
+    (score, (m * w * 64) as u64)
 }
 
 /// Splits into (longer, shorter) point slices, mirroring the rolling-row
@@ -246,7 +269,7 @@ pub fn edr_naive<const D: usize>(
     if inner.is_empty() {
         return outer.len();
     }
-    naive_counted(outer, inner, eps).0
+    crate::with_workspace(|ws| naive_counted(outer, inner, eps, ws).0)
 }
 
 /// [`edr`](crate::edr) computed by the bit-parallel kernel.
@@ -259,7 +282,7 @@ pub fn edr_bitparallel<const D: usize>(
     if inner.is_empty() {
         return outer.len();
     }
-    bitparallel_counted(outer, inner, eps).0
+    crate::with_workspace(|ws| bitparallel_counted(outer, inner, eps, ws).0)
 }
 
 /// [`edr_within`](crate::edr_within) computed by the naive
@@ -277,7 +300,7 @@ pub fn edr_within_naive<const D: usize>(
     if inner.is_empty() {
         return Some(outer.len());
     }
-    within_naive_counted(outer, inner, eps, bound).0
+    crate::with_workspace(|ws| within_naive_counted(outer, inner, eps, bound, ws).0)
 }
 
 /// [`edr_within`](crate::edr_within) computed by the Ukkonen-banded
@@ -301,7 +324,7 @@ pub fn edr_within_banded<const D: usize>(
         let all = outer.iter().zip(inner).all(|(a, b)| a.matches(b, eps));
         return all.then_some(0);
     }
-    within_banded_counted(outer, inner, eps, bound).0
+    crate::with_workspace(|ws| within_banded_counted(outer, inner, eps, bound, ws).0)
 }
 
 #[cfg(test)]
@@ -425,9 +448,10 @@ mod tests {
             let (outer, inner) = ordered(&r, &s);
             let diff = outer.len() - inner.len();
             let naive_cells = (outer.len() as u64) * (inner.len() as u64);
+            let mut ws = crate::EdrWorkspace::new();
             let mut prev = 0u64;
             for bound in diff.max(1)..outer.len() {
-                let (_, cells) = within_banded_counted(outer, inner, e, bound);
+                let (_, cells) = within_banded_counted(outer, inner, e, bound, &mut ws);
                 prop_assert!(cells <= naive_cells);
                 prop_assert!(cells >= prev, "bound {} shrank the band", bound);
                 prev = cells;

@@ -41,12 +41,13 @@ mod lcss;
 mod measure;
 mod metric;
 mod subsequence;
+mod workspace;
 
 pub use dtw::{dtw, dtw_banded, dtw_with};
 pub use edit::edit_distance;
 pub use edr::{
-    edr, edr_counted, edr_projected, edr_recursive_reference, edr_scaled, edr_within,
-    edr_within_counted,
+    edr, edr_counted, edr_counted_with, edr_projected, edr_recursive_reference, edr_scaled,
+    edr_within, edr_within_counted, edr_within_counted_with,
 };
 pub use erp::{erp, erp_with, erp_with_gap};
 pub use euclid::{euclidean, euclidean_sliding};
@@ -55,3 +56,7 @@ pub use lcss::{lcss, lcss_distance};
 pub use measure::{Measure, TrajectoryMeasure};
 pub use metric::ElementMetric;
 pub use subsequence::{edr_find_matches, edr_subsequence_ends, SubMatch};
+pub use workspace::{
+    with_workspace, EdrWorkspace, QueryContext, SCRATCH_ALLOCS, SCRATCH_REUSES,
+    WORKSPACE_PEAK_BYTES,
+};

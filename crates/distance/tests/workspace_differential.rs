@@ -1,0 +1,161 @@
+//! Differential tests for the workspace-backed refine path: the
+//! query-context / arena / explicit-workspace kernels must agree with the
+//! textbook rolling-row DP (`edr_naive`) on every input — in particular
+//! at the u64 block boundaries of the bit-parallel kernel and when one
+//! grow-only workspace is reused across pairs of wildly mixed sizes
+//! (stale scratch state must never leak between calls).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory2, TrajectoryArena};
+use trajsim_distance::{edr, edr_naive, edr_within, edr_within_naive, EdrWorkspace, QueryContext};
+
+fn eps(v: f64) -> MatchThreshold {
+    MatchThreshold::new(v).unwrap()
+}
+
+fn random_traj(rng: &mut StdRng, len: usize) -> Trajectory2 {
+    Trajectory2::from_xy(
+        &(0..len)
+            .map(|_| (rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The lengths that matter to the bit-parallel kernel: empty, singleton,
+/// one below / exactly at / one past the 64-bit block boundary.
+const BOUNDARY_LENS: [usize; 5] = [0, 1, 63, 64, 65];
+
+#[test]
+fn boundary_length_pairs_match_the_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xED4);
+    let e = eps(0.4);
+    let mut ws = EdrWorkspace::new();
+    for &lr in &BOUNDARY_LENS {
+        for &ls in &BOUNDARY_LENS {
+            let r = random_traj(&mut rng, lr);
+            let s = random_traj(&mut rng, ls);
+            let want = edr_naive(&r, &s, e);
+            assert_eq!(edr(&r, &s, e), want, "dispatch path, lens ({lr},{ls})");
+            let ctx = QueryContext::from_trajectory(&r, e);
+            assert_eq!(
+                ctx.edr(&s, &mut ws),
+                want,
+                "query-context path, lens ({lr},{ls})"
+            );
+            // Every sound bound admits the true distance; a tight one is
+            // the interesting case for the banded kernel.
+            for bound in [want, want + 1, want.saturating_sub(1)] {
+                let want_within = edr_within_naive(&r, &s, e, bound);
+                assert_eq!(
+                    edr_within(&r, &s, e, bound),
+                    want_within,
+                    "dispatch within, lens ({lr},{ls}), bound {bound}"
+                );
+                assert_eq!(
+                    ctx.edr_within(&s, bound, &mut ws),
+                    want_within,
+                    "query-context within, lens ({lr},{ls}), bound {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzzed_pairs_match_the_naive_oracle_through_the_arena() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    let e = eps(0.5);
+    let mut ws = EdrWorkspace::new();
+    for _ in 0..60 {
+        let lr = rng.gen_range(0..130);
+        let ls = rng.gen_range(0..130);
+        let r = random_traj(&mut rng, lr);
+        let s = random_traj(&mut rng, ls);
+        let want = edr_naive(&r, &s, e);
+        let arena = TrajectoryArena::from_trajectories(&[r.clone(), s.clone()]);
+        let ctx = QueryContext::new(arena.view(0), e);
+        assert_eq!(
+            ctx.edr(arena.view(1), &mut ws),
+            want,
+            "arena path, lens ({lr},{ls})"
+        );
+        let bound = rng.gen_range(0..140);
+        assert_eq!(
+            ctx.edr_within(arena.view(1), bound, &mut ws),
+            edr_within_naive(&r, &s, e, bound),
+            "arena within, lens ({lr},{ls}), bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn one_workspace_survives_shuffled_mixed_size_pairs() {
+    // Reuse a single workspace across pairs visited in a size-shuffled
+    // order (big, tiny, big, ...) so any stale vp/vn/eq or row content
+    // from a previous, larger call would corrupt a later, smaller one.
+    let mut rng = StdRng::seed_from_u64(0x57A1E);
+    let e = eps(0.3);
+    let lens: Vec<usize> = BOUNDARY_LENS
+        .iter()
+        .copied()
+        .chain([2, 7, 31, 100, 127, 128, 129])
+        .collect();
+    let mut pairs: Vec<(Trajectory2, Trajectory2)> = Vec::new();
+    for &lr in &lens {
+        for &ls in &lens {
+            pairs.push((random_traj(&mut rng, lr), random_traj(&mut rng, ls)));
+        }
+    }
+    // Fisher-Yates; the vendored `rand` has no `seq` module.
+    for i in (1..pairs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pairs.swap(i, j);
+    }
+    let mut ws = EdrWorkspace::new();
+    for (r, s) in &pairs {
+        let want = edr_naive(r, s, e);
+        let ctx = QueryContext::from_trajectory(r, e);
+        assert_eq!(
+            ctx.edr(s, &mut ws),
+            want,
+            "reused workspace, lens ({},{})",
+            r.len(),
+            s.len()
+        );
+        let bound = want.saturating_sub(1);
+        assert_eq!(
+            ctx.edr_within(s, bound, &mut ws),
+            edr_within_naive(r, s, e, bound),
+            "reused workspace within, lens ({},{})",
+            r.len(),
+            s.len()
+        );
+    }
+    // The workspace grew to the largest pair and then only got reused.
+    assert!(ws.scratch_reuses() > 0, "expected scratch reuse");
+    assert!(
+        ws.scratch_allocs() < pairs.len() as u64,
+        "workspace must not grow once it fits the largest pair"
+    );
+}
+
+#[test]
+fn legacy_api_and_workspace_api_agree_over_a_dataset() {
+    let mut rng = StdRng::seed_from_u64(0xD5);
+    let e = eps(0.6);
+    let db: Dataset<2> = (0..20)
+        .map(|_| {
+            let len = rng.gen_range(0..70);
+            random_traj(&mut rng, len)
+        })
+        .collect();
+    let arena = TrajectoryArena::from_dataset(&db);
+    let mut ws = EdrWorkspace::with_capacity(arena.max_len());
+    for (i, r) in db.iter() {
+        let ctx = QueryContext::new(arena.view(i), e);
+        for (j, s) in db.iter() {
+            assert_eq!(ctx.edr(arena.view(j), &mut ws), edr(r, s, e));
+        }
+    }
+}

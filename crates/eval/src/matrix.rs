@@ -1,7 +1,7 @@
 //! Symmetric pairwise distance matrices.
 
-use trajsim_core::{Dataset, Trajectory};
-use trajsim_distance::TrajectoryMeasure;
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{EdrWorkspace, QueryContext, TrajectoryMeasure};
 
 /// A symmetric pairwise distance matrix over `n` items, stored as the
 /// strict lower triangle in one flat buffer (the Performance Book's
@@ -22,6 +22,29 @@ impl DistanceMatrix {
         measure: &M,
     ) -> Self {
         Self::from_trajectories(data.trajectories(), measure)
+    }
+
+    /// Computes the EDR pairwise matrix through the allocation-free
+    /// refine path: candidates live in a [`TrajectoryArena`] and are
+    /// visited in layout order, the row trajectory is embedded once per
+    /// row as a [`QueryContext`], and each worker reuses one pre-grown
+    /// [`EdrWorkspace`] across all of its rows.
+    pub fn edr_from_dataset<const D: usize>(data: &Dataset<D>, eps: MatchThreshold) -> Self {
+        let n = data.len();
+        let arena = TrajectoryArena::from_dataset(data);
+        let row_ids: Vec<usize> = (1..n).collect();
+        let rows: Vec<Vec<f64>> = trajsim_parallel::par_map_with(
+            &row_ids,
+            || EdrWorkspace::with_capacity(arena.max_len()),
+            |ws, _, &i| {
+                let ctx = QueryContext::new(arena.view(i), eps);
+                (0..i).map(|j| ctx.edr(arena.view(j), ws) as f64).collect()
+            },
+        );
+        DistanceMatrix {
+            n,
+            lower: rows.concat(),
+        }
     }
 
     /// Computes the matrix from an arbitrary symmetric distance closure
@@ -122,6 +145,20 @@ mod tests {
         let m = DistanceMatrix::compute(&data, &Measure::Edr { eps });
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn edr_from_dataset_matches_the_generic_path() {
+        let data = Dataset::new(vec![
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0)]),
+            Trajectory2::from_xy(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]),
+            Trajectory2::from_xy(&[(5.0, 5.0), (9.0, 9.0)]),
+            Trajectory2::from_xy(&[]),
+        ]);
+        let eps = MatchThreshold::new(0.5).unwrap();
+        let generic = DistanceMatrix::compute(&data, &Measure::Edr { eps });
+        let arena = DistanceMatrix::edr_from_dataset(&data, eps);
+        assert_eq!(arena, generic);
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if `v` exceeds the current value
+    /// (monotonic high-water mark, e.g. peak scratch bytes).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

@@ -158,10 +158,38 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(items, || (), move |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state: every worker calls `init()`
+/// exactly once when it starts and passes the resulting value, mutably, to
+/// each `f(&mut scratch, index, &item)` it executes. The serial fallback
+/// creates one scratch and reuses it for every item.
+///
+/// This is how the k-NN engines keep the refine stage allocation-free: the
+/// scratch is an `EdrWorkspace` (DP rows + bit-vectors) that warms up on a
+/// worker's first item and is reused across the whole batch, however the
+/// dynamic chunking distributes the items.
+///
+/// # Panics
+///
+/// Re-raises a panic from any invocation of `init` or `f`.
+pub fn par_map_with<T, S, R, INIT, F>(items: &[T], init: INIT, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let threads = num_threads().min(n.max(1));
     if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
     }
 
     let t_pool = Instant::now();
@@ -173,6 +201,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let t_worker = Instant::now();
+                    let mut scratch = init();
                     let mut out = Vec::new();
                     loop {
                         let start = cursor.fetch_add(block, Ordering::Relaxed);
@@ -185,7 +214,7 @@ where
                             .take((start + block).min(n))
                             .skip(start)
                         {
-                            out.push((i, f(i, item)));
+                            out.push((i, f(&mut scratch, i, item)));
                         }
                     }
                     let busy = elapsed_ns(t_worker);
@@ -319,6 +348,56 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         assert_eq!(par_map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
         assert_eq!(par_map(&[5u8], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn par_map_with_initializes_one_scratch_per_worker() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(4);
+        let _guard = ResetThreads;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..500).collect();
+        let got = par_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, _, &x| {
+                scratch.push(x); // scratch persists across this worker's items
+                x * 2
+            },
+        );
+        let want: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, want);
+        let created = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&created),
+            "scratch created once per worker, got {created}"
+        );
+    }
+
+    #[test]
+    fn par_map_with_serial_fallback_reuses_one_scratch() {
+        let _lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(1);
+        let _guard = ResetThreads;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        let got = par_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        // Running sum proves the same scratch flowed through every item.
+        assert_eq!(got[99], (0..100).sum::<u64>());
     }
 
     #[test]

@@ -70,6 +70,33 @@ impl StageReport {
     }
 }
 
+/// Allocation behaviour of the refine path's EDR scratch workspaces,
+/// snapshotted from the global metrics registry (the
+/// `refine.scratch_*` counters and `refine.workspace_peak_bytes`
+/// gauge published by `trajsim-distance`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScratchReport {
+    /// EDR calls served by an already-large-enough workspace (no heap
+    /// traffic).
+    pub reuses: u64,
+    /// Workspace growth events (heap allocation during a kernel call).
+    pub allocs: u64,
+    /// High-water mark of any single workspace's scratch, in bytes.
+    pub workspace_peak_bytes: i64,
+}
+
+impl ScratchReport {
+    /// Reads the current scratch metrics from the global registry.
+    fn snapshot() -> Self {
+        let m = trajsim_obs::metrics::global();
+        ScratchReport {
+            reuses: m.counter(trajsim_distance::SCRATCH_REUSES).get(),
+            allocs: m.counter(trajsim_distance::SCRATCH_ALLOCS).get(),
+            workspace_peak_bytes: m.gauge(trajsim_distance::WORKSPACE_PEAK_BYTES).get(),
+        }
+    }
+}
+
 /// The per-stage pruning-power breakdown of a k-NN query (or of a whole
 /// workload, when built from accumulated [`QueryStats`]). Counters are
 /// copied verbatim from the stats — the report never re-derives what the
@@ -104,6 +131,8 @@ pub struct ExplainReport {
     pub total_range: (u64, u64),
     /// `(min, max)` per-query refine time across the workload.
     pub refine_range: (u64, u64),
+    /// Refine-path scratch allocation behaviour (process-wide snapshot).
+    pub scratch: ScratchReport,
 }
 
 impl ExplainReport {
@@ -135,6 +164,7 @@ impl ExplainReport {
             other_ns: t.other_ns(),
             total_range: t.total_range(),
             refine_range: t.refine_range(),
+            scratch: ScratchReport::snapshot(),
         }
     }
 
@@ -158,6 +188,11 @@ impl ExplainReport {
             "max_total_ns": self.total_range.1,
             "min_refine_ns": self.refine_range.0,
             "max_refine_ns": self.refine_range.1,
+            "scratch": {
+                "reuses": self.scratch.reuses,
+                "allocs": self.scratch.allocs,
+                "workspace_peak_bytes": self.scratch.workspace_peak_bytes,
+            },
         })
     }
 
@@ -204,6 +239,10 @@ impl ExplainReport {
             fmt_ns(self.setup_ns),
             fmt_ns(self.refine_ns),
             fmt_ns(self.other_ns)
+        ));
+        out.push_str(&format!(
+            "  scratch: {} reuses, {} allocs, peak {} bytes per workspace\n",
+            self.scratch.reuses, self.scratch.allocs, self.scratch.workspace_peak_bytes
         ));
         if self.queries > 1 {
             out.push_str(&format!(
@@ -356,6 +395,20 @@ mod tests {
         assert_eq!(rep.total_range, (100, 300));
         assert_eq!(rep.refine_range, (60, 200));
         assert!(rep.render().contains("per query"));
+    }
+
+    #[test]
+    fn scratch_metrics_appear_in_json_and_render() {
+        let r = ExplainReport::from_stats("scan", 1, &sample_stats());
+        let v = r.to_json();
+        let s = v.get("scratch").expect("scratch section");
+        assert!(s.get("reuses").and_then(Value::as_u64).is_some());
+        assert!(s.get("allocs").and_then(Value::as_u64).is_some());
+        assert!(s
+            .get("workspace_peak_bytes")
+            .and_then(Value::as_i64)
+            .is_some());
+        assert!(r.render().contains("scratch:"));
     }
 
     #[test]

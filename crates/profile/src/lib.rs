@@ -34,4 +34,4 @@ mod explain;
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use collapsed::collapsed_stacks;
 pub use collector::{ProfileCollector, ProfileRecord, TeeSink};
-pub use explain::{ExplainReport, StageReport};
+pub use explain::{ExplainReport, ScratchReport, StageReport};

@@ -3,8 +3,8 @@
 use crate::histogram_knn::HistogramVariant;
 use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::{edr, edr_counted};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
 use trajsim_qgram::{passes_count_filter, SortedMeans};
 
@@ -135,6 +135,8 @@ enum QueryHists<const D: usize> {
 #[derive(Debug)]
 pub struct CombinedKnn<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    /// Columnar candidate storage for the refine stage.
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     config: CombinedConfig,
     hists: Hists<D>,
@@ -146,13 +148,22 @@ pub struct CombinedKnn<'a, const D: usize> {
 impl<'a, const D: usize> CombinedKnn<'a, D> {
     /// Builds all three filter structures for `dataset`. The reference
     /// `pmatrix` rows are computed in parallel (one task per reference;
-    /// thread count per `trajsim-parallel`).
+    /// thread count per `trajsim-parallel`; one pre-grown EDR workspace
+    /// per worker, reused across its rows).
     pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold, config: CombinedConfig) -> Self {
         let pool = config.max_triangle.min(dataset.len());
-        let refs = &dataset.trajectories()[..pool];
-        let pmatrix = trajsim_parallel::par_map(refs, |_, tr| {
-            dataset.iter().map(|(_, s)| edr(tr, s, eps)).collect()
-        });
+        let arena = TrajectoryArena::from_dataset(dataset);
+        let ids: Vec<usize> = (0..pool).collect();
+        let pmatrix = trajsim_parallel::par_map_with(
+            &ids,
+            || EdrWorkspace::with_capacity(arena.max_len()),
+            |ws, _, &r| {
+                let ctx = QueryContext::new(arena.view(r), eps);
+                (0..arena.len())
+                    .map(|s| ctx.edr(arena.view(s), ws))
+                    .collect()
+            },
+        );
         Self::with_pmatrix(dataset, eps, config, pmatrix)
     }
 
@@ -207,6 +218,7 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
             .collect();
         CombinedKnn {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             config,
             hists,
@@ -265,6 +277,9 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
             ),
         };
         let q_means = SortedMeans::build(query, self.config.qgram_q);
+        // Query side of the refine stage, transposed once into SoA
+        // columns; candidates stream from the columnar arena.
+        let ctx = QueryContext::from_trajectory(query, self.eps);
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
             ..Default::default()
@@ -290,86 +305,90 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
             .collect();
         visit.sort_unstable();
         stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
-        'candidates: for (rank, &(quick_lb, id)) in visit.iter().enumerate() {
-            let s = &self.dataset.trajectories()[id];
-            let best = result.best_so_far();
-            if best != usize::MAX {
-                if quick_lb > best {
-                    // Sorted scan break-out: every remaining quick bound is
-                    // at least this one.
-                    stats.pruned_by_histogram += visit.len() - rank;
-                    break;
-                }
-                for filter in filters {
-                    let pruned = match filter {
-                        Filter::Histogram => {
-                            stats.timings.histogram.candidates_in += 1;
-                            let t = Instant::now();
-                            let prune = self.histogram_exact(&qh, id) > best;
-                            stats.timings.histogram.filter_ns += elapsed_ns(t);
-                            if prune {
-                                stats.pruned_by_histogram += 1;
-                                true
-                            } else {
-                                stats.timings.histogram.candidates_out += 1;
-                                false
+        // One borrow of the thread's EDR workspace around the whole
+        // candidate loop: every refine below reuses the same scratch.
+        with_workspace(|ws| {
+            'candidates: for (rank, &(quick_lb, id)) in visit.iter().enumerate() {
+                let s = &self.dataset.trajectories()[id];
+                let best = result.best_so_far();
+                if best != usize::MAX {
+                    if quick_lb > best {
+                        // Sorted scan break-out: every remaining quick bound is
+                        // at least this one.
+                        stats.pruned_by_histogram += visit.len() - rank;
+                        break;
+                    }
+                    for filter in filters {
+                        let pruned = match filter {
+                            Filter::Histogram => {
+                                stats.timings.histogram.candidates_in += 1;
+                                let t = Instant::now();
+                                let prune = self.histogram_exact(&qh, id) > best;
+                                stats.timings.histogram.filter_ns += elapsed_ns(t);
+                                if prune {
+                                    stats.pruned_by_histogram += 1;
+                                    true
+                                } else {
+                                    stats.timings.histogram.candidates_out += 1;
+                                    false
+                                }
                             }
-                        }
-                        Filter::Qgram => {
-                            stats.timings.qgram.candidates_in += 1;
-                            let t = Instant::now();
-                            let v = q_means.match_count(&self.qgrams[id], self.eps);
-                            let prune = !passes_count_filter(
-                                v,
-                                query.len(),
-                                s.len(),
-                                self.config.qgram_q,
-                                best,
-                            );
-                            stats.timings.qgram.filter_ns += elapsed_ns(t);
-                            if prune {
-                                stats.pruned_by_qgram += 1;
-                                true
-                            } else {
-                                stats.timings.qgram.candidates_out += 1;
-                                false
+                            Filter::Qgram => {
+                                stats.timings.qgram.candidates_in += 1;
+                                let t = Instant::now();
+                                let v = q_means.match_count(&self.qgrams[id], self.eps);
+                                let prune = !passes_count_filter(
+                                    v,
+                                    query.len(),
+                                    s.len(),
+                                    self.config.qgram_q,
+                                    best,
+                                );
+                                stats.timings.qgram.filter_ns += elapsed_ns(t);
+                                if prune {
+                                    stats.pruned_by_qgram += 1;
+                                    true
+                                } else {
+                                    stats.timings.qgram.candidates_out += 1;
+                                    false
+                                }
                             }
-                        }
-                        Filter::NearTriangle => {
-                            stats.timings.triangle.candidates_in += 1;
-                            let t = Instant::now();
-                            let lower = references
-                                .iter()
-                                .map(|&(r, dist_qr)| {
-                                    dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
-                                })
-                                .max();
-                            let prune = matches!(lower, Some(l) if l > best as i64);
-                            stats.timings.triangle.filter_ns += elapsed_ns(t);
-                            if prune {
-                                stats.pruned_by_triangle += 1;
-                                true
-                            } else {
-                                stats.timings.triangle.candidates_out += 1;
-                                false
+                            Filter::NearTriangle => {
+                                stats.timings.triangle.candidates_in += 1;
+                                let t = Instant::now();
+                                let lower = references
+                                    .iter()
+                                    .map(|&(r, dist_qr)| {
+                                        dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
+                                    })
+                                    .max();
+                                let prune = matches!(lower, Some(l) if l > best as i64);
+                                stats.timings.triangle.filter_ns += elapsed_ns(t);
+                                if prune {
+                                    stats.pruned_by_triangle += 1;
+                                    true
+                                } else {
+                                    stats.timings.triangle.candidates_out += 1;
+                                    false
+                                }
                             }
+                        };
+                        if pruned {
+                            continue 'candidates;
                         }
-                    };
-                    if pruned {
-                        continue 'candidates;
                     }
                 }
+                let t_refine = Instant::now();
+                let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
+                stats.timings.refine_ns += elapsed_ns(t_refine);
+                stats.dp_cells += cells;
+                stats.edr_computed += 1;
+                if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
+                    references.push((id, d));
+                }
+                result.offer(id, d);
             }
-            let t_refine = Instant::now();
-            let (d, cells) = edr_counted(query, s, self.eps);
-            stats.timings.refine_ns += elapsed_ns(t_refine);
-            stats.dp_cells += cells;
-            stats.edr_computed += 1;
-            if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
-                references.push((id, d));
-            }
-            result.offer(id, d);
-        }
+        });
         stats.timings.total_ns = elapsed_ns(t_query);
         finish_query(&self.name(), &stats);
         KnnResult {

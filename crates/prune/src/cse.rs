@@ -19,8 +19,8 @@
 
 use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::{edr, edr_counted};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
 
 /// The smallest constant that makes `dist + c` obey the triangle
 /// inequality on the given symmetric pairwise matrix: the maximum of
@@ -57,13 +57,17 @@ pub fn pairwise_edr_matrix<const D: usize>(
     eps: MatchThreshold,
 ) -> Vec<Vec<usize>> {
     let n = dataset.len();
+    let arena = TrajectoryArena::from_dataset(dataset);
     let mut m = vec![vec![0usize; n]; n];
     // Each distance fills the (i, j) and (j, i) cells of two different
-    // rows, so index loops are the clear form here.
+    // rows, so index loops are the clear form here. One grow-only
+    // workspace serves every pair; the query side is re-embedded per row.
+    let mut ws = EdrWorkspace::with_capacity(arena.max_len());
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
+        let ctx = QueryContext::new(arena.view(i), eps);
         for j in (i + 1)..n {
-            let d = edr(&dataset.trajectories()[i], &dataset.trajectories()[j], eps);
+            let d = ctx.edr(arena.view(j), &mut ws);
             m[i][j] = d;
             m[j][i] = d;
         }
@@ -83,6 +87,8 @@ pub fn pairwise_edr_matrix<const D: usize>(
 #[derive(Debug)]
 pub struct CseKnn<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    /// Columnar candidate storage for the refine stage.
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     max_references: usize,
     constant: i64,
@@ -120,6 +126,7 @@ impl<'a, const D: usize> CseKnn<'a, D> {
         let pmatrix = full.into_iter().take(pool).collect();
         CseKnn {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             max_references,
             constant,
@@ -141,36 +148,39 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
             ..Default::default()
         };
         let mut result = ResultSet::new(k);
+        let ctx = QueryContext::from_trajectory(query, self.eps);
         let mut references: Vec<(usize, usize)> = Vec::new();
-        for (id, s) in self.dataset.iter() {
-            let best = result.best_so_far();
-            if best != usize::MAX && !references.is_empty() {
-                // CSE is a triangle-style reference bound; its work is
-                // charged to the triangle stage.
-                let t_filter = Instant::now();
-                let lower = references
-                    .iter()
-                    .map(|&(r, dist_qr)| {
-                        dist_qr as i64 - self.pmatrix[r][id] as i64 - self.constant
-                    })
-                    .max()
-                    .expect("non-empty references");
-                stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
-                if lower > best as i64 {
-                    stats.pruned_by_triangle += 1;
-                    continue;
+        with_workspace(|ws| {
+            for (id, _) in self.dataset.iter() {
+                let best = result.best_so_far();
+                if best != usize::MAX && !references.is_empty() {
+                    // CSE is a triangle-style reference bound; its work is
+                    // charged to the triangle stage.
+                    let t_filter = Instant::now();
+                    let lower = references
+                        .iter()
+                        .map(|&(r, dist_qr)| {
+                            dist_qr as i64 - self.pmatrix[r][id] as i64 - self.constant
+                        })
+                        .max()
+                        .expect("non-empty references");
+                    stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
+                    if lower > best as i64 {
+                        stats.pruned_by_triangle += 1;
+                        continue;
+                    }
                 }
+                let t_refine = Instant::now();
+                let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
+                stats.timings.refine_ns += elapsed_ns(t_refine);
+                stats.dp_cells += cells;
+                stats.edr_computed += 1;
+                if id < self.pmatrix.len() && references.len() < self.max_references {
+                    references.push((id, d));
+                }
+                result.offer(id, d);
             }
-            let t_refine = Instant::now();
-            let (d, cells) = edr_counted(query, s, self.eps);
-            stats.timings.refine_ns += elapsed_ns(t_refine);
-            stats.dp_cells += cells;
-            stats.edr_computed += 1;
-            if id < self.pmatrix.len() && references.len() < self.max_references {
-                references.push((id, d));
-            }
-            result.offer(id, d);
-        }
+        });
         stats.timings.triangle.candidates_in = stats.database_size;
         stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
         stats.timings.total_ns = elapsed_ns(t_query);

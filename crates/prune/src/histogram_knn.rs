@@ -2,8 +2,8 @@
 
 use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr_counted;
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, QueryContext};
 use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
 
 /// Which histogram embedding the engine uses.
@@ -47,6 +47,8 @@ enum Built<const D: usize> {
 #[derive(Debug)]
 pub struct HistogramKnn<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    /// Columnar candidate storage for the refine stage.
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     variant: HistogramVariant,
     mode: ScanMode,
@@ -93,6 +95,7 @@ impl<'a, const D: usize> HistogramKnn<'a, D> {
         };
         HistogramKnn {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             variant,
             mode,
@@ -161,9 +164,10 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
         };
         stats.timings.setup_ns = elapsed_ns(t_query);
         let mut result = ResultSet::new(k);
-        match self.mode {
+        let ctx = QueryContext::from_trajectory(query, self.eps);
+        with_workspace(|ws| match self.mode {
             ScanMode::Sequential => {
-                for (id, s) in self.dataset.iter() {
+                for id in 0..self.dataset.len() {
                     let best = result.best_so_far();
                     if best != usize::MAX {
                         let t_filter = Instant::now();
@@ -177,7 +181,7 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                     }
                     stats.edr_computed += 1;
                     let t_refine = Instant::now();
-                    let (d, cells) = edr_counted(query, s, self.eps);
+                    let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
                     stats.timings.refine_ns += elapsed_ns(t_refine);
                     stats.dp_cells += cells;
                     result.offer(id, d);
@@ -211,13 +215,13 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
                     }
                     stats.edr_computed += 1;
                     let t_refine = Instant::now();
-                    let (d, cells) = edr_counted(query, &self.dataset.trajectories()[id], self.eps);
+                    let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
                     stats.timings.refine_ns += elapsed_ns(t_refine);
                     stats.dp_cells += cells;
                     result.offer(id, d);
                 }
             }
-        }
+        });
         stats.timings.histogram.candidates_in = stats.database_size;
         stats.timings.histogram.candidates_out = stats.database_size - stats.pruned_by_histogram;
         stats.timings.total_ns = elapsed_ns(t_query);

@@ -2,8 +2,8 @@
 
 use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::{edr, edr_counted};
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
 
 /// The `NearTrianglePruning` k-NN engine (Figure 4), built on Theorem 5:
 ///
@@ -28,6 +28,8 @@ use trajsim_distance::{edr, edr_counted};
 #[derive(Debug)]
 pub struct NearTriangleKnn<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    /// Columnar candidate storage for the refine stage.
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     max_triangle: usize,
     /// `pmatrix[r][s]` = EDR(db[r], db[s]) for r in the reference pool
@@ -41,16 +43,21 @@ impl<'a, const D: usize> NearTriangleKnn<'a, D> {
     /// computations — done once per database, amortized over all queries,
     /// exactly like the paper's offline `pmatrix`. Rows are computed in
     /// parallel (one task per reference; thread count per
-    /// `trajsim-parallel`).
+    /// `trajsim-parallel`; one pre-grown EDR workspace per worker).
     pub fn build(dataset: &'a Dataset<D>, eps: MatchThreshold, max_triangle: usize) -> Self {
         let pool = max_triangle.min(dataset.len());
-        let refs = &dataset.trajectories()[..pool];
-        let pmatrix = trajsim_parallel::par_map(refs, |_, tr| {
-            dataset
-                .iter()
-                .map(|(_, s)| edr(tr, s, eps))
-                .collect::<Vec<usize>>()
-        });
+        let arena = TrajectoryArena::from_dataset(dataset);
+        let ids: Vec<usize> = (0..pool).collect();
+        let pmatrix = trajsim_parallel::par_map_with(
+            &ids,
+            || EdrWorkspace::with_capacity(arena.max_len()),
+            |ws, _, &r| {
+                let ctx = QueryContext::new(arena.view(r), eps);
+                (0..arena.len())
+                    .map(|s| ctx.edr(arena.view(s), ws))
+                    .collect::<Vec<usize>>()
+            },
+        );
         Self::from_pmatrix(dataset, eps, max_triangle, pmatrix)
     }
 
@@ -78,6 +85,7 @@ impl<'a, const D: usize> NearTriangleKnn<'a, D> {
         }
         NearTriangleKnn {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             max_triangle,
             pmatrix,
@@ -98,35 +106,38 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
             ..Default::default()
         };
         let mut result = ResultSet::new(k);
+        let ctx = QueryContext::from_trajectory(query, self.eps);
         // procArray: (reference id, EDR(Q, reference)).
         let mut references: Vec<(usize, usize)> = Vec::new();
-        for (id, s) in self.dataset.iter() {
-            let best = result.best_so_far();
-            if best != usize::MAX && !references.is_empty() {
-                let t_filter = Instant::now();
-                let lower = references
-                    .iter()
-                    .map(|&(r, dist_qr)| {
-                        dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
-                    })
-                    .max()
-                    .expect("non-empty references");
-                stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
-                if lower > best as i64 {
-                    stats.pruned_by_triangle += 1;
-                    continue;
+        with_workspace(|ws| {
+            for (id, s) in self.dataset.iter() {
+                let best = result.best_so_far();
+                if best != usize::MAX && !references.is_empty() {
+                    let t_filter = Instant::now();
+                    let lower = references
+                        .iter()
+                        .map(|&(r, dist_qr)| {
+                            dist_qr as i64 - self.pmatrix[r][id] as i64 - s.len() as i64
+                        })
+                        .max()
+                        .expect("non-empty references");
+                    stats.timings.triangle.filter_ns += elapsed_ns(t_filter);
+                    if lower > best as i64 {
+                        stats.pruned_by_triangle += 1;
+                        continue;
+                    }
                 }
+                let t_refine = Instant::now();
+                let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
+                stats.timings.refine_ns += elapsed_ns(t_refine);
+                stats.dp_cells += cells;
+                stats.edr_computed += 1;
+                if id < self.pmatrix.len() && references.len() < self.max_triangle {
+                    references.push((id, d));
+                }
+                result.offer(id, d);
             }
-            let t_refine = Instant::now();
-            let (d, cells) = edr_counted(query, s, self.eps);
-            stats.timings.refine_ns += elapsed_ns(t_refine);
-            stats.dp_cells += cells;
-            stats.edr_computed += 1;
-            if id < self.pmatrix.len() && references.len() < self.max_triangle {
-                references.push((id, d));
-            }
-            result.offer(id, d);
-        }
+        });
         stats.timings.triangle.candidates_in = stats.database_size;
         stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
         stats.timings.total_ns = elapsed_ns(t_query);

@@ -3,8 +3,8 @@
 
 use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr_counted;
+use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, QueryContext};
 use trajsim_index::{Aabb, BPlusTree, RStarTree};
 use trajsim_qgram::{
     mean_value_qgrams, mean_value_qgrams_1d, min_common_qgrams, passes_count_filter, SortedMeans,
@@ -85,6 +85,8 @@ struct QgramRef {
 #[derive(Debug)]
 pub struct QgramKnn<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    /// Columnar candidate storage for the refine stage.
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     q: usize,
     variant: QgramVariant,
@@ -142,6 +144,7 @@ impl<'a, const D: usize> QgramKnn<'a, D> {
         };
         QgramKnn {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             q,
             variant,
@@ -215,33 +218,36 @@ impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
         stats.timings.qgram.filter_ns = elapsed_ns(t_filter);
 
         let mut result = ResultSet::new(k);
+        let ctx = QueryContext::from_trajectory(query, self.eps);
         let lq = query.len();
-        for (rank, &id) in order.iter().enumerate() {
-            let s = &self.dataset.trajectories()[id];
-            let best = result.best_so_far();
-            if rank >= k && best != usize::MAX {
-                let v = counters[id];
-                // Sound global cut-off: no remaining candidate (all with
-                // counter <= v) can satisfy even the smallest possible
-                // Theorem 1 threshold, reached when l_S <= l_Q.
-                let min_possible = min_common_qgrams(lq, 0, self.q, best);
-                if (v as i64) < min_possible {
-                    stats.pruned_by_qgram += order.len() - rank;
-                    break;
+        with_workspace(|ws| {
+            for (rank, &id) in order.iter().enumerate() {
+                let ls = self.arena.len_of(id);
+                let best = result.best_so_far();
+                if rank >= k && best != usize::MAX {
+                    let v = counters[id];
+                    // Sound global cut-off: no remaining candidate (all with
+                    // counter <= v) can satisfy even the smallest possible
+                    // Theorem 1 threshold, reached when l_S <= l_Q.
+                    let min_possible = min_common_qgrams(lq, 0, self.q, best);
+                    if (v as i64) < min_possible {
+                        stats.pruned_by_qgram += order.len() - rank;
+                        break;
+                    }
+                    // Per-candidate Theorem 1 test.
+                    if !passes_count_filter(v, lq, ls, self.q, best) {
+                        stats.pruned_by_qgram += 1;
+                        continue;
+                    }
                 }
-                // Per-candidate Theorem 1 test.
-                if !passes_count_filter(v, lq, s.len(), self.q, best) {
-                    stats.pruned_by_qgram += 1;
-                    continue;
-                }
+                stats.edr_computed += 1;
+                let t_refine = Instant::now();
+                let (d, cells) = ctx.edr_counted(self.arena.view(id), ws);
+                stats.timings.refine_ns += elapsed_ns(t_refine);
+                stats.dp_cells += cells;
+                result.offer(id, d);
             }
-            stats.edr_computed += 1;
-            let t_refine = Instant::now();
-            let (d, cells) = edr_counted(query, s, self.eps);
-            stats.timings.refine_ns += elapsed_ns(t_refine);
-            stats.dp_cells += cells;
-            result.offer(id, d);
-        }
+        });
         stats.timings.qgram.candidates_in = stats.database_size;
         stats.timings.qgram.candidates_out = stats.database_size - stats.pruned_by_qgram;
         stats.timings.total_ns = elapsed_ns(t_query);

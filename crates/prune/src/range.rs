@@ -6,7 +6,7 @@
 
 use crate::result::Neighbor;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::edr_within;
+use trajsim_distance::{with_workspace, QueryContext};
 use trajsim_histogram::{histogram_distance, TrajectoryHistogram};
 use trajsim_qgram::{passes_count_filter, SortedMeans};
 
@@ -27,23 +27,26 @@ pub fn range_query<const D: usize>(
     let q_means = SortedMeans::build(query, q);
     let use_histogram = eps.value() > 0.0;
     let qh = use_histogram.then(|| TrajectoryHistogram::build(query, eps));
+    let ctx = QueryContext::from_trajectory(query, eps);
     let mut hits = Vec::new();
-    for (id, s) in dataset.iter() {
-        // Theorem 1 count filter at the fixed range k.
-        let v = q_means.match_count(&SortedMeans::build(s, q), eps);
-        if !passes_count_filter(v, query.len(), s.len(), q, k_edits) {
-            continue;
-        }
-        // Theorem 6 histogram filter.
-        if let Some(qh) = &qh {
-            if histogram_distance(qh, &TrajectoryHistogram::build(s, eps)) > k_edits {
+    with_workspace(|ws| {
+        for (id, s) in dataset.iter() {
+            // Theorem 1 count filter at the fixed range k.
+            let v = q_means.match_count(&SortedMeans::build(s, q), eps);
+            if !passes_count_filter(v, query.len(), s.len(), q, k_edits) {
                 continue;
             }
+            // Theorem 6 histogram filter.
+            if let Some(qh) = &qh {
+                if histogram_distance(qh, &TrajectoryHistogram::build(s, eps)) > k_edits {
+                    continue;
+                }
+            }
+            if let Some(d) = ctx.edr_within(s, k_edits, ws) {
+                hits.push(Neighbor { id, dist: d });
+            }
         }
-        if let Some(d) = edr_within(query, s, eps, k_edits) {
-            hits.push(Neighbor { id, dist: d });
-        }
-    }
+    });
     hits.sort_by(|a, b| a.dist.cmp(&b.dist).then(a.id.cmp(&b.id)));
     hits
 }

@@ -5,12 +5,17 @@ use crate::result::{
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
-use trajsim_core::{Dataset, MatchThreshold, Trajectory};
-use trajsim_distance::{edr_counted, edr_within_counted};
+use trajsim_core::{CoordSeq, Dataset, MatchThreshold, Trajectory, TrajectoryArena};
+use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
 
 /// The brute-force baseline the paper's speedup ratios are measured
 /// against: compute `EDR(Q, S)` for every trajectory `S` and keep the `k`
 /// smallest.
+///
+/// Candidates are walked through a columnar [`TrajectoryArena`] (one
+/// contiguous SoA buffer, iterated in layout order) and every distance
+/// runs on reused [`EdrWorkspace`] scratch, so after the first few calls
+/// the scan performs no heap allocation per candidate.
 ///
 /// By default every distance is a full DP, as in the paper's sequential
 /// scan. Two extensions the paper does not use, quantified by the
@@ -21,23 +26,27 @@ use trajsim_distance::{edr_counted, edr_within_counted};
 ///   k-th-best bound;
 /// - [`SequentialScan::with_parallel`] splits a single query's scan over
 ///   the database across threads (dynamic chunking; a shared atomic
-///   best-k bound feeds the early-abandon cutoff across workers). The
-///   neighbor set is guaranteed identical to the serial scan's; with
-///   early abandoning, `stats.dp_cells` can vary run-to-run because the
-///   shared bound tightens in a thread-dependent order.
+///   best-k bound feeds the early-abandon cutoff across workers; one
+///   pre-grown workspace per worker). The neighbor set is guaranteed
+///   identical to the serial scan's; with early abandoning,
+///   `stats.dp_cells` can vary run-to-run because the shared bound
+///   tightens in a thread-dependent order.
 #[derive(Debug, Clone)]
 pub struct SequentialScan<'a, const D: usize> {
     dataset: &'a Dataset<D>,
+    arena: TrajectoryArena<D>,
     eps: MatchThreshold,
     early_abandon: bool,
     parallel: bool,
 }
 
 impl<'a, const D: usize> SequentialScan<'a, D> {
-    /// A scan over `dataset` with matching threshold `eps`.
+    /// A scan over `dataset` with matching threshold `eps`. Packs the
+    /// dataset into a columnar arena once, up front.
     pub fn new(dataset: &'a Dataset<D>, eps: MatchThreshold) -> Self {
         SequentialScan {
             dataset,
+            arena: TrajectoryArena::from_dataset(dataset),
             eps,
             early_abandon: false,
             parallel: false,
@@ -63,7 +72,30 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
         self.eps
     }
 
-    fn knn_serial(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+    /// The columnar candidate storage the scan iterates.
+    pub fn arena(&self) -> &TrajectoryArena<D> {
+        &self.arena
+    }
+
+    /// k-NN for a query in any coordinate layout ([`CoordSeq`]): a point
+    /// slice, an [`trajsim_core::ArenaView`], or a prebuilt context. The
+    /// query side is transposed once into a [`QueryContext`]; candidates
+    /// stream from the arena.
+    pub fn knn_coords<Q: CoordSeq<D>>(&self, query: Q, k: usize) -> KnnResult {
+        let t_query = Instant::now();
+        let ctx = QueryContext::new(query, self.eps);
+        let mut r =
+            if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
+                self.knn_parallel(&ctx, k)
+            } else {
+                self.knn_serial(&ctx, k)
+            };
+        r.stats.timings.total_ns = elapsed_ns(t_query);
+        finish_query(&self.name(), &r.stats);
+        r
+    }
+
+    fn knn_serial(&self, ctx: &QueryContext<D>, k: usize) -> KnnResult {
         let mut result = ResultSet::new(k);
         let mut stats = QueryStats {
             database_size: self.dataset.len(),
@@ -72,29 +104,31 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
         // The whole scan is refinement: one stopwatch around the loop
         // keeps the instrumentation overhead at two clock reads per query.
         let t_refine = Instant::now();
-        for (id, s) in self.dataset.iter() {
-            stats.edr_computed += 1;
-            if self.early_abandon {
-                let bound = result.best_so_far();
-                // Anything above the current k-th best cannot enter the
-                // result; a cut-off DP suffices.
-                if bound == usize::MAX {
-                    let (d, cells) = edr_counted(query, s, self.eps);
+        with_workspace(|ws| {
+            for (id, s) in self.arena.views() {
+                stats.edr_computed += 1;
+                if self.early_abandon {
+                    let bound = result.best_so_far();
+                    // Anything above the current k-th best cannot enter
+                    // the result; a cut-off DP suffices.
+                    if bound == usize::MAX {
+                        let (d, cells) = ctx.edr_counted(s, ws);
+                        stats.dp_cells += cells;
+                        result.offer(id, d);
+                    } else {
+                        let (d, cells) = ctx.edr_within_counted(s, bound, ws);
+                        stats.dp_cells += cells;
+                        if let Some(d) = d {
+                            result.offer(id, d);
+                        }
+                    }
+                } else {
+                    let (d, cells) = ctx.edr_counted(s, ws);
                     stats.dp_cells += cells;
                     result.offer(id, d);
-                } else {
-                    let (d, cells) = edr_within_counted(query, s, self.eps, bound);
-                    stats.dp_cells += cells;
-                    if let Some(d) = d {
-                        result.offer(id, d);
-                    }
                 }
-            } else {
-                let (d, cells) = edr_counted(query, s, self.eps);
-                stats.dp_cells += cells;
-                result.offer(id, d);
             }
-        }
+        });
         stats.timings.refine_ns = elapsed_ns(t_refine);
         KnnResult {
             neighbors: result.into_neighbors(),
@@ -110,27 +144,31 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
     /// the true top-k (each member is in its own chunk's top-k), so the
     /// (dist, id)-sorted merge equals the serial result exactly — serial
     /// tie-breaking is by insertion order, which is ascending id.
-    fn knn_parallel(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+    ///
+    /// Each worker owns one [`EdrWorkspace`], pre-grown to the largest
+    /// query/candidate pair, reused across every candidate it refines.
+    fn knn_parallel(&self, ctx: &QueryContext<D>, k: usize) -> KnnResult {
         let n = self.dataset.len();
         let threads = trajsim_parallel::num_threads().min(n.max(1));
         let chunk_len = n.div_ceil(threads * 4).max(k);
-        let chunks: Vec<(usize, &[Trajectory<D>])> = self
-            .dataset
-            .trajectories()
-            .chunks(chunk_len)
-            .enumerate()
-            .map(|(c, t)| (c * chunk_len, t))
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk_len)
+            .map(|start| (start, (start + chunk_len).min(n)))
             .collect();
         let shared_bound = AtomicUsize::new(usize::MAX);
         let computed = AtomicUsize::new(0);
         let cells_total = AtomicU64::new(0);
         let busy_total = AtomicU64::new(0);
-        let partials: Vec<Vec<Neighbor>> =
-            trajsim_parallel::par_map(&chunks, |_, &(base, trajs)| {
+        let max_pair = self.arena.max_len().max(ctx.len());
+        let partials: Vec<Vec<Neighbor>> = trajsim_parallel::par_map_with(
+            &chunks,
+            || EdrWorkspace::with_capacity(max_pair),
+            |ws, _, &(start, end)| {
                 let t_chunk = Instant::now();
                 let mut local = ResultSet::new(k);
                 let mut cells_local = 0u64;
-                for (off, s) in trajs.iter().enumerate() {
+                for id in start..end {
+                    let s = self.arena.view(id);
                     let bound = if self.early_abandon {
                         shared_bound
                             .load(Ordering::Relaxed)
@@ -139,25 +177,26 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
                         usize::MAX
                     };
                     if bound == usize::MAX {
-                        let (d, cells) = edr_counted(query, s, self.eps);
+                        let (d, cells) = ctx.edr_counted(s, ws);
                         cells_local += cells;
-                        local.offer(base + off, d);
+                        local.offer(id, d);
                     } else {
-                        let (d, cells) = edr_within_counted(query, s, self.eps, bound);
+                        let (d, cells) = ctx.edr_within_counted(s, bound, ws);
                         cells_local += cells;
                         if let Some(d) = d {
-                            local.offer(base + off, d);
+                            local.offer(id, d);
                         }
                     }
                     if self.early_abandon {
                         shared_bound.fetch_min(local.best_so_far(), Ordering::Relaxed);
                     }
                 }
-                computed.fetch_add(trajs.len(), Ordering::Relaxed);
+                computed.fetch_add(end - start, Ordering::Relaxed);
                 cells_total.fetch_add(cells_local, Ordering::Relaxed);
                 busy_total.fetch_add(elapsed_ns(t_chunk), Ordering::Relaxed);
                 local.into_neighbors()
-            });
+            },
+        );
         let mut merged: Vec<Neighbor> = partials.into_iter().flatten().collect();
         merged.sort_by_key(|nb| (nb.dist, nb.id));
         merged.truncate(k);
@@ -178,16 +217,7 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
 
 impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
     fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
-        let t_query = Instant::now();
-        let mut r =
-            if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
-                self.knn_parallel(query, k)
-            } else {
-                self.knn_serial(query, k)
-            };
-        r.stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query(&self.name(), &r.stats);
-        r
+        self.knn_coords(query.points(), k)
     }
 
     fn name(&self) -> String {
@@ -270,28 +300,43 @@ mod tests {
                 )
             })
             .collect();
-        let q = data.trajectories()[7].clone();
+        // Query straight from a columnar arena view — no clone of the
+        // stored trajectory, exercising the layout-generic query path.
+        let arena = TrajectoryArena::from_dataset(&data);
+        let q = arena.view(7);
         let e = eps(0.6);
         // Force multiple workers even on a single-core container so the
         // parallel code path actually runs.
         trajsim_parallel::set_num_threads(4);
         for k in [1, 3, 10] {
-            let serial = SequentialScan::new(&data, e).knn(&q, k);
-            let par = SequentialScan::new(&data, e).with_parallel().knn(&q, k);
+            let serial = SequentialScan::new(&data, e).knn_coords(q, k);
+            let par = SequentialScan::new(&data, e)
+                .with_parallel()
+                .knn_coords(q, k);
             assert_eq!(par.neighbors, serial.neighbors, "k={k}");
             assert_eq!(par.stats.edr_computed, serial.stats.edr_computed);
             assert_eq!(par.stats.dp_cells, serial.stats.dp_cells);
             let serial_ea = SequentialScan::new(&data, e)
                 .with_early_abandon()
-                .knn(&q, k);
+                .knn_coords(q, k);
             let par_ea = SequentialScan::new(&data, e)
                 .with_early_abandon()
                 .with_parallel()
-                .knn(&q, k);
+                .knn_coords(q, k);
             // Early abandoning never changes the answer, only the work.
             assert_eq!(par_ea.neighbors, serial_ea.neighbors, "EA k={k}");
         }
         trajsim_parallel::set_num_threads(0);
+    }
+
+    #[test]
+    fn arena_view_query_matches_cloned_trajectory_query() {
+        let data = db();
+        let scan = SequentialScan::new(&data, eps(0.25));
+        let by_clone = scan.knn(&data.trajectories()[1].clone(), 3);
+        let by_view = scan.knn_coords(scan.arena().view(1), 3);
+        assert_eq!(by_view.neighbors, by_clone.neighbors);
+        assert_eq!(by_view.stats.dp_cells, by_clone.stats.dp_cells);
     }
 
     #[test]
