@@ -2,8 +2,9 @@
 //! `trajsim_bench::guard` and DESIGN.md §9).
 //!
 //! ```text
-//! bench_guard [--suite kernels|filters|refine|all] [--runs N] [--dir PATH]
-//!             [--check] [--update] [--inject case:factor] [--quick]
+//! bench_guard [--suite kernels|filters|refine|throughput|all] [--runs N]
+//!             [--dir PATH] [--check] [--update] [--inject case:factor]
+//!             [--quick]
 //! ```
 //!
 //! - plain run: measure and print, touch nothing on disk;
@@ -29,8 +30,9 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_guard [--suite kernels|filters|refine|all] [--runs N] [--dir PATH]\n\
-         \x20                  [--check] [--update] [--inject case:factor] [--quick]"
+        "usage: bench_guard [--suite kernels|filters|refine|throughput|all] [--runs N]\n\
+         \x20                  [--dir PATH] [--check] [--update] [--inject case:factor]\n\
+         \x20                  [--quick]"
     );
     exit(2)
 }

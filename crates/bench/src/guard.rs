@@ -104,7 +104,7 @@ impl CaseResult {
 /// One full suite measurement: what `BENCH_<suite>.json` holds.
 #[derive(Debug, Clone)]
 pub struct SuiteRun {
-    /// Suite name (`kernels`, `filters` or `refine`).
+    /// Suite name (`kernels`, `filters`, `refine` or `throughput`).
     pub suite: String,
     /// Name of the anchor case every score is normalized by.
     pub anchor: String,
@@ -143,8 +143,8 @@ impl Default for GuardConfig {
     }
 }
 
-/// The three pinned suites.
-pub const SUITES: [&str; 3] = ["kernels", "filters", "refine"];
+/// The four pinned suites.
+pub const SUITES: [&str; 4] = ["kernels", "filters", "refine", "throughput"];
 
 struct Case<'a> {
     name: String,
@@ -215,6 +215,11 @@ fn measure(cases: Vec<Case<'_>>, anchor: &str, suite: &str, cfg: &GuardConfig) -
 ///   query-scoped workspace over arena views (anchor: the allocating
 ///   path at the longest length), so the allocation-free path's
 ///   advantage is itself guarded.
+/// - `throughput` times a fixed k-NN workload end to end at batch sizes
+///   1, 16 and 256 against the old one-task-per-query schedule (the
+///   anchor), so the shared-work batching speedup is itself guarded: a
+///   `batch_256` score of 0.5 means the batched path answers the same
+///   queries in half the wall time.
 ///
 /// # Errors
 ///
@@ -224,7 +229,10 @@ pub fn run_suite(suite: &str, cfg: &GuardConfig) -> Result<SuiteRun, String> {
         "kernels" => Ok(run_kernels(cfg)),
         "filters" => Ok(run_filters(cfg)),
         "refine" => Ok(run_refine(cfg)),
-        other => Err(format!("unknown suite {other:?} (kernels|filters|refine)")),
+        "throughput" => Ok(run_throughput(cfg)),
+        other => Err(format!(
+            "unknown suite {other:?} (kernels|filters|refine|throughput)"
+        )),
     }
 }
 
@@ -407,6 +415,70 @@ fn run_refine(cfg: &GuardConfig) -> SuiteRun {
         });
     }
     measure(cases, &anchor, "refine", cfg)
+}
+
+fn run_throughput(cfg: &GuardConfig) -> SuiteRun {
+    // One workload, four schedules. The anchor re-creates the
+    // pre-batching default — one parallel task per query, every task
+    // re-reading every candidate signature — and the batch_* cases feed
+    // the same queries through `knn_batch` in batches of 1, 16 and 256
+    // (clamped to the workload size), where one dataset traversal
+    // serves the whole batch. Case names are identical in quick and
+    // full modes so baselines and smoke runs compare the same suite.
+    // The full-mode shape is filter-dominated (many short trajectories):
+    // that is the regime the paper's pruning pipeline targets, and the one
+    // where the shared quick-bound table shows up as throughput rather
+    // than being drowned by O(len^2) refine time.
+    let (n, lens, nq, k, pool) = if cfg.quick {
+        (24, (8, 16), 24, 3, 8)
+    } else {
+        (512, (8, 24), 256, 5, 32)
+    };
+    let ds = random_walk_set(
+        &mut seeded_rng(0xBA7C4),
+        n,
+        LengthDistribution::Uniform {
+            min: lens.0,
+            max: lens.1,
+        },
+    );
+    let eps = crate::retrieval_eps(&ds);
+    let qs = crate::probing_queries(&ds, nq);
+    let engine = CombinedKnn::build(
+        &ds,
+        eps,
+        CombinedConfig {
+            max_triangle: pool,
+            ..Default::default()
+        },
+    );
+    let batched = |b: usize| -> QueryStats {
+        let mut acc = QueryStats::default();
+        for chunk in qs.chunks(b.min(qs.len()).max(1)) {
+            for r in engine.knn_batch(chunk, k) {
+                acc.accumulate(&r.stats);
+            }
+        }
+        acc
+    };
+    let mut cases: Vec<Case<'_>> = vec![Case {
+        name: "perquery".into(),
+        work: Box::new(|| {
+            let mut acc = QueryStats::default();
+            for r in trajsim_parallel::par_map(&qs, |_, q| engine.knn(q, k)) {
+                acc.accumulate(&r.stats);
+            }
+            Some(acc)
+        }),
+    }];
+    for b in [1usize, 16, 256] {
+        let batched = &batched;
+        cases.push(Case {
+            name: format!("batch_{b}"),
+            work: Box::new(move || Some(batched(b))),
+        });
+    }
+    measure(cases, "perquery", "throughput", cfg)
 }
 
 // ---------------------------------------------------------------------

@@ -195,8 +195,11 @@ pub fn parallel_pmatrix(dataset: &Dataset<2>, eps: MatchThreshold, pool: usize) 
     })
 }
 
-/// Answers a batch of queries in parallel — a thin wrapper over
-/// [`KnnEngine::knn_batch`], kept for the harness binaries. Results are
+/// Answers a batch of queries — a thin wrapper over
+/// [`KnnEngine::knn_batch`], kept for the harness binaries. For the
+/// sequential scan and the combined engine this takes the shared-work
+/// batched path (one dataset traversal feeds every query in the batch);
+/// other engines fall back to one parallel task per query. Results are
 /// returned in query order.
 pub fn batch_knn<E: KnnEngine<2> + Sync>(
     engine: &E,
@@ -204,6 +207,21 @@ pub fn batch_knn<E: KnnEngine<2> + Sync>(
     k: usize,
 ) -> Vec<trajsim_prune::KnnResult> {
     engine.knn_batch(queries, k)
+}
+
+/// Accumulates the per-query statistics of one batched call into a
+/// single [`QueryStats`]. Summing is safe: batched engines keep
+/// counters (`dp_cells`, `edr_computed`, candidate flow) exact per
+/// query and amortize the shared wall-clock measurements across the
+/// batch, so the accumulated stats reproduce the batch totals exactly
+/// once — no double-counted dp_cells or wall time (see the batch
+/// accounting notes in `trajsim-prune`).
+pub fn accumulate_batch(results: &[trajsim_prune::KnnResult]) -> QueryStats {
+    let mut acc = QueryStats::default();
+    for r in results {
+        acc.accumulate(&r.stats);
+    }
+    acc
 }
 
 /// Selects `count` probing queries: evenly spaced members of the data set
@@ -326,6 +344,21 @@ mod tests {
             assert_eq!(got.distances(), scan.knn(q, 3).distances());
         }
         assert!(batch_knn(&scan, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn accumulated_batch_stats_count_each_candidate_once() {
+        let d = db();
+        let eps = pick_eps(&d);
+        let scan = SequentialScan::new(&d, eps).with_early_abandon();
+        let queries = probing_queries(&d, 5);
+        let acc = accumulate_batch(&batch_knn(&scan, &queries, 3));
+        // Exact counters: every query saw every candidate exactly once.
+        assert_eq!(acc.database_size, d.len() * queries.len());
+        assert!(acc.edr_computed <= acc.database_size);
+        // Amortized wall time: present, not multiplied by the batch size.
+        assert!(acc.timings.total_ns > 0);
+        assert!(accumulate_batch(&[]).timings.total_ns == 0);
     }
 
     #[test]

@@ -21,9 +21,9 @@ commands:
   generate <nhl|mixed|walk|asl|kungfu|slip> -o FILE [--n N] [--seed S]
   convert  <in> <out>
   stats    <file>
-  knn      <file> --query I [--k K] [--eps E] [--engine ENGINE]
-           [--max-triangle M] [--metrics-out FILE]
-  explain  <file> (--query I | --queries N) [--k K] [--eps E]
+  knn      <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
+           [--engine ENGINE] [--max-triangle M] [--metrics-out FILE]
+  explain  <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
            [--engine ENGINE] [--max-triangle M] [--json FILE]
   range    <file> --query I --edits K [--eps E]
   cluster  <file> [--k K] [--eps E] [--tree]
@@ -345,9 +345,74 @@ fn report_stages(t: &trajsim_prune::StageTimings) {
     );
 }
 
-/// A built k-NN engine behind one query closure, so `knn` and `explain`
-/// construct engines identically (build once, query many).
-type EngineFn<'a> = Box<dyn Fn(&Trajectory<2>, usize) -> KnnResult + 'a>;
+/// The batched timing table: stage wall time summed over the workload,
+/// then amortized per batch and per query, so the shared-work saving
+/// (setup and filter passes paid once per batch) is visible next to the
+/// per-query cost a caller actually experiences.
+fn report_stages_batched(t: &trajsim_prune::StageTimings, batches: usize, queries: usize) {
+    println!("  stage timings (wall, whole workload / per batch / per query):");
+    println!(
+        "    {:<12} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "stage", "ms", "ms/batch", "ms/query", "cand. in", "cand. out"
+    );
+    let b = batches.max(1) as f64;
+    let q = queries.max(1) as f64;
+    let row = |name: &str, ns: u64, cands: Option<(u64, u64)>| {
+        let (cin, cout) = match cands {
+            Some((i, o)) => (i.to_string(), o.to_string()),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "    {:<12} {:>10.3} {:>10.3} {:>10.3} {:>12} {:>12}",
+            name,
+            ms(ns),
+            ms(ns) / b,
+            ms(ns) / q,
+            cin,
+            cout
+        );
+    };
+    row("setup", t.setup_ns, None);
+    for (name, s) in [
+        ("histogram", &t.histogram),
+        ("qgram", &t.qgram),
+        ("triangle", &t.triangle),
+    ] {
+        if s.filter_ns > 0 || s.candidates_in > 0 {
+            row(
+                name,
+                s.filter_ns,
+                Some((s.candidates_in as u64, s.candidates_out as u64)),
+            );
+        }
+    }
+    row("refine", t.refine_ns, None);
+    row("other", t.other_ns(), None);
+    row("total", t.total_ns, None);
+}
+
+/// A built k-NN engine behind two closures, so `knn` and `explain`
+/// construct engines identically (build once, query many): one query at
+/// a time, or a whole batch through the engine's shared-work
+/// `knn_batch` path (engines without a batched scan fall back to
+/// per-query execution).
+type QueryFn<'a> = Box<dyn Fn(&Trajectory<2>, usize) -> KnnResult + 'a>;
+type BatchFn<'a> = Box<dyn Fn(&[Trajectory<2>], usize) -> Vec<KnnResult> + 'a>;
+
+struct Engine<'a> {
+    query: QueryFn<'a>,
+    batch: BatchFn<'a>,
+}
+
+/// Wraps one built engine value into both calling conventions.
+fn engine_pair<'a, E: KnnEngine<2> + Sync + 'a>(e: E) -> Engine<'a> {
+    let e = std::rc::Rc::new(e);
+    let shared = e.clone();
+    Engine {
+        query: Box::new(move |q, k| e.knn(q, k)),
+        batch: Box::new(move |qs, k| shared.knn_batch(qs, k)),
+    }
+}
 
 /// Builds the named engine over `ds`. `max_triangle` bounds the
 /// reference pool of the (near-)triangle filter where one is used.
@@ -356,65 +421,199 @@ fn build_engine<'a>(
     eps: MatchThreshold,
     name: &str,
     max_triangle: usize,
-) -> Result<EngineFn<'a>, String> {
+) -> Result<Engine<'a>, String> {
     Ok(match name {
         // The parallel scan degrades to the serial one on a single worker.
-        "scan" => {
-            let e = SequentialScan::new(ds, eps).with_parallel();
-            Box::new(move |q, k| e.knn(q, k))
-        }
-        "qgram" => {
-            let e = QgramKnn::build(ds, eps, 1, QgramVariant::MergeJoin2d);
-            Box::new(move |q, k| e.knn(q, k))
-        }
-        "histogram" => {
-            let e = HistogramKnn::build(ds, eps, HistogramVariant::PerDimension, ScanMode::Sorted);
-            Box::new(move |q, k| e.knn(q, k))
-        }
-        "triangle" => {
-            let e = NearTriangleKnn::build(ds, eps, max_triangle);
-            Box::new(move |q, k| e.knn(q, k))
-        }
+        "scan" => engine_pair(SequentialScan::new(ds, eps).with_parallel()),
+        "qgram" => engine_pair(QgramKnn::build(ds, eps, 1, QgramVariant::MergeJoin2d)),
+        "histogram" => engine_pair(HistogramKnn::build(
+            ds,
+            eps,
+            HistogramVariant::PerDimension,
+            ScanMode::Sorted,
+        )),
+        "triangle" => engine_pair(NearTriangleKnn::build(ds, eps, max_triangle)),
         "combined" => {
             let config = CombinedConfig {
                 max_triangle,
                 ..Default::default()
             };
-            let e = CombinedKnn::build(ds, eps, config);
-            Box::new(move |q, k| e.knn(q, k))
+            engine_pair(CombinedKnn::build(ds, eps, config))
         }
         other => return Err(format!("unknown engine {other:?}")),
     })
 }
 
+/// Resolves the query selection shared by `knn` and `explain`: exactly
+/// one of `--query I` (that trajectory) or `--queries N` (the first N),
+/// with `--batch B` only meaningful for a multi-query workload.
+enum Workload {
+    Single(usize),
+    /// The first `queries` trajectories; `batch: None` answers them one
+    /// at a time (the pre-batching behaviour), `Some(b)` routes batches
+    /// of `b` through the engine's shared-work path.
+    Multi {
+        queries: usize,
+        batch: Option<usize>,
+    },
+}
+
+fn pick_workload(parsed: &Parsed, cmd: &str, ds: &Dataset<2>) -> Result<Workload, String> {
+    let batch: Option<usize> = match parsed.get("batch") {
+        Some(_) => Some(parsed.require("batch")?),
+        None => None,
+    };
+    match (parsed.get("query"), parsed.get("queries")) {
+        (Some(_), None) => {
+            if batch.is_some() {
+                return Err(format!(
+                    "{cmd}: --batch amortizes one dataset pass over many queries; \
+                     use --queries N instead of --query"
+                ));
+            }
+            let id: usize = parsed.require("query")?;
+            if id >= ds.len() {
+                return Err(format!("query id {id} out of range (N = {})", ds.len()));
+            }
+            Ok(Workload::Single(id))
+        }
+        (None, Some(_)) => {
+            let n: usize = parsed.require("queries")?;
+            if n == 0 || n > ds.len() {
+                return Err(format!("--queries must be in 1..={}", ds.len()));
+            }
+            if let Some(b) = batch {
+                if b == 0 {
+                    return Err("option --batch: must be at least 1".into());
+                }
+                if b > n {
+                    return Err(format!(
+                        "option --batch: batch size {b} exceeds the workload of {n} queries"
+                    ));
+                }
+            }
+            Ok(Workload::Multi { queries: n, batch })
+        }
+        _ => Err(format!(
+            "{cmd}: need exactly one of --query I or --queries N"
+        )),
+    }
+}
+
 fn knn(parsed: &Parsed) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("knn: missing file")?;
     let ds = load(path)?.normalize();
-    let query_id: usize = parsed.require("query")?;
     let k: usize = parsed.get_or("k", 10usize)?;
-    let query = ds
-        .get(query_id)
-        .ok_or_else(|| format!("query id {query_id} out of range (N = {})", ds.len()))?
-        .clone();
     let eps = pick_eps(parsed, &ds)?;
-    let engine: String = parsed.get_or("engine", "combined".to_string())?;
+    let engine_name: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
-    println!(
-        "k-NN: query {query_id}, k = {k}, eps = {:.4}, engine = {engine}",
-        eps.value()
-    );
-    let result = build_engine(&ds, eps, &engine, max_triangle)?(&query, k);
-    report(&result);
-    if let Some(out) = parsed.get("metrics-out") {
-        write_metrics(out, &engine, query_id, k, eps.value(), &result)?;
-        println!("  [metrics written to {out}]");
+    let engine = build_engine(&ds, eps, &engine_name, max_triangle)?;
+    match pick_workload(parsed, "knn", &ds)? {
+        Workload::Single(query_id) => {
+            let query = ds.get(query_id).expect("checked in pick_workload");
+            println!(
+                "k-NN: query {query_id}, k = {k}, eps = {:.4}, engine = {engine_name}",
+                eps.value()
+            );
+            let result = (engine.query)(query, k);
+            report(&result);
+            if let Some(out) = parsed.get("metrics-out") {
+                write_metrics(
+                    out,
+                    &engine_name,
+                    serde_json::json!(query_id),
+                    None,
+                    k,
+                    eps.value(),
+                    &result.stats,
+                )?;
+                println!("  [metrics written to {out}]");
+            }
+        }
+        Workload::Multi { queries, batch } => {
+            match batch {
+                Some(b) => println!(
+                    "k-NN: queries 0..{queries}, k = {k}, eps = {:.4}, \
+                     engine = {engine_name}, batch = {b}",
+                    eps.value()
+                ),
+                None => println!(
+                    "k-NN: queries 0..{queries}, k = {k}, eps = {:.4}, \
+                     engine = {engine_name}, per-query",
+                    eps.value()
+                ),
+            }
+            let workload: Vec<Trajectory<2>> = (0..queries)
+                .map(|i| ds.get(i).expect("checked in pick_workload").clone())
+                .collect();
+            let step = batch.unwrap_or(1);
+            let t = std::time::Instant::now();
+            let mut acc = QueryStats::default();
+            let mut batches = 0usize;
+            let mut shown = 0usize;
+            for chunk in workload.chunks(step) {
+                let results = match batch {
+                    Some(_) => (engine.batch)(chunk, k),
+                    None => chunk.iter().map(|q| (engine.query)(q, k)).collect(),
+                };
+                for (qi, r) in results.iter().enumerate() {
+                    // Per-query answers stay visible for small workloads;
+                    // past 8 queries this is a throughput run and only the
+                    // aggregate matters.
+                    if shown < 8 {
+                        let pairs: Vec<String> = r
+                            .neighbors
+                            .iter()
+                            .map(|n| format!("{}:{}", n.id, n.dist))
+                            .collect();
+                        println!("  query {:>4}: [{}]", batches * step + qi, pairs.join(", "));
+                        shown += 1;
+                        if shown == 8 && queries > 8 {
+                            println!("  ... ({} more queries)", queries - 8);
+                        }
+                    }
+                    acc.accumulate(&r.stats);
+                }
+                batches += 1;
+            }
+            let wall_s = t.elapsed().as_secs_f64();
+            println!(
+                "  [{queries} queries in {batches} batches: {:.3} ms total, {:.3} ms/batch, \
+                 {:.3} ms/query amortized, {:.1} queries/sec]",
+                wall_s * 1e3,
+                wall_s * 1e3 / batches as f64,
+                wall_s * 1e3 / queries as f64,
+                queries as f64 / wall_s.max(f64::MIN_POSITIVE),
+            );
+            println!(
+                "  [{} of {} candidates pruned ({:.1}%), {} true EDR computations]",
+                acc.pruned(),
+                acc.database_size,
+                acc.pruning_power() * 100.0,
+                acc.edr_computed,
+            );
+            report_stages_batched(&acc.timings, batches, queries);
+            if let Some(out) = parsed.get("metrics-out") {
+                write_metrics(
+                    out,
+                    &engine_name,
+                    serde_json::json!({ "first": 0, "count": queries }),
+                    batch,
+                    k,
+                    eps.value(),
+                    &acc,
+                )?;
+                println!("  [metrics written to {out}]");
+            }
+        }
     }
     Ok(())
 }
 
 /// `trajsim explain`: runs k-NN through the chosen engine — one query
 /// (`--query I`) or a workload of the first N trajectories (`--queries
-/// N`) — and prints the per-stage pruning-power report built from the
+/// N`, optionally in batches of `--batch B` through the shared-work
+/// path) — and prints the per-stage pruning-power report built from the
 /// live query statistics.
 fn explain(parsed: &Parsed) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("explain: missing file")?;
@@ -423,27 +622,30 @@ fn explain(parsed: &Parsed) -> Result<(), String> {
     let eps = pick_eps(parsed, &ds)?;
     let engine: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
-    let query_ids: Vec<usize> = match (parsed.get("query"), parsed.get("queries")) {
-        (Some(_), None) => vec![parsed.require("query")?],
-        (None, Some(_)) => {
-            let n: usize = parsed.require("queries")?;
-            if n == 0 || n > ds.len() {
-                return Err(format!("--queries must be in 1..={}", ds.len()));
-            }
-            (0..n).collect()
-        }
-        _ => return Err("explain: need exactly one of --query I or --queries N".into()),
-    };
-    if let Some(&bad) = query_ids.iter().find(|&&id| id >= ds.len()) {
-        return Err(format!("query id {bad} out of range (N = {})", ds.len()));
-    }
     let run = build_engine(&ds, eps, &engine, max_triangle)?;
     let mut acc = QueryStats::default();
-    for &id in &query_ids {
-        let result = run(ds.get(id).expect("checked above"), k);
-        acc.accumulate(&result.stats);
-    }
-    let report = trajsim_profile::ExplainReport::from_stats(&engine, query_ids.len(), &acc);
+    let queries = match pick_workload(parsed, "explain", &ds)? {
+        Workload::Single(id) => {
+            acc.accumulate(&(run.query)(ds.get(id).expect("checked"), k).stats);
+            1
+        }
+        Workload::Multi { queries, batch } => {
+            let workload: Vec<Trajectory<2>> = (0..queries)
+                .map(|i| ds.get(i).expect("checked").clone())
+                .collect();
+            for chunk in workload.chunks(batch.unwrap_or(1)) {
+                let results = match batch {
+                    Some(_) => (run.batch)(chunk, k),
+                    None => chunk.iter().map(|q| (run.query)(q, k)).collect(),
+                };
+                for r in results {
+                    acc.accumulate(&r.stats);
+                }
+            }
+            queries
+        }
+    };
+    let report = trajsim_profile::ExplainReport::from_stats(&engine, queries, &acc);
     print!("{}", report.render());
     if let Some(out) = parsed.get("json") {
         let text = serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?;
@@ -453,27 +655,36 @@ fn explain(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Serializes the query's stats (with stage breakdown), the resolved
-/// thread configuration, and a snapshot of the global metrics registry.
+/// Serializes the workload's stats (with stage breakdown), the resolved
+/// thread configuration, and a snapshot of the global metrics registry
+/// (which carries the `batch.*` and `parallel.worker_*` series for
+/// batched runs). `query` describes the workload: a single id, or a
+/// `{first, count}` range; `batch` is the batch size when the run went
+/// through the shared-work path.
 fn write_metrics(
     path: &str,
     engine: &str,
-    query_id: usize,
+    query: serde_json::Value,
+    batch: Option<usize>,
     k: usize,
     eps: f64,
-    result: &KnnResult,
+    stats: &QueryStats,
 ) -> Result<(), String> {
     let (threads, source) = trajsim_parallel::num_threads_with_source();
     let doc = serde_json::json!({
         "engine": engine,
-        "query": query_id,
+        "query": query,
+        "batch": match batch {
+            Some(b) => serde_json::json!(b),
+            None => serde_json::Value::Null,
+        },
         "k": k,
         "eps": eps,
         "threads": {
             "count": threads,
             "source": source.as_str(),
         },
-        "stats": result.stats.to_json(),
+        "stats": stats.to_json(),
         "metrics": trajsim_obs::metrics::global().snapshot_json(),
     });
     let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
@@ -684,7 +895,7 @@ mod tests {
         let engine = build_engine(&ds, eps, "combined", 100).unwrap();
         let mut expected = QueryStats::default();
         for id in 0..3 {
-            expected.accumulate(&engine(ds.get(id).unwrap(), 3).stats);
+            expected.accumulate(&(engine.query)(ds.get(id).unwrap(), 3).stats);
         }
         let doc: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
@@ -864,6 +1075,105 @@ mod tests {
         assert!(err.contains("write"), "unexpected error: {err}");
         let err = run(&["explain", &csv, "--query", "0", "--json", &bad]).unwrap_err();
         assert!(err.contains("write"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn knn_batched_workload_validates_and_runs() {
+        let _g = sink_guard();
+        let csv = tmp("batch.csv");
+        run(&["generate", "walk", "--n", "32", "--seed", "13", "-o", &csv]).unwrap();
+        // --batch belongs to multi-query workloads, bounded by their size.
+        let err = run(&["knn", &csv, "--query", "0", "--batch", "4"]).unwrap_err();
+        assert!(err.contains("--queries"), "unexpected error: {err}");
+        let err = run(&["knn", &csv, "--queries", "8", "--batch", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "unexpected error: {err}");
+        let err = run(&["knn", &csv, "--queries", "8", "--batch", "9"]).unwrap_err();
+        assert!(err.contains("exceeds"), "unexpected error: {err}");
+        assert!(run(&["knn", &csv]).unwrap_err().contains("exactly one"));
+        assert!(run(&["knn", &csv, "--queries", "0"]).is_err());
+        assert!(run(&["explain", &csv, "--query", "0", "--batch", "2"]).is_err());
+        // Batched and per-query multi-runs both execute, on the batch-aware
+        // engines and on one that falls back to per-query delegation.
+        for engine in ["scan", "combined", "qgram"] {
+            run(&[
+                "knn",
+                &csv,
+                "--queries",
+                "8",
+                "--batch",
+                "4",
+                "--k",
+                "3",
+                "--engine",
+                engine,
+            ])
+            .unwrap();
+        }
+        run(&["knn", &csv, "--queries", "8", "--k", "3"]).unwrap();
+        run(&[
+            "explain",
+            &csv,
+            "--queries",
+            "8",
+            "--batch",
+            "8",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn batched_metrics_out_reports_batch_series() {
+        // Serialized with the other batch test: the `batch.size` gauge is
+        // process-global and records the most recent batch.
+        let _g = sink_guard();
+        let csv = tmp("batch-metrics.csv");
+        let out = tmp("batch-metrics.json");
+        run(&["generate", "walk", "--n", "40", "--seed", "21", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "16",
+            "--batch",
+            "16",
+            "--k",
+            "3",
+            "--metrics-out",
+            &out,
+        ])
+        .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let path = |keys: &[&str]| -> serde_json::Value {
+            let mut v = &doc;
+            for k in keys {
+                v = v.get(k).unwrap_or_else(|| panic!("missing key {k:?}"));
+            }
+            v.clone()
+        };
+        assert_eq!(doc.get("batch").and_then(|v| v.as_u64()), Some(16));
+        assert_eq!(path(&["query", "count"]).as_u64(), Some(16));
+        assert!(path(&["stats", "edr_computed"]).as_u64().unwrap() > 0);
+        assert_eq!(
+            path(&["metrics", "gauges", "batch.size"]).as_i64(),
+            Some(16)
+        );
+        assert!(
+            path(&["metrics", "counters", "batch.shared_signature_evals"])
+                .as_u64()
+                .is_some_and(|v| v > 0)
+        );
+        assert!(path(&["metrics", "counters", "batch.runs"])
+            .as_u64()
+            .is_some());
+        assert!(path(&["metrics", "counters", "parallel.worker_busy_ns"])
+            .as_u64()
+            .is_some());
+        assert!(path(&["metrics", "counters", "parallel.worker_idle_ns"])
+            .as_u64()
+            .is_some());
     }
 
     #[test]

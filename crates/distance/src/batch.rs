@@ -1,0 +1,142 @@
+//! The query side of shared-work batched retrieval.
+//!
+//! A batched k-NN scan walks the database once and feeds every live query
+//! from each candidate it touches. [`BatchContext`] packs the per-query
+//! state that traversal needs: one SoA [`QueryContext`] per query (so the
+//! inner loop over queries reads contiguous, precomputed columns) and one
+//! shared atomic best-k bound per query, which workers tighten with
+//! `fetch_min` as their local top-k sets fill. A bound only ever moves
+//! down and every published value is some worker's current k-th best —
+//! always an upper bound of the final k-th distance — so reading it as an
+//! early-abandon cutoff is sound from any thread at any time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use trajsim_core::{MatchThreshold, Trajectory};
+
+use crate::workspace::QueryContext;
+
+/// Per-query SoA contexts plus per-query shared best-k bounds for one
+/// batch of concurrent queries over a common dataset.
+#[derive(Debug)]
+pub struct BatchContext<const D: usize> {
+    ctxs: Vec<QueryContext<D>>,
+    bounds: Vec<AtomicUsize>,
+    max_len: usize,
+}
+
+impl<const D: usize> BatchContext<D> {
+    /// Builds one context per query, all with the same threshold. Bounds
+    /// start at `usize::MAX` (nothing may be pruned before a query's
+    /// result set fills).
+    pub fn new(queries: &[Trajectory<D>], eps: MatchThreshold) -> Self {
+        Self::from_contexts(
+            queries
+                .iter()
+                .map(|q| QueryContext::from_trajectory(q, eps))
+                .collect(),
+        )
+    }
+
+    /// Builds from prepared contexts (e.g. arena views transposed by the
+    /// caller).
+    pub fn from_contexts(ctxs: Vec<QueryContext<D>>) -> Self {
+        let bounds = (0..ctxs.len())
+            .map(|_| AtomicUsize::new(usize::MAX))
+            .collect();
+        let max_len = ctxs.iter().map(QueryContext::len).max().unwrap_or(0);
+        BatchContext {
+            ctxs,
+            bounds,
+            max_len,
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.ctxs.is_empty()
+    }
+
+    /// The SoA context of query `qi`.
+    pub fn ctx(&self, qi: usize) -> &QueryContext<D> {
+        &self.ctxs[qi]
+    }
+
+    /// All per-query contexts, in batch order.
+    pub fn contexts(&self) -> &[QueryContext<D>] {
+        &self.ctxs
+    }
+
+    /// The longest query length in the batch (0 when empty) — used with
+    /// the arena's `max_len` to pre-grow per-worker scratch.
+    pub fn max_query_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The current shared best-k bound of query `qi` (relaxed load;
+    /// `usize::MAX` until some worker's top-k for that query fills).
+    pub fn bound(&self, qi: usize) -> usize {
+        self.bounds[qi].load(Ordering::Relaxed)
+    }
+
+    /// Publishes a (possibly) tighter bound for query `qi`: the shared
+    /// value becomes `min(current, bound)`.
+    pub fn tighten(&self, qi: usize, bound: usize) {
+        self.bounds[qi].fetch_min(bound, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_core::{CoordSeq, Trajectory2};
+
+    fn eps(v: f64) -> MatchThreshold {
+        MatchThreshold::new(v).unwrap()
+    }
+
+    #[test]
+    fn contexts_preserve_query_order_and_layout() {
+        let qs = vec![
+            Trajectory2::from_xy(&[(0.0, 1.0), (2.0, 3.0)]),
+            Trajectory2::from_xy(&[(9.0, 9.0)]),
+            Trajectory2::from_xy(&[]),
+        ];
+        let batch = BatchContext::new(&qs, eps(0.5));
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.max_query_len(), 2);
+        assert_eq!(batch.ctx(0).dim(0), &[0.0, 2.0]);
+        assert_eq!(batch.ctx(0).dim(1), &[1.0, 3.0]);
+        assert_eq!(batch.contexts()[1].len(), 1);
+        assert!(batch.ctx(2).is_empty());
+        for (i, p) in qs[0].iter().enumerate() {
+            for d in 0..2 {
+                assert_eq!(CoordSeq::<2>::coord(&batch.ctx(0), i, d), p[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_start_open_and_only_tighten() {
+        let qs = vec![Trajectory2::from_xy(&[(0.0, 0.0)]); 2];
+        let batch = BatchContext::new(&qs, eps(1.0));
+        assert_eq!(batch.bound(0), usize::MAX);
+        batch.tighten(0, 7);
+        batch.tighten(0, 12); // looser: ignored
+        batch.tighten(0, 5);
+        assert_eq!(batch.bound(0), 5);
+        assert_eq!(batch.bound(1), usize::MAX, "bounds are per query");
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let batch = BatchContext::<2>::new(&[], eps(1.0));
+        assert!(batch.is_empty());
+        assert_eq!(batch.max_query_len(), 0);
+    }
+}

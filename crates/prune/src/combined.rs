@@ -1,11 +1,17 @@
 //! Combining the three pruning methods (§4.4, Figures 11–13).
 
+use crate::batch::{amortize, finish_batch, merge_partials};
 use crate::histogram_knn::HistogramVariant;
-use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{
+    elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
+};
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
-use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
-use trajsim_histogram::{histogram_distance, histogram_distance_quick, TrajectoryHistogram};
+use trajsim_distance::{with_workspace, BatchContext, EdrWorkspace, QueryContext};
+use trajsim_histogram::{
+    histogram_distance, histogram_distance_quick, histogram_distance_quick_blurred,
+    BlurredHistogram, TrajectoryHistogram,
+};
 use trajsim_qgram::{passes_count_filter, SortedMeans};
 
 /// One of the three filters, used to spell an application order.
@@ -121,6 +127,25 @@ enum Hists<const D: usize> {
 enum QueryHists<const D: usize> {
     Grid(TrajectoryHistogram<D>),
     PerDim(Vec<TrajectoryHistogram<1>>),
+}
+
+/// Precomputed neighbourhood sums of one side's histogram embedding —
+/// the per-signature share of the quick bound, hoisted out of the
+/// (query × candidate) loop by the batched scan.
+enum Blurs<const D: usize> {
+    Grid(BlurredHistogram<D>),
+    PerDim(Vec<BlurredHistogram<1>>),
+}
+
+impl<const D: usize> Blurs<D> {
+    fn of_query(qh: &QueryHists<D>) -> Blurs<D> {
+        match qh {
+            QueryHists::Grid(h) => Blurs::Grid(BlurredHistogram::build(h)),
+            QueryHists::PerDim(hs) => {
+                Blurs::PerDim(hs.iter().map(BlurredHistogram::build).collect())
+            }
+        }
+    }
 }
 
 /// `EDRCombineK-NN` (Figure 6), generalized to any filter order: each
@@ -261,12 +286,43 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
             _ => unreachable!("query embedded with the engine's own variant"),
         }
     }
-}
 
-impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
-    fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
-        let t_query = Instant::now();
-        let qh = match self.config.histogram {
+    /// The candidate side of the blurred quick bound, built once per
+    /// candidate per batch.
+    fn blur_candidate(&self, id: usize) -> Blurs<D> {
+        match &self.hists {
+            Hists::Grid(h) => Blurs::Grid(BlurredHistogram::build(&h[id])),
+            Hists::PerDim(h) => Blurs::PerDim(h[id].iter().map(BlurredHistogram::build).collect()),
+        }
+    }
+
+    /// [`Self::histogram_quick`] evaluated from both sides' precomputed
+    /// blurs — identical value, sorted merges instead of binary searches.
+    fn histogram_quick_blurred(
+        &self,
+        qh: &QueryHists<D>,
+        qb: &Blurs<D>,
+        id: usize,
+        cb: &Blurs<D>,
+    ) -> usize {
+        match (&self.hists, qh, qb, cb) {
+            (Hists::Grid(h), QueryHists::Grid(q), Blurs::Grid(qb), Blurs::Grid(cb)) => {
+                histogram_distance_quick_blurred(q, qb, &h[id], cb)
+            }
+            (Hists::PerDim(h), QueryHists::PerDim(q), Blurs::PerDim(qb), Blurs::PerDim(cb)) => q
+                .iter()
+                .zip(qb)
+                .zip(h[id].iter().zip(cb))
+                .map(|((a, ab), (b, bb))| histogram_distance_quick_blurred(a, ab, b, bb))
+                .max()
+                .unwrap_or(0),
+            _ => unreachable!("query embedded with the engine's own variant"),
+        }
+    }
+
+    /// Embeds one query with the engine's configured histogram variant.
+    fn query_hists(&self, query: &Trajectory<D>) -> QueryHists<D> {
+        match self.config.histogram {
             HistogramVariant::Grid { delta } => {
                 QueryHists::Grid(TrajectoryHistogram::build_coarse(query, self.eps, delta))
             }
@@ -275,7 +331,396 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                     .map(|dim| TrajectoryHistogram::<D>::build_projected(query, self.eps, dim))
                     .collect(),
             ),
-        };
+        }
+    }
+
+    /// The shared-work batched combined scan behind
+    /// [`KnnEngine::knn_batch`] — one dataset traversal feeds N queries.
+    ///
+    /// Phases:
+    ///
+    /// 1. **Setup** (serial): per-query histogram embeddings and their
+    ///    blurred (neighbourhood-sum) forms, sorted q-gram means, and SoA
+    ///    `QueryContext`s in a [`BatchContext`].
+    /// 2. **Quick-bound matrix** (parallel over candidate chunks): each
+    ///    candidate's histogram signature is loaded — and its blur built
+    ///    — once per batch, then evaluated against every query with the
+    ///    merge-based [`histogram_distance_quick_blurred`], filling a
+    ///    candidate-major `n × N` table of the linear quick bound. This
+    ///    is the batch-amortized histogram filter: the per-signature
+    ///    share of the quick bound is computed once instead of once per
+    ///    query.
+    /// 3. **Prefix scan** (parallel over queries, per-worker
+    ///    [`EdrWorkspace`]): each query visits its `max(4k, 32)`
+    ///    quick-smallest candidates in the HSR order the per-query
+    ///    engine uses — full refines until the top-k fills, then the
+    ///    configured filter cascade with early-abandoning refines — so
+    ///    its best-k bound is near-final before the shared scan. A
+    ///    break-out inside the prefix (quick bound above the current
+    ///    k-th best) settles the query outright: every unvisited
+    ///    candidate's quick bound is at least as large, and the k-th
+    ///    best only ever tightens.
+    /// 4. **Chunk scan** (parallel over candidate chunks, per-worker
+    ///    [`EdrWorkspace`]): per candidate, the signature refs (arena
+    ///    block, sorted q-gram means, length, pmatrix column index) are
+    ///    loaded once; the inner loop over the still-open queries prunes
+    ///    with the quick table, then the configured filter order, and
+    ///    refines survivors with early-abandoning EDR under
+    ///    `min(shared, local)` bounds. Triangle references start from
+    ///    the prefix scan's pool and grow chunk-locally — sound but
+    ///    possibly weaker than the per-query engine's pool, which shifts
+    ///    prune *credit* between filters, never the answer.
+    /// 5. **Merge**: per query, the prefix and chunk partial top-k lists
+    ///    merge by `(dist, id)`.
+    ///
+    /// Every filter is a sound lower bound and early abandoning only
+    /// drops candidates that provably cannot enter the top-k, so the
+    /// returned distances are identical to per-query [`KnnEngine::knn`]'s
+    /// (ids may permute among equal distances); per-filter credit and
+    /// `dp_cells` may legitimately differ.
+    fn knn_batch_scan(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult> {
+        let t_batch = Instant::now();
+        let nq = queries.len();
+        let n = self.dataset.len();
+        let qhs: Vec<QueryHists<D>> = queries.iter().map(|q| self.query_hists(q)).collect();
+        let q_blurs: Vec<Blurs<D>> = qhs.iter().map(Blurs::of_query).collect();
+        let q_means: Vec<SortedMeans<D>> = queries
+            .iter()
+            .map(|q| SortedMeans::build(q, self.config.qgram_q))
+            .collect();
+        let batch = BatchContext::new(queries, self.eps);
+        let setup_ns = elapsed_ns(t_batch);
+        let threads = trajsim_parallel::num_threads().min(n.max(1));
+        let chunk_len = n.div_ceil(threads * 4).max(k).max(1);
+        let max_pair = self.arena.max_len().max(batch.max_query_len());
+        let filters = self.config.order.filters();
+
+        #[derive(Clone, Copy, Default)]
+        struct BatchCounters {
+            edr: usize,
+            cells: u64,
+            refine_ns: u64,
+            pruned_h: usize,
+            pruned_q: usize,
+            pruned_t: usize,
+            h_in: usize,
+            h_out: usize,
+            q_in: usize,
+            q_out: usize,
+            t_in: usize,
+            t_out: usize,
+        }
+
+        // Phase 2: candidate-major quick-bound table `quick[id * nq + qi]`,
+        // each candidate's blur built once and reused across the batch.
+        let t_quick = Instant::now();
+        let quick: Vec<usize> = trajsim_parallel::par_chunks(
+            n,
+            chunk_len,
+            || (),
+            |(), range| {
+                let mut out = Vec::with_capacity(range.len() * nq);
+                for id in range {
+                    let c_blur = self.blur_candidate(id);
+                    for (qh, qb) in qhs.iter().zip(&q_blurs) {
+                        out.push(self.histogram_quick_blurred(qh, qb, id, &c_blur));
+                    }
+                }
+                out
+            },
+        )
+        .concat();
+        let quick_ns = elapsed_ns(t_quick);
+
+        // Phase 3: per-query prefix scan in HSR order over the
+        // quick-smallest candidates.
+        struct SeedOut {
+            neighbors: Vec<Neighbor>,
+            seeded: Vec<u64>,
+            /// Break-out hit inside the prefix: the query's result is
+            /// already final; the chunk scan skips it entirely.
+            done: bool,
+            refs: Vec<(usize, usize)>,
+            c: BatchCounters,
+        }
+        let prefix_len = n.min((4 * k).max(32));
+        let qidx: Vec<usize> = (0..nq).collect();
+        let seeds: Vec<SeedOut> = trajsim_parallel::par_map_with(
+            &qidx,
+            || EdrWorkspace::with_capacity(max_pair),
+            |ws, _, &qi| {
+                let col = |id: usize| quick[id * nq + qi];
+                let mut order: Vec<usize> = (0..n).collect();
+                if prefix_len < n {
+                    order.select_nth_unstable_by_key(prefix_len - 1, |&id| (col(id), id));
+                    order.truncate(prefix_len);
+                }
+                order.sort_unstable_by_key(|&id| (col(id), id));
+                let mut rs = ResultSet::new(k);
+                let mut seeded = vec![0u64; n.div_ceil(64)];
+                let mut refs: Vec<(usize, usize)> = Vec::new();
+                let mut c = BatchCounters::default();
+                let mut done = false;
+                let ctx = batch.ctx(qi);
+                'prefix: for (rank, &id) in order.iter().enumerate() {
+                    let best = rs.best_so_far();
+                    if best != usize::MAX {
+                        if col(id) > best {
+                            // Sorted break-out: the prefix holds the n
+                            // smallest quick bounds, so every unvisited
+                            // candidate — inside or beyond the prefix —
+                            // is at least this far away.
+                            c.pruned_h += n - rank;
+                            done = true;
+                            break 'prefix;
+                        }
+                        for filter in &filters {
+                            let pruned = match filter {
+                                // The quick table and the sorted prefix are
+                                // the batch path's histogram stage; the
+                                // exact max-flow HD costs about as much as
+                                // a bounded refine and rarely prunes beyond
+                                // the quick bound, so the batched scan
+                                // skips it — sound, as a skipped filter
+                                // only sends more candidates to the
+                                // early-abandoning refine.
+                                Filter::Histogram => false,
+                                Filter::Qgram => {
+                                    c.q_in += 1;
+                                    let v = q_means[qi].match_count(&self.qgrams[id], self.eps);
+                                    if !passes_count_filter(
+                                        v,
+                                        ctx.len(),
+                                        self.arena.len_of(id),
+                                        self.config.qgram_q,
+                                        best,
+                                    ) {
+                                        c.pruned_q += 1;
+                                        true
+                                    } else {
+                                        c.q_out += 1;
+                                        false
+                                    }
+                                }
+                                Filter::NearTriangle => {
+                                    c.t_in += 1;
+                                    let s_len = self.arena.len_of(id);
+                                    let lower = refs
+                                        .iter()
+                                        .map(|&(r, dqr)| {
+                                            dqr as i64 - self.pmatrix[r][id] as i64 - s_len as i64
+                                        })
+                                        .max();
+                                    if matches!(lower, Some(l) if l > best as i64) {
+                                        c.pruned_t += 1;
+                                        true
+                                    } else {
+                                        c.t_out += 1;
+                                        false
+                                    }
+                                }
+                            };
+                            if pruned {
+                                seeded[id / 64] |= 1 << (id % 64);
+                                continue 'prefix;
+                            }
+                        }
+                    }
+                    seeded[id / 64] |= 1 << (id % 64);
+                    let t = Instant::now();
+                    let d = if best == usize::MAX {
+                        let (d, cl) = ctx.edr_counted(self.arena.view(id), ws);
+                        c.cells += cl;
+                        Some(d)
+                    } else {
+                        let (d, cl) = ctx.edr_within_counted(self.arena.view(id), best, ws);
+                        c.cells += cl;
+                        d
+                    };
+                    c.refine_ns += elapsed_ns(t);
+                    c.edr += 1;
+                    if let Some(d) = d {
+                        if id < self.pmatrix.len() && refs.len() < self.config.max_triangle {
+                            refs.push((id, d));
+                        }
+                        rs.offer(id, d);
+                    }
+                }
+                batch.tighten(qi, rs.best_so_far());
+                SeedOut {
+                    neighbors: rs.into_neighbors(),
+                    seeded,
+                    done,
+                    refs,
+                    c,
+                }
+            },
+        );
+
+        // Phase 4: the shared chunk scan over the still-open queries.
+        struct ChunkOut {
+            partials: Vec<Vec<Neighbor>>,
+            counters: Vec<BatchCounters>,
+        }
+        let chunks: Vec<ChunkOut> = trajsim_parallel::par_chunks(
+            n,
+            chunk_len,
+            || EdrWorkspace::with_capacity(max_pair),
+            |ws, range| {
+                let mut locals: Vec<ResultSet> = (0..nq).map(|_| ResultSet::new(k)).collect();
+                let mut counters = vec![BatchCounters::default(); nq];
+                // Triangle pools start from the prefix scan's exact
+                // distances and grow chunk-locally.
+                let mut refs: Vec<Vec<(usize, usize)>> =
+                    seeds.iter().map(|s| s.refs.clone()).collect();
+                for id in range {
+                    // The candidate's signature, loaded once per batch.
+                    let s_view = self.arena.view(id);
+                    let s_len = self.arena.len_of(id);
+                    let s_means = &self.qgrams[id];
+                    'queries: for qi in 0..nq {
+                        if seeds[qi].done || seeds[qi].seeded[id / 64] >> (id % 64) & 1 == 1 {
+                            continue; // settled or visited in the prefix scan
+                        }
+                        let c = &mut counters[qi];
+                        let local = &mut locals[qi];
+                        let best = batch.bound(qi).min(local.best_so_far());
+                        if best != usize::MAX {
+                            if quick[id * nq + qi] > best {
+                                c.pruned_h += 1;
+                                continue;
+                            }
+                            for filter in filters {
+                                let pruned = match filter {
+                                    // Skipped in the batched scan for the
+                                    // same reason as in the prefix scan:
+                                    // the quick table already played the
+                                    // histogram stage's part.
+                                    Filter::Histogram => false,
+                                    Filter::Qgram => {
+                                        c.q_in += 1;
+                                        let v = q_means[qi].match_count(s_means, self.eps);
+                                        if !passes_count_filter(
+                                            v,
+                                            batch.ctx(qi).len(),
+                                            s_len,
+                                            self.config.qgram_q,
+                                            best,
+                                        ) {
+                                            c.pruned_q += 1;
+                                            true
+                                        } else {
+                                            c.q_out += 1;
+                                            false
+                                        }
+                                    }
+                                    Filter::NearTriangle => {
+                                        c.t_in += 1;
+                                        let lower = refs[qi]
+                                            .iter()
+                                            .map(|&(r, dqr)| {
+                                                dqr as i64
+                                                    - self.pmatrix[r][id] as i64
+                                                    - s_len as i64
+                                            })
+                                            .max();
+                                        if matches!(lower, Some(l) if l > best as i64) {
+                                            c.pruned_t += 1;
+                                            true
+                                        } else {
+                                            c.t_out += 1;
+                                            false
+                                        }
+                                    }
+                                };
+                                if pruned {
+                                    continue 'queries;
+                                }
+                            }
+                        }
+                        let t_refine = Instant::now();
+                        let d = if best == usize::MAX {
+                            let (d, cl) = batch.ctx(qi).edr_counted(s_view, ws);
+                            c.cells += cl;
+                            Some(d)
+                        } else {
+                            let (d, cl) = batch.ctx(qi).edr_within_counted(s_view, best, ws);
+                            c.cells += cl;
+                            d
+                        };
+                        c.refine_ns += elapsed_ns(t_refine);
+                        c.edr += 1;
+                        if let Some(d) = d {
+                            // `d` is exact (early abandoning returned a
+                            // value), so it can join this worker's
+                            // triangle reference pool.
+                            if id < self.pmatrix.len() && refs[qi].len() < self.config.max_triangle
+                            {
+                                refs[qi].push((id, d));
+                            }
+                            local.offer(id, d);
+                            batch.tighten(qi, local.best_so_far());
+                        }
+                    }
+                }
+                ChunkOut {
+                    partials: locals.into_iter().map(ResultSet::into_neighbors).collect(),
+                    counters,
+                }
+            },
+        );
+        // Phase 5: per-query merge + stats assembly (accounting rules in
+        // `crate::batch`).
+        let wall_ns = elapsed_ns(t_batch);
+        let name = self.name();
+        let results: Vec<KnnResult> = (0..nq)
+            .map(|qi| {
+                let seed = &seeds[qi];
+                let mut stats = QueryStats {
+                    database_size: n,
+                    ..Default::default()
+                };
+                stats.timings.setup_ns = amortize(setup_ns, nq, qi);
+                stats.timings.histogram.filter_ns = amortize(quick_ns, nq, qi);
+                for c in
+                    std::iter::once(&seed.c).chain(chunks.iter().map(|chunk| &chunk.counters[qi]))
+                {
+                    stats.edr_computed += c.edr;
+                    stats.dp_cells += c.cells;
+                    stats.pruned_by_histogram += c.pruned_h;
+                    stats.pruned_by_qgram += c.pruned_q;
+                    stats.pruned_by_triangle += c.pruned_t;
+                    stats.timings.histogram.candidates_in += c.h_in;
+                    stats.timings.histogram.candidates_out += c.h_out;
+                    stats.timings.qgram.candidates_in += c.q_in;
+                    stats.timings.qgram.candidates_out += c.q_out;
+                    stats.timings.triangle.candidates_in += c.t_in;
+                    stats.timings.triangle.candidates_out += c.t_out;
+                    stats.timings.refine_ns += c.refine_ns;
+                }
+                stats.timings.total_ns = amortize(wall_ns, nq, qi);
+                finish_query(&name, &stats);
+                KnnResult {
+                    neighbors: merge_partials(
+                        k,
+                        std::iter::once(seed.neighbors.clone())
+                            .chain(chunks.iter().map(|ch| ch.partials[qi].clone())),
+                    ),
+                    stats,
+                }
+            })
+            .collect();
+        // Both shared passes (quick table + chunk scan) touch each
+        // candidate's signature once for the whole batch.
+        finish_batch(&name, nq, 2 * n as u64, wall_ns);
+        results
+    }
+}
+
+impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
+    fn knn(&self, query: &Trajectory<D>, k: usize) -> KnnResult {
+        let t_query = Instant::now();
+        let qh = self.query_hists(query);
         let q_means = SortedMeans::build(query, self.config.qgram_q);
         // Query side of the refine stage, transposed once into SoA
         // columns; candidates stream from the columnar arena.
@@ -399,6 +844,16 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
 
     fn name(&self) -> String {
         self.config.order.label(self.config.histogram)
+    }
+
+    fn knn_batch(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult>
+    where
+        Self: Sync,
+    {
+        if queries.len() <= 1 {
+            return trajsim_parallel::par_map(queries, |_, q| self.knn(q, k));
+        }
+        self.knn_batch_scan(queries, k)
     }
 }
 

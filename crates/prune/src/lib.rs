@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod combined;
 pub mod cse;
 mod histogram_knn;
@@ -46,6 +47,7 @@ mod range;
 mod result;
 mod seqscan;
 
+pub use batch::{BATCH_RUNS, BATCH_SHARED_SIGNATURE_EVALS, BATCH_SIZE};
 pub use combined::{CombinedConfig, CombinedKnn, PruneOrder};
 pub use histogram_knn::{HistogramKnn, HistogramVariant, ScanMode};
 pub use lcss_knn::{

@@ -357,11 +357,19 @@ pub trait KnnEngine<const D: usize> {
     /// Short name for experiment tables (e.g. "PS2", "2HE-HSR").
     fn name(&self) -> String;
 
-    /// Answers a batch of queries in parallel (one task per query with
-    /// dynamic chunking; thread count per `trajsim-parallel`), returning
-    /// results in query order. Each result is exactly what [`Self::knn`]
-    /// returns for that query — engines answer queries through `&self`,
-    /// so one instance serves every worker thread.
+    /// Answers a batch of queries, returning results in query order with
+    /// per-query distances identical to [`Self::knn`]'s (neighbor ids may
+    /// permute among equal distances).
+    ///
+    /// The default runs one task per query in parallel (dynamic chunking;
+    /// thread count per `trajsim-parallel`). Engines with a shared-work
+    /// batched path — the sequential scan and the combined engine —
+    /// override it to traverse the dataset **once per batch**: workers
+    /// scan candidate chunks against every live query, evaluating each
+    /// candidate's signature once and merging per-query best-k bounds
+    /// through shared atomics (see `crate::batch` for the stats
+    /// accounting of batched results). Engines answer through `&self`, so
+    /// one instance serves every worker thread.
     fn knn_batch(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult>
     where
         Self: Sync,

@@ -1,12 +1,13 @@
 //! The sequential-scan baseline: true EDR against every trajectory.
 
+use crate::batch::{amortize, finish_batch, merge_partials};
 use crate::result::{
     elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use trajsim_core::{CoordSeq, Dataset, MatchThreshold, Trajectory, TrajectoryArena};
-use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
+use trajsim_distance::{with_workspace, BatchContext, EdrWorkspace, QueryContext};
 
 /// The brute-force baseline the paper's speedup ratios are measured
 /// against: compute `EDR(Q, S)` for every trajectory `S` and keep the `k`
@@ -213,6 +214,95 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
             stats,
         }
     }
+
+    /// The shared-work batched scan behind [`KnnEngine::knn_batch`]: one
+    /// dataset traversal feeds every query. Workers claim candidate
+    /// chunks; for each candidate the columnar arena block is loaded once
+    /// and the inner loop runs over the batch's SoA query contexts. With
+    /// early abandoning each query's cutoff is the minimum of its shared
+    /// cross-worker bound and the worker's local k-th best. Per-query
+    /// merges follow the `knn_parallel` argument, so distances equal the
+    /// per-query scan's exactly (ids may permute on EA-dropped ties).
+    fn knn_batch_scan(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult> {
+        let t_batch = Instant::now();
+        let nq = queries.len();
+        let n = self.dataset.len();
+        let batch = BatchContext::new(queries, self.eps);
+        let setup_ns = elapsed_ns(t_batch);
+        let threads = trajsim_parallel::num_threads().min(n.max(1));
+        let chunk_len = n.div_ceil(threads * 4).max(k).max(1);
+        let max_pair = self.arena.max_len().max(batch.max_query_len());
+        struct ChunkOut {
+            partials: Vec<Vec<Neighbor>>,
+            cells: Vec<u64>,
+            busy_ns: u64,
+        }
+        let chunks: Vec<ChunkOut> = trajsim_parallel::par_chunks(
+            n,
+            chunk_len,
+            || EdrWorkspace::with_capacity(max_pair),
+            |ws, range| {
+                let t_chunk = Instant::now();
+                let mut locals: Vec<ResultSet> = (0..nq).map(|_| ResultSet::new(k)).collect();
+                let mut cells = vec![0u64; nq];
+                for (id, s) in self.arena.views_in(range) {
+                    // One arena-block load serves the whole batch.
+                    for (qi, ctx) in batch.contexts().iter().enumerate() {
+                        let local = &mut locals[qi];
+                        let bound = if self.early_abandon {
+                            batch.bound(qi).min(local.best_so_far())
+                        } else {
+                            usize::MAX
+                        };
+                        if bound == usize::MAX {
+                            let (d, c) = ctx.edr_counted(s, ws);
+                            cells[qi] += c;
+                            local.offer(id, d);
+                        } else {
+                            let (d, c) = ctx.edr_within_counted(s, bound, ws);
+                            cells[qi] += c;
+                            if let Some(d) = d {
+                                local.offer(id, d);
+                            }
+                        }
+                        if self.early_abandon {
+                            batch.tighten(qi, local.best_so_far());
+                        }
+                    }
+                }
+                ChunkOut {
+                    partials: locals.into_iter().map(ResultSet::into_neighbors).collect(),
+                    cells,
+                    busy_ns: elapsed_ns(t_chunk),
+                }
+            },
+        );
+        let busy_total: u64 = chunks.iter().map(|c| c.busy_ns).sum();
+        let wall_ns = elapsed_ns(t_batch);
+        let name = self.name();
+        let results: Vec<KnnResult> = (0..nq)
+            .map(|qi| {
+                let mut stats = QueryStats {
+                    database_size: n,
+                    edr_computed: n,
+                    dp_cells: chunks.iter().map(|c| c.cells[qi]).sum(),
+                    ..Default::default()
+                };
+                stats.timings.setup_ns = amortize(setup_ns, nq, qi);
+                // Worker busy time amortized over the batch (see the
+                // batch-accounting notes in `crate::batch`).
+                stats.timings.refine_ns = amortize(busy_total, nq, qi);
+                stats.timings.total_ns = amortize(wall_ns, nq, qi);
+                finish_query(&name, &stats);
+                KnnResult {
+                    neighbors: merge_partials(k, chunks.iter().map(|c| c.partials[qi].clone())),
+                    stats,
+                }
+            })
+            .collect();
+        finish_batch(&name, nq, n as u64, wall_ns);
+        results
+    }
 }
 
 impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
@@ -229,6 +319,16 @@ impl<const D: usize> KnnEngine<D> for SequentialScan<'_, D> {
             name.push_str("(par)");
         }
         name
+    }
+
+    fn knn_batch(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult>
+    where
+        Self: Sync,
+    {
+        if queries.len() <= 1 {
+            return trajsim_parallel::par_map(queries, |_, q| self.knn(q, k));
+        }
+        self.knn_batch_scan(queries, k)
     }
 }
 
