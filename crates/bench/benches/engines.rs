@@ -42,6 +42,18 @@ fn bench_engines(c: &mut Criterion) {
     trajsim_obs::set_level(trajsim_obs::Level::Off);
     trajsim_obs::set_sink(None);
 
+    // Same budget for the flight recorder: every query serialized to a
+    // JSONL line (here into `io::sink()`, so the cost measured is
+    // formatting + locking, not disk).
+    let recorder = trajsim_profile::FlightRecorder::to_writer(Box::new(std::io::sink()));
+    trajsim_obs::set_sink(Some(recorder));
+    trajsim_obs::set_level(trajsim_obs::Level::Debug);
+    group.bench_function("seq_scan_recorded", |b| {
+        b.iter(|| black_box(seq.knn(&query, k)))
+    });
+    trajsim_obs::set_level(trajsim_obs::Level::Off);
+    trajsim_obs::set_sink(None);
+
     let seq_ea = SequentialScan::new(&data, eps).with_early_abandon();
     group.bench_function("seq_scan_early_abandon", |b| {
         b.iter(|| black_box(seq_ea.knn(&query, k)))

@@ -104,7 +104,7 @@ impl CaseResult {
 /// One full suite measurement: what `BENCH_<suite>.json` holds.
 #[derive(Debug, Clone)]
 pub struct SuiteRun {
-    /// Suite name (`kernels`, `filters`, `refine` or `throughput`).
+    /// Suite name (`kernels`, `filters`, `refine`, `throughput` or `obs`).
     pub suite: String,
     /// Name of the anchor case every score is normalized by.
     pub anchor: String,
@@ -143,8 +143,8 @@ impl Default for GuardConfig {
     }
 }
 
-/// The four pinned suites.
-pub const SUITES: [&str; 4] = ["kernels", "filters", "refine", "throughput"];
+/// The five pinned suites.
+pub const SUITES: [&str; 5] = ["kernels", "filters", "refine", "throughput", "obs"];
 
 struct Case<'a> {
     name: String,
@@ -220,6 +220,11 @@ fn measure(cases: Vec<Case<'_>>, anchor: &str, suite: &str, cfg: &GuardConfig) -
 ///   anchor), so the shared-work batching speedup is itself guarded: a
 ///   `batch_256` score of 0.5 means the batched path answers the same
 ///   queries in half the wall time.
+/// - `obs` times the telemetry overhead: the same sequential-scan
+///   workload with tracing off (the anchor), with a null sink at debug
+///   level, and with the flight recorder serializing every query — the
+///   scores *are* the relative overheads, so the recorder's <5% budget
+///   is a guarded number, not a claim.
 ///
 /// # Errors
 ///
@@ -230,8 +235,9 @@ pub fn run_suite(suite: &str, cfg: &GuardConfig) -> Result<SuiteRun, String> {
         "filters" => Ok(run_filters(cfg)),
         "refine" => Ok(run_refine(cfg)),
         "throughput" => Ok(run_throughput(cfg)),
+        "obs" => Ok(run_obs(cfg)),
         other => Err(format!(
-            "unknown suite {other:?} (kernels|filters|refine|throughput)"
+            "unknown suite {other:?} (kernels|filters|refine|throughput|obs)"
         )),
     }
 }
@@ -479,6 +485,75 @@ fn run_throughput(cfg: &GuardConfig) -> SuiteRun {
         });
     }
     measure(cases, "perquery", "throughput", cfg)
+}
+
+fn run_obs(cfg: &GuardConfig) -> SuiteRun {
+    // Three passes over one pinned serial-scan workload, differing only
+    // in what the telemetry globals are set to. Scores are ratios to the
+    // telemetry-off anchor, so `seqscan_recorded`'s score is directly
+    // the flight recorder's relative overhead (1.05 = the 5% budget).
+    // The sink swaps happen inside the timed closures; they are a few
+    // atomics against a multi-query scan workload.
+    let (n, lens, nq, k) = if cfg.quick {
+        (16, (16, 48), 3, 3)
+    } else {
+        (96, (30, 192), 5, 5)
+    };
+    let ds = random_walk_set(
+        &mut seeded_rng(0x0B5),
+        n,
+        LengthDistribution::Uniform {
+            min: lens.0,
+            max: lens.1,
+        },
+    );
+    let eps = crate::retrieval_eps(&ds);
+    let qs = crate::probing_queries(&ds, nq);
+    let scan = SequentialScan::new(&ds, eps);
+    let workload = || {
+        let mut acc = QueryStats::default();
+        for q in &qs {
+            acc.accumulate(&scan.knn(q, k).stats);
+        }
+        acc
+    };
+    struct NullSink;
+    impl trajsim_obs::Sink for NullSink {
+        fn emit(&self, record: &trajsim_obs::Record) {
+            std::hint::black_box(record.name);
+        }
+    }
+    let cases: Vec<Case<'_>> = vec![
+        Case {
+            name: "seqscan_plain".into(),
+            work: Box::new(|| Some(workload())),
+        },
+        Case {
+            name: "seqscan_traced".into(),
+            work: Box::new(|| {
+                trajsim_obs::set_sink(Some(std::sync::Arc::new(NullSink)));
+                trajsim_obs::set_level(trajsim_obs::Level::Debug);
+                let acc = workload();
+                trajsim_obs::set_level(trajsim_obs::Level::Off);
+                trajsim_obs::set_sink(None);
+                Some(acc)
+            }),
+        },
+        Case {
+            name: "seqscan_recorded".into(),
+            work: Box::new(|| {
+                let recorder =
+                    trajsim_profile::FlightRecorder::to_writer(Box::new(std::io::sink()));
+                trajsim_obs::set_sink(Some(recorder));
+                trajsim_obs::set_level(trajsim_obs::Level::Debug);
+                let acc = workload();
+                trajsim_obs::set_level(trajsim_obs::Level::Off);
+                trajsim_obs::set_sink(None);
+                Some(acc)
+            }),
+        },
+    ];
+    measure(cases, "seqscan_plain", "obs", cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -781,6 +856,26 @@ mod tests {
                  path ({alloc:.6}s) at len {len}"
             );
         }
+    }
+
+    #[test]
+    fn obs_suite_measures_telemetry_overhead_and_restores_globals() {
+        let _measure = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let run = run_suite("obs", &quick()).unwrap();
+        assert_eq!(run.anchor, "seqscan_plain");
+        let names: Vec<&str> = run.cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["seqscan_plain", "seqscan_traced", "seqscan_recorded"]
+        );
+        // All three cases answered the same workload: the counters are
+        // deterministic and must agree regardless of telemetry state.
+        let plain = run.cases[0].stats.as_ref().unwrap();
+        let recorded = run.cases[2].stats.as_ref().unwrap();
+        assert_eq!(plain.edr_computed, recorded.edr_computed);
+        assert_eq!(plain.database_size, recorded.database_size);
+        // And the timed closures put the globals back.
+        assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
     }
 
     #[test]

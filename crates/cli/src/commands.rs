@@ -8,7 +8,10 @@ use std::sync::Arc;
 use trajsim_core::{max_std_dev, Dataset, MatchThreshold, Trajectory};
 use trajsim_data::{seeded_rng, LengthDistribution};
 use trajsim_eval::{agglomerative, Dendrogram, DistanceMatrix, Linkage};
-use trajsim_profile::{ProfileCollector, TeeSink};
+use trajsim_profile::{
+    read_stats_input, DiffReport, FlightRecorder, ProfileCollector, Recording, TeeSink,
+    WorkloadStats,
+};
 use trajsim_prune::{
     range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, KnnResult,
     NearTriangleKnn, QgramKnn, QgramVariant, QueryStats, ScanMode, SequentialScan,
@@ -21,11 +24,15 @@ commands:
   generate <nhl|mixed|walk|asl|kungfu|slip> -o FILE [--n N] [--seed S]
   convert  <in> <out>
   stats    <file>
+  stats    show <recording|store>
+  stats    merge <recording|store>... -o FILE
+  stats    diff <a> <b> [--latency-tolerance F] [--check]
   knn      <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
            [--engine ENGINE] [--max-triangle M] [--metrics-out FILE]
   explain  <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
            [--engine ENGINE] [--max-triangle M] [--json FILE]
   range    <file> --query I --edits K [--eps E]
+  replay   <recording> [--max-drift F] [--check]
   cluster  <file> [--k K] [--eps E] [--tree]
 
 engines: scan|qgram|histogram|triangle|combined (default: combined)
@@ -41,14 +48,28 @@ global options:
   --profile-format FMT  chrome (default: Chrome-trace JSON for Perfetto /
                         chrome://tracing) or collapsed (folded stacks for
                         flamegraph.pl / speedscope)
+  --record FILE         flight-record the workload: one JSONL line per
+                        query (per-stage candidates, timings, answers),
+                        readable by `stats` and `replay`
 
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
 
-/// Tracing/profiling requested on the command line, resolved and
-/// validated before the command runs.
+/// Fails fast when an output path cannot be created, naming the flag
+/// that carried it — an unwritable path is a clean error before the
+/// workload runs, not a lost result after. Shared by `--profile-out`,
+/// `--metrics-out`, `--record`, `--json`, and `stats merge -o`.
+fn ensure_writable(flag: &str, path: &str) -> Result<(), String> {
+    File::create(path)
+        .map(|_| ())
+        .map_err(|e| format!("{flag} {path}: {e}"))
+}
+
+/// Tracing/profiling/recording requested on the command line, resolved
+/// and validated before the command runs.
 struct Telemetry {
     trace_level: Option<trajsim_obs::Level>,
     profile: Option<(String, String, Arc<ProfileCollector>)>,
+    record: Option<(String, Arc<FlightRecorder>)>,
 }
 
 impl Telemetry {
@@ -67,76 +88,108 @@ impl Telemetry {
                         "option --profile-format: unknown format {format:?} (chrome|collapsed)"
                     ));
                 }
-                // Fail before the workload runs, not after: an unwritable
-                // path is a clean error up front.
-                File::create(path).map_err(|e| format!("--profile-out {path}: {e}"))?;
+                ensure_writable("--profile-out", path)?;
                 Some((path.to_string(), format, ProfileCollector::new()))
+            }
+            None => None,
+        };
+        let record = match parsed.get("record") {
+            Some(path) => {
+                ensure_writable("--record", path)?;
+                let recorder =
+                    FlightRecorder::create(path).map_err(|e| format!("--record {path}: {e}"))?;
+                Some((path.to_string(), recorder))
             }
             None => None,
         };
         Ok(Telemetry {
             trace_level,
             profile,
+            record,
         })
     }
 
-    /// Installs the global sink and level. The profile collector needs
-    /// span records, which are debug-level, so `--profile-out` raises the
-    /// level to at least debug; a more verbose `--trace trace` wins.
+    /// Installs the global sink and level. The profile collector and the
+    /// flight recorder need debug-level records, so `--profile-out` and
+    /// `--record` raise the level to at least debug; a more verbose
+    /// `--trace trace` wins.
     fn install(&self) {
-        let trace_sink: Option<Arc<dyn trajsim_obs::Sink>> = self
-            .trace_level
-            .map(|_| Arc::new(trajsim_obs::JsonLinesSink::stderr()) as Arc<dyn trajsim_obs::Sink>);
-        match (&trace_sink, &self.profile) {
-            (None, None) => return,
-            (Some(t), None) => trajsim_obs::set_sink(Some(t.clone())),
-            (None, Some((_, _, c))) => {
-                trajsim_obs::set_sink(Some(c.clone() as Arc<dyn trajsim_obs::Sink>))
-            }
-            (Some(t), Some((_, _, c))) => {
-                trajsim_obs::set_sink(Some(Arc::new(TeeSink::new(vec![
-                    t.clone(),
-                    c.clone() as Arc<dyn trajsim_obs::Sink>,
-                ]))))
-            }
+        let mut sinks: Vec<Arc<dyn trajsim_obs::Sink>> = Vec::new();
+        if self.trace_level.is_some() {
+            sinks.push(Arc::new(trajsim_obs::JsonLinesSink::stderr()));
+        }
+        if let Some((_, _, collector)) = &self.profile {
+            sinks.push(collector.clone());
+        }
+        if let Some((_, recorder)) = &self.record {
+            sinks.push(recorder.clone());
+        }
+        match sinks.len() {
+            0 => return,
+            1 => trajsim_obs::set_sink(sinks.pop()),
+            _ => trajsim_obs::set_sink(Some(Arc::new(TeeSink::new(sinks)))),
         }
         let mut level = self.trace_level.unwrap_or(trajsim_obs::Level::Off);
-        if self.profile.is_some() {
+        if self.profile.is_some() || self.record.is_some() {
             level = level.max(trajsim_obs::Level::Debug);
         }
         trajsim_obs::set_level(level);
     }
 
-    /// Writes the collected profile (if any) and, when profiling forced
-    /// the tracing globals, puts them back the way `--trace` alone would
-    /// have left them.
-    fn finish(&self) -> Result<(), String> {
-        let Some((path, format, collector)) = &self.profile else {
-            return Ok(());
-        };
-        let records = collector.take();
-        match format.as_str() {
-            "chrome" => {
-                trajsim_profile::write_chrome_trace(Path::new(path), &records)
-                    .map_err(|e| format!("--profile-out {path}: {e}"))?;
-            }
-            _ => {
-                std::fs::write(path, trajsim_profile::collapsed_stacks(&records))
-                    .map_err(|e| format!("--profile-out {path}: {e}"))?;
-            }
-        }
-        eprintln!("profile: {} records -> {path} ({format})", records.len());
-        match self.trace_level {
-            Some(lvl) => {
-                trajsim_obs::set_sink(Some(Arc::new(trajsim_obs::JsonLinesSink::stderr())));
-                trajsim_obs::set_level(lvl);
-            }
-            None => {
-                trajsim_obs::set_sink(None);
-                trajsim_obs::set_level(trajsim_obs::Level::Off);
-            }
+    /// Writes the recording's header line once the command has resolved
+    /// its configuration. No-op without `--record`; idempotent.
+    fn record_header(&self, meta: serde_json::Value) -> Result<(), String> {
+        if let Some((path, recorder)) = &self.record {
+            recorder
+                .write_header(meta)
+                .map_err(|e| format!("--record {path}: {e}"))?;
         }
         Ok(())
+    }
+
+    /// Writes the collected profile and flushes the recording (if any)
+    /// and, when either forced the tracing globals, puts them back the
+    /// way `--trace` alone would have left them.
+    fn finish(&self) -> Result<(), String> {
+        let mut result = Ok(());
+        if let Some((path, format, collector)) = &self.profile {
+            let records = collector.take();
+            let written = match format.as_str() {
+                "chrome" => trajsim_profile::write_chrome_trace(Path::new(path), &records)
+                    .map_err(|e| format!("--profile-out {path}: {e}")),
+                _ => std::fs::write(path, trajsim_profile::collapsed_stacks(&records))
+                    .map_err(|e| format!("--profile-out {path}: {e}")),
+            };
+            if written.is_ok() {
+                eprintln!("profile: {} records -> {path} ({format})", records.len());
+            }
+            result = result.and(written);
+        }
+        if let Some((path, recorder)) = &self.record {
+            let flushed = recorder
+                .finish()
+                .map_err(|e| format!("--record {path}: {e}"));
+            if flushed.is_ok() {
+                eprintln!(
+                    "recording: {} queries -> {path}",
+                    recorder.records_written()
+                );
+            }
+            result = result.and(flushed);
+        }
+        if self.profile.is_some() || self.record.is_some() {
+            match self.trace_level {
+                Some(lvl) => {
+                    trajsim_obs::set_sink(Some(Arc::new(trajsim_obs::JsonLinesSink::stderr())));
+                    trajsim_obs::set_level(lvl);
+                }
+                None => {
+                    trajsim_obs::set_sink(None);
+                    trajsim_obs::set_level(trajsim_obs::Level::Off);
+                }
+            }
+        }
+        result
     }
 }
 
@@ -151,9 +204,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("generate") => generate(&parsed),
         Some("convert") => convert(&parsed),
         Some("stats") => stats(&parsed),
-        Some("knn") => knn(&parsed),
-        Some("explain") => explain(&parsed),
-        Some("range") => range(&parsed),
+        Some("knn") => knn(&parsed, &telemetry),
+        Some("explain") => explain(&parsed, &telemetry),
+        Some("range") => range(&parsed, &telemetry),
+        Some("replay") => replay(&parsed, &telemetry),
         Some("cluster") => cluster(&parsed),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
@@ -230,8 +284,77 @@ fn convert(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `trajsim stats`: dataset statistics for a data file, or — via the
+/// `show`/`merge`/`diff` subcommands — the persisted workload stats
+/// store built from flight recordings.
 fn stats(parsed: &Parsed) -> Result<(), String> {
-    let path = parsed.positional(1).ok_or("stats: missing file")?;
+    match parsed.positional(1) {
+        Some("show") => stats_show(parsed),
+        Some("merge") => stats_merge(parsed),
+        Some("diff") => stats_diff(parsed),
+        Some(path) => dataset_stats(path),
+        None => Err("stats: missing file (or a show/merge/diff subcommand)".into()),
+    }
+}
+
+/// `trajsim stats show <recording|store>`: aggregates (if needed) and
+/// renders the per-filter selectivity and latency-percentile table.
+fn stats_show(parsed: &Parsed) -> Result<(), String> {
+    let input = parsed
+        .positional(2)
+        .ok_or("stats show: missing input (a flight recording or stats store)")?;
+    print!("{}", read_stats_input(input)?.render());
+    Ok(())
+}
+
+/// `trajsim stats merge <in>... -o FILE`: folds any mix of flight
+/// recordings and existing stores into one persisted store document.
+fn stats_merge(parsed: &Parsed) -> Result<(), String> {
+    let out: String = parsed.require("o")?;
+    ensure_writable("-o", &out)?;
+    if parsed.positional(2).is_none() {
+        return Err("stats merge: need at least one input recording or store".into());
+    }
+    let mut merged = WorkloadStats::default();
+    let mut inputs = 0usize;
+    while let Some(input) = parsed.positional(2 + inputs) {
+        merged
+            .merge(&read_stats_input(input)?)
+            .map_err(|e| format!("{input}: {e}"))?;
+        inputs += 1;
+    }
+    let text = serde_json::to_string_pretty(&merged.to_json()).map_err(|e| e.to_string())?;
+    std::fs::write(&out, text + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "merged {inputs} inputs ({} queries over {} runs) -> {out}",
+        merged.queries, merged.runs
+    );
+    Ok(())
+}
+
+/// `trajsim stats diff <a> <b>`: compares two recordings/stores.
+/// Workload-shape quantities (candidate flow, selectivity, pruning
+/// power) must match near-exactly; latency percentiles get the relative
+/// `--latency-tolerance` (default 0.5 = ±50%). With `--check`, drift is
+/// an error — the CI regression mode.
+fn stats_diff(parsed: &Parsed) -> Result<(), String> {
+    let (a, b) = match (parsed.positional(2), parsed.positional(3)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err("stats diff: need two inputs (recordings or stores)".into()),
+    };
+    let tolerance: f64 = parsed.get_or("latency-tolerance", 0.5f64)?;
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err("option --latency-tolerance: must be in 0..=1".into());
+    }
+    let report = DiffReport::compare(&read_stats_input(a)?, &read_stats_input(b)?, tolerance);
+    print!("{}", report.render());
+    if parsed.flag("check") && report.drifted() {
+        return Err("stats diff: significant drift between inputs".into());
+    }
+    Ok(())
+}
+
+fn dataset_stats(path: &str) -> Result<(), String> {
     let ds = load(path)?;
     let lens: Vec<usize> = ds.iter().map(|(_, t)| t.len()).collect();
     let total: usize = lens.iter().sum();
@@ -291,6 +414,24 @@ fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
+/// Per-query latency percentiles from the live `knn.query_ns` histogram
+/// — the same bucket estimator `--metrics-out` snapshots and the stats
+/// store persists, so all three report identical figures for identical
+/// counts. Process-wide: covers every query this run answered so far.
+fn report_latency_percentiles() {
+    let h = trajsim_obs::metrics::global().histogram("knn.query_ns");
+    if h.count() == 0 {
+        return;
+    }
+    println!(
+        "    latency ({} queries this run): p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        h.count(),
+        h.quantile(0.50) / 1e6,
+        h.quantile(0.95) / 1e6,
+        h.quantile(0.99) / 1e6,
+    );
+}
+
 /// The per-stage timing table: one row per stage that did any work.
 fn report_stages(t: &trajsim_prune::StageTimings) {
     println!("  stage timings (wall, per this query):");
@@ -343,6 +484,7 @@ fn report_stages(t: &trajsim_prune::StageTimings) {
         "-",
         "-"
     );
+    report_latency_percentiles();
 }
 
 /// The batched timing table: stage wall time summed over the workload,
@@ -389,6 +531,7 @@ fn report_stages_batched(t: &trajsim_prune::StageTimings, batches: usize, querie
     row("refine", t.refine_ns, None);
     row("other", t.other_ns(), None);
     row("total", t.total_ns, None);
+    report_latency_percentiles();
 }
 
 /// A built k-NN engine behind two closures, so `knn` and `explain`
@@ -500,15 +643,62 @@ fn pick_workload(parsed: &Parsed, cmd: &str, ds: &Dataset<2>) -> Result<Workload
     }
 }
 
-fn knn(parsed: &Parsed) -> Result<(), String> {
+/// The resolved configuration a recording's header carries — enough for
+/// `trajsim replay` to rebuild the dataset, engine, and workload.
+fn workload_meta(
+    command: &str,
+    data: &str,
+    engine: &str,
+    k: usize,
+    eps: f64,
+    max_triangle: usize,
+    workload: &Workload,
+) -> serde_json::Value {
+    let (threads, _) = trajsim_parallel::num_threads_with_source();
+    let w = match workload {
+        Workload::Single(id) => serde_json::json!({ "query": *id }),
+        Workload::Multi { queries, batch } => serde_json::json!({
+            "queries": *queries,
+            "batch": match batch {
+                Some(b) => serde_json::json!(*b),
+                None => serde_json::Value::Null,
+            },
+        }),
+    };
+    serde_json::json!({
+        "command": command,
+        "data": data,
+        "engine": engine,
+        "k": k,
+        "eps": eps,
+        "max_triangle": max_triangle,
+        "threads": threads,
+        "workload": w,
+    })
+}
+
+fn knn(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("knn: missing file")?;
+    if let Some(out) = parsed.get("metrics-out") {
+        ensure_writable("--metrics-out", out)?;
+    }
     let ds = load(path)?.normalize();
     let k: usize = parsed.get_or("k", 10usize)?;
     let eps = pick_eps(parsed, &ds)?;
     let engine_name: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
     let engine = build_engine(&ds, eps, &engine_name, max_triangle)?;
-    match pick_workload(parsed, "knn", &ds)? {
+    let workload = pick_workload(parsed, "knn", &ds)?;
+    telemetry.record_header(workload_meta(
+        "knn",
+        path,
+        &engine_name,
+        k,
+        eps.value(),
+        max_triangle,
+        &workload,
+    ))?;
+    match workload {
         Workload::Single(query_id) => {
             let query = ds.get(query_id).expect("checked in pick_workload");
             println!(
@@ -615,16 +805,29 @@ fn knn(parsed: &Parsed) -> Result<(), String> {
 /// N`, optionally in batches of `--batch B` through the shared-work
 /// path) — and prints the per-stage pruning-power report built from the
 /// live query statistics.
-fn explain(parsed: &Parsed) -> Result<(), String> {
+fn explain(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("explain: missing file")?;
+    if let Some(out) = parsed.get("json") {
+        ensure_writable("--json", out)?;
+    }
     let ds = load(path)?.normalize();
     let k: usize = parsed.get_or("k", 10usize)?;
     let eps = pick_eps(parsed, &ds)?;
     let engine: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
     let run = build_engine(&ds, eps, &engine, max_triangle)?;
+    let workload = pick_workload(parsed, "explain", &ds)?;
+    telemetry.record_header(workload_meta(
+        "explain",
+        path,
+        &engine,
+        k,
+        eps.value(),
+        max_triangle,
+        &workload,
+    ))?;
     let mut acc = QueryStats::default();
-    let queries = match pick_workload(parsed, "explain", &ds)? {
+    let queries = match workload {
         Workload::Single(id) => {
             acc.accumulate(&(run.query)(ds.get(id).expect("checked"), k).stats);
             1
@@ -691,7 +894,7 @@ fn write_metrics(
     std::fs::write(path, text + "\n").map_err(|e| format!("write {path}: {e}"))
 }
 
-fn range(parsed: &Parsed) -> Result<(), String> {
+fn range(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
     let path = parsed.positional(1).ok_or("range: missing file")?;
     let ds = load(path)?.normalize();
     let query_id: usize = parsed.require("query")?;
@@ -701,6 +904,15 @@ fn range(parsed: &Parsed) -> Result<(), String> {
         .ok_or_else(|| format!("query id {query_id} out of range (N = {})", ds.len()))?
         .clone();
     let eps = pick_eps(parsed, &ds)?;
+    let (threads, _) = trajsim_parallel::num_threads_with_source();
+    telemetry.record_header(serde_json::json!({
+        "command": "range",
+        "data": path,
+        "engine": "range",
+        "eps": eps.value(),
+        "threads": threads,
+        "workload": { "query": query_id, "edits": edits },
+    }))?;
     let hits = range_query(&ds, eps, &query, edits, 1);
     println!(
         "range: query {query_id}, within {edits} edits, eps = {:.4}: {} hits",
@@ -709,6 +921,184 @@ fn range(parsed: &Parsed) -> Result<(), String> {
     );
     for h in hits {
         println!("  id {:>6}  EDR {:>5}", h.id, h.dist);
+    }
+    Ok(())
+}
+
+/// `trajsim replay <recording>`: rebuilds the dataset, engine, and
+/// workload from the recording's header, re-runs it while capturing a
+/// fresh recording in memory through the same `finish_query` chokepoint,
+/// then checks the answers and reports stage-level drift.
+///
+/// Answer checking is strict on distances — EDR is deterministic, so the
+/// per-query distance multisets must match exactly. Neighbor *ids* may
+/// legitimately permute among tied distances when a batched merge visits
+/// workers in a different order; that is reported, not fatal. Timing
+/// drift is compared at `--max-drift` (relative, default 0.5) and only
+/// fails the run under `--check`.
+fn replay(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
+    let rec_path = parsed
+        .positional(1)
+        .ok_or("replay: missing recording file")?;
+    let recording = Recording::read(rec_path)?;
+    let meta = &recording.meta;
+    let meta_str = |key: &str| {
+        meta.get(key)
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| {
+                format!("replay: recording header has no meta.{key} (recorded without a header?)")
+            })
+    };
+    let meta_u64 = |key: &str| meta.get(key).and_then(serde_json::Value::as_u64);
+    let command = meta_str("command")?.to_string();
+    let data = meta_str("data")?.to_string();
+    let eps_v = meta
+        .get("eps")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or("replay: recording header has no meta.eps")?;
+    let ds = load(&data)?.normalize();
+    let eps = MatchThreshold::new(eps_v).map_err(|e| e.to_string())?;
+    let workload = meta
+        .get("workload")
+        .cloned()
+        .unwrap_or(serde_json::Value::Null);
+    let w_u64 = |key: &str| workload.get(key).and_then(serde_json::Value::as_u64);
+    println!(
+        "replay: {rec_path} ({} recorded queries, command {command}, data {data})",
+        recording.records.len()
+    );
+
+    // Capture the re-run in memory through the same emission path.
+    let buf = Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("replay buffer").extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let capture = FlightRecorder::to_writer(Box::new(SharedBuf(buf.clone())));
+    trajsim_obs::set_sink(Some(capture.clone() as Arc<dyn trajsim_obs::Sink>));
+    trajsim_obs::set_level(trajsim_obs::Level::Debug);
+    let run = (|| -> Result<(), String> {
+        match command.as_str() {
+            "range" => {
+                let id = w_u64("query").ok_or("replay: range workload has no query id")? as usize;
+                let edits = w_u64("edits").ok_or("replay: range workload has no edits")? as usize;
+                let query = ds
+                    .get(id)
+                    .ok_or_else(|| format!("query id {id} out of range (N = {})", ds.len()))?
+                    .clone();
+                range_query(&ds, eps, &query, edits, 1);
+                Ok(())
+            }
+            "knn" | "explain" => {
+                let k = meta_u64("k").ok_or("replay: recording header has no meta.k")? as usize;
+                let max_triangle = meta_u64("max_triangle").unwrap_or(100) as usize;
+                let engine_name = meta_str("engine")?.to_string();
+                let engine = build_engine(&ds, eps, &engine_name, max_triangle)?;
+                if let Some(id) = w_u64("query") {
+                    let id = id as usize;
+                    let q = ds
+                        .get(id)
+                        .ok_or_else(|| format!("query id {id} out of range (N = {})", ds.len()))?;
+                    (engine.query)(q, k);
+                } else if let Some(n) = w_u64("queries") {
+                    let n = n as usize;
+                    if n == 0 || n > ds.len() {
+                        return Err(format!(
+                            "replay: recorded workload of {n} queries does not fit {data} (N = {})",
+                            ds.len()
+                        ));
+                    }
+                    let batch = w_u64("batch").map(|b| b as usize);
+                    let queries: Vec<Trajectory<2>> = (0..n)
+                        .map(|i| ds.get(i).expect("checked").clone())
+                        .collect();
+                    for chunk in queries.chunks(batch.unwrap_or(1)) {
+                        match batch {
+                            Some(_) => {
+                                (engine.batch)(chunk, k);
+                            }
+                            None => {
+                                for q in chunk {
+                                    (engine.query)(q, k);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    return Err("replay: recording header has no workload description".into());
+                }
+                Ok(())
+            }
+            other => Err(format!("replay: cannot replay command {other:?}")),
+        }
+    })();
+    // Put the tracing globals back the way the user's own flags ask for.
+    trajsim_obs::set_sink(None);
+    trajsim_obs::set_level(trajsim_obs::Level::Off);
+    telemetry.install();
+    run?;
+    capture.finish().map_err(|e| format!("replay: {e}"))?;
+    let text = String::from_utf8(buf.lock().expect("replay buffer").clone())
+        .map_err(|e| format!("replay: captured recording is not UTF-8: {e}"))?;
+    let replayed = Recording::parse(&text).map_err(|e| format!("replay: {e}"))?;
+
+    let canon = |r: &trajsim_profile::FlightRecord| {
+        let mut v: Vec<(u64, u64)> = r.neighbors.iter().map(|&(id, d)| (d, id)).collect();
+        v.sort_unstable();
+        v
+    };
+    let mut want: Vec<Vec<(u64, u64)>> = recording.records.iter().map(canon).collect();
+    let mut got: Vec<Vec<(u64, u64)>> = replayed.records.iter().map(canon).collect();
+    want.sort();
+    got.sort();
+    if want.len() != got.len() {
+        return Err(format!(
+            "replay: {} recorded queries but {} replayed",
+            want.len(),
+            got.len()
+        ));
+    }
+    if want == got {
+        println!("  neighbor sets: identical ({} queries)", got.len());
+    } else {
+        let dists = |qs: &[Vec<(u64, u64)>]| {
+            let mut d: Vec<Vec<u64>> = qs
+                .iter()
+                .map(|q| q.iter().map(|&(dist, _)| dist).collect())
+                .collect();
+            d.sort();
+            d
+        };
+        if dists(&want) != dists(&got) {
+            return Err("replay: neighbor distances differ from the recording — \
+                        the answers changed, not just their order"
+                .into());
+        }
+        let permuted = want.iter().zip(&got).filter(|(a, b)| a != b).count();
+        println!(
+            "  neighbor sets: distances identical; ids permuted among tied \
+             distances in up to {permuted} queries"
+        );
+    }
+
+    let tolerance: f64 = parsed.get_or("max-drift", 0.5f64)?;
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err("option --max-drift: must be in 0..=1".into());
+    }
+    let report = DiffReport::compare(
+        &WorkloadStats::from_recording(&recording),
+        &WorkloadStats::from_recording(&replayed),
+        tolerance,
+    );
+    print!("{}", report.render());
+    if parsed.flag("check") && report.drifted() {
+        return Err("replay: drift vs the recording exceeds --max-drift".into());
     }
     Ok(())
 }
@@ -791,6 +1181,10 @@ mod tests {
 
     #[test]
     fn knn_and_range_run_on_generated_data() {
+        // Holds the sink lock like every query-running test: a recording
+        // test in another thread must not capture this test's queries
+        // through the process-global sink.
+        let _g = sink_guard();
         let csv = tmp("knn.csv");
         run(&["generate", "walk", "--n", "30", "--seed", "3", "-o", &csv]).unwrap();
         for engine in ["scan", "qgram", "histogram", "combined"] {
@@ -804,6 +1198,7 @@ mod tests {
 
     #[test]
     fn metrics_out_emits_parsable_stage_json() {
+        let _g = sink_guard();
         let csv = tmp("metrics.csv");
         let out = tmp("metrics.json");
         run(&["generate", "walk", "--n", "25", "--seed", "9", "-o", &csv]).unwrap();
@@ -871,6 +1266,7 @@ mod tests {
 
     #[test]
     fn explain_report_matches_the_engine_stats_exactly() {
+        let _g = sink_guard();
         let csv = tmp("explain.csv");
         let json = tmp("explain.json");
         run(&["generate", "walk", "--n", "40", "--seed", "11", "-o", &csv]).unwrap();
@@ -956,6 +1352,7 @@ mod tests {
 
     #[test]
     fn explain_runs_every_engine_and_validates_its_arguments() {
+        let _g = sink_guard();
         let csv = tmp("explain-engines.csv");
         run(&["generate", "walk", "--n", "20", "--seed", "4", "-o", &csv]).unwrap();
         for engine in ["scan", "qgram", "histogram", "triangle", "combined"] {
@@ -1068,13 +1465,19 @@ mod tests {
     fn unwritable_output_paths_fail_cleanly() {
         let csv = tmp("unwritable.csv");
         run(&["generate", "walk", "--n", "10", "--seed", "1", "-o", &csv]).unwrap();
+        // Every output flag goes through the shared up-front check, so
+        // the error names the flag and arrives before the workload runs.
         let bad = tmp("no-such-dir/out.json");
         let err = run(&["knn", &csv, "--query", "0", "--profile-out", &bad]).unwrap_err();
         assert!(err.contains("--profile-out"), "unexpected error: {err}");
         let err = run(&["knn", &csv, "--query", "0", "--metrics-out", &bad]).unwrap_err();
-        assert!(err.contains("write"), "unexpected error: {err}");
+        assert!(err.contains("--metrics-out"), "unexpected error: {err}");
+        let err = run(&["knn", &csv, "--query", "0", "--record", &bad]).unwrap_err();
+        assert!(err.contains("--record"), "unexpected error: {err}");
         let err = run(&["explain", &csv, "--query", "0", "--json", &bad]).unwrap_err();
-        assert!(err.contains("write"), "unexpected error: {err}");
+        assert!(err.contains("--json"), "unexpected error: {err}");
+        let err = run(&["stats", "merge", &csv, "-o", &bad]).unwrap_err();
+        assert!(err.contains(&bad), "unexpected error: {err}");
     }
 
     #[test]
@@ -1189,5 +1592,212 @@ mod tests {
     fn generate_validates_kind_and_output() {
         assert!(run(&["generate", "martian", "-o", &tmp("x.csv")]).is_err());
         assert!(run(&["generate", "walk"]).unwrap_err().contains("--o"));
+    }
+
+    #[test]
+    fn record_flag_writes_a_parseable_recording_with_header() {
+        let _g = sink_guard();
+        let csv = tmp("record.csv");
+        let rec = tmp("record.flight.jsonl");
+        run(&["generate", "walk", "--n", "30", "--seed", "17", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "6",
+            "--k",
+            "3",
+            "--engine",
+            "combined",
+            "--record",
+            &rec,
+        ])
+        .unwrap();
+        let recording = Recording::read(&rec).unwrap();
+        assert_eq!(recording.records.len(), 6);
+        let meta = &recording.meta;
+        assert_eq!(
+            meta.get("command").and_then(serde_json::Value::as_str),
+            Some("knn")
+        );
+        assert_eq!(
+            meta.get("engine").and_then(serde_json::Value::as_str),
+            Some("combined")
+        );
+        assert_eq!(meta.get("k").and_then(serde_json::Value::as_u64), Some(3));
+        assert_eq!(
+            meta.get("data").and_then(serde_json::Value::as_str),
+            Some(csv.as_str())
+        );
+        for r in &recording.records {
+            assert_eq!(r.database_size, 30);
+            assert_eq!(r.k, 3);
+            assert_eq!(r.neighbors.len(), 3);
+            assert!(r.total_ns > 0);
+            assert!(r.batch.is_none());
+        }
+        // The recording run restored tracing for subsequent commands.
+        assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
+        // range records too, with the hit count in the k field.
+        let rec2 = tmp("record-range.flight.jsonl");
+        run(&[
+            "range", &csv, "--query", "0", "--edits", "3", "--record", &rec2,
+        ])
+        .unwrap();
+        let recording = Recording::read(&rec2).unwrap();
+        assert_eq!(recording.records.len(), 1);
+        assert_eq!(recording.records[0].engine, "range");
+        assert_eq!(
+            recording.records[0].k,
+            recording.records[0].neighbors.len() as u64
+        );
+    }
+
+    #[test]
+    fn stats_subcommands_show_merge_and_diff_recordings() {
+        let _g = sink_guard();
+        let csv = tmp("stats-flow.csv");
+        let rec_a = tmp("stats-a.flight.jsonl");
+        let rec_b = tmp("stats-b.flight.jsonl");
+        let store = tmp("stats-merged.json");
+        run(&["generate", "walk", "--n", "24", "--seed", "19", "-o", &csv]).unwrap();
+        for rec in [&rec_a, &rec_b] {
+            run(&["knn", &csv, "--queries", "5", "--k", "2", "--record", rec]).unwrap();
+        }
+        run(&["stats", "show", &rec_a]).unwrap();
+        run(&["stats", "merge", &rec_a, &rec_b, "-o", &store]).unwrap();
+        let merged = read_stats_input(&store).unwrap();
+        assert_eq!(merged.runs, 2);
+        assert_eq!(merged.queries, 10);
+        // A store is a valid input again: show it, merge it with a recording.
+        run(&["stats", "show", &store]).unwrap();
+        // Two recordings of the same workload: no significant drift, even
+        // under --check (latency gets a generous tolerance; the workload
+        // shape must match exactly).
+        run(&[
+            "stats",
+            "diff",
+            &rec_a,
+            &rec_b,
+            "--latency-tolerance",
+            "1",
+            "--check",
+        ])
+        .unwrap();
+        // Validation: missing inputs and bad tolerance fail cleanly.
+        assert!(run(&["stats", "show"]).is_err());
+        assert!(run(&["stats", "diff", &rec_a]).is_err());
+        assert!(run(&["stats", "merge", "-o", &store]).is_err());
+        assert!(run(&["stats", "diff", &rec_a, &rec_b, "--latency-tolerance", "7"]).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_neighbor_sets() {
+        let _g = sink_guard();
+        let csv = tmp("replay.csv");
+        let rec = tmp("replay.flight.jsonl");
+        run(&["generate", "walk", "--n", "64", "--seed", "23", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "64",
+            "--k",
+            "3",
+            "--engine",
+            "combined",
+            "--record",
+            &rec,
+        ])
+        .unwrap();
+        assert_eq!(Recording::read(&rec).unwrap().records.len(), 64);
+        // The replay re-runs the workload from the header and must get
+        // identical answers (hard failure otherwise).
+        run(&["replay", &rec]).unwrap();
+        // Tampering with the recorded distances makes replay fail loudly.
+        let text = std::fs::read_to_string(&rec).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let v: serde_json::Value = serde_json::from_str(&lines[1]).unwrap();
+        let old_nb = v
+            .get("neighbors")
+            .and_then(serde_json::Value::as_str)
+            .unwrap()
+            .to_string();
+        let new_nb = old_nb
+            .split_whitespace()
+            .map(|p| {
+                let (id, d) = p.split_once(':').unwrap();
+                format!("{id}:{}", d.parse::<u64>().unwrap() + 1)
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        lines[1] = lines[1].replace(&old_nb, &new_nb);
+        let bad = tmp("replay-tampered.flight.jsonl");
+        std::fs::write(&bad, lines.join("\n")).unwrap();
+        let err = run(&["replay", &bad]).unwrap_err();
+        assert!(err.contains("neighbor"), "unexpected error: {err}");
+        // A recording without a header cannot be replayed.
+        let empty = tmp("replay-headerless.flight.jsonl");
+        std::fs::write(
+            &empty,
+            "{\"format\":\"trajsim-flight-recording\",\"version\":1,\"meta\":{}}\n",
+        )
+        .unwrap();
+        assert!(run(&["replay", &empty]).unwrap_err().contains("meta"));
+    }
+
+    #[test]
+    fn replay_handles_batched_recordings() {
+        let _g = sink_guard();
+        let csv = tmp("replay-batch.csv");
+        let rec = tmp("replay-batch.flight.jsonl");
+        run(&["generate", "walk", "--n", "32", "--seed", "29", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "8",
+            "--batch",
+            "4",
+            "--k",
+            "3",
+            "--record",
+            &rec,
+        ])
+        .unwrap();
+        let recording = Recording::read(&rec).unwrap();
+        assert_eq!(recording.records.len(), 8);
+        assert!(recording.records.iter().all(|r| r.batch.is_some()));
+        run(&["replay", &rec]).unwrap();
+    }
+
+    #[test]
+    fn metrics_out_carries_latency_percentiles() {
+        let _g = sink_guard();
+        let csv = tmp("pctl.csv");
+        let out = tmp("pctl.json");
+        run(&["generate", "walk", "--n", "20", "--seed", "31", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "4",
+            "--k",
+            "2",
+            "--metrics-out",
+            &out,
+        ])
+        .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let h = doc
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("knn.query_ns"))
+            .expect("knn.query_ns histogram in the snapshot");
+        for q in ["p50", "p95", "p99"] {
+            let v = h.get(q).and_then(serde_json::Value::as_f64);
+            assert!(v.is_some_and(|v| v > 0.0), "missing or zero {q}: {h:?}");
+        }
     }
 }

@@ -172,6 +172,61 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) of the recorded values —
+    /// see [`quantile_from_buckets`] for the estimation model. Under
+    /// concurrent recording the per-bucket counts are read one relaxed
+    /// load at a time, so the estimate can lag in-flight records by a
+    /// few observations; it is never torn within a bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Estimated `q`-quantile (`0.0..=1.0`) of a fixed-bucket histogram
+/// given its upper `bounds` and per-bucket `counts` (overflow bucket
+/// last, as [`Histogram::bucket_counts`] returns them) — Prometheus
+/// `histogram_quantile` semantics:
+///
+/// - the target rank is `q × count`; the answer comes from the first
+///   bucket whose cumulative count reaches it;
+/// - within that bucket the value is linearly interpolated between the
+///   previous bound (0 for the first bucket) and the bucket's bound;
+/// - a rank landing in the overflow bucket is clamped to the last
+///   finite bound (the histogram cannot know how far above it the true
+///   values lie).
+///
+/// Returns 0 with no observations. The estimate is monotone in `q` and
+/// always within the bucket that holds the sorted-sample quantile, so
+/// its error is bounded by that bucket's width.
+///
+/// This free function is the single quantile implementation shared by
+/// the live [`Histogram`] and any consumer re-aggregating persisted
+/// bucket counts (the flight-recorder stats store), so both report
+/// identical percentiles for identical counts.
+pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let prev = cum;
+        cum += c;
+        if (cum as f64) >= target {
+            if i >= bounds.len() {
+                return bounds[bounds.len() - 1] as f64;
+            }
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] as f64 };
+            let hi = bounds[i] as f64;
+            if c == 0 {
+                return hi;
+            }
+            return lo + (hi - lo) * ((target - prev as f64) / c as f64);
+        }
+    }
+    bounds[bounds.len() - 1] as f64
 }
 
 /// A process-wide collection of named metrics. Handles are created on
@@ -234,8 +289,17 @@ impl Registry {
         )
     }
 
-    /// Drops every metric (tests; snapshots of long-lived processes
-    /// should subtract instead).
+    /// Drops every metric name from the registry (tests; snapshots of
+    /// long-lived processes should subtract instead).
+    ///
+    /// Live `Arc<Counter>` / `Arc<Gauge>` / `Arc<Histogram>` handles
+    /// obtained before the clear stay valid but become **detached**:
+    /// writes through them land on the dropped-from-the-map instance
+    /// and are invisible to every later [`Registry::snapshot_json`] —
+    /// they can never corrupt the next snapshot. A post-clear lookup of
+    /// the same name creates a *fresh* metric starting at zero, sharing
+    /// no state with the stale handle. Callers that cache handles
+    /// across a clear must re-fetch them to be counted again.
     pub fn clear(&self) {
         self.counters.write().expect("registry lock").clear();
         self.gauges.write().expect("registry lock").clear();
@@ -244,7 +308,9 @@ impl Registry {
 
     /// The registry's state as a JSON value:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
-    /// {"count", "sum", "mean", "buckets": [{"le", "count"}, ...]}}}`.
+    /// {"count", "sum", "mean", "p50", "p95", "p99",
+    /// "buckets": [{"le", "count"}, ...]}}}`. The percentile keys are
+    /// [`Histogram::quantile`] estimates (interpolated within buckets).
     pub fn snapshot_json(&self) -> serde_json::Value {
         let mut counters = serde_json::Map::new();
         for (name, c) in self.counters.read().expect("registry lock").iter() {
@@ -272,6 +338,9 @@ impl Registry {
                     "count": h.count(),
                     "sum": h.sum(),
                     "mean": h.mean(),
+                    "p50": quantile_from_buckets(h.bounds(), &counts, 0.50),
+                    "p95": quantile_from_buckets(h.bounds(), &counts, 0.95),
+                    "p99": quantile_from_buckets(h.bounds(), &counts, 0.99),
                     "buckets": buckets,
                 }),
             );
@@ -381,14 +450,108 @@ mod tests {
         assert!(text.contains("+inf"));
     }
 
+    #[test]
+    fn clear_detaches_live_handles_from_future_snapshots() {
+        // The documented `clear()` contract: stale handles keep working
+        // on their own detached instances and can never corrupt the
+        // next snapshot; fresh lookups start at zero.
+        let r = Registry::new();
+        let stale_c = r.counter("knn.queries");
+        let stale_g = r.gauge("peak");
+        let stale_h = r.histogram("lat");
+        stale_c.add(5);
+        stale_g.set(9);
+        stale_h.record(100);
+        r.clear();
+        // Writes through the stale handles after the clear...
+        stale_c.add(100);
+        stale_g.set(77);
+        stale_h.record(1);
+        // ...stay on the detached instances,
+        assert_eq!(stale_c.get(), 105);
+        assert_eq!(stale_g.get(), 77);
+        assert_eq!(stale_h.count(), 2);
+        // ...while the registry's snapshot is empty,
+        let empty = r.snapshot_json();
+        assert!(empty.get("counters").unwrap().get("knn.queries").is_none());
+        assert!(empty.get("histograms").unwrap().get("lat").is_none());
+        // ...and re-looked-up names are fresh zero-valued metrics that
+        // share no state with the stale handles.
+        let fresh_c = r.counter("knn.queries");
+        assert_eq!(fresh_c.get(), 0);
+        fresh_c.inc();
+        stale_c.add(50);
+        assert_eq!(r.counter("knn.queries").get(), 1);
+        let fresh_h = r.histogram("lat");
+        assert_eq!(fresh_h.count(), 0);
+        fresh_h.record(7);
+        let snap = r.snapshot_json();
+        let lat = snap.get("histograms").unwrap().get("lat").unwrap();
+        assert_eq!(lat.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn quantiles_match_a_sorted_sample_oracle_within_bucket_width() {
+        // Unit-width buckets make the bracket tight: the interpolated
+        // estimate and the naive sorted-sample quantile always share a
+        // bucket, so they agree to within its width (1 here).
+        let bounds: Vec<u64> = (1..=1000).collect();
+        let h = Histogram::with_bounds(bounds);
+        let mut values: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let oracle = values[rank - 1] as f64;
+            let est = h.quantile(q);
+            assert!(
+                (est - oracle).abs() <= 1.0 + 1e-9,
+                "q={q}: estimate {est} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::with_bounds(vec![10, 100]);
+        assert_eq!(h.quantile(0.5), 0.0, "no observations");
+        h.record(5);
+        // One observation in [0, 10]: the median interpolates inside it.
+        let m = h.quantile(0.5);
+        assert!(m > 0.0 && m <= 10.0, "median {m}");
+        // Overflow observations clamp to the last finite bound.
+        for _ in 0..100 {
+            h.record(5_000);
+        }
+        assert_eq!(h.quantile(0.99), 100.0);
+        // The shared free function agrees with the method exactly.
+        assert_eq!(
+            h.quantile(0.5),
+            quantile_from_buckets(h.bounds(), &h.bucket_counts(), 0.5)
+        );
+    }
+
     proptest! {
         /// Every value lands in exactly one bucket, and that bucket's
-        /// bounds bracket it.
+        /// bounds bracket it: bucket `i` holds `v <= bounds[i]`, the
+        /// overflow bucket holds `v > bounds[last]` — including the
+        /// extremes 0 and `u64::MAX`.
         #[test]
         fn bucket_index_brackets_the_value(
             raw in proptest::collection::vec(1u64..1_000_000, 1..12),
-            value in 0u64..2_000_000,
+            base in 0u64..2_000_000,
+            sel in 0u64..8,
         ) {
+            // Mix ordinary values with the extremes the contract names:
+            // 0 lands in bucket 0, `u64::MAX` in the overflow bucket.
+            let value = match sel {
+                0 => 0u64,
+                1 => u64::MAX,
+                2 => u64::MAX - 1,
+                _ => base,
+            };
             let mut bounds = raw.clone();
             bounds.sort_unstable();
             bounds.dedup();
@@ -401,6 +564,33 @@ mod tests {
             }
             if idx > 0 {
                 prop_assert!(value > bounds[idx - 1]);
+            }
+            // Recording at the extremes must neither panic nor miss.
+            h.record(value);
+            prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), 1);
+        }
+
+        /// Quantile estimates are monotone in `q` and stay inside the
+        /// recordable range, under arbitrary recorded values (including
+        /// overflow-bucket values).
+        #[test]
+        fn quantiles_are_monotone_under_random_records(
+            values in proptest::collection::vec(0u64..6_000_000_000, 1..200),
+            qs in proptest::collection::vec(0.0f64..=1.0, 2..8),
+        ) {
+            let h = Histogram::latency();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut qs = qs;
+            qs.sort_by(f64::total_cmp);
+            let est: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+            for w in est.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9, "not monotone: {est:?} at {qs:?}");
+            }
+            let last = *h.bounds().last().unwrap() as f64;
+            for &e in &est {
+                prop_assert!((0.0..=last).contains(&e), "out of range: {e}");
             }
         }
     }

@@ -97,6 +97,37 @@ impl ScratchReport {
     }
 }
 
+/// Percentile view of the per-query latency distribution, snapshotted
+/// from the global `knn.query_ns` histogram — so `explain` reports tail
+/// latency (p50/p95/p99), not just the mean the stage table implies.
+/// Estimates use the bucket-interpolation model of
+/// [`trajsim_obs::metrics::quantile_from_buckets`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyReport {
+    /// Queries recorded in the histogram (process-wide).
+    pub count: u64,
+    /// Estimated median per-query wall time, ns.
+    pub p50_ns: f64,
+    /// Estimated 95th-percentile per-query wall time, ns.
+    pub p95_ns: f64,
+    /// Estimated 99th-percentile per-query wall time, ns.
+    pub p99_ns: f64,
+}
+
+impl LatencyReport {
+    /// Reads the current `knn.query_ns` distribution from the global
+    /// registry.
+    fn snapshot() -> Self {
+        let h = trajsim_obs::metrics::global().histogram("knn.query_ns");
+        LatencyReport {
+            count: h.count(),
+            p50_ns: h.quantile(0.50),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+        }
+    }
+}
+
 /// The per-stage pruning-power breakdown of a k-NN query (or of a whole
 /// workload, when built from accumulated [`QueryStats`]). Counters are
 /// copied verbatim from the stats — the report never re-derives what the
@@ -133,6 +164,9 @@ pub struct ExplainReport {
     pub refine_range: (u64, u64),
     /// Refine-path scratch allocation behaviour (process-wide snapshot).
     pub scratch: ScratchReport,
+    /// Per-query latency percentiles (process-wide snapshot of
+    /// `knn.query_ns`).
+    pub latency: LatencyReport,
 }
 
 impl ExplainReport {
@@ -165,6 +199,7 @@ impl ExplainReport {
             total_range: t.total_range(),
             refine_range: t.refine_range(),
             scratch: ScratchReport::snapshot(),
+            latency: LatencyReport::snapshot(),
         }
     }
 
@@ -192,6 +227,12 @@ impl ExplainReport {
                 "reuses": self.scratch.reuses,
                 "allocs": self.scratch.allocs,
                 "workspace_peak_bytes": self.scratch.workspace_peak_bytes,
+            },
+            "latency": {
+                "count": self.latency.count,
+                "p50_ns": self.latency.p50_ns,
+                "p95_ns": self.latency.p95_ns,
+                "p99_ns": self.latency.p99_ns,
             },
         })
     }
@@ -244,6 +285,15 @@ impl ExplainReport {
             "  scratch: {} reuses, {} allocs, peak {} bytes per workspace\n",
             self.scratch.reuses, self.scratch.allocs, self.scratch.workspace_peak_bytes
         ));
+        if self.latency.count > 0 {
+            out.push_str(&format!(
+                "  latency (process, {} queries): p50 {}  p95 {}  p99 {}\n",
+                self.latency.count,
+                fmt_ns(self.latency.p50_ns as u64),
+                fmt_ns(self.latency.p95_ns as u64),
+                fmt_ns(self.latency.p99_ns as u64)
+            ));
+        }
         if self.queries > 1 {
             out.push_str(&format!(
                 "  per query: total {} .. {}, refine {} .. {}\n",

@@ -30,8 +30,15 @@ mod chrome;
 mod collapsed;
 mod collector;
 mod explain;
+mod recorder;
+mod workload;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use collapsed::collapsed_stacks;
 pub use collector::{ProfileCollector, ProfileRecord, TeeSink};
-pub use explain::{ExplainReport, ScratchReport, StageReport};
+pub use explain::{ExplainReport, LatencyReport, ScratchReport, StageReport};
+pub use recorder::{FlightRecord, FlightRecorder, Recording, FLIGHT_FORMAT, FLIGHT_VERSION};
+pub use workload::{
+    read_stats_input, DiffReport, DiffRow, LatencyDist, StageAgg, WorkloadStats, STATS_FORMAT,
+    STATS_VERSION,
+};

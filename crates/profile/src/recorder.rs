@@ -1,0 +1,482 @@
+//! The workload flight recorder: a [`Sink`] that persists one compact
+//! JSONL line per finished query, and the parser that reads recordings
+//! back for `trajsim stats` aggregation and `trajsim replay`.
+//!
+//! A recording is a versioned header line
+//!
+//! ```json
+//! {"format":"trajsim-flight-recording","version":1,"meta":{...}}
+//! ```
+//!
+//! followed by one flat JSON object per query — the fields of the
+//! [`trajsim_prune::FLIGHT_EVENT`] record emitted by the engines'
+//! `finish_query` epilogue (see `DESIGN.md` §12 for the field table).
+//! The recorder ignores every other trace record, so it can sit in a
+//! [`crate::TeeSink`] next to `--trace` and `--profile-out` sinks
+//! without double work.
+
+use serde_json::{json, Value};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use trajsim_obs::{FieldValue, Record, Sink};
+
+/// The `format` field of a recording's header line.
+pub const FLIGHT_FORMAT: &str = "trajsim-flight-recording";
+
+/// The recording format version this build reads and writes.
+pub const FLIGHT_VERSION: u64 = 1;
+
+struct RecorderInner {
+    out: Box<dyn Write + Send>,
+    header_written: bool,
+    records: u64,
+    error: Option<String>,
+}
+
+/// A [`Sink`] that appends one JSONL line per [`trajsim_prune::FLIGHT_EVENT`]
+/// record to a writer. Install it (usually inside a [`crate::TeeSink`])
+/// with `trajsim_obs::set_sink` at `Debug` level, run the workload, then
+/// call [`FlightRecorder::finish`] to flush and surface any deferred
+/// write error — [`Sink::emit`] cannot fail, so I/O errors are stashed
+/// and reported there.
+pub struct FlightRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder").finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder writing to a freshly created (truncated) file.
+    pub fn create(path: &str) -> io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// A recorder writing to an arbitrary writer — in-memory buffers in
+    /// tests and `trajsim replay`, `io::sink()` in the overhead bench.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            inner: Mutex::new(RecorderInner {
+                out,
+                header_written: false,
+                records: 0,
+                error: None,
+            }),
+        })
+    }
+
+    /// Writes the versioned header line carrying `meta` (resolved CLI
+    /// configuration: command, dataset, engine, k, eps, ...). Call once,
+    /// before the workload; if the first flight record arrives earlier a
+    /// minimal header with empty `meta` is written instead, so the file
+    /// always starts with a valid header.
+    pub fn write_header(&self, meta: Value) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.header_written {
+            return Ok(());
+        }
+        let header = json!({
+            "format": FLIGHT_FORMAT,
+            "version": FLIGHT_VERSION,
+            "meta": meta,
+        });
+        writeln!(
+            inner.out,
+            "{}",
+            serde_json::to_string(&header).expect("header json")
+        )?;
+        inner.header_written = true;
+        Ok(())
+    }
+
+    /// Number of flight records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").records
+    }
+
+    /// Flushes the recording (writing a default header first if no
+    /// record and no explicit header ever arrived, so the output is
+    /// always a valid — possibly empty — recording) and reports any
+    /// write error deferred from [`Sink::emit`].
+    pub fn finish(&self) -> io::Result<()> {
+        {
+            let inner = self.inner.lock().expect("recorder lock");
+            if let Some(e) = &inner.error {
+                return Err(io::Error::other(e.clone()));
+            }
+        }
+        self.write_header(json!({}))?;
+        self.inner.lock().expect("recorder lock").out.flush()
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, record: &Record<'_>) {
+        if record.name != trajsim_prune::FLIGHT_EVENT {
+            return;
+        }
+        let mut obj = serde_json::Map::new();
+        for (k, v) in record.fields {
+            let value = match v {
+                FieldValue::U64(x) => Value::from(*x),
+                FieldValue::I64(x) => Value::from(*x),
+                FieldValue::F64(x) => Value::from(*x),
+                FieldValue::Bool(x) => Value::from(*x),
+                FieldValue::Str(x) => Value::from(x.as_str()),
+            };
+            obj.insert((*k).to_string(), value);
+        }
+        let line = serde_json::to_string(&Value::Object(obj)).expect("record json");
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.error.is_some() {
+            return;
+        }
+        if !inner.header_written {
+            let header = json!({
+                "format": FLIGHT_FORMAT,
+                "version": FLIGHT_VERSION,
+                "meta": {},
+            });
+            let text = serde_json::to_string(&header).expect("header json");
+            if let Err(e) = writeln!(inner.out, "{text}") {
+                inner.error = Some(format!("writing recording header: {e}"));
+                return;
+            }
+            inner.header_written = true;
+        }
+        if let Err(e) = writeln!(inner.out, "{line}") {
+            inner.error = Some(format!("writing flight record: {e}"));
+            return;
+        }
+        inner.records += 1;
+    }
+}
+
+/// One parsed flight record — one query of a recorded workload. Field
+/// names mirror the wire format (`DESIGN.md` §12).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightRecord {
+    /// Emission sequence number (process-monotone).
+    pub seq: u64,
+    /// Engine name as reported by the engine itself.
+    pub engine: String,
+    /// Number of points in the query trajectory.
+    pub query_len: u64,
+    /// Requested result size (hit count for range queries).
+    pub k: u64,
+    /// Shared-scan batch id; `None` for per-query execution.
+    pub batch: Option<u64>,
+    /// Database size N.
+    pub database_size: u64,
+    /// True EDR computations performed.
+    pub edr_computed: u64,
+    /// Candidates whose true distance was never computed.
+    pub pruned: u64,
+    /// DP cells the EDR kernels materialized.
+    pub dp_cells: u64,
+    /// Query-side setup time, ns.
+    pub setup_ns: u64,
+    /// Histogram filter: candidates examined.
+    pub h_in: u64,
+    /// Histogram filter: candidates survived.
+    pub h_out: u64,
+    /// Histogram filter: wall time, ns.
+    pub h_ns: u64,
+    /// Candidates the histogram bound eliminated.
+    pub pruned_h: u64,
+    /// Q-gram filter: candidates examined.
+    pub q_in: u64,
+    /// Q-gram filter: candidates survived.
+    pub q_out: u64,
+    /// Q-gram filter: wall time, ns.
+    pub q_ns: u64,
+    /// Candidates the q-gram count filter eliminated.
+    pub pruned_q: u64,
+    /// Triangle filter: candidates examined.
+    pub t_in: u64,
+    /// Triangle filter: candidates survived.
+    pub t_out: u64,
+    /// Triangle filter: wall time, ns.
+    pub t_ns: u64,
+    /// Candidates the (near-)triangle bound eliminated.
+    pub pruned_t: u64,
+    /// EDR refinement time, ns.
+    pub refine_ns: u64,
+    /// End-to-end wall time, ns.
+    pub total_ns: u64,
+    /// Cumulative process-wide workspace reuse counter at emit time.
+    pub scratch_reuses: u64,
+    /// The answer set: `(id, dist)` pairs, nearest first.
+    pub neighbors: Vec<(u64, u64)>,
+}
+
+impl FlightRecord {
+    fn from_value(v: &Value, line_no: usize) -> Result<Self, String> {
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let engine = v
+            .get("engine")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: flight record without an engine field"))?
+            .to_string();
+        let mut neighbors = Vec::new();
+        if let Some(s) = v.get("neighbors").and_then(Value::as_str) {
+            for pair in s.split_whitespace() {
+                let (id, dist) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("line {line_no}: malformed neighbor pair {pair:?}"))?;
+                let id = id
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {line_no}: neighbor id {id:?}: {e}"))?;
+                let dist = dist
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {line_no}: neighbor dist {dist:?}: {e}"))?;
+                neighbors.push((id, dist));
+            }
+        }
+        Ok(FlightRecord {
+            seq: u("seq"),
+            engine,
+            query_len: u("query_len"),
+            k: u("k"),
+            batch: v.get("batch").and_then(Value::as_u64),
+            database_size: u("database_size"),
+            edr_computed: u("edr_computed"),
+            pruned: u("pruned"),
+            dp_cells: u("dp_cells"),
+            setup_ns: u("setup_ns"),
+            h_in: u("h_in"),
+            h_out: u("h_out"),
+            h_ns: u("h_ns"),
+            pruned_h: u("pruned_h"),
+            q_in: u("q_in"),
+            q_out: u("q_out"),
+            q_ns: u("q_ns"),
+            pruned_q: u("pruned_q"),
+            t_in: u("t_in"),
+            t_out: u("t_out"),
+            t_ns: u("t_ns"),
+            pruned_t: u("pruned_t"),
+            refine_ns: u("refine_ns"),
+            total_ns: u("total_ns"),
+            scratch_reuses: u("scratch_reuses"),
+            neighbors,
+        })
+    }
+}
+
+/// A parsed recording: the header's `meta` object plus every flight
+/// record, in file order (which is emission order — records carry `seq`
+/// for workloads recorded across worker threads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recording {
+    /// Format version from the header.
+    pub version: u64,
+    /// The header's `meta` object (resolved CLI configuration).
+    pub meta: Value,
+    /// The recorded queries, in file order.
+    pub records: Vec<FlightRecord>,
+}
+
+impl Recording {
+    /// Parses recording text (header line + one record per line; blank
+    /// lines are ignored).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header_line) = lines.next().ok_or("empty recording (no header line)")?;
+        let header: Value = serde_json::from_str(header_line)
+            .map_err(|e| format!("recording header is not valid JSON: {e}"))?;
+        match header.get("format").and_then(Value::as_str) {
+            Some(FLIGHT_FORMAT) => {}
+            Some(other) => return Err(format!("not a flight recording (format {other:?})")),
+            None => return Err("not a flight recording (header has no format field)".into()),
+        }
+        let version = header
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("recording header has no version field")?;
+        if version > FLIGHT_VERSION {
+            return Err(format!(
+                "recording version {version} is newer than this build understands ({FLIGHT_VERSION})"
+            ));
+        }
+        let meta = header.get("meta").cloned().unwrap_or_else(|| json!({}));
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: not valid JSON: {e}", idx + 1))?;
+            records.push(FlightRecord::from_value(&v, idx + 1)?);
+        }
+        Ok(Recording {
+            version,
+            meta,
+            records,
+        })
+    }
+
+    /// Reads and parses a recording file.
+    pub fn read(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajsim_obs::Level;
+
+    fn flight_record_fields(seq: u64, total_ns: u64) -> Vec<(&'static str, FieldValue)> {
+        vec![
+            ("engine", "seq-scan".into()),
+            ("seq", seq.into()),
+            ("query_len", 8usize.into()),
+            ("k", 3usize.into()),
+            ("database_size", 100usize.into()),
+            ("edr_computed", 40usize.into()),
+            ("pruned", 60usize.into()),
+            ("dp_cells", 1234u64.into()),
+            ("setup_ns", 10u64.into()),
+            ("h_in", 100usize.into()),
+            ("h_out", 40usize.into()),
+            ("h_ns", 50u64.into()),
+            ("pruned_h", 60usize.into()),
+            ("refine_ns", 900u64.into()),
+            ("total_ns", total_ns.into()),
+            ("scratch_reuses", 7u64.into()),
+            ("neighbors", "4:0 17:2 3:2".into()),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_format() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = FlightRecorder::to_writer(Box::new(Shared(buf.clone())));
+        rec.write_header(json!({"command": "knn", "k": 3})).unwrap();
+        for seq in 0..3u64 {
+            let fields = flight_record_fields(seq, 1_000 + seq);
+            rec.emit(&Record {
+                level: Level::Debug,
+                name: trajsim_prune::FLIGHT_EVENT,
+                elapsed_ns: None,
+                fields: &fields,
+            });
+        }
+        // Non-flight records are ignored.
+        rec.emit(&Record {
+            level: Level::Debug,
+            name: "knn.query",
+            elapsed_ns: Some(5),
+            fields: &[],
+        });
+        rec.finish().unwrap();
+        assert_eq!(rec.records_written(), 3);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = Recording::parse(&text).unwrap();
+        assert_eq!(parsed.version, FLIGHT_VERSION);
+        assert_eq!(
+            parsed.meta.get("command").and_then(Value::as_str),
+            Some("knn")
+        );
+        assert_eq!(parsed.records.len(), 3);
+        let r = &parsed.records[0];
+        assert_eq!(r.engine, "seq-scan");
+        assert_eq!(r.seq, 0);
+        assert_eq!(r.query_len, 8);
+        assert_eq!(r.k, 3);
+        assert_eq!(r.batch, None);
+        assert_eq!(r.edr_computed, 40);
+        assert_eq!(r.h_in, 100);
+        assert_eq!(r.pruned_h, 60);
+        assert_eq!(r.total_ns, 1_000);
+        assert_eq!(r.scratch_reuses, 7);
+        assert_eq!(r.neighbors, vec![(4, 0), (17, 2), (3, 2)]);
+        assert_eq!(parsed.records[2].total_ns, 1_002);
+    }
+
+    #[test]
+    fn emit_before_header_autowrites_a_minimal_header() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = FlightRecorder::to_writer(Box::new(Shared(buf.clone())));
+        let fields = flight_record_fields(0, 5);
+        rec.emit(&Record {
+            level: Level::Debug,
+            name: trajsim_prune::FLIGHT_EVENT,
+            elapsed_ns: None,
+            fields: &fields,
+        });
+        rec.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = Recording::parse(&text).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.meta, json!({}));
+    }
+
+    #[test]
+    fn finish_with_no_records_writes_a_valid_empty_recording() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = FlightRecorder::to_writer(Box::new(Shared(buf.clone())));
+        rec.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = Recording::parse(&text).unwrap();
+        assert!(parsed.records.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_future_inputs() {
+        assert!(Recording::parse("").is_err());
+        assert!(Recording::parse("{\"counters\":{}}")
+            .unwrap_err()
+            .contains("format"));
+        assert!(Recording::parse("{\"format\":\"other\",\"version\":1}")
+            .unwrap_err()
+            .contains("other"));
+        let future = format!(
+            "{{\"format\":\"{FLIGHT_FORMAT}\",\"version\":{}}}",
+            FLIGHT_VERSION + 1
+        );
+        assert!(Recording::parse(&future).unwrap_err().contains("newer"));
+        let bad_neighbor = format!(
+            "{{\"format\":\"{FLIGHT_FORMAT}\",\"version\":1,\"meta\":{{}}}}\n{{\"engine\":\"x\",\"neighbors\":\"oops\"}}"
+        );
+        assert!(Recording::parse(&bad_neighbor)
+            .unwrap_err()
+            .contains("neighbor"));
+    }
+}

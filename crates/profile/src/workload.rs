@@ -1,0 +1,755 @@
+//! The persisted workload stats store: aggregates flight recordings
+//! into per-filter selectivity and latency distributions that survive
+//! the process — the input the ROADMAP's cost-based adaptive planner
+//! consumes. Backed by the same bucket layout and quantile estimator as
+//! the live `trajsim-obs` histograms, so `trajsim stats show` and
+//! `--metrics-out` report identical percentiles for identical counts.
+
+use crate::recorder::{FlightRecord, Recording};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use trajsim_obs::metrics::quantile_from_buckets;
+use trajsim_obs::DEFAULT_LATENCY_BOUNDS_NS;
+
+/// The `format` field of a stats store file.
+pub const STATS_FORMAT: &str = "trajsim-workload-stats";
+
+/// The stats store format version this build reads and writes.
+pub const STATS_VERSION: u64 = 1;
+
+/// A mergeable latency distribution: bucket counts over the standard
+/// latency bounds plus exact min/max/sum, so merged stores report true
+/// extremes and means alongside estimated percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyDist {
+    /// Upper-inclusive bucket bounds, ns (the live histogram layout).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one extra overflow bucket at the end.
+    pub counts: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values, ns.
+    pub sum_ns: u64,
+    /// Smallest recorded value, ns (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded value, ns.
+    pub max_ns: u64,
+}
+
+impl Default for LatencyDist {
+    fn default() -> Self {
+        LatencyDist {
+            bounds: DEFAULT_LATENCY_BOUNDS_NS.to_vec(),
+            counts: vec![0; DEFAULT_LATENCY_BOUNDS_NS.len() + 1],
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyDist {
+    fn record(&mut self, ns: u64) {
+        // Same bracket as `Histogram::bucket_index`: bucket i counts
+        // v <= bounds[i]; the trailing bucket is the overflow.
+        let idx = self.bounds.partition_point(|&b| b < ns);
+        self.counts[idx] += 1;
+        self.sum_ns += ns;
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &LatencyDist) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err("latency bucket layouts differ between inputs".into());
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        if other.count > 0 {
+            self.min_ns = if self.count == 0 {
+                other.min_ns
+            } else {
+                self.min_ns.min(other.min_ns)
+            };
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        Ok(())
+    }
+
+    /// Estimated `q`-quantile, ns — the shared estimator of
+    /// [`trajsim_obs::metrics::quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bounds, &self.counts, q)
+    }
+
+    /// Mean recorded value, ns (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "bounds": self.bounds.clone(),
+            "counts": self.counts.clone(),
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        })
+    }
+
+    fn from_json(v: &Value, what: &str) -> Result<Self, String> {
+        let vec_u64 = |key: &str| -> Result<Vec<u64>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{what}: missing {key} array"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| format!("{what}: non-integer in {key}"))
+                })
+                .collect()
+        };
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let bounds = vec_u64("bounds")?;
+        let counts = vec_u64("counts")?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!("{what}: counts/bounds length mismatch"));
+        }
+        Ok(LatencyDist {
+            bounds,
+            counts,
+            count: u("count"),
+            sum_ns: u("sum_ns"),
+            min_ns: u("min_ns"),
+            max_ns: u("max_ns"),
+        })
+    }
+}
+
+/// Aggregated candidate flow through one pruning filter, summed over
+/// every recorded query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageAgg {
+    /// Candidates examined.
+    pub candidates_in: u64,
+    /// Candidates that survived.
+    pub candidates_out: u64,
+    /// Candidates this filter eliminated (prune credit).
+    pub pruned: u64,
+    /// Wall time inside the filter, ns.
+    pub filter_ns: u64,
+}
+
+impl StageAgg {
+    /// Fraction of examined candidates that survived (`out / in`);
+    /// 0 when the filter examined nothing.
+    pub fn selectivity(&self) -> f64 {
+        if self.candidates_in == 0 {
+            0.0
+        } else {
+            self.candidates_out as f64 / self.candidates_in as f64
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.candidates_in > 0 || self.pruned > 0 || self.filter_ns > 0
+    }
+
+    fn to_json(self) -> Value {
+        json!({
+            "candidates_in": self.candidates_in,
+            "candidates_out": self.candidates_out,
+            "pruned": self.pruned,
+            "filter_ns": self.filter_ns,
+            "selectivity": self.selectivity(),
+        })
+    }
+
+    fn from_json(v: &Value) -> Self {
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        StageAgg {
+            candidates_in: u("candidates_in"),
+            candidates_out: u("candidates_out"),
+            pruned: u("pruned"),
+            filter_ns: u("filter_ns"),
+        }
+    }
+}
+
+/// The on-disk cross-run stats store: everything `trajsim stats
+/// merge/show/diff` persists about one or more recorded workloads.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadStats {
+    /// Recordings merged into this store.
+    pub runs: u64,
+    /// Queries aggregated.
+    pub queries: u64,
+    /// Queries answered by a shared-scan batch traversal.
+    pub batched_queries: u64,
+    /// Query count per engine name.
+    pub engines: BTreeMap<String, u64>,
+    /// Database size summed over queries.
+    pub database_size: u64,
+    /// True EDR computations performed.
+    pub edr_computed: u64,
+    /// Candidates whose true distance was never computed.
+    pub pruned: u64,
+    /// DP cells materialized.
+    pub dp_cells: u64,
+    /// Per-filter candidate flow: `histogram`, `qgram`, `triangle`.
+    pub stages: BTreeMap<String, StageAgg>,
+    /// Distribution of per-query end-to-end wall time.
+    pub total_latency: LatencyDist,
+    /// Distribution of per-query refine time.
+    pub refine_latency: LatencyDist,
+}
+
+impl WorkloadStats {
+    /// Aggregates one recording into a fresh store.
+    pub fn from_recording(rec: &Recording) -> Self {
+        let mut w = WorkloadStats {
+            runs: 1,
+            ..Default::default()
+        };
+        for r in &rec.records {
+            w.add_record(r);
+        }
+        w
+    }
+
+    fn add_record(&mut self, r: &FlightRecord) {
+        self.queries += 1;
+        if r.batch.is_some() {
+            self.batched_queries += 1;
+        }
+        *self.engines.entry(r.engine.clone()).or_insert(0) += 1;
+        self.database_size += r.database_size;
+        self.edr_computed += r.edr_computed;
+        self.pruned += r.pruned;
+        self.dp_cells += r.dp_cells;
+        for (name, cin, cout, ns, pruned) in [
+            ("histogram", r.h_in, r.h_out, r.h_ns, r.pruned_h),
+            ("qgram", r.q_in, r.q_out, r.q_ns, r.pruned_q),
+            ("triangle", r.t_in, r.t_out, r.t_ns, r.pruned_t),
+        ] {
+            let s = self.stages.entry(name.to_string()).or_default();
+            s.candidates_in += cin;
+            s.candidates_out += cout;
+            s.filter_ns += ns;
+            s.pruned += pruned;
+        }
+        self.total_latency.record(r.total_ns);
+        self.refine_latency.record(r.refine_ns);
+    }
+
+    /// Merges another store into this one (the `stats merge` operation).
+    pub fn merge(&mut self, other: &WorkloadStats) -> Result<(), String> {
+        self.runs += other.runs;
+        self.queries += other.queries;
+        self.batched_queries += other.batched_queries;
+        for (engine, n) in &other.engines {
+            *self.engines.entry(engine.clone()).or_insert(0) += n;
+        }
+        self.database_size += other.database_size;
+        self.edr_computed += other.edr_computed;
+        self.pruned += other.pruned;
+        self.dp_cells += other.dp_cells;
+        for (name, s) in &other.stages {
+            let mine = self.stages.entry(name.clone()).or_default();
+            mine.candidates_in += s.candidates_in;
+            mine.candidates_out += s.candidates_out;
+            mine.pruned += s.pruned;
+            mine.filter_ns += s.filter_ns;
+        }
+        self.total_latency.merge(&other.total_latency)?;
+        self.refine_latency.merge(&other.refine_latency)?;
+        Ok(())
+    }
+
+    /// The paper's pruning power over the whole aggregated workload.
+    pub fn pruning_power(&self) -> f64 {
+        if self.database_size == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.database_size as f64
+        }
+    }
+
+    /// The store as a versioned JSON document (the on-disk format).
+    pub fn to_json(&self) -> Value {
+        let mut engines = serde_json::Map::new();
+        for (k, v) in &self.engines {
+            engines.insert(k.clone(), Value::from(*v));
+        }
+        let mut stages = serde_json::Map::new();
+        for (k, v) in &self.stages {
+            stages.insert(k.clone(), v.to_json());
+        }
+        json!({
+            "format": STATS_FORMAT,
+            "version": STATS_VERSION,
+            "runs": self.runs,
+            "queries": self.queries,
+            "batched_queries": self.batched_queries,
+            "engines": Value::Object(engines),
+            "database_size": self.database_size,
+            "edr_computed": self.edr_computed,
+            "pruned": self.pruned,
+            "pruning_power": self.pruning_power(),
+            "dp_cells": self.dp_cells,
+            "stages": Value::Object(stages),
+            "total_latency": self.total_latency.to_json(),
+            "refine_latency": self.refine_latency.to_json(),
+        })
+    }
+
+    /// Parses a store document written by [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        match v.get("format").and_then(Value::as_str) {
+            Some(STATS_FORMAT) => {}
+            Some(other) => return Err(format!("not a workload stats store (format {other:?})")),
+            None => return Err("not a workload stats store (no format field)".into()),
+        }
+        let version = v
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("stats store has no version field")?;
+        if version > STATS_VERSION {
+            return Err(format!(
+                "stats store version {version} is newer than this build understands ({STATS_VERSION})"
+            ));
+        }
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let mut engines = BTreeMap::new();
+        if let Some(obj) = v.get("engines").and_then(Value::as_object) {
+            for (k, n) in obj.iter() {
+                engines.insert(k.clone(), n.as_u64().unwrap_or(0));
+            }
+        }
+        let mut stages = BTreeMap::new();
+        if let Some(obj) = v.get("stages").and_then(Value::as_object) {
+            for (k, s) in obj.iter() {
+                stages.insert(k.clone(), StageAgg::from_json(s));
+            }
+        }
+        Ok(WorkloadStats {
+            runs: u("runs"),
+            queries: u("queries"),
+            batched_queries: u("batched_queries"),
+            engines,
+            database_size: u("database_size"),
+            edr_computed: u("edr_computed"),
+            pruned: u("pruned"),
+            dp_cells: u("dp_cells"),
+            stages,
+            total_latency: LatencyDist::from_json(
+                v.get("total_latency").ok_or("missing total_latency")?,
+                "total_latency",
+            )?,
+            refine_latency: LatencyDist::from_json(
+                v.get("refine_latency").ok_or("missing refine_latency")?,
+                "refine_latency",
+            )?,
+        })
+    }
+
+    /// Renders the human-readable `stats show` table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workload stats  runs={}  queries={} ({} batched)\n",
+            self.runs, self.queries, self.batched_queries
+        ));
+        for (engine, n) in &self.engines {
+            out.push_str(&format!("  engine {engine}: {n} queries\n"));
+        }
+        out.push_str(&format!(
+            "  pruning power: {:.4}  ({} of {} EDR calls saved, {} DP cells)\n",
+            self.pruning_power(),
+            self.pruned,
+            self.database_size,
+            self.dp_cells
+        ));
+        let active: Vec<(&String, &StageAgg)> =
+            self.stages.iter().filter(|(_, s)| s.active()).collect();
+        if !active.is_empty() {
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>12} {:>12} {:>12}\n",
+                "stage", "cand_in", "cand_out", "pruned", "selectivity"
+            ));
+            for (name, s) in active {
+                out.push_str(&format!(
+                    "  {:<10} {:>12} {:>12} {:>12} {:>11.1}%\n",
+                    name,
+                    s.candidates_in,
+                    s.candidates_out,
+                    s.pruned,
+                    s.selectivity() * 100.0
+                ));
+            }
+        }
+        for (label, d) in [
+            ("query", &self.total_latency),
+            ("refine", &self.refine_latency),
+        ] {
+            out.push_str(&format!(
+                "  {label} latency: mean {:.0}ns  p50 {:.0}ns  p95 {:.0}ns  p99 {:.0}ns  (min {}ns, max {}ns)\n",
+                d.mean(),
+                d.quantile(0.50),
+                d.quantile(0.95),
+                d.quantile(0.99),
+                d.min_ns,
+                d.max_ns
+            ));
+        }
+        out
+    }
+}
+
+/// One compared quantity in a [`DiffReport`] row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// What was compared (`pruning power`, `histogram selectivity`,
+    /// `query p95`, ...).
+    pub metric: String,
+    /// The value in the first input.
+    pub a: f64,
+    /// The value in the second input.
+    pub b: f64,
+    /// Whether the difference exceeds the tolerance for this quantity.
+    pub drifted: bool,
+}
+
+/// The `stats diff` verdict: per-metric comparison rows plus an overall
+/// drift flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Every compared quantity.
+    pub rows: Vec<DiffRow>,
+    /// Latency tolerance used (relative factor on percentiles).
+    pub latency_tolerance: f64,
+}
+
+impl DiffReport {
+    /// Compares two stores. Workload-shape quantities (query counts,
+    /// candidate flow, selectivity, pruning power) must match almost
+    /// exactly — two recordings of the same workload prune identically.
+    /// Latency percentiles are compared with the relative
+    /// `latency_tolerance` (e.g. `0.5` allows ±50%), since wall time is
+    /// machine- and run-dependent.
+    pub fn compare(a: &WorkloadStats, b: &WorkloadStats, latency_tolerance: f64) -> Self {
+        let mut rows = Vec::new();
+        let mut exact = |metric: &str, x: f64, y: f64| {
+            rows.push(DiffRow {
+                metric: metric.to_string(),
+                a: x,
+                b: y,
+                drifted: (x - y).abs() > 1e-9 * x.abs().max(y.abs()).max(1.0),
+            });
+        };
+        exact("queries", a.queries as f64, b.queries as f64);
+        exact("edr_computed", a.edr_computed as f64, b.edr_computed as f64);
+        exact("pruned", a.pruned as f64, b.pruned as f64);
+        exact("pruning power", a.pruning_power(), b.pruning_power());
+        let names: std::collections::BTreeSet<&String> =
+            a.stages.keys().chain(b.stages.keys()).collect();
+        for name in names {
+            let sa = a.stages.get(name).copied().unwrap_or_default();
+            let sb = b.stages.get(name).copied().unwrap_or_default();
+            if !sa.active() && !sb.active() {
+                continue;
+            }
+            exact(
+                &format!("{name} cand_in"),
+                sa.candidates_in as f64,
+                sb.candidates_in as f64,
+            );
+            exact(
+                &format!("{name} selectivity"),
+                sa.selectivity(),
+                sb.selectivity(),
+            );
+        }
+        for (label, da, db) in [
+            ("query", &a.total_latency, &b.total_latency),
+            ("refine", &a.refine_latency, &b.refine_latency),
+        ] {
+            for q in [0.50, 0.95, 0.99] {
+                let (x, y) = (da.quantile(q), db.quantile(q));
+                let rel = if x.max(y) == 0.0 {
+                    0.0
+                } else {
+                    (x - y).abs() / x.max(y)
+                };
+                rows.push(DiffRow {
+                    metric: format!("{label} p{:.0}", q * 100.0),
+                    a: x,
+                    b: y,
+                    drifted: rel > latency_tolerance,
+                });
+            }
+        }
+        DiffReport {
+            rows,
+            latency_tolerance,
+        }
+    }
+
+    /// Whether any compared quantity exceeded its tolerance.
+    pub fn drifted(&self) -> bool {
+        self.rows.iter().any(|r| r.drifted)
+    }
+
+    /// Renders the human-readable diff table with a final verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>14}  status\n",
+            "metric", "a", "b"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>14.2} {:>14.2}  {}\n",
+                r.metric,
+                r.a,
+                r.b,
+                if r.drifted { "DRIFT" } else { "ok" }
+            ));
+        }
+        if self.drifted() {
+            out.push_str("verdict: SIGNIFICANT DRIFT\n");
+        } else {
+            out.push_str(&format!(
+                "verdict: no significant drift (latency tolerance ±{:.0}%)\n",
+                self.latency_tolerance * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Reads a `stats` input file, accepting either a flight recording
+/// (aggregated on the fly) or an existing stats store — dispatched on
+/// the header's `format` field, so `stats merge` can mix both.
+pub fn read_stats_input(path: &str) -> Result<WorkloadStats, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!("{path}: empty file"));
+    }
+    // A stats store is one (possibly pretty-printed) JSON document; a
+    // recording is JSONL whose *first line* is the header. Try the
+    // whole text first, then fall back to line-oriented parsing.
+    let header: Value = match serde_json::from_str(text.trim()) {
+        Ok(doc) => doc,
+        Err(_) => {
+            let first = text
+                .lines()
+                .find(|l| !l.trim().is_empty())
+                .expect("non-empty");
+            serde_json::from_str(first).map_err(|e| format!("{path}: not valid JSON: {e}"))?
+        }
+    };
+    match header.get("format").and_then(Value::as_str) {
+        Some(crate::recorder::FLIGHT_FORMAT) => {
+            let rec = Recording::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(WorkloadStats::from_recording(&rec))
+        }
+        Some(STATS_FORMAT) => WorkloadStats::from_json(&header).map_err(|e| format!("{path}: {e}")),
+        Some(other) => Err(format!("{path}: unknown format {other:?}")),
+        None => Err(format!(
+            "{path}: no format field (expected a flight recording or stats store)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(seq: u64, total_ns: u64) -> FlightRecord {
+        FlightRecord {
+            seq,
+            engine: "1HPN".into(),
+            query_len: 16,
+            k: 4,
+            batch: if seq.is_multiple_of(2) { Some(1) } else { None },
+            database_size: 100,
+            edr_computed: 20,
+            pruned: 80,
+            dp_cells: 5_000,
+            setup_ns: 50,
+            h_in: 100,
+            h_out: 40,
+            h_ns: 400,
+            pruned_h: 60,
+            q_in: 40,
+            q_out: 25,
+            q_ns: 200,
+            pruned_q: 15,
+            t_in: 25,
+            t_out: 20,
+            t_ns: 100,
+            pruned_t: 5,
+            refine_ns: total_ns / 2,
+            total_ns,
+            scratch_reuses: seq,
+            neighbors: vec![(1, 0), (2, 3)],
+        }
+    }
+
+    fn sample_recording(n: u64, base_ns: u64) -> Recording {
+        Recording {
+            version: 1,
+            meta: json!({}),
+            records: (0..n)
+                .map(|i| sample_record(i, base_ns + i * 100))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_flow_and_brackets_latency() {
+        let w = WorkloadStats::from_recording(&sample_recording(10, 10_000));
+        assert_eq!(w.queries, 10);
+        assert_eq!(w.batched_queries, 5);
+        assert_eq!(w.engines.get("1HPN"), Some(&10));
+        assert_eq!(w.database_size, 1_000);
+        assert_eq!(w.edr_computed, 200);
+        assert_eq!(w.pruned, 800);
+        assert!((w.pruning_power() - 0.8).abs() < 1e-12);
+        let h = &w.stages["histogram"];
+        assert_eq!(h.candidates_in, 1_000);
+        assert_eq!(h.candidates_out, 400);
+        assert_eq!(h.pruned, 600);
+        assert!((h.selectivity() - 0.4).abs() < 1e-12);
+        assert_eq!(w.total_latency.count, 10);
+        assert_eq!(w.total_latency.min_ns, 10_000);
+        assert_eq!(w.total_latency.max_ns, 10_900);
+        // All ten totals land in the same power-of-4 bucket, so every
+        // percentile estimate is inside it.
+        let p95 = w.total_latency.quantile(0.95);
+        assert!((4_096.0..=16_384.0).contains(&p95), "p95={p95}");
+    }
+
+    #[test]
+    fn store_round_trips_through_json() {
+        let w = WorkloadStats::from_recording(&sample_recording(7, 3_000));
+        let doc = w.to_json();
+        assert_eq!(
+            doc.get("format").and_then(Value::as_str),
+            Some(STATS_FORMAT)
+        );
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let back = WorkloadStats::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn merge_equals_aggregating_the_concatenation() {
+        let a = sample_recording(4, 2_000);
+        let b = sample_recording(6, 9_000);
+        let mut merged = WorkloadStats::from_recording(&a);
+        merged.merge(&WorkloadStats::from_recording(&b)).unwrap();
+        let mut concat = a.clone();
+        concat.records.extend(b.records.clone());
+        let direct = WorkloadStats::from_recording(&concat);
+        assert_eq!(merged.queries, direct.queries);
+        assert_eq!(merged.stages, direct.stages);
+        assert_eq!(merged.total_latency, direct.total_latency);
+        assert_eq!(merged.runs, 2);
+        // Identical counts ⇒ identical percentile estimates (the shared
+        // estimator sees the same buckets).
+        assert_eq!(
+            merged.total_latency.quantile(0.95),
+            direct.total_latency.quantile(0.95)
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_workloads_reports_no_drift() {
+        // Same workload, different absolute timings within tolerance.
+        let a = WorkloadStats::from_recording(&sample_recording(8, 10_000));
+        let b = WorkloadStats::from_recording(&sample_recording(8, 11_000));
+        let d = DiffReport::compare(&a, &b, 0.5);
+        assert!(!d.drifted(), "{}", d.render());
+        assert!(d.render().contains("no significant drift"));
+    }
+
+    #[test]
+    fn diff_flags_selectivity_and_latency_drift() {
+        let a = WorkloadStats::from_recording(&sample_recording(8, 10_000));
+        let mut shifted = sample_recording(8, 10_000);
+        for r in &mut shifted.records {
+            r.h_out += 20; // selectivity changes
+            r.total_ns *= 40; // latency blows past any bucket tolerance
+        }
+        let b = WorkloadStats::from_recording(&shifted);
+        let d = DiffReport::compare(&a, &b, 0.5);
+        assert!(d.drifted());
+        let r = d.render();
+        assert!(r.contains("SIGNIFICANT DRIFT"));
+        assert!(
+            d.rows
+                .iter()
+                .any(|row| row.metric.contains("selectivity") && row.drifted),
+            "{r}"
+        );
+        assert!(
+            d.rows
+                .iter()
+                .any(|row| row.metric.starts_with("query p") && row.drifted),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn read_stats_input_accepts_both_formats() {
+        let dir = std::env::temp_dir().join(format!("trajsim-wl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec_path = dir.join("run.flight.jsonl");
+        let mut text = format!(
+            "{{\"format\":\"{}\",\"version\":1,\"meta\":{{}}}}\n",
+            crate::recorder::FLIGHT_FORMAT
+        );
+        text.push_str(
+            "{\"engine\":\"scan\",\"seq\":0,\"query_len\":4,\"k\":2,\"database_size\":10,\
+             \"edr_computed\":10,\"pruned\":0,\"total_ns\":500,\"refine_ns\":400,\
+             \"neighbors\":\"1:0 2:1\"}\n",
+        );
+        std::fs::write(&rec_path, text).unwrap();
+        let from_rec = read_stats_input(rec_path.to_str().unwrap()).unwrap();
+        assert_eq!(from_rec.queries, 1);
+        let store_path = dir.join("store.json");
+        std::fs::write(
+            &store_path,
+            serde_json::to_string_pretty(&from_rec.to_json()).unwrap(),
+        )
+        .unwrap();
+        let from_store = read_stats_input(store_path.to_str().unwrap()).unwrap();
+        assert_eq!(from_store, from_rec);
+        assert!(read_stats_input("/nonexistent/x.json").is_err());
+        let foreign = dir.join("foreign.json");
+        std::fs::write(&foreign, "{\"format\":\"nope\"}").unwrap();
+        assert!(read_stats_input(foreign.to_str().unwrap())
+            .unwrap_err()
+            .contains("unknown format"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,6 +38,15 @@ pub const BATCH_SHARED_SIGNATURE_EVALS: &str = "batch.shared_signature_evals";
 /// Counter: batched k-NN calls that took a shared-scan path.
 pub const BATCH_RUNS: &str = "batch.runs";
 
+/// Hands out process-unique batch ids, stamped on every flight record of
+/// a shared-scan batch so recordings can group the queries one traversal
+/// answered together. Starts at 1 — 0 never appears, so a recording's
+/// `batch` field is always meaningful when present.
+pub(crate) fn next_batch_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// `idx`'s amortized share of a batch-level total split over `parts`
 /// queries: `total / parts`, with the remainder spread one unit at a time
 /// over the first queries so the shares sum back to `total` exactly.

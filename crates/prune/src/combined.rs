@@ -1,6 +1,6 @@
 //! Combining the three pruning methods (§4.4, Figures 11–13).
 
-use crate::batch::{amortize, finish_batch, merge_partials};
+use crate::batch::{amortize, finish_batch, merge_partials, next_batch_id};
 use crate::histogram_knn::HistogramVariant;
 use crate::result::{
     elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
@@ -673,6 +673,7 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
         // `crate::batch`).
         let wall_ns = elapsed_ns(t_batch);
         let name = self.name();
+        let batch_id = next_batch_id();
         let results: Vec<KnnResult> = (0..nq)
             .map(|qi| {
                 let seed = &seeds[qi];
@@ -699,15 +700,20 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
                     stats.timings.refine_ns += c.refine_ns;
                 }
                 stats.timings.total_ns = amortize(wall_ns, nq, qi);
-                finish_query(&name, &stats);
-                KnnResult {
-                    neighbors: merge_partials(
-                        k,
-                        std::iter::once(seed.neighbors.clone())
-                            .chain(chunks.iter().map(|ch| ch.partials[qi].clone())),
-                    ),
-                    stats,
-                }
+                let neighbors = merge_partials(
+                    k,
+                    std::iter::once(seed.neighbors.clone())
+                        .chain(chunks.iter().map(|ch| ch.partials[qi].clone())),
+                );
+                finish_query(
+                    &name,
+                    queries[qi].len(),
+                    k,
+                    Some(batch_id),
+                    &neighbors,
+                    &stats,
+                );
+                KnnResult { neighbors, stats }
             })
             .collect();
         // Both shared passes (quick table + chunk scan) touch each
@@ -835,11 +841,9 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
             }
         });
         stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query(&self.name(), &stats);
-        KnnResult {
-            neighbors: result.into_neighbors(),
-            stats,
-        }
+        let neighbors = result.into_neighbors();
+        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
+        KnnResult { neighbors, stats }
     }
 
     fn name(&self) -> String {

@@ -155,7 +155,9 @@ impl<'a, const D: usize> LcssKnn<'a, D> {
         stats.timings.histogram.candidates_in = stats.database_size;
         stats.timings.histogram.candidates_out = stats.database_size - stats.pruned_by_histogram;
         stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query("LCSS-HSR", &stats);
+        // LCSS neighbors are score-shaped, not `Neighbor`-shaped; the
+        // flight record carries an empty answer set for this engine.
+        finish_query("LCSS-HSR", query.len(), k, None, &[], &stats);
         LcssKnnResult { neighbors, stats }
     }
 }

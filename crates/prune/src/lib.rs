@@ -56,5 +56,7 @@ pub use lcss_knn::{
 pub use near_triangle::NearTriangleKnn;
 pub use qgram_knn::{QgramKnn, QgramVariant};
 pub use range::range_query;
-pub use result::{KnnEngine, KnnResult, Neighbor, QueryStats, StageStats, StageTimings};
+pub use result::{
+    KnnEngine, KnnResult, Neighbor, QueryStats, StageStats, StageTimings, FLIGHT_EVENT,
+};
 pub use seqscan::SequentialScan;

@@ -141,11 +141,9 @@ impl<const D: usize> KnnEngine<D> for NearTriangleKnn<'_, D> {
         stats.timings.triangle.candidates_in = stats.database_size;
         stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
         stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query(&self.name(), &stats);
-        KnnResult {
-            neighbors: result.into_neighbors(),
-            stats,
-        }
+        let neighbors = result.into_neighbors();
+        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
+        KnnResult { neighbors, stats }
     }
 
     fn name(&self) -> String {

@@ -4,7 +4,8 @@
 //! because "in most cases, users may not know the range a priori"; the
 //! range form is still useful (and simpler), so it is provided here.
 
-use crate::result::Neighbor;
+use crate::result::{elapsed_ns, finish_query, Neighbor, QueryStats};
+use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{with_workspace, QueryContext};
 use trajsim_histogram::{histogram_distance, TrajectoryHistogram};
@@ -16,6 +17,11 @@ use trajsim_qgram::{passes_count_filter, SortedMeans};
 /// Candidates are filtered by the Theorem 1 q-gram count bound and the
 /// Theorem 6 histogram bound, then confirmed with an early-abandoning DP —
 /// no false dismissals, as both filters are lower bounds.
+///
+/// Reports through the same `finish_query` chokepoint as the k-NN
+/// engines (metrics, trace spans, flight record); the flight record's
+/// `k` field carries the hit count, since a range query has no fixed
+/// result size.
 pub fn range_query<const D: usize>(
     dataset: &Dataset<D>,
     eps: MatchThreshold,
@@ -24,30 +30,55 @@ pub fn range_query<const D: usize>(
     q: usize,
 ) -> Vec<Neighbor> {
     assert!(q > 0, "q-gram size must be positive");
+    let t_query = Instant::now();
     let q_means = SortedMeans::build(query, q);
     let use_histogram = eps.value() > 0.0;
     let qh = use_histogram.then(|| TrajectoryHistogram::build(query, eps));
     let ctx = QueryContext::from_trajectory(query, eps);
+    let mut stats = QueryStats {
+        database_size: dataset.len(),
+        ..Default::default()
+    };
+    stats.timings.setup_ns = elapsed_ns(t_query);
     let mut hits = Vec::new();
     with_workspace(|ws| {
         for (id, s) in dataset.iter() {
             // Theorem 1 count filter at the fixed range k.
+            stats.timings.qgram.candidates_in += 1;
+            let t_stage = Instant::now();
             let v = q_means.match_count(&SortedMeans::build(s, q), eps);
-            if !passes_count_filter(v, query.len(), s.len(), q, k_edits) {
+            let pruned = !passes_count_filter(v, query.len(), s.len(), q, k_edits);
+            stats.timings.qgram.filter_ns += elapsed_ns(t_stage);
+            if pruned {
+                stats.pruned_by_qgram += 1;
                 continue;
             }
+            stats.timings.qgram.candidates_out += 1;
             // Theorem 6 histogram filter.
             if let Some(qh) = &qh {
-                if histogram_distance(qh, &TrajectoryHistogram::build(s, eps)) > k_edits {
+                stats.timings.histogram.candidates_in += 1;
+                let t_stage = Instant::now();
+                let pruned = histogram_distance(qh, &TrajectoryHistogram::build(s, eps)) > k_edits;
+                stats.timings.histogram.filter_ns += elapsed_ns(t_stage);
+                if pruned {
+                    stats.pruned_by_histogram += 1;
                     continue;
                 }
+                stats.timings.histogram.candidates_out += 1;
             }
-            if let Some(d) = ctx.edr_within(s, k_edits, ws) {
+            stats.edr_computed += 1;
+            let t_refine = Instant::now();
+            let (d, cells) = ctx.edr_within_counted(s, k_edits, ws);
+            stats.timings.refine_ns += elapsed_ns(t_refine);
+            stats.dp_cells += cells;
+            if let Some(d) = d {
                 hits.push(Neighbor { id, dist: d });
             }
         }
     });
     hits.sort_by(|a, b| a.dist.cmp(&b.dist).then(a.id.cmp(&b.id)));
+    stats.timings.total_ns = elapsed_ns(t_query);
+    finish_query("range", query.len(), hits.len(), None, &hits, &stats);
     hits
 }
 

@@ -248,17 +248,45 @@ impl QueryStats {
     }
 }
 
+/// Trace-record name of the flight-recorder event emitted by
+/// [`finish_query`] — one flat, non-span record per finished query,
+/// carrying the full per-stage candidate flow and timing breakdown. The
+/// `trajsim-profile` flight recorder filters on this name; chrome-trace
+/// renders it as an instant event (it has no `elapsed_ns`), so it never
+/// double-counts against the `knn.query` span.
+pub const FLIGHT_EVENT: &str = "knn.flight";
+
+/// Monotone per-process sequence number stamped on every flight record so
+/// recordings preserve emission order even when engines run queries on
+/// worker threads.
+static FLIGHT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// One-stop query epilogue every engine calls right before returning:
 /// bumps the global metrics registry and emits the `knn.query` /
-/// `knn.stage.*` debug records. Metrics are relaxed atomics; with tracing
+/// `knn.stage.*` debug records plus the flat [`FLIGHT_EVENT`] record the
+/// flight recorder persists. Metrics are relaxed atomics; with tracing
 /// off the whole trace block costs one atomic load.
+///
+/// `query_len`, `k`, `batch_id`, and `neighbors` exist only for the
+/// flight record: `batch_id` ties queries answered by one shared-work
+/// batch traversal together (`None` for per-query paths), and
+/// `neighbors` is serialized as a compact `"id:dist id:dist"` string so
+/// `trajsim replay` can verify answer sets. Engines whose result type is
+/// not [`Neighbor`]-shaped (LCSS) pass an empty slice.
 ///
 /// The stage records are span-shaped (they carry `elapsed_ns` from the
 /// engine's own stage stopwatches) so profile exporters can render the
 /// per-stage breakdown. They are emitted at query end, which makes their
 /// reconstructed start times end-aligned approximations — fine for
 /// selectivity/duration analysis, documented in `DESIGN.md` §9.
-pub(crate) fn finish_query(engine: &str, stats: &QueryStats) {
+pub(crate) fn finish_query(
+    engine: &str,
+    query_len: usize,
+    k: usize,
+    batch_id: Option<u64>,
+    neighbors: &[Neighbor],
+    stats: &QueryStats,
+) {
     let m = trajsim_obs::metrics::global();
     m.counter("knn.queries").inc();
     m.counter("knn.edr_computed").add(stats.edr_computed as u64);
@@ -320,6 +348,52 @@ pub(crate) fn finish_query(engine: &str, stats: &QueryStats) {
                 ("refine_ns", t.refine_ns.into()),
             ],
         );
+        // The flight record: everything the recorder persists, flat, in
+        // one event. Emitted as a non-span record (no elapsed_ns) so the
+        // chrome-trace exporter draws it as an instant marker and the
+        // collapsed-stack exporter attributes no time to it.
+        let seq = FLIGHT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut answer = String::with_capacity(neighbors.len() * 8);
+        for n in neighbors {
+            if !answer.is_empty() {
+                answer.push(' ');
+            }
+            answer.push_str(&format!("{}:{}", n.id, n.dist));
+        }
+        let mut fields: Vec<(&'static str, trajsim_obs::FieldValue)> = vec![
+            ("engine", engine.into()),
+            ("seq", seq.into()),
+            ("query_len", query_len.into()),
+            ("k", k.into()),
+            ("database_size", stats.database_size.into()),
+            ("edr_computed", stats.edr_computed.into()),
+            ("pruned", stats.pruned().into()),
+            ("dp_cells", stats.dp_cells.into()),
+            ("setup_ns", t.setup_ns.into()),
+            ("h_in", t.histogram.candidates_in.into()),
+            ("h_out", t.histogram.candidates_out.into()),
+            ("h_ns", t.histogram.filter_ns.into()),
+            ("pruned_h", stats.pruned_by_histogram.into()),
+            ("q_in", t.qgram.candidates_in.into()),
+            ("q_out", t.qgram.candidates_out.into()),
+            ("q_ns", t.qgram.filter_ns.into()),
+            ("pruned_q", stats.pruned_by_qgram.into()),
+            ("t_in", t.triangle.candidates_in.into()),
+            ("t_out", t.triangle.candidates_out.into()),
+            ("t_ns", t.triangle.filter_ns.into()),
+            ("pruned_t", stats.pruned_by_triangle.into()),
+            ("refine_ns", t.refine_ns.into()),
+            ("total_ns", t.total_ns.into()),
+            (
+                "scratch_reuses",
+                m.counter("refine.scratch_reuses").get().into(),
+            ),
+            ("neighbors", answer.into()),
+        ];
+        if let Some(b) = batch_id {
+            fields.push(("batch", b.into()));
+        }
+        trajsim_obs::emit(trajsim_obs::Level::Debug, FLIGHT_EVENT, &fields);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The sequential-scan baseline: true EDR against every trajectory.
 
-use crate::batch::{amortize, finish_batch, merge_partials};
+use crate::batch::{amortize, finish_batch, merge_partials, next_batch_id};
 use crate::result::{
     elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
 };
@@ -92,7 +92,7 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
                 self.knn_serial(&ctx, k)
             };
         r.stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query(&self.name(), &r.stats);
+        finish_query(&self.name(), ctx.len(), k, None, &r.neighbors, &r.stats);
         r
     }
 
@@ -280,6 +280,7 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
         let busy_total: u64 = chunks.iter().map(|c| c.busy_ns).sum();
         let wall_ns = elapsed_ns(t_batch);
         let name = self.name();
+        let batch_id = next_batch_id();
         let results: Vec<KnnResult> = (0..nq)
             .map(|qi| {
                 let mut stats = QueryStats {
@@ -293,11 +294,16 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
                 // batch-accounting notes in `crate::batch`).
                 stats.timings.refine_ns = amortize(busy_total, nq, qi);
                 stats.timings.total_ns = amortize(wall_ns, nq, qi);
-                finish_query(&name, &stats);
-                KnnResult {
-                    neighbors: merge_partials(k, chunks.iter().map(|c| c.partials[qi].clone())),
-                    stats,
-                }
+                let neighbors = merge_partials(k, chunks.iter().map(|c| c.partials[qi].clone()));
+                finish_query(
+                    &name,
+                    queries[qi].len(),
+                    k,
+                    Some(batch_id),
+                    &neighbors,
+                    &stats,
+                );
+                KnnResult { neighbors, stats }
             })
             .collect();
         finish_batch(&name, nq, n as u64, wall_ns);
