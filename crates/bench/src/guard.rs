@@ -552,6 +552,25 @@ fn run_obs(cfg: &GuardConfig) -> SuiteRun {
                 Some(acc)
             }),
         },
+        Case {
+            name: "seqscan_sampled".into(),
+            work: Box::new(|| {
+                // Tail-sampled recorder: the keep/drop decision runs per
+                // query, but dropped records skip serialization entirely,
+                // so this configuration must not cost more than the full
+                // recorder (the ≤2% always-on budget).
+                let recorder = trajsim_profile::FlightRecorder::sampled_to_writer(
+                    Box::new(std::io::sink()),
+                    trajsim_profile::SamplerConfig::every(4),
+                );
+                trajsim_obs::set_sink(Some(recorder));
+                trajsim_obs::set_level(trajsim_obs::Level::Debug);
+                let acc = workload();
+                trajsim_obs::set_level(trajsim_obs::Level::Off);
+                trajsim_obs::set_sink(None);
+                Some(acc)
+            }),
+        },
     ];
     measure(cases, "seqscan_plain", "obs", cfg)
 }
@@ -866,14 +885,21 @@ mod tests {
         let names: Vec<&str> = run.cases.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
-            ["seqscan_plain", "seqscan_traced", "seqscan_recorded"]
+            [
+                "seqscan_plain",
+                "seqscan_traced",
+                "seqscan_recorded",
+                "seqscan_sampled"
+            ]
         );
-        // All three cases answered the same workload: the counters are
+        // All four cases answered the same workload: the counters are
         // deterministic and must agree regardless of telemetry state.
         let plain = run.cases[0].stats.as_ref().unwrap();
         let recorded = run.cases[2].stats.as_ref().unwrap();
+        let sampled = run.cases[3].stats.as_ref().unwrap();
         assert_eq!(plain.edr_computed, recorded.edr_computed);
         assert_eq!(plain.database_size, recorded.database_size);
+        assert_eq!(plain.edr_computed, sampled.edr_computed);
         // And the timed closures put the globals back.
         assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
     }

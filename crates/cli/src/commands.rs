@@ -9,8 +9,8 @@ use trajsim_core::{max_std_dev, Dataset, MatchThreshold, Trajectory};
 use trajsim_data::{seeded_rng, LengthDistribution};
 use trajsim_eval::{agglomerative, Dendrogram, DistanceMatrix, Linkage};
 use trajsim_profile::{
-    read_stats_input, DiffReport, FlightRecorder, ProfileCollector, Recording, TeeSink,
-    WorkloadStats,
+    read_stats_input, Attribution, DiffReport, FlightRecorder, ProfileCollector, Recording,
+    SamplerConfig, SlowReport, TeeSink, WorkloadStats,
 };
 use trajsim_prune::{
     range_query, CombinedConfig, CombinedKnn, HistogramKnn, HistogramVariant, KnnEngine, KnnResult,
@@ -26,13 +26,15 @@ commands:
   stats    <file>
   stats    show <recording|store>
   stats    merge <recording|store>... -o FILE
-  stats    diff <a> <b> [--latency-tolerance F] [--check]
+  stats    diff <a> <b> [--latency-tolerance F] [--shape-tolerance F]
+           [--attribute] [--check]
   knn      <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
            [--engine ENGINE] [--max-triangle M] [--metrics-out FILE]
   explain  <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
            [--engine ENGINE] [--max-triangle M] [--json FILE]
   range    <file> --query I --edits K [--eps E]
   replay   <recording> [--max-drift F] [--check]
+  slow     <recording> [--top N]
   cluster  <file> [--k K] [--eps E] [--tree]
 
 engines: scan|qgram|histogram|triangle|combined (default: combined)
@@ -51,6 +53,13 @@ global options:
   --record FILE         flight-record the workload: one JSONL line per
                         query (per-stage candidates, timings, answers),
                         readable by `stats` and `replay`
+  --sample N            tail-sample the recording: keep every query above
+                        the rolling p99 latency plus 1 in N of the rest
+                        (weighted so `stats` reweights to full-population
+                        estimates); requires --record
+  --timeline-every N    metrics-timeline interval in queries (default 64;
+                        the timeline is written next to --metrics-out as
+                        FILE.timeline.json)
 
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
 
@@ -70,6 +79,17 @@ struct Telemetry {
     trace_level: Option<trajsim_obs::Level>,
     profile: Option<(String, String, Arc<ProfileCollector>)>,
     record: Option<(String, Arc<FlightRecorder>)>,
+    timeline: Option<(String, Arc<trajsim_obs::Timeline>)>,
+}
+
+/// Where the metrics timeline goes: next to `--metrics-out FILE`, named
+/// `FILE.timeline.json` (with a plain `.json` suffix swapped out rather
+/// than doubled).
+fn timeline_path(metrics_out: &str) -> String {
+    match metrics_out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.timeline.json"),
+        None => format!("{metrics_out}.timeline.json"),
+    }
 }
 
 impl Telemetry {
@@ -93,12 +113,50 @@ impl Telemetry {
             }
             None => None,
         };
+        let sample: Option<u64> = match parsed.get("sample") {
+            Some(n) => {
+                let n: u64 = n.parse().map_err(|e| format!("option --sample: {e}"))?;
+                if n == 0 {
+                    return Err("option --sample: must be at least 1".into());
+                }
+                if parsed.get("record").is_none() {
+                    return Err("option --sample: requires --record FILE".into());
+                }
+                Some(n)
+            }
+            None => None,
+        };
         let record = match parsed.get("record") {
             Some(path) => {
                 ensure_writable("--record", path)?;
-                let recorder =
-                    FlightRecorder::create(path).map_err(|e| format!("--record {path}: {e}"))?;
+                let recorder = match sample {
+                    Some(every) => {
+                        FlightRecorder::create_sampled(path, SamplerConfig::every(every))
+                    }
+                    None => FlightRecorder::create(path),
+                }
+                .map_err(|e| format!("--record {path}: {e}"))?;
                 Some((path.to_string(), recorder))
+            }
+            None => None,
+        };
+        let timeline = match parsed.get("metrics-out") {
+            Some(path) => {
+                let every: u64 = parsed.get_or(
+                    "timeline-every",
+                    trajsim_obs::timeline::DEFAULT_INTERVAL_QUERIES,
+                )?;
+                if every == 0 {
+                    return Err("option --timeline-every: must be at least 1".into());
+                }
+                let out = timeline_path(path);
+                ensure_writable("--metrics-out", &out)?;
+                let tl = trajsim_obs::Timeline::new(
+                    trajsim_obs::metrics::global(),
+                    every,
+                    trajsim_obs::timeline::DEFAULT_CAPACITY,
+                );
+                Some((out, Arc::new(tl)))
             }
             None => None,
         };
@@ -106,6 +164,7 @@ impl Telemetry {
             trace_level,
             profile,
             record,
+            timeline,
         })
     }
 
@@ -114,6 +173,9 @@ impl Telemetry {
     /// `--record` raise the level to at least debug; a more verbose
     /// `--trace trace` wins.
     fn install(&self) {
+        if let Some((_, tl)) = &self.timeline {
+            trajsim_obs::timeline::set_timeline(Some(tl.clone()));
+        }
         let mut sinks: Vec<Arc<dyn trajsim_obs::Sink>> = Vec::new();
         if self.trace_level.is_some() {
             sinks.push(Arc::new(trajsim_obs::JsonLinesSink::stderr()));
@@ -177,6 +239,25 @@ impl Telemetry {
             }
             result = result.and(flushed);
         }
+        if let Some((path, tl)) = &self.timeline {
+            trajsim_obs::timeline::set_timeline(None);
+            let doc = tl.to_json(trajsim_obs::metrics::global());
+            let written = serde_json::to_string_pretty(&doc)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    std::fs::write(path, text + "\n").map_err(|e| format!("write {path}: {e}"))
+                });
+            if written.is_ok() {
+                // To stdout, not stderr: under --trace, stderr must stay
+                // pure JSON lines (CI validates every line parses).
+                println!(
+                    "timeline: {} intervals over {} queries -> {path}",
+                    tl.intervals_retained(),
+                    tl.queries()
+                );
+            }
+            result = result.and(written);
+        }
         if self.profile.is_some() || self.record.is_some() {
             match self.trace_level {
                 Some(lvl) => {
@@ -208,6 +289,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("explain") => explain(&parsed, &telemetry),
         Some("range") => range(&parsed, &telemetry),
         Some("replay") => replay(&parsed, &telemetry),
+        Some("slow") => slow(&parsed),
         Some("cluster") => cluster(&parsed),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
@@ -346,11 +428,35 @@ fn stats_diff(parsed: &Parsed) -> Result<(), String> {
     if !(0.0..=1.0).contains(&tolerance) {
         return Err("option --latency-tolerance: must be in 0..=1".into());
     }
-    let report = DiffReport::compare(&read_stats_input(a)?, &read_stats_input(b)?, tolerance);
+    let shape_tolerance: f64 = parsed.get_or("shape-tolerance", 0.0f64)?;
+    if !(0.0..=1.0).contains(&shape_tolerance) {
+        return Err("option --shape-tolerance: must be in 0..=1".into());
+    }
+    let (wa, wb) = (read_stats_input(a)?, read_stats_input(b)?);
+    let report = DiffReport::compare_with(&wa, &wb, tolerance, shape_tolerance);
     print!("{}", report.render());
+    if parsed.flag("attribute") {
+        println!("attribution (per-stage share of total latency):");
+        print!("{}", Attribution::compare(&wa, &wb).render());
+    }
     if parsed.flag("check") && report.drifted() {
         return Err("stats diff: significant drift between inputs".into());
     }
+    Ok(())
+}
+
+/// `trajsim slow <recording>`: the slow-query forensics view — ranks the
+/// recording's worst queries by total latency (which tail-sampled
+/// recordings keep in full by construction) and attributes each one's
+/// time to pipeline stages.
+fn slow(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(1).ok_or("slow: missing recording")?;
+    let top: usize = parsed.get_or("top", 10usize)?;
+    if top == 0 {
+        return Err("option --top: must be at least 1".into());
+    }
+    let rec = Recording::read(path)?;
+    print!("{}", SlowReport::from_recording(&rec, top).render());
     Ok(())
 }
 
@@ -1689,6 +1795,163 @@ mod tests {
         assert!(run(&["stats", "diff", &rec_a]).is_err());
         assert!(run(&["stats", "merge", "-o", &store]).is_err());
         assert!(run(&["stats", "diff", &rec_a, &rec_b, "--latency-tolerance", "7"]).is_err());
+    }
+
+    #[test]
+    fn timeline_path_derives_a_sidecar_name() {
+        assert_eq!(timeline_path("m.json"), "m.timeline.json");
+        assert_eq!(timeline_path("out/metrics"), "out/metrics.timeline.json");
+    }
+
+    #[test]
+    fn metrics_out_writes_a_timeline_sidecar() {
+        let _g = sink_guard();
+        let csv = tmp("timeline.csv");
+        let out = tmp("timeline-metrics.json");
+        run(&["generate", "walk", "--n", "30", "--seed", "29", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "16",
+            "--k",
+            "2",
+            "--metrics-out",
+            &out,
+            "--timeline-every",
+            "4",
+        ])
+        .unwrap();
+        let side = timeline_path(&out);
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&side).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(|v| v.as_str()),
+            Some(trajsim_obs::TIMELINE_FORMAT)
+        );
+        assert_eq!(
+            doc.get("version").and_then(|v| v.as_u64()),
+            Some(trajsim_obs::TIMELINE_VERSION)
+        );
+        assert!(doc.get("queries").and_then(|v| v.as_u64()).unwrap() >= 16);
+        let intervals = doc.get("intervals").unwrap().as_array().unwrap();
+        assert!(!intervals.is_empty(), "no intervals captured");
+        // Interval counter deltas include the per-interval query count.
+        let total_noted: u64 = intervals
+            .iter()
+            .map(|i| i.get("queries").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert!(total_noted >= 16, "intervals cover {total_noted} queries");
+        assert!(run(&[
+            "knn",
+            &csv,
+            "--query",
+            "0",
+            "--metrics-out",
+            &out,
+            "--timeline-every",
+            "0"
+        ])
+        .is_err());
+        // The timeline was uninstalled when the command finished.
+        assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
+    }
+
+    #[test]
+    fn sampled_recording_reweights_and_ranks_slow_queries() {
+        let _g = sink_guard();
+        let csv = tmp("sampled.csv");
+        let rec = tmp("sampled.flight.jsonl");
+        run(&["generate", "walk", "--n", "40", "--seed", "31", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "24",
+            "--k",
+            "2",
+            "--record",
+            &rec,
+            "--sample",
+            "4",
+        ])
+        .unwrap();
+        let recording = Recording::read(&rec).unwrap();
+        // 24 queries all fall inside the warmup window, so the uniform
+        // path keeps exactly the first of each run of 4.
+        assert_eq!(recording.records.len(), 6);
+        for r in &recording.records {
+            assert_eq!(r.weight, 4);
+            assert_eq!(r.sampled.as_deref(), Some("uniform"));
+        }
+        let sampling = recording.meta.get("sampling").expect("meta.sampling");
+        assert_eq!(
+            sampling.get("every").and_then(serde_json::Value::as_u64),
+            Some(4)
+        );
+        // The aggregate reweights back to the population query count.
+        let stats = read_stats_input(&rec).unwrap();
+        assert_eq!(stats.queries, 24);
+        assert_eq!(stats.recorded_queries, 6);
+        // Forensics commands read the sampled recording.
+        run(&["stats", "show", &rec]).unwrap();
+        run(&["slow", &rec, "--top", "3"]).unwrap();
+        // Validation: --sample needs --record and a positive stride.
+        assert!(run(&["knn", &csv, "--query", "0", "--sample", "4"])
+            .unwrap_err()
+            .contains("--record"));
+        assert!(run(&["knn", &csv, "--query", "0", "--record", &rec, "--sample", "0"]).is_err());
+        assert!(run(&["slow"]).is_err());
+        assert!(run(&["slow", &rec, "--top", "0"]).is_err());
+    }
+
+    #[test]
+    fn stats_diff_supports_shape_tolerance_and_attribution() {
+        let _g = sink_guard();
+        let csv = tmp("attrib.csv");
+        let full = tmp("attrib-full.flight.jsonl");
+        let sampled = tmp("attrib-sampled.flight.jsonl");
+        run(&["generate", "walk", "--n", "32", "--seed", "37", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "16",
+            "--k",
+            "2",
+            "--record",
+            &full,
+        ])
+        .unwrap();
+        // --sample 1 keeps every query (weight 1): the reweighted shape
+        // is identical to the full recording, so even exact diff passes.
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "16",
+            "--k",
+            "2",
+            "--record",
+            &sampled,
+            "--sample",
+            "1",
+        ])
+        .unwrap();
+        run(&[
+            "stats",
+            "diff",
+            &full,
+            &sampled,
+            "--latency-tolerance",
+            "1",
+            "--shape-tolerance",
+            "0.05",
+            "--attribute",
+            "--check",
+        ])
+        .unwrap();
+        assert!(run(&["stats", "diff", &full, &sampled, "--shape-tolerance", "7"]).is_err());
     }
 
     #[test]

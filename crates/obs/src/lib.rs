@@ -20,6 +20,12 @@
 //! release builds; [`Registry::snapshot_json`] serializes everything for
 //! the CLI's `--metrics-out` and the bench harness.
 //!
+//! **Time series** ([`timeline`]): a bounded ring of interval rollups
+//! (counter deltas, gauge last-values, histogram bucket deltas) ticked
+//! from the query-completion chokepoint via [`timeline::note_query`],
+//! exported as a JSON timeline whose intervals always sum back to the
+//! cumulative registry state.
+//!
 //! Span/metric taxonomy: see `DESIGN.md` §9 (span names are dotted,
 //! `knn.query` / `parallel.pool`; metric names likewise,
 //! `knn.edr_computed`, `parallel.worker_busy_ns`).
@@ -28,9 +34,11 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_NS};
+pub use metrics::{Counter, Gauge, Histogram, HistogramState, Registry, DEFAULT_LATENCY_BOUNDS_NS};
+pub use timeline::{Timeline, TIMELINE_FORMAT, TIMELINE_VERSION};
 pub use trace::{
     emit, emit_span, enabled, level, set_level, set_sink, thread_id, FieldValue, JsonLinesSink,
     Level, Record, Sink, Span,

@@ -229,6 +229,26 @@ pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> f64 {
     bounds[bounds.len() - 1] as f64
 }
 
+/// One histogram's raw state, as returned by
+/// [`Registry::histogram_values`]: bucket upper bounds, per-bucket
+/// counts (overflow bucket last), and the running sum of observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    /// Bucket upper bounds (the overflow bucket has no bound).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, overflow bucket last (`bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Sum of recorded values (wraps on overflow).
+    pub sum: u64,
+}
+
+impl HistogramState {
+    /// Total number of observations across all buckets.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// A process-wide collection of named metrics. Handles are created on
 /// first use and shared; recording through a handle never locks.
 #[derive(Debug, Default)]
@@ -304,6 +324,50 @@ impl Registry {
         self.counters.write().expect("registry lock").clear();
         self.gauges.write().expect("registry lock").clear();
         self.histograms.write().expect("registry lock").clear();
+    }
+
+    /// Raw counter values by name, sorted by name (the map is a
+    /// `BTreeMap`). The timeline rollup diffs successive calls.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Raw gauge values by name, sorted by name.
+    pub fn gauge_values(&self) -> BTreeMap<String, i64> {
+        self.gauges
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect()
+    }
+
+    /// Raw histogram state by name, sorted by name: the bucket upper
+    /// bounds, per-bucket counts (overflow last), and the running sum.
+    /// Under concurrent recording the three reads are not atomic with
+    /// respect to each other, so a snapshot can lag in-flight records by
+    /// a few observations — the same caveat as [`Histogram::quantile`].
+    pub fn histogram_values(&self) -> BTreeMap<String, HistogramState> {
+        self.histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramState {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                    },
+                )
+            })
+            .collect()
     }
 
     /// The registry's state as a JSON value:
@@ -448,6 +512,59 @@ mod tests {
         assert!(text.contains("\"g1\":-4"));
         assert!(text.contains("\"h1\""));
         assert!(text.contains("+inf"));
+    }
+
+    #[test]
+    fn snapshot_key_order_is_sorted_and_deterministic() {
+        // Snapshots and timeline intervals must diff stably: keys come
+        // out in sorted order regardless of creation order. Pinned here
+        // because the vendored serde_json Map preserves insertion order
+        // — the sorting comes from the registry's BTreeMaps, and this
+        // test keeps anyone from swapping them for hash maps.
+        let r = Registry::new();
+        for name in ["zeta", "alpha", "mid.dle", "alpha.sub"] {
+            r.counter(name).inc();
+            r.gauge(name).set(1);
+            r.histogram(name).record(1);
+        }
+        let snap = r.snapshot_json();
+        for section in ["counters", "gauges", "histograms"] {
+            let keys: Vec<&String> = snap
+                .get(section)
+                .and_then(|v| v.as_object())
+                .expect("section object")
+                .iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(
+                keys,
+                vec!["alpha", "alpha.sub", "mid.dle", "zeta"],
+                "unsorted {section} keys"
+            );
+        }
+        // Two snapshots of the same state serialize identically.
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&r.snapshot_json()).unwrap()
+        );
+    }
+
+    #[test]
+    fn raw_value_accessors_mirror_the_snapshot() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(-2);
+        let h = r.histogram_with_bounds("h", vec![10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        assert_eq!(r.counter_values().get("c"), Some(&3));
+        assert_eq!(r.gauge_values().get("g"), Some(&-2));
+        let hs = &r.histogram_values()["h"];
+        assert_eq!(hs.bounds, vec![10, 100]);
+        assert_eq!(hs.counts, vec![1, 1, 1]);
+        assert_eq!(hs.sum, 555);
+        assert_eq!(hs.count(), 3);
     }
 
     #[test]

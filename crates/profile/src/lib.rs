@@ -22,6 +22,9 @@
 //!
 //! The CLI wires these up as `trajsim ... --profile-out FILE` and
 //! `trajsim explain ...`; the shapes are documented in `DESIGN.md` §9.
+//! Tail-based sampling ([`TailSampler`], `--sample N`) and slow-query
+//! forensics ([`SlowReport`], `trajsim slow`, `stats diff --attribute`)
+//! are in §13.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,14 +34,22 @@ mod collapsed;
 mod collector;
 mod explain;
 mod recorder;
+mod sampling;
+mod slow;
 mod workload;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use collapsed::collapsed_stacks;
 pub use collector::{ProfileCollector, ProfileRecord, TeeSink};
 pub use explain::{ExplainReport, LatencyReport, ScratchReport, StageReport};
-pub use recorder::{FlightRecord, FlightRecorder, Recording, FLIGHT_FORMAT, FLIGHT_VERSION};
+pub use recorder::{
+    Absorbed, FlightRecord, FlightRecorder, Recording, FLIGHT_FORMAT, FLIGHT_VERSION,
+};
+pub use sampling::{
+    SampleDecision, SamplerConfig, TailSampler, DEFAULT_TAIL_QUANTILE, DEFAULT_WARMUP,
+};
+pub use slow::{SlowQuery, SlowReport};
 pub use workload::{
-    read_stats_input, DiffReport, DiffRow, LatencyDist, StageAgg, WorkloadStats, STATS_FORMAT,
-    STATS_VERSION,
+    read_stats_input, Attribution, AttributionRow, DiffReport, DiffRow, LatencyDist, StageAgg,
+    WorkloadStats, STATS_FORMAT, STATS_VERSION,
 };

@@ -15,6 +15,7 @@
 //! [`crate::TeeSink`] next to `--trace` and `--profile-out` sinks
 //! without double work.
 
+use crate::sampling::{SampleDecision, SamplerConfig, TailSampler};
 use serde_json::{json, Value};
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,78 @@ struct RecorderInner {
     header_written: bool,
     records: u64,
     error: Option<String>,
+    /// Tail sampler for always-on recording; `None` records every query.
+    sampler: Option<TailSampler>,
+    /// Counter sums of the queries dropped since the last uniform keep;
+    /// attached to the next uniform keep so flow totals stay exact.
+    pending: Absorbed,
+}
+
+/// Exact aggregates of the queries a uniform keep absorbed: the drops
+/// since the previous uniform keep. Carried on the keep's wire record
+/// under `"absorbed"`, so [`crate::WorkloadStats`] reconstructs
+/// full-population counter totals exactly instead of estimating them
+/// from the keep's own values — only latency *distributions* remain
+/// approximate under sampling.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Absorbed {
+    /// How many dropped queries this aggregate covers.
+    pub queries: u64,
+    /// How many of them ran through the shared-scan batched path.
+    pub batched: u64,
+    /// Per-field sums over the dropped queries (every numeric wire field
+    /// except `seq` and `batch`).
+    pub sums: std::collections::BTreeMap<String, u64>,
+}
+
+impl Absorbed {
+    fn fold(&mut self, fields: &[(&str, FieldValue)]) {
+        self.queries += 1;
+        for (k, v) in fields {
+            let FieldValue::U64(x) = v else { continue };
+            match *k {
+                "seq" => {}
+                "batch" => self.batched += 1,
+                // Allocate the key only on first sight: after the first
+                // drop every fold is pure lookups, keeping the drop path
+                // cheap enough for always-on recording.
+                _ => match self.sums.get_mut(*k) {
+                    Some(sum) => *sum += *x,
+                    None => {
+                        self.sums.insert((*k).to_string(), *x);
+                    }
+                },
+            }
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut sums = serde_json::Map::new();
+        for (k, v) in &self.sums {
+            sums.insert(k.clone(), Value::from(*v));
+        }
+        json!({
+            "queries": self.queries,
+            "batched": self.batched,
+            "sums": Value::Object(sums),
+        })
+    }
+
+    fn from_value(v: &Value) -> Self {
+        let mut sums = std::collections::BTreeMap::new();
+        if let Some(obj) = v.get("sums").and_then(Value::as_object) {
+            for (k, val) in obj.iter() {
+                if let Some(x) = val.as_u64() {
+                    sums.insert(k.clone(), x);
+                }
+            }
+        }
+        Absorbed {
+            queries: v.get("queries").and_then(Value::as_u64).unwrap_or(0),
+            batched: v.get("batched").and_then(Value::as_u64).unwrap_or(0),
+            sums,
+        }
+    }
 }
 
 /// A [`Sink`] that appends one JSONL line per [`trajsim_prune::FLIGHT_EVENT`]
@@ -59,13 +132,57 @@ impl FlightRecorder {
     /// A recorder writing to an arbitrary writer — in-memory buffers in
     /// tests and `trajsim replay`, `io::sink()` in the overhead bench.
     pub fn to_writer(out: Box<dyn Write + Send>) -> Arc<Self> {
+        Self::build(out, None)
+    }
+
+    /// A tail-sampled recorder writing to a freshly created file: tail
+    /// queries (above the rolling latency threshold) are kept in full,
+    /// the rest pass a 1-in-`config.every` uniform reservoir, dropped
+    /// records are never serialized. The header carries the sampling
+    /// config under `meta.sampling` so readers reweight aggregates.
+    pub fn create_sampled(path: &str, config: SamplerConfig) -> io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::sampled_to_writer(
+            Box::new(io::BufWriter::new(file)),
+            config,
+        ))
+    }
+
+    /// A tail-sampled recorder over an arbitrary writer (see
+    /// [`Self::create_sampled`]).
+    pub fn sampled_to_writer(out: Box<dyn Write + Send>, config: SamplerConfig) -> Arc<Self> {
+        Self::build(out, Some(TailSampler::new(config)))
+    }
+
+    fn build(out: Box<dyn Write + Send>, sampler: Option<TailSampler>) -> Arc<Self> {
         Arc::new(FlightRecorder {
             inner: Mutex::new(RecorderInner {
                 out,
                 header_written: false,
                 records: 0,
                 error: None,
+                sampler,
+                pending: Absorbed::default(),
             }),
+        })
+    }
+
+    /// The recording header for `meta`: when sampling is on, the
+    /// sampler config is spliced into `meta.sampling` so the file is
+    /// self-describing.
+    fn header_value(sampler: Option<&TailSampler>, meta: Value) -> Value {
+        let meta = match (sampler, meta) {
+            (Some(s), Value::Object(map)) => {
+                let mut map = map;
+                map.insert("sampling".to_string(), s.config().to_json());
+                Value::Object(map)
+            }
+            (_, meta) => meta,
+        };
+        json!({
+            "format": FLIGHT_FORMAT,
+            "version": FLIGHT_VERSION,
+            "meta": meta,
         })
     }
 
@@ -79,11 +196,7 @@ impl FlightRecorder {
         if inner.header_written {
             return Ok(());
         }
-        let header = json!({
-            "format": FLIGHT_FORMAT,
-            "version": FLIGHT_VERSION,
-            "meta": meta,
-        });
+        let header = Self::header_value(inner.sampler.as_ref(), meta);
         writeln!(
             inner.out,
             "{}",
@@ -114,11 +227,87 @@ impl FlightRecorder {
     }
 }
 
+/// The per-stage wall times of one flight record, pulled straight off
+/// the field slice — the sampler's decision input and the forensics
+/// breakdown, obtained without serializing anything.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageNs {
+    setup: u64,
+    histogram: u64,
+    qgram: u64,
+    triangle: u64,
+    refine: u64,
+    total: u64,
+}
+
+impl StageNs {
+    fn from_fields(fields: &[(&str, FieldValue)]) -> Self {
+        let mut ns = StageNs::default();
+        for (k, v) in fields {
+            let FieldValue::U64(x) = v else { continue };
+            match *k {
+                "setup_ns" => ns.setup = *x,
+                "h_ns" => ns.histogram = *x,
+                "q_ns" => ns.qgram = *x,
+                "t_ns" => ns.triangle = *x,
+                "refine_ns" => ns.refine = *x,
+                "total_ns" => ns.total = *x,
+                _ => {}
+            }
+        }
+        ns
+    }
+
+    /// The explain-grade per-stage share string attached to tail
+    /// outliers: `"setup=1.2% histogram=30.5% ... other=4.0%"`.
+    fn forensics(&self) -> String {
+        let total = self.total.max(1) as f64;
+        let attributed = self.setup + self.histogram + self.qgram + self.triangle + self.refine;
+        let other = self.total.saturating_sub(attributed);
+        let pct = |ns: u64| 100.0 * ns as f64 / total;
+        format!(
+            "setup={:.1}% histogram={:.1}% qgram={:.1}% triangle={:.1}% refine={:.1}% other={:.1}%",
+            pct(self.setup),
+            pct(self.histogram),
+            pct(self.qgram),
+            pct(self.triangle),
+            pct(self.refine),
+            pct(other),
+        )
+    }
+}
+
 impl Sink for FlightRecorder {
     fn emit(&self, record: &Record<'_>) {
         if record.name != trajsim_prune::FLIGHT_EVENT {
             return;
         }
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.error.is_some() {
+            return;
+        }
+        // Tail sampling: classify before any serialization, so a
+        // dropped record costs one estimator update plus folding its
+        // counters into the pending absorbed aggregate — the sampled
+        // recorder stays cheaper than the full one.
+        let decision = match &mut inner.sampler {
+            Some(sampler) => {
+                let ns = StageNs::from_fields(record.fields);
+                let d = sampler.decide(ns.total);
+                let m = trajsim_obs::metrics::global();
+                match d {
+                    SampleDecision::Tail => m.counter("record.kept_tail").inc(),
+                    SampleDecision::Uniform { .. } => m.counter("record.kept_uniform").inc(),
+                    SampleDecision::Drop => {
+                        m.counter("record.dropped").inc();
+                        inner.pending.fold(record.fields);
+                        return;
+                    }
+                }
+                Some((d, ns))
+            }
+            None => None,
+        };
         let mut obj = serde_json::Map::new();
         for (k, v) in record.fields {
             let value = match v {
@@ -130,17 +319,30 @@ impl Sink for FlightRecorder {
             };
             obj.insert((*k).to_string(), value);
         }
-        let line = serde_json::to_string(&Value::Object(obj)).expect("record json");
-        let mut inner = self.inner.lock().expect("recorder lock");
-        if inner.error.is_some() {
-            return;
+        match decision {
+            Some((SampleDecision::Tail, ns)) => {
+                obj.insert("weight".to_string(), Value::from(1u64));
+                obj.insert("sampled".to_string(), Value::from("tail"));
+                obj.insert(
+                    "forensics".to_string(),
+                    Value::from(ns.forensics().as_str()),
+                );
+            }
+            Some((SampleDecision::Uniform { .. }, _)) => {
+                // This keep closes its run: weight is the actual run
+                // length and the drops' counter sums travel with it.
+                let absorbed = std::mem::take(&mut inner.pending);
+                obj.insert("weight".to_string(), Value::from(absorbed.queries + 1));
+                obj.insert("sampled".to_string(), Value::from("uniform"));
+                if absorbed.queries > 0 {
+                    obj.insert("absorbed".to_string(), absorbed.to_json());
+                }
+            }
+            _ => {}
         }
+        let line = serde_json::to_string(&Value::Object(obj)).expect("record json");
         if !inner.header_written {
-            let header = json!({
-                "format": FLIGHT_FORMAT,
-                "version": FLIGHT_VERSION,
-                "meta": {},
-            });
+            let header = Self::header_value(inner.sampler.as_ref(), json!({}));
             let text = serde_json::to_string(&header).expect("header json");
             if let Err(e) = writeln!(inner.out, "{text}") {
                 inner.error = Some(format!("writing recording header: {e}"));
@@ -157,8 +359,8 @@ impl Sink for FlightRecorder {
 }
 
 /// One parsed flight record — one query of a recorded workload. Field
-/// names mirror the wire format (`DESIGN.md` §12).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// names mirror the wire format (`DESIGN.md` §12; sampling fields §13).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightRecord {
     /// Emission sequence number (process-monotone).
     pub seq: u64,
@@ -210,8 +412,59 @@ pub struct FlightRecord {
     pub total_ns: u64,
     /// Cumulative process-wide workspace reuse counter at emit time.
     pub scratch_reuses: u64,
+    /// Population queries this record stands for: 1 in full recordings
+    /// and for tail keeps, the closed run length (itself plus its
+    /// absorbed drops) for uniform reservoir keeps.
+    /// [`crate::WorkloadStats`] uses it to reweight latency
+    /// distributions back to full-population estimates.
+    pub weight: u64,
+    /// How the sampler kept this record (`"tail"` / `"uniform"`), or
+    /// `None` in an unsampled recording.
+    pub sampled: Option<String>,
+    /// Exact counter sums of the dropped queries this uniform keep
+    /// closed over; `None` for full recordings, tail keeps, and uniform
+    /// keeps that absorbed nothing (`every` = 1).
+    pub absorbed: Option<Absorbed>,
     /// The answer set: `(id, dist)` pairs, nearest first.
     pub neighbors: Vec<(u64, u64)>,
+}
+
+impl Default for FlightRecord {
+    /// All-zero counters with `weight` 1 — a default record stands for
+    /// exactly one query, never zero.
+    fn default() -> Self {
+        FlightRecord {
+            seq: 0,
+            engine: String::new(),
+            query_len: 0,
+            k: 0,
+            batch: None,
+            database_size: 0,
+            edr_computed: 0,
+            pruned: 0,
+            dp_cells: 0,
+            setup_ns: 0,
+            h_in: 0,
+            h_out: 0,
+            h_ns: 0,
+            pruned_h: 0,
+            q_in: 0,
+            q_out: 0,
+            q_ns: 0,
+            pruned_q: 0,
+            t_in: 0,
+            t_out: 0,
+            t_ns: 0,
+            pruned_t: 0,
+            refine_ns: 0,
+            total_ns: 0,
+            scratch_reuses: 0,
+            weight: 1,
+            sampled: None,
+            absorbed: None,
+            neighbors: Vec::new(),
+        }
+    }
 }
 
 impl FlightRecord {
@@ -263,6 +516,9 @@ impl FlightRecord {
             refine_ns: u("refine_ns"),
             total_ns: u("total_ns"),
             scratch_reuses: u("scratch_reuses"),
+            weight: v.get("weight").and_then(Value::as_u64).unwrap_or(1).max(1),
+            sampled: v.get("sampled").and_then(Value::as_str).map(str::to_string),
+            absorbed: v.get("absorbed").map(Absorbed::from_value),
             neighbors,
         })
     }
@@ -456,6 +712,141 @@ mod tests {
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let parsed = Recording::parse(&text).unwrap();
         assert!(parsed.records.is_empty());
+    }
+
+    #[test]
+    fn sampled_recorder_keeps_last_of_every_n_with_absorbed_sums() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let config = SamplerConfig {
+            every: 3,
+            tail_quantile: 0.99,
+            warmup: u64::MAX, // uniform path only
+        };
+        let rec = FlightRecorder::sampled_to_writer(Box::new(Shared(buf.clone())), config);
+        rec.write_header(json!({"command": "knn"})).unwrap();
+        for seq in 0..9u64 {
+            let fields = flight_record_fields(seq, 10_000);
+            rec.emit(&Record {
+                level: Level::Debug,
+                name: trajsim_prune::FLIGHT_EVENT,
+                elapsed_ns: None,
+                fields: &fields,
+            });
+        }
+        rec.finish().unwrap();
+        // The last of each run of 3 survives, closing the run; drops
+        // are never serialized but their counter sums travel with the
+        // keep under `absorbed`.
+        assert_eq!(rec.records_written(), 3);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = Recording::parse(&text).unwrap();
+        let seqs: Vec<u64> = parsed.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [2, 5, 8]);
+        for r in &parsed.records {
+            assert_eq!(r.weight, 3);
+            assert_eq!(r.sampled.as_deref(), Some("uniform"));
+            let absorbed = r.absorbed.as_ref().expect("absorbed sums");
+            assert_eq!(absorbed.queries, 2);
+            assert_eq!(absorbed.batched, 0);
+            assert_eq!(absorbed.sums.get("edr_computed"), Some(&80));
+            assert_eq!(absorbed.sums.get("pruned"), Some(&120));
+            assert_eq!(absorbed.sums.get("total_ns"), Some(&20_000));
+            assert!(!absorbed.sums.contains_key("seq"));
+        }
+        // The header advertises the sampling config so readers reweight.
+        let sampling = parsed.meta.get("sampling").expect("meta.sampling");
+        assert_eq!(sampling.get("every").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            sampling.get("warmup").and_then(Value::as_u64),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn tail_outliers_survive_sampling_with_forensics() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let config = SamplerConfig {
+            every: 1_000_000, // uniform path keeps (almost) nothing
+            tail_quantile: 0.99,
+            warmup: 4,
+        };
+        let rec = FlightRecorder::sampled_to_writer(Box::new(Shared(buf.clone())), config);
+        for seq in 0..4u64 {
+            let fields = flight_record_fields(seq, 10_000);
+            rec.emit(&Record {
+                level: Level::Debug,
+                name: trajsim_prune::FLIGHT_EVENT,
+                elapsed_ns: None,
+                fields: &fields,
+            });
+        }
+        // A 500x outlier after warmup: must be kept in full.
+        let fields = flight_record_fields(4, 5_000_000);
+        rec.emit(&Record {
+            level: Level::Debug,
+            name: trajsim_prune::FLIGHT_EVENT,
+            elapsed_ns: None,
+            fields: &fields,
+        });
+        rec.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = Recording::parse(&text).unwrap();
+        let tail = parsed
+            .records
+            .iter()
+            .find(|r| r.seq == 4)
+            .expect("outlier kept");
+        assert_eq!(tail.sampled.as_deref(), Some("tail"));
+        assert_eq!(tail.weight, 1);
+        // Tail keeps carry an explain-grade per-stage breakdown inline.
+        let line = text.lines().find(|l| l.contains("\"seq\":4")).unwrap();
+        let doc: Value = serde_json::from_str(line).unwrap();
+        let forensics = doc.get("forensics").and_then(Value::as_str).unwrap();
+        for stage in [
+            "setup=",
+            "histogram=",
+            "qgram=",
+            "triangle=",
+            "refine=",
+            "other=",
+        ] {
+            assert!(forensics.contains(stage), "{forensics}");
+        }
+    }
+
+    #[test]
+    fn weight_and_sampled_round_trip_and_default_sensibly() {
+        // Pre-sampling recordings have neither field: weight defaults 1.
+        let plain = format!(
+            "{{\"format\":\"{FLIGHT_FORMAT}\",\"version\":1,\"meta\":{{}}}}\n\
+             {{\"engine\":\"x\",\"seq\":0,\"total_ns\":5,\"neighbors\":\"\"}}\n\
+             {{\"engine\":\"x\",\"seq\":1,\"total_ns\":9,\"weight\":8,\"sampled\":\"uniform\",\"neighbors\":\"\"}}"
+        );
+        let parsed = Recording::parse(&plain).unwrap();
+        assert_eq!(parsed.records[0].weight, 1);
+        assert_eq!(parsed.records[0].sampled, None);
+        assert_eq!(parsed.records[1].weight, 8);
+        assert_eq!(parsed.records[1].sampled.as_deref(), Some("uniform"));
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Tail-based sampling for the flight recorder: keep every slow query,
+//! a 1-in-N uniform slice of the rest, and drop the remainder before
+//! any serialization happens.
+//!
+//! The keep/drop decision runs at query completion, when the total
+//! latency is known (tail-based sampling, as opposed to head-based
+//! sampling which must commit before the outcome is visible). A rolling
+//! online quantile estimate — a fine-grained geometric histogram over
+//! the observed `total_ns` values — supplies the tail threshold:
+//! queries above the estimated p99 (configurable) are always kept with
+//! weight 1; everything below passes a deterministic last-of-every-N
+//! uniform reservoir. A uniform keep *closes* its run of N: the recorder
+//! attaches the exact counter sums of the N−1 dropped queries to it
+//! (`absorbed`) and sets its weight to the closed run length, so
+//! downstream aggregation ([`crate::WorkloadStats`]) reconstructs
+//! full-population flow totals exactly and reweights latency
+//! distributions by run length. See `DESIGN.md` §13 for the math.
+
+use serde_json::{json, Value};
+
+/// Default tail quantile: queries above the rolling p99 are always kept.
+pub const DEFAULT_TAIL_QUANTILE: f64 = 0.99;
+
+/// Observations before the tail threshold activates. Until the estimator
+/// has seen this many queries every query goes through the uniform path,
+/// so a cold start cannot classify everything as tail.
+pub const DEFAULT_WARMUP: u64 = 32;
+
+/// Observations between estimator decays: all estimator bucket counts
+/// are halved, so the threshold tracks a moving window of roughly this
+/// many recent queries instead of the whole process history.
+const DECAY_EVERY: u64 = 1024;
+
+/// Sampler configuration, persisted in the recording header's
+/// `meta.sampling` object so readers can reweight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerConfig {
+    /// Uniform keep rate for non-tail queries: keep 1 in `every`
+    /// (deterministically, the last of each run of `every`, which closes
+    /// the run and absorbs its drops). `1` keeps everything — the
+    /// sampler then only annotates tail outliers.
+    pub every: u64,
+    /// Rolling quantile above which a query counts as tail.
+    pub tail_quantile: f64,
+    /// Observations before tail detection starts.
+    pub warmup: u64,
+}
+
+impl SamplerConfig {
+    /// A config keeping 1 in `every` non-tail queries, with the default
+    /// tail quantile and warmup.
+    pub fn every(every: u64) -> Self {
+        SamplerConfig {
+            every: every.max(1),
+            tail_quantile: DEFAULT_TAIL_QUANTILE,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// The header representation (`meta.sampling`).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "every": self.every,
+            "tail_quantile": self.tail_quantile,
+            "warmup": self.warmup,
+        })
+    }
+}
+
+/// The sampler's verdict for one completed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleDecision {
+    /// Above the rolling tail threshold: keep in full, weight 1.
+    Tail,
+    /// Kept by the uniform reservoir, closing a run of up to `weight`
+    /// queries (itself plus the drops since the previous uniform keep).
+    Uniform {
+        /// The nominal run length (`config.every`); the recorder writes
+        /// the *actual* closed run length, which can be shorter right
+        /// after startup.
+        weight: u64,
+    },
+    /// Not persisted (the common case at high `every`).
+    Drop,
+}
+
+/// Estimator bucket bounds: geometric with ratio `2^(1/8)` (~9% value
+/// resolution) from 1 µs to ≈ 4.4 s — fine enough that the bucket-edge
+/// tail threshold sits within a few percent of the true quantile, where
+/// the coarse power-of-4 metrics buckets could misclassify half the
+/// workload as tail.
+fn estimator_bounds() -> Vec<u64> {
+    // Exponents 10..=32 in eighths: 2^(10 + i/8) for i in 0..=176.
+    (0..=176u32)
+        .map(|i| (2f64.powf(10.0 + i as f64 / 8.0)).round() as u64)
+        .collect()
+}
+
+/// The online tail sampler. Not thread-safe by itself — the flight
+/// recorder drives it under its own mutex, one decision per query.
+#[derive(Debug)]
+pub struct TailSampler {
+    config: SamplerConfig,
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    seen: u64,
+    below: u64,
+    kept_tail: u64,
+    kept_uniform: u64,
+    dropped: u64,
+}
+
+impl TailSampler {
+    /// A sampler with the given config and an empty estimator.
+    pub fn new(config: SamplerConfig) -> Self {
+        let bounds = estimator_bounds();
+        let counts = vec![0; bounds.len() + 1];
+        TailSampler {
+            config,
+            bounds,
+            counts,
+            seen: 0,
+            below: 0,
+            kept_tail: 0,
+            kept_uniform: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// The estimator bucket holding the tail quantile — `None` during
+    /// warmup. A query is tail when its own bucket lies *strictly above*
+    /// this one: comparing bucket indices instead of an interpolated
+    /// value means a constant-latency workload (everything in one
+    /// bucket) keeps nothing as tail, while an interpolated threshold
+    /// can also overshoot past every real observation and silently drop
+    /// the very outliers tail sampling exists to keep. The ~9% bucket
+    /// resolution is the classification granularity.
+    fn threshold_bucket(&self) -> Option<usize> {
+        if self.seen < self.config.warmup {
+            return None;
+        }
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((self.config.tail_quantile * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(i);
+            }
+        }
+        Some(self.counts.len() - 1)
+    }
+
+    /// The current tail threshold, ns — the upper edge of the quantile's
+    /// bucket (queries above it classify as tail); `None` during warmup.
+    pub fn threshold_ns(&self) -> Option<f64> {
+        self.threshold_bucket()
+            .map(|i| self.bounds.get(i).copied().unwrap_or(u64::MAX) as f64)
+    }
+
+    /// Classifies one completed query by its total latency and folds the
+    /// observation into the rolling estimator. The threshold is computed
+    /// *before* the fold, so a query never raises the bar it is judged
+    /// against.
+    pub fn decide(&mut self, total_ns: u64) -> SampleDecision {
+        let threshold = self.threshold_bucket();
+        let idx = self.bounds.partition_point(|&b| b < total_ns);
+        self.counts[idx] += 1;
+        self.seen += 1;
+        if self.seen.is_multiple_of(DECAY_EVERY) {
+            for c in &mut self.counts {
+                *c /= 2;
+            }
+        }
+        if let Some(t) = threshold {
+            if idx > t {
+                self.kept_tail += 1;
+                return SampleDecision::Tail;
+            }
+        }
+        self.below += 1;
+        if self.below.is_multiple_of(self.config.every) {
+            self.kept_uniform += 1;
+            SampleDecision::Uniform {
+                weight: self.config.every,
+            }
+        } else {
+            self.dropped += 1;
+            SampleDecision::Drop
+        }
+    }
+
+    /// `(kept_tail, kept_uniform, dropped)` decision counts so far.
+    pub fn decision_counts(&self) -> (u64, u64, u64) {
+        (self.kept_tail, self.kept_uniform, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_bounds_are_fine_and_ascending() {
+        let b = estimator_bounds();
+        assert_eq!(b.len(), 177);
+        assert_eq!(b[0], 1024);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // The ratio stays near 2^(1/8): ~9% value resolution throughout.
+        for w in b.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!((1.08..=1.10).contains(&ratio), "ratio {ratio}");
+        }
+        assert!(*b.last().unwrap() >= 1 << 32);
+    }
+
+    #[test]
+    fn every_one_keeps_everything() {
+        let mut s = TailSampler::new(SamplerConfig::every(1));
+        for i in 0..100u64 {
+            let d = s.decide(10_000 + i);
+            assert!(
+                matches!(
+                    d,
+                    SampleDecision::Uniform { weight: 1 } | SampleDecision::Tail
+                ),
+                "{d:?}"
+            );
+        }
+        let (_, _, dropped) = s.decision_counts();
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn uniform_path_keeps_last_of_every_n() {
+        let mut s = TailSampler::new(SamplerConfig {
+            every: 4,
+            tail_quantile: 0.99,
+            warmup: u64::MAX, // tail detection never activates
+        });
+        let decisions: Vec<SampleDecision> = (0..8).map(|_| s.decide(10_000)).collect();
+        // The keep closes each run of 4: drop, drop, drop, keep.
+        assert_eq!(decisions[2], SampleDecision::Drop);
+        assert_eq!(decisions[3], SampleDecision::Uniform { weight: 4 });
+        assert_eq!(decisions[4], SampleDecision::Drop);
+        assert_eq!(decisions[7], SampleDecision::Uniform { weight: 4 });
+        let (tail, uniform, dropped) = s.decision_counts();
+        assert_eq!((tail, uniform, dropped), (0, 2, 6));
+    }
+
+    #[test]
+    fn outliers_are_kept_after_warmup() {
+        let mut s = TailSampler::new(SamplerConfig::every(1_000_000));
+        // A tight cluster at ~50 µs, then a 100x outlier.
+        for _ in 0..DEFAULT_WARMUP {
+            s.decide(50_000);
+        }
+        assert!(s.threshold_ns().is_some());
+        assert_eq!(s.decide(5_000_000), SampleDecision::Tail);
+        // A value inside the cluster still goes through the uniform path
+        // and gets dropped (the run of a million is nowhere near closed).
+        assert_eq!(s.decide(50_000), SampleDecision::Drop);
+    }
+
+    #[test]
+    fn constant_latency_workloads_classify_nothing_as_tail() {
+        // Every query in the same estimator bucket: none is an outlier,
+        // so the uniform reservoir must stay in charge of all keeps.
+        let mut s = TailSampler::new(SamplerConfig::every(4));
+        for i in 0..1000u64 {
+            // ±1% jitter, well inside one ~9% bucket.
+            let d = s.decide(100_000 + (i % 3) * 500);
+            assert!(!matches!(d, SampleDecision::Tail), "query {i}: {d:?}");
+        }
+        let (tail, uniform, dropped) = s.decision_counts();
+        assert_eq!(tail, 0);
+        assert_eq!(uniform, 250);
+        assert_eq!(dropped, 750);
+    }
+
+    #[test]
+    fn warmup_queries_never_classify_as_tail() {
+        let mut s = TailSampler::new(SamplerConfig::every(2));
+        for _ in 0..DEFAULT_WARMUP {
+            // Wildly varying values during warmup: all non-tail.
+            assert!(!matches!(s.decide(1 << 30), SampleDecision::Tail));
+        }
+    }
+
+    #[test]
+    fn weights_reconstruct_the_population_within_one_stride() {
+        // On a steady workload, Σ(weights of kept records) estimates the
+        // true query count to within one uniform stride.
+        let every = 8u64;
+        let n = 500u64;
+        let mut s = TailSampler::new(SamplerConfig::every(every));
+        let mut estimated = 0u64;
+        for i in 0..n {
+            match s.decide(40_000 + (i % 7) * 100) {
+                SampleDecision::Tail => estimated += 1,
+                SampleDecision::Uniform { weight } => estimated += weight,
+                SampleDecision::Drop => {}
+            }
+        }
+        let err = estimated.abs_diff(n);
+        assert!(err < every, "estimated {estimated} vs true {n}");
+    }
+
+    #[test]
+    fn decay_keeps_the_threshold_rolling() {
+        let mut s = TailSampler::new(SamplerConfig::every(4));
+        // A slow era, then a fast era: the threshold must come down.
+        for _ in 0..DECAY_EVERY * 2 {
+            s.decide(1_000_000);
+        }
+        let slow_era = s.threshold_ns().unwrap();
+        for _ in 0..DECAY_EVERY * 8 {
+            s.decide(10_000);
+        }
+        let fast_era = s.threshold_ns().unwrap();
+        assert!(
+            fast_era < slow_era / 2.0,
+            "threshold did not follow the workload: {slow_era} -> {fast_era}"
+        );
+    }
+}

@@ -50,19 +50,22 @@ impl Default for LatencyDist {
 }
 
 impl LatencyDist {
-    fn record(&mut self, ns: u64) {
+    /// Records one observation standing in for `weight` population
+    /// values (tail-sampled recordings): the bucket count, total count,
+    /// and sum scale by the weight; min/max stay exact observations.
+    fn record_weighted(&mut self, ns: u64, weight: u64) {
         // Same bracket as `Histogram::bucket_index`: bucket i counts
         // v <= bounds[i]; the trailing bucket is the overflow.
         let idx = self.bounds.partition_point(|&b| b < ns);
-        self.counts[idx] += 1;
-        self.sum_ns += ns;
+        self.counts[idx] += weight;
+        self.sum_ns += ns * weight;
         self.min_ns = if self.count == 0 {
             ns
         } else {
             self.min_ns.min(ns)
         };
         self.max_ns = self.max_ns.max(ns);
-        self.count += 1;
+        self.count += weight;
     }
 
     fn merge(&mut self, other: &LatencyDist) -> Result<(), String> {
@@ -199,9 +202,13 @@ impl StageAgg {
 pub struct WorkloadStats {
     /// Recordings merged into this store.
     pub runs: u64,
-    /// Queries aggregated.
+    /// Queries aggregated — the *weighted* (full-population) estimate:
+    /// each flight record contributes its sampling weight. Equals
+    /// `recorded_queries` for unsampled recordings.
     pub queries: u64,
-    /// Queries answered by a shared-scan batch traversal.
+    /// Flight records actually read (one per persisted line).
+    pub recorded_queries: u64,
+    /// Queries answered by a shared-scan batch traversal (weighted).
     pub batched_queries: u64,
     /// Query count per engine name.
     pub engines: BTreeMap<String, u64>,
@@ -213,6 +220,9 @@ pub struct WorkloadStats {
     pub pruned: u64,
     /// DP cells materialized.
     pub dp_cells: u64,
+    /// Query-side setup time summed over queries, ns (weighted) — one
+    /// input to the per-stage time-share attribution.
+    pub setup_ns: u64,
     /// Per-filter candidate flow: `histogram`, `qgram`, `triangle`.
     pub stages: BTreeMap<String, StageAgg>,
     /// Distribution of per-query end-to-end wall time.
@@ -234,35 +244,67 @@ impl WorkloadStats {
         w
     }
 
+    /// Folds one flight record in. A uniform keep carrying [`Absorbed`]
+    /// sums contributes its own counters plus the *exact* sums of the
+    /// drops it closed over, so flow totals match the full population
+    /// (up to the unclosed trailing run, < `every` queries). A weighted
+    /// record without absorbed sums (tail keeps are weight 1; older
+    /// sampled recordings) falls back to scaling by its weight — as if
+    /// `weight` identical queries had been recorded. Latency
+    /// *distributions* always reweight by run length: drops' individual
+    /// latencies are gone, only their sum survives.
     fn add_record(&mut self, r: &FlightRecord) {
-        self.queries += 1;
-        if r.batch.is_some() {
-            self.batched_queries += 1;
-        }
-        *self.engines.entry(r.engine.clone()).or_insert(0) += 1;
-        self.database_size += r.database_size;
-        self.edr_computed += r.edr_computed;
-        self.pruned += r.pruned;
-        self.dp_cells += r.dp_cells;
-        for (name, cin, cout, ns, pruned) in [
-            ("histogram", r.h_in, r.h_out, r.h_ns, r.pruned_h),
-            ("qgram", r.q_in, r.q_out, r.q_ns, r.pruned_q),
-            ("triangle", r.t_in, r.t_out, r.t_ns, r.pruned_t),
+        let w = r.weight.max(1);
+        let absorbed = r.absorbed.as_ref();
+        let flow = |own: u64, key: &str| match absorbed {
+            Some(a) => own + a.sums.get(key).copied().unwrap_or(0),
+            None => w * own,
+        };
+        self.queries += w;
+        self.recorded_queries += 1;
+        self.batched_queries += match absorbed {
+            Some(a) => u64::from(r.batch.is_some()) + a.batched,
+            None if r.batch.is_some() => w,
+            None => 0,
+        };
+        *self.engines.entry(r.engine.clone()).or_insert(0) += w;
+        self.database_size += flow(r.database_size, "database_size");
+        self.edr_computed += flow(r.edr_computed, "edr_computed");
+        self.pruned += flow(r.pruned, "pruned");
+        self.dp_cells += flow(r.dp_cells, "dp_cells");
+        self.setup_ns += flow(r.setup_ns, "setup_ns");
+        for (name, own, keys) in [
+            (
+                "histogram",
+                (r.h_in, r.h_out, r.h_ns, r.pruned_h),
+                ("h_in", "h_out", "h_ns", "pruned_h"),
+            ),
+            (
+                "qgram",
+                (r.q_in, r.q_out, r.q_ns, r.pruned_q),
+                ("q_in", "q_out", "q_ns", "pruned_q"),
+            ),
+            (
+                "triangle",
+                (r.t_in, r.t_out, r.t_ns, r.pruned_t),
+                ("t_in", "t_out", "t_ns", "pruned_t"),
+            ),
         ] {
             let s = self.stages.entry(name.to_string()).or_default();
-            s.candidates_in += cin;
-            s.candidates_out += cout;
-            s.filter_ns += ns;
-            s.pruned += pruned;
+            s.candidates_in += flow(own.0, keys.0);
+            s.candidates_out += flow(own.1, keys.1);
+            s.filter_ns += flow(own.2, keys.2);
+            s.pruned += flow(own.3, keys.3);
         }
-        self.total_latency.record(r.total_ns);
-        self.refine_latency.record(r.refine_ns);
+        self.total_latency.record_weighted(r.total_ns, w);
+        self.refine_latency.record_weighted(r.refine_ns, w);
     }
 
     /// Merges another store into this one (the `stats merge` operation).
     pub fn merge(&mut self, other: &WorkloadStats) -> Result<(), String> {
         self.runs += other.runs;
         self.queries += other.queries;
+        self.recorded_queries += other.recorded_queries;
         self.batched_queries += other.batched_queries;
         for (engine, n) in &other.engines {
             *self.engines.entry(engine.clone()).or_insert(0) += n;
@@ -271,6 +313,7 @@ impl WorkloadStats {
         self.edr_computed += other.edr_computed;
         self.pruned += other.pruned;
         self.dp_cells += other.dp_cells;
+        self.setup_ns += other.setup_ns;
         for (name, s) in &other.stages {
             let mine = self.stages.entry(name.clone()).or_default();
             mine.candidates_in += s.candidates_in;
@@ -307,6 +350,7 @@ impl WorkloadStats {
             "version": STATS_VERSION,
             "runs": self.runs,
             "queries": self.queries,
+            "recorded_queries": self.recorded_queries,
             "batched_queries": self.batched_queries,
             "engines": Value::Object(engines),
             "database_size": self.database_size,
@@ -314,6 +358,7 @@ impl WorkloadStats {
             "pruned": self.pruned,
             "pruning_power": self.pruning_power(),
             "dp_cells": self.dp_cells,
+            "setup_ns": self.setup_ns,
             "stages": Value::Object(stages),
             "total_latency": self.total_latency.to_json(),
             "refine_latency": self.refine_latency.to_json(),
@@ -352,12 +397,19 @@ impl WorkloadStats {
         Ok(WorkloadStats {
             runs: u("runs"),
             queries: u("queries"),
+            // Stores written before sampling existed have no
+            // recorded_queries key; there every query was recorded.
+            recorded_queries: v
+                .get("recorded_queries")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| u("queries")),
             batched_queries: u("batched_queries"),
             engines,
             database_size: u("database_size"),
             edr_computed: u("edr_computed"),
             pruned: u("pruned"),
             dp_cells: u("dp_cells"),
+            setup_ns: u("setup_ns"),
             stages,
             total_latency: LatencyDist::from_json(
                 v.get("total_latency").ok_or("missing total_latency")?,
@@ -370,13 +422,57 @@ impl WorkloadStats {
         })
     }
 
+    /// Fraction of aggregate wall time in each stage, in a fixed order:
+    /// `setup`, `histogram`, `qgram`, `triangle`, `refine`, `other`
+    /// (the unattributed remainder). All zeros when nothing was
+    /// recorded. Shares are ratios of weighted sums, so a tail-sampled
+    /// store attributes time like its full-population counterpart.
+    pub fn time_shares(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total_latency.sum_ns;
+        let stage = |name: &str| self.stages.get(name).map(|s| s.filter_ns).unwrap_or(0);
+        let attributed = self.setup_ns
+            + stage("histogram")
+            + stage("qgram")
+            + stage("triangle")
+            + self.refine_latency.sum_ns;
+        let share = |ns: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                ns as f64 / total as f64
+            }
+        };
+        vec![
+            ("setup", share(self.setup_ns)),
+            ("histogram", share(stage("histogram"))),
+            ("qgram", share(stage("qgram"))),
+            ("triangle", share(stage("triangle"))),
+            ("refine", share(self.refine_latency.sum_ns)),
+            ("other", share(total.saturating_sub(attributed))),
+        ]
+    }
+
     /// Renders the human-readable `stats show` table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "workload stats  runs={}  queries={} ({} batched)\n",
-            self.runs, self.queries, self.batched_queries
-        ));
+        if self.recorded_queries == self.queries {
+            out.push_str(&format!(
+                "workload stats  runs={}  queries={} ({} batched)\n",
+                self.runs, self.queries, self.batched_queries
+            ));
+        } else {
+            // Tail-sampled input: the totals are reweighted estimates.
+            out.push_str(&format!(
+                "workload stats  runs={}  queries=~{} (reweighted from {} sampled records, {} batched)\n",
+                self.runs, self.queries, self.recorded_queries, self.batched_queries
+            ));
+        }
+        if self.queries == 0 {
+            // A header-only recording: nothing to aggregate, and none of
+            // the ratio lines below would be meaningful.
+            out.push_str("  (no queries recorded)\n");
+            return out;
+        }
         for (engine, n) in &self.engines {
             out.push_str(&format!("  engine {engine}: {n} queries\n"));
         }
@@ -445,23 +541,41 @@ pub struct DiffReport {
     pub rows: Vec<DiffRow>,
     /// Latency tolerance used (relative factor on percentiles).
     pub latency_tolerance: f64,
+    /// Relative tolerance applied to workload-shape quantities (0 means
+    /// exact up to float noise).
+    pub shape_tolerance: f64,
 }
 
 impl DiffReport {
-    /// Compares two stores. Workload-shape quantities (query counts,
-    /// candidate flow, selectivity, pruning power) must match almost
-    /// exactly — two recordings of the same workload prune identically.
-    /// Latency percentiles are compared with the relative
-    /// `latency_tolerance` (e.g. `0.5` allows ±50%), since wall time is
-    /// machine- and run-dependent.
+    /// Compares two stores with exact shape matching — see
+    /// [`Self::compare_with`]; this is `compare_with(a, b, tol, 0.0)`.
     pub fn compare(a: &WorkloadStats, b: &WorkloadStats, latency_tolerance: f64) -> Self {
+        Self::compare_with(a, b, latency_tolerance, 0.0)
+    }
+
+    /// Compares two stores. Workload-shape quantities (query counts,
+    /// candidate flow, selectivity, pruning power) are compared with the
+    /// relative `shape_tolerance` — 0 demands an effectively exact match
+    /// (two full recordings of the same workload prune identically),
+    /// while a few percent absorbs the reweighting variance of a
+    /// tail-sampled recording against its full counterpart. Latency
+    /// percentiles are compared with the relative `latency_tolerance`
+    /// (e.g. `0.5` allows ±50%), since wall time is machine- and
+    /// run-dependent.
+    pub fn compare_with(
+        a: &WorkloadStats,
+        b: &WorkloadStats,
+        latency_tolerance: f64,
+        shape_tolerance: f64,
+    ) -> Self {
         let mut rows = Vec::new();
+        let shape_tol = shape_tolerance.max(1e-9);
         let mut exact = |metric: &str, x: f64, y: f64| {
             rows.push(DiffRow {
                 metric: metric.to_string(),
                 a: x,
                 b: y,
-                drifted: (x - y).abs() > 1e-9 * x.abs().max(y.abs()).max(1.0),
+                drifted: (x - y).abs() > shape_tol * x.abs().max(y.abs()).max(1.0),
             });
         };
         exact("queries", a.queries as f64, b.queries as f64);
@@ -509,6 +623,7 @@ impl DiffReport {
         DiffReport {
             rows,
             latency_tolerance,
+            shape_tolerance,
         }
     }
 
@@ -535,12 +650,105 @@ impl DiffReport {
         }
         if self.drifted() {
             out.push_str("verdict: SIGNIFICANT DRIFT\n");
+        } else if self.shape_tolerance > 0.0 {
+            out.push_str(&format!(
+                "verdict: no significant drift (shape tolerance ±{:.0}%, latency tolerance ±{:.0}%)\n",
+                self.shape_tolerance * 100.0,
+                self.latency_tolerance * 100.0
+            ));
         } else {
             out.push_str(&format!(
                 "verdict: no significant drift (latency tolerance ±{:.0}%)\n",
                 self.latency_tolerance * 100.0
             ));
         }
+        out
+    }
+}
+
+/// One stage's latency share in each of two workloads, for drift
+/// attribution: which stage's slice of total latency moved the most.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Stage name (`setup`, `histogram`, `qgram`, `triangle`, `refine`,
+    /// `other`).
+    pub stage: &'static str,
+    /// Share of total latency in workload `a` (0..=1).
+    pub share_a: f64,
+    /// Share of total latency in workload `b` (0..=1).
+    pub share_b: f64,
+}
+
+impl AttributionRow {
+    /// Signed share movement, `b` minus `a` (in share units, not points).
+    pub fn delta(&self) -> f64 {
+        self.share_b - self.share_a
+    }
+}
+
+/// Localizes a latency regression to a pipeline stage by comparing the
+/// per-stage time shares of two workloads: the stage whose share of
+/// total latency moved the most is the prime suspect. Shares (rather
+/// than absolute times) cancel machine-speed differences between the
+/// two runs, so the attribution survives comparing recordings from
+/// different hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// All stages, sorted by absolute share movement, largest first.
+    pub rows: Vec<AttributionRow>,
+}
+
+impl Attribution {
+    /// Compares the per-stage time shares of `a` and `b`.
+    pub fn compare(a: &WorkloadStats, b: &WorkloadStats) -> Self {
+        let sa = a.time_shares();
+        let sb = b.time_shares();
+        let mut rows: Vec<AttributionRow> = sa
+            .iter()
+            .zip(sb.iter())
+            .map(|(&(stage, share_a), &(_, share_b))| AttributionRow {
+                stage,
+                share_a,
+                share_b,
+            })
+            .collect();
+        rows.sort_by(|x, y| {
+            y.delta()
+                .abs()
+                .partial_cmp(&x.delta().abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Attribution { rows }
+    }
+
+    /// The stage whose time share moved the most.
+    pub fn culprit(&self) -> &AttributionRow {
+        &self.rows[0]
+    }
+
+    /// Renders the attribution table: per-stage shares in percent, the
+    /// movement in percentage points, and a callout naming the culprit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>9} {:>9}\n",
+            "stage", "a share", "b share", "Δ pts"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>8.1}% {:>8.1}% {:>+9.1}\n",
+                r.stage,
+                r.share_a * 100.0,
+                r.share_b * 100.0,
+                r.delta() * 100.0
+            ));
+        }
+        let c = self.culprit();
+        out.push_str(&format!(
+            "largest shift: {} ({:+.1} pts of total latency)\n",
+            c.stage,
+            c.delta() * 100.0
+        ));
         out
     }
 }
@@ -582,6 +790,7 @@ pub fn read_stats_input(path: &str) -> Result<WorkloadStats, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::Absorbed;
 
     fn sample_record(seq: u64, total_ns: u64) -> FlightRecord {
         FlightRecord {
@@ -611,7 +820,47 @@ mod tests {
             total_ns,
             scratch_reuses: seq,
             neighbors: vec![(1, 0), (2, 3)],
+            weight: 1,
+            sampled: None,
+            absorbed: None,
         }
+    }
+
+    /// The exact aggregate a uniform keep would carry for these drops —
+    /// mirrors the recorder's fold over the wire fields.
+    fn absorb(records: &[FlightRecord]) -> Absorbed {
+        let mut a = Absorbed::default();
+        for r in records {
+            a.queries += 1;
+            a.batched += u64::from(r.batch.is_some());
+            for (k, v) in [
+                ("query_len", r.query_len),
+                ("k", r.k),
+                ("database_size", r.database_size),
+                ("edr_computed", r.edr_computed),
+                ("pruned", r.pruned),
+                ("dp_cells", r.dp_cells),
+                ("setup_ns", r.setup_ns),
+                ("h_in", r.h_in),
+                ("h_out", r.h_out),
+                ("h_ns", r.h_ns),
+                ("pruned_h", r.pruned_h),
+                ("q_in", r.q_in),
+                ("q_out", r.q_out),
+                ("q_ns", r.q_ns),
+                ("pruned_q", r.pruned_q),
+                ("t_in", r.t_in),
+                ("t_out", r.t_out),
+                ("t_ns", r.t_ns),
+                ("pruned_t", r.pruned_t),
+                ("refine_ns", r.refine_ns),
+                ("total_ns", r.total_ns),
+                ("scratch_reuses", r.scratch_reuses),
+            ] {
+                *a.sums.entry(k.to_string()).or_insert(0) += v;
+            }
+        }
+        a
     }
 
     fn sample_recording(n: u64, base_ns: u64) -> Recording {
@@ -717,6 +966,167 @@ mod tests {
                 .any(|row| row.metric.starts_with("query p") && row.drifted),
             "{r}"
         );
+    }
+
+    #[test]
+    fn weighted_records_reweight_to_population_estimates() {
+        // A sampled recording where one kept record stands in for four
+        // population queries must aggregate like four copies of it —
+        // except recorded_queries (actual lines) and the exact min/max.
+        let mut sampled = sample_recording(3, 10_000);
+        sampled.records[1].weight = 4;
+        sampled.records[1].sampled = Some("uniform".into());
+        let mut full = sample_recording(3, 10_000);
+        for _ in 0..3 {
+            full.records.push(full.records[1].clone());
+        }
+        let ws = WorkloadStats::from_recording(&sampled);
+        let wf = WorkloadStats::from_recording(&full);
+        assert_eq!(ws.queries, 6);
+        assert_eq!(ws.recorded_queries, 3);
+        assert_eq!(wf.recorded_queries, 6);
+        assert_eq!(ws.edr_computed, wf.edr_computed);
+        assert_eq!(ws.stages, wf.stages);
+        assert_eq!(ws.total_latency.sum_ns, wf.total_latency.sum_ns);
+        assert_eq!(ws.total_latency.count, wf.total_latency.count);
+        assert_eq!(
+            ws.total_latency.quantile(0.95),
+            wf.total_latency.quantile(0.95)
+        );
+        let rendered = ws.render();
+        assert!(
+            rendered.contains("reweighted from 3 sampled records"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn absorbed_sums_make_reweighted_flow_totals_exact() {
+        // A heterogeneous workload where per-record values vary wildly —
+        // exactly the case where scaling one keep by its weight gets
+        // flow totals badly wrong. With absorbed sums, the sampled
+        // store's flows must equal the full store's *exactly*.
+        let mut full = sample_recording(9, 10_000);
+        for (i, r) in full.records.iter_mut().enumerate() {
+            let i = i as u64;
+            r.edr_computed = 10 + 17 * i;
+            r.pruned = 90 + 3 * i * i;
+            r.database_size = r.edr_computed + r.pruned;
+            r.h_out = 30 + 11 * i;
+            r.h_ns = 100 + 333 * i;
+            r.dp_cells = 1_000 * (i + 1);
+        }
+        let mut sampled = Recording {
+            version: 1,
+            meta: json!({}),
+            records: Vec::new(),
+        };
+        for chunk in full.records.chunks(3) {
+            let mut keep = chunk[2].clone();
+            keep.weight = 3;
+            keep.sampled = Some("uniform".into());
+            keep.absorbed = Some(absorb(&chunk[..2]));
+            sampled.records.push(keep);
+        }
+        let wf = WorkloadStats::from_recording(&full);
+        let ws = WorkloadStats::from_recording(&sampled);
+        assert_eq!(ws.queries, wf.queries);
+        assert_eq!(ws.recorded_queries, 3);
+        assert_eq!(ws.batched_queries, wf.batched_queries);
+        assert_eq!(ws.database_size, wf.database_size);
+        assert_eq!(ws.edr_computed, wf.edr_computed);
+        assert_eq!(ws.pruned, wf.pruned);
+        assert_eq!(ws.dp_cells, wf.dp_cells);
+        assert_eq!(ws.setup_ns, wf.setup_ns);
+        assert_eq!(ws.stages, wf.stages);
+        assert_eq!(ws.pruning_power(), wf.pruning_power());
+        // An exact-flow sampled store passes even a zero-shape-tolerance
+        // diff against its full counterpart (latencies aside).
+        let d = DiffReport::compare(&wf, &ws, 1.0);
+        assert!(!d.drifted(), "{}", d.render());
+    }
+
+    #[test]
+    fn zero_query_stats_render_without_panicking() {
+        let w = WorkloadStats::from_recording(&sample_recording(0, 0));
+        assert_eq!(w.queries, 0);
+        assert_eq!(w.total_latency.quantile(0.99), 0.0);
+        assert_eq!(w.total_latency.mean(), 0.0);
+        let rendered = w.render();
+        assert!(rendered.contains("no queries recorded"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        // A zero-query store still round-trips.
+        let back = WorkloadStats::from_json(&w.to_json()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn from_json_defaults_recorded_queries_for_old_stores() {
+        // Stores written before sampling existed lack the key; the
+        // parser falls back to `queries` (every record had weight 1).
+        let w = WorkloadStats::from_recording(&sample_recording(5, 4_000));
+        let doc = w.to_json();
+        let mut stripped = serde_json::Map::new();
+        for (key, value) in doc.as_object().unwrap().iter() {
+            if key != "recorded_queries" {
+                stripped.insert(key.clone(), value.clone());
+            }
+        }
+        let back = WorkloadStats::from_json(&Value::Object(stripped)).unwrap();
+        assert_eq!(back.recorded_queries, w.queries);
+    }
+
+    #[test]
+    fn shape_tolerance_absorbs_small_reweighting_variance() {
+        let a = WorkloadStats::from_recording(&sample_recording(8, 10_000));
+        let mut near = sample_recording(8, 10_000);
+        for r in &mut near.records {
+            r.edr_computed += 1; // ~2% flow wobble, as reweighting causes
+        }
+        let b = WorkloadStats::from_recording(&near);
+        assert!(DiffReport::compare(&a, &b, 1.0).drifted());
+        let d = DiffReport::compare_with(&a, &b, 1.0, 0.05);
+        assert!(!d.drifted(), "{}", d.render());
+        assert!(d.render().contains("shape tolerance ±5%"));
+    }
+
+    #[test]
+    fn attribution_names_the_stage_that_slowed_down() {
+        let a = WorkloadStats::from_recording(&sample_recording(8, 10_000));
+        let mut slowed = sample_recording(8, 10_000);
+        for r in &mut slowed.records {
+            // Inject a histogram-stage slowdown: its time grows by 50×
+            // and the total grows by the same absolute amount.
+            let extra = r.h_ns * 49;
+            r.h_ns += extra;
+            r.total_ns += extra;
+        }
+        let b = WorkloadStats::from_recording(&slowed);
+        let attr = Attribution::compare(&a, &b);
+        assert_eq!(attr.culprit().stage, "histogram");
+        assert!(attr.culprit().delta() > 0.0);
+        let rendered = attr.render();
+        assert!(rendered.contains("largest shift: histogram"), "{rendered}");
+        // Identical workloads attribute nothing in particular: every
+        // delta is zero.
+        let none = Attribution::compare(&a, &a);
+        assert!(none.rows.iter().all(|r| r.delta() == 0.0));
+    }
+
+    #[test]
+    fn time_shares_cover_the_pipeline_and_sum_to_one() {
+        let w = WorkloadStats::from_recording(&sample_recording(6, 10_000));
+        let shares = w.time_shares();
+        let names: Vec<&str> = shares.iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            ["setup", "histogram", "qgram", "triangle", "refine", "other"]
+        );
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        // Zero-query stats: all shares zero, no NaN.
+        let empty = WorkloadStats::from_recording(&sample_recording(0, 0));
+        assert!(empty.time_shares().iter().all(|&(_, s)| s == 0.0));
     }
 
     #[test]

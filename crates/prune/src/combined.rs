@@ -3,7 +3,7 @@
 use crate::batch::{amortize, finish_batch, merge_partials, next_batch_id};
 use crate::histogram_knn::HistogramVariant;
 use crate::result::{
-    elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
+    elapsed_ns, finalize_query, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
 };
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
@@ -840,10 +840,15 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                 result.offer(id, d);
             }
         });
-        stats.timings.total_ns = elapsed_ns(t_query);
-        let neighbors = result.into_neighbors();
-        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
-        KnnResult { neighbors, stats }
+        finalize_query(
+            &self.name(),
+            query.len(),
+            k,
+            None,
+            t_query,
+            result.into_neighbors(),
+            stats,
+        )
     }
 
     fn name(&self) -> String {

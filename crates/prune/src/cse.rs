@@ -17,7 +17,7 @@
 //! hope for, so our ablation is an upper bound on CSE's usefulness (and it
 //! still prunes essentially nothing; see the `cse_ablation` bench).
 
-use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finalize_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
 use trajsim_distance::{with_workspace, EdrWorkspace, QueryContext};
@@ -183,10 +183,15 @@ impl<const D: usize> KnnEngine<D> for CseKnn<'_, D> {
         });
         stats.timings.triangle.candidates_in = stats.database_size;
         stats.timings.triangle.candidates_out = stats.database_size - stats.pruned_by_triangle;
-        stats.timings.total_ns = elapsed_ns(t_query);
-        let neighbors = result.into_neighbors();
-        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
-        KnnResult { neighbors, stats }
+        finalize_query(
+            &self.name(),
+            query.len(),
+            k,
+            None,
+            t_query,
+            result.into_neighbors(),
+            stats,
+        )
     }
 
     fn name(&self) -> String {

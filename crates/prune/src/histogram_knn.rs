@@ -1,6 +1,6 @@
 //! Histogram-distance pruning (§4.3, Figures 9–10).
 
-use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finalize_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
 use trajsim_distance::{with_workspace, QueryContext};
@@ -224,10 +224,15 @@ impl<const D: usize> KnnEngine<D> for HistogramKnn<'_, D> {
         });
         stats.timings.histogram.candidates_in = stats.database_size;
         stats.timings.histogram.candidates_out = stats.database_size - stats.pruned_by_histogram;
-        stats.timings.total_ns = elapsed_ns(t_query);
-        let neighbors = result.into_neighbors();
-        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
-        KnnResult { neighbors, stats }
+        finalize_query(
+            &self.name(),
+            query.len(),
+            k,
+            None,
+            t_query,
+            result.into_neighbors(),
+            stats,
+        )
     }
 
     fn name(&self) -> String {

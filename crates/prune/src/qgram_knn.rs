@@ -1,7 +1,7 @@
 //! Mean-value Q-gram pruning (§4.1): the four implementation variants
 //! compared in Figures 7–8.
 
-use crate::result::{elapsed_ns, finish_query, KnnEngine, KnnResult, QueryStats, ResultSet};
+use crate::result::{elapsed_ns, finalize_query, KnnEngine, KnnResult, QueryStats, ResultSet};
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
 use trajsim_distance::{with_workspace, QueryContext};
@@ -250,10 +250,15 @@ impl<const D: usize> KnnEngine<D> for QgramKnn<'_, D> {
         });
         stats.timings.qgram.candidates_in = stats.database_size;
         stats.timings.qgram.candidates_out = stats.database_size - stats.pruned_by_qgram;
-        stats.timings.total_ns = elapsed_ns(t_query);
-        let neighbors = result.into_neighbors();
-        finish_query(&self.name(), query.len(), k, None, &neighbors, &stats);
-        KnnResult { neighbors, stats }
+        finalize_query(
+            &self.name(),
+            query.len(),
+            k,
+            None,
+            t_query,
+            result.into_neighbors(),
+            stats,
+        )
     }
 
     fn name(&self) -> String {

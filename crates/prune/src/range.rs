@@ -4,7 +4,7 @@
 //! because "in most cases, users may not know the range a priori"; the
 //! range form is still useful (and simpler), so it is provided here.
 
-use crate::result::{elapsed_ns, finish_query, Neighbor, QueryStats};
+use crate::result::{elapsed_ns, finalize_query, Neighbor, QueryStats};
 use std::time::Instant;
 use trajsim_core::{Dataset, MatchThreshold, Trajectory};
 use trajsim_distance::{with_workspace, QueryContext};
@@ -77,9 +77,8 @@ pub fn range_query<const D: usize>(
         }
     });
     hits.sort_by(|a, b| a.dist.cmp(&b.dist).then(a.id.cmp(&b.id)));
-    stats.timings.total_ns = elapsed_ns(t_query);
-    finish_query("range", query.len(), hits.len(), None, &hits, &stats);
-    hits
+    let k = hits.len();
+    finalize_query("range", query.len(), k, None, t_query, hits, stats).neighbors
 }
 
 #[cfg(test)]

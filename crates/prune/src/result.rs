@@ -294,6 +294,10 @@ pub(crate) fn finish_query(
     m.counter("knn.dp_cells").add(stats.dp_cells);
     m.histogram("knn.query_ns").record(stats.timings.total_ns);
     m.histogram("knn.refine_ns").record(stats.timings.refine_ns);
+    // Tick the metrics time series (one relaxed load when none is
+    // installed) — outside the Debug gate, because the timeline must
+    // advance in always-on production configurations too.
+    trajsim_obs::timeline::note_query();
     if trajsim_obs::enabled(trajsim_obs::Level::Debug) {
         let t = &stats.timings;
         if t.setup_ns > 0 {
@@ -402,6 +406,25 @@ pub(crate) fn finish_query(
 #[inline]
 pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The shared end-of-query epilogue: stamps the query's total wall time
+/// from its start instant, runs [`finish_query`] (metrics, spans, flight
+/// record), and packages the [`KnnResult`]. Every per-query engine path
+/// ends here; the shared-work batched paths keep their own epilogue
+/// because they amortize timings across the batch before reporting.
+pub(crate) fn finalize_query(
+    engine: &str,
+    query_len: usize,
+    k: usize,
+    batch_id: Option<u64>,
+    started: std::time::Instant,
+    neighbors: Vec<Neighbor>,
+    mut stats: QueryStats,
+) -> KnnResult {
+    stats.timings.total_ns = elapsed_ns(started);
+    finish_query(engine, query_len, k, batch_id, &neighbors, &stats);
+    KnnResult { neighbors, stats }
 }
 
 /// The result of a k-NN query: up to `k` neighbours in ascending distance

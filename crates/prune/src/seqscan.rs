@@ -2,7 +2,7 @@
 
 use crate::batch::{amortize, finish_batch, merge_partials, next_batch_id};
 use crate::result::{
-    elapsed_ns, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
+    elapsed_ns, finalize_query, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -85,15 +85,20 @@ impl<'a, const D: usize> SequentialScan<'a, D> {
     pub fn knn_coords<Q: CoordSeq<D>>(&self, query: Q, k: usize) -> KnnResult {
         let t_query = Instant::now();
         let ctx = QueryContext::new(query, self.eps);
-        let mut r =
-            if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
-                self.knn_parallel(&ctx, k)
-            } else {
-                self.knn_serial(&ctx, k)
-            };
-        r.stats.timings.total_ns = elapsed_ns(t_query);
-        finish_query(&self.name(), ctx.len(), k, None, &r.neighbors, &r.stats);
-        r
+        let r = if self.parallel && self.dataset.len() > 1 && trajsim_parallel::num_threads() > 1 {
+            self.knn_parallel(&ctx, k)
+        } else {
+            self.knn_serial(&ctx, k)
+        };
+        finalize_query(
+            &self.name(),
+            ctx.len(),
+            k,
+            None,
+            t_query,
+            r.neighbors,
+            r.stats,
+        )
     }
 
     fn knn_serial(&self, ctx: &QueryContext<D>, k: usize) -> KnnResult {
