@@ -523,6 +523,35 @@ fn run_obs(cfg: &GuardConfig) -> SuiteRun {
             std::hint::black_box(record.name);
         }
     }
+    // The live telemetry endpoint, for the endpoint-under-scrape-load
+    // case: one server on an ephemeral port plus a scraper thread that
+    // GETs /metrics on a 10ms cadence — but only while the flag is up,
+    // so the anchor and the other cases run unloaded. 100 scrapes/s is
+    // ~1500x a default Prometheus interval; a sleepless hammer loop is
+    // deliberately not used because on a single-core box it measures
+    // CPU contention with the scraper *client*, not the endpoint.
+    // Serving failures (no loopback in some sandboxes) degrade the
+    // case to bare workload rather than failing the suite.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let server = trajsim_obs::serve("127.0.0.1:0", trajsim_obs::metrics::global()).ok();
+    let scrape_active = std::sync::Arc::new(AtomicBool::new(false));
+    let scraper_stop = std::sync::Arc::new(AtomicBool::new(false));
+    let scraper = server.as_ref().map(|s| {
+        let addr = s.addr().to_string();
+        let active = std::sync::Arc::clone(&scrape_active);
+        let stop = std::sync::Arc::clone(&scraper_stop);
+        std::thread::spawn(move || {
+            let timeout = std::time::Duration::from_secs(1);
+            while !stop.load(Ordering::Relaxed) {
+                if active.load(Ordering::Relaxed) {
+                    let _ = std::hint::black_box(trajsim_obs::http_get(&addr, "/metrics", timeout));
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        })
+    });
     let cases: Vec<Case<'_>> = vec![
         Case {
             name: "seqscan_plain".into(),
@@ -571,8 +600,30 @@ fn run_obs(cfg: &GuardConfig) -> SuiteRun {
                 Some(acc)
             }),
         },
+        Case {
+            name: "seqscan_scraped".into(),
+            work: Box::new(|| {
+                // Telemetry endpoint under scrape load: the scraper
+                // thread hits GET /metrics continuously while the
+                // workload runs (the ≤2% endpoint budget). If the
+                // server failed to bind, the flag flips but nobody
+                // reads it and the case degenerates to bare workload.
+                scrape_active.store(true, Ordering::Relaxed);
+                let acc = workload();
+                scrape_active.store(false, Ordering::Relaxed);
+                Some(acc)
+            }),
+        },
     ];
-    measure(cases, "seqscan_plain", "obs", cfg)
+    let run = measure(cases, "seqscan_plain", "obs", cfg);
+    scraper_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = scraper {
+        let _ = handle.join();
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    run
 }
 
 // ---------------------------------------------------------------------
@@ -889,17 +940,21 @@ mod tests {
                 "seqscan_plain",
                 "seqscan_traced",
                 "seqscan_recorded",
-                "seqscan_sampled"
+                "seqscan_sampled",
+                "seqscan_scraped"
             ]
         );
-        // All four cases answered the same workload: the counters are
-        // deterministic and must agree regardless of telemetry state.
+        // All five cases answered the same workload: the counters are
+        // deterministic and must agree regardless of telemetry state
+        // or concurrent scrape load.
         let plain = run.cases[0].stats.as_ref().unwrap();
         let recorded = run.cases[2].stats.as_ref().unwrap();
         let sampled = run.cases[3].stats.as_ref().unwrap();
+        let scraped = run.cases[4].stats.as_ref().unwrap();
         assert_eq!(plain.edr_computed, recorded.edr_computed);
         assert_eq!(plain.database_size, recorded.database_size);
         assert_eq!(plain.edr_computed, sampled.edr_computed);
+        assert_eq!(plain.edr_computed, scraped.edr_computed);
         // And the timed closures put the globals back.
         assert_eq!(trajsim_obs::level(), trajsim_obs::Level::Off);
     }

@@ -35,6 +35,8 @@ commands:
   range    <file> --query I --edits K [--eps E]
   replay   <recording> [--max-drift F] [--check]
   slow     <recording> [--top N]
+  slo      check <spec> <recording|store|timeline>
+  watch    <addr> [--every S] [--count N]
   cluster  <file> [--k K] [--eps E] [--tree]
 
 engines: scan|qgram|histogram|triangle|combined (default: combined)
@@ -60,8 +62,23 @@ global options:
   --timeline-every N    metrics-timeline interval in queries (default 64;
                         the timeline is written next to --metrics-out as
                         FILE.timeline.json)
+  --serve-metrics ADDR  live telemetry endpoint while the command runs:
+                        GET /metrics (Prometheus text), /healthz (JSON
+                        liveness), /timeline (the live metrics ring);
+                        port 0 picks an ephemeral port (printed)
+  --serve-hold SECS     keep the endpoint up SECS seconds after the
+                        command finishes (outputs are already written),
+                        so a scraper can collect the final state
 
 files: .csv (long format: traj_id,t,c0,c1) or .bin (trajsim binary)";
+
+/// Every subcommand `dispatch` recognizes — the source of truth the
+/// USAGE-drift test checks, so a new arm cannot land without help text.
+#[cfg(test)]
+const COMMANDS: &[&str] = &[
+    "generate", "convert", "stats", "knn", "explain", "range", "replay", "slow", "slo", "watch",
+    "cluster",
+];
 
 /// Fails fast when an output path cannot be created, naming the flag
 /// that carried it — an unwritable path is a clean error before the
@@ -80,6 +97,14 @@ struct Telemetry {
     profile: Option<(String, String, Arc<ProfileCollector>)>,
     record: Option<(String, Arc<FlightRecorder>)>,
     timeline: Option<(String, Arc<trajsim_obs::Timeline>)>,
+    /// The live telemetry endpoint (`--serve-metrics ADDR`) and how many
+    /// seconds to hold it open after the command finishes
+    /// (`--serve-hold`). Started here in `from_args` — NOT in
+    /// `install()`, which `replay` re-runs mid-command and would
+    /// double-bind — and shut down gracefully at the end of `finish()`,
+    /// after every output file is written, so a scraper holding the
+    /// endpoint open sees the same final counters `--metrics-out` got.
+    serve: Option<(trajsim_obs::ServerHandle, u64)>,
 }
 
 /// Where the metrics timeline goes: next to `--metrics-out FILE`, named
@@ -160,11 +185,30 @@ impl Telemetry {
             }
             None => None,
         };
+        let serve = match parsed.get("serve-metrics") {
+            Some(addr) => {
+                let hold: u64 = parsed.get_or("serve-hold", 0u64)?;
+                let handle = trajsim_obs::serve(addr, trajsim_obs::metrics::global())
+                    .map_err(|e| format!("option --serve-metrics: {e}"))?;
+                // To stdout: under --trace, stderr must stay pure JSON
+                // lines. With port 0 this is the only place the picked
+                // ephemeral port is reported.
+                println!("telemetry endpoint: http://{}/metrics", handle.addr());
+                Some((handle, hold))
+            }
+            None => {
+                if parsed.get("serve-hold").is_some() {
+                    return Err("option --serve-hold: requires --serve-metrics ADDR".into());
+                }
+                None
+            }
+        };
         Ok(Telemetry {
             trace_level,
             profile,
             record,
             timeline,
+            serve,
         })
     }
 
@@ -270,6 +314,16 @@ impl Telemetry {
                 }
             }
         }
+        // Last: every output above is already on disk, so a scraper
+        // using the hold window sees the run's final state. Shutdown is
+        // graceful — an in-flight scrape finishes before the join.
+        if let Some((server, hold)) = &self.serve {
+            if *hold > 0 {
+                println!("telemetry endpoint: holding {hold}s before shutdown");
+                std::thread::sleep(std::time::Duration::from_secs(*hold));
+            }
+            server.shutdown();
+        }
         result
     }
 }
@@ -290,6 +344,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("range") => range(&parsed, &telemetry),
         Some("replay") => replay(&parsed, &telemetry),
         Some("slow") => slow(&parsed),
+        Some("slo") => slo(&parsed),
+        Some("watch") => watch(&parsed),
         Some("cluster") => cluster(&parsed),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
@@ -458,6 +514,148 @@ fn slow(parsed: &Parsed) -> Result<(), String> {
     let rec = Recording::read(path)?;
     print!("{}", SlowReport::from_recording(&rec, top).render());
     Ok(())
+}
+
+/// `trajsim slo ...`: service-level-objective tooling. Only `check` for
+/// now; the subcommand level leaves room for `slo render`-style tools.
+fn slo(parsed: &Parsed) -> Result<(), String> {
+    match parsed.positional(1) {
+        Some("check") => slo_check(parsed),
+        Some(other) => Err(format!(
+            "slo: unknown subcommand {other:?} (expected check)"
+        )),
+        None => Err("slo: missing subcommand (usage: trajsim slo check <spec> \
+                     <recording|store|timeline>)"
+            .into()),
+    }
+}
+
+/// `trajsim slo check <spec> <input>`: evaluates an SLO spec against a
+/// flight recording, a stats store, or a metrics timeline, and exits
+/// nonzero on violation — the CI gate. The input kind is detected from
+/// its `format` field: a timeline document gets the sliding burn-rate
+/// windows, anything else goes through `read_stats_input`.
+fn slo_check(parsed: &Parsed) -> Result<(), String> {
+    let spec_path = parsed.positional(2).ok_or("slo check: missing spec file")?;
+    let input = parsed
+        .positional(3)
+        .ok_or("slo check: missing input (a recording, stats store, or timeline)")?;
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("slo check: open {spec_path}: {e}"))?;
+    let spec =
+        trajsim_profile::SloSpec::parse(&spec_text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let input_text =
+        std::fs::read_to_string(input).map_err(|e| format!("slo check: open {input}: {e}"))?;
+    let timeline_doc = serde_json::from_str(&input_text).ok().filter(|doc| {
+        doc.get("format").and_then(serde_json::Value::as_str) == Some(trajsim_obs::TIMELINE_FORMAT)
+    });
+    let report = match timeline_doc {
+        Some(doc) => {
+            trajsim_profile::evaluate_timeline(&spec, &doc).map_err(|e| format!("{input}: {e}"))?
+        }
+        None => trajsim_profile::evaluate_stats(&spec, &read_stats_input(input)?),
+    };
+    print!("{}", report.render());
+    if report.violated() {
+        return Err(format!("slo check: {input} violates {spec_path}"));
+    }
+    Ok(())
+}
+
+/// `trajsim watch ADDR`: polls a `--serve-metrics` endpoint and prints
+/// one line per interval — qps, p99 latency, and the dominant stage —
+/// computed by diffing successive `/metrics` scrapes (counter deltas,
+/// histogram bucket deltas through the shared quantile estimator).
+fn watch(parsed: &Parsed) -> Result<(), String> {
+    let addr = parsed
+        .positional(1)
+        .ok_or("watch: missing ADDR (host:port of a --serve-metrics endpoint)")?;
+    let every: f64 = parsed.get_or("every", 2.0f64)?;
+    if !(every > 0.0 && every.is_finite()) {
+        return Err("option --every: must be a positive number of seconds".into());
+    }
+    let count: u64 = parsed.get_or("count", 0u64)?; // 0 = until interrupted
+    let timeout = std::time::Duration::from_secs(5);
+    let scrape = || -> Result<trajsim_obs::exposition::Scrape, String> {
+        let (status, body) = trajsim_obs::http_get(addr, "/metrics", timeout)?;
+        if status != 200 {
+            return Err(format!("watch: {addr}/metrics answered HTTP {status}"));
+        }
+        trajsim_obs::exposition::parse(&body).map_err(|e| format!("watch: {addr}: {e}"))
+    };
+    let mut prev = scrape()?;
+    let mut prev_t = std::time::Instant::now();
+    let mut printed = 0u64;
+    while count == 0 || printed < count {
+        std::thread::sleep(std::time::Duration::from_secs_f64(every));
+        let cur = scrape()?;
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(prev_t).as_secs_f64().max(1e-9);
+        println!("{}", watch_line(&prev, &cur, dt));
+        prev = cur;
+        prev_t = now;
+        printed += 1;
+    }
+    Ok(())
+}
+
+/// One `watch` rollup line from two consecutive scrapes `dt` seconds
+/// apart. Pure so the interval arithmetic is unit-testable without a
+/// live endpoint.
+fn watch_line(
+    prev: &trajsim_obs::exposition::Scrape,
+    cur: &trajsim_obs::exposition::Scrape,
+    dt: f64,
+) -> String {
+    let delta = |name: &str| -> u64 {
+        cur.sample_u64(name)
+            .unwrap_or(0)
+            .saturating_sub(prev.sample_u64(name).unwrap_or(0))
+    };
+    let queries = delta("knn_queries_total");
+    let total = cur.sample_u64("knn_queries_total").unwrap_or(0);
+    if queries == 0 {
+        return format!("idle: 0 queries this interval ({total} total)");
+    }
+    let qps = queries as f64 / dt;
+    // p99 of this interval: the bucket deltas of knn.query_ns.
+    let p99 = match (
+        cur.histograms.get("knn_query_ns"),
+        prev.histograms.get("knn_query_ns"),
+    ) {
+        (Some(c), Some(p)) if c.bounds == p.bounds && c.counts.len() == p.counts.len() => {
+            let deltas: Vec<u64> = c
+                .counts
+                .iter()
+                .zip(&p.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect();
+            trajsim_obs::metrics::quantile_from_buckets(&c.bounds, &deltas, 0.99)
+        }
+        (Some(c), None) => trajsim_obs::metrics::quantile_from_buckets(&c.bounds, &c.counts, 0.99),
+        _ => 0.0,
+    };
+    // Dominant stage: largest knn.stage.*_ns increment this interval.
+    let stages = ["setup", "histogram", "qgram", "triangle", "refine"];
+    let mut dominant = ("none", 0u64);
+    let mut stage_sum = 0u64;
+    for s in stages {
+        let d = delta(&format!("knn_stage_{s}_ns_total"));
+        stage_sum += d;
+        if d > dominant.1 {
+            dominant = (s, d);
+        }
+    }
+    let share = if stage_sum == 0 {
+        0.0
+    } else {
+        dominant.1 as f64 * 100.0 / stage_sum as f64
+    };
+    format!(
+        "{qps:>8.1} q/s  p99 {:>9.3} ms  dominant {} ({share:.0}% of stage time)  [{total} queries total]",
+        p99 / 1e6,
+        dominant.0,
+    )
 }
 
 fn dataset_stats(path: &str) -> Result<(), String> {
@@ -980,6 +1178,9 @@ fn write_metrics(
     stats: &QueryStats,
 ) -> Result<(), String> {
     let (threads, source) = trajsim_parallel::num_threads_with_source();
+    // Refresh the process.* gauges so the snapshot carries the same
+    // liveness signals `/metrics` and `/healthz` serve.
+    trajsim_obs::process::update(trajsim_obs::metrics::global());
     let doc = serde_json::json!({
         "engine": engine,
         "query": query,
@@ -2062,5 +2263,191 @@ mod tests {
             let v = h.get(q).and_then(serde_json::Value::as_f64);
             assert!(v.is_some_and(|v| v > 0.0), "missing or zero {q}: {h:?}");
         }
+    }
+
+    #[test]
+    fn every_dispatch_command_has_usage_text_and_is_recognized() {
+        // The drift guard: a dispatch arm without help text (or a USAGE
+        // entry without an arm) fails here, not in a user's terminal.
+        for cmd in COMMANDS {
+            assert!(
+                USAGE.contains(&format!("\n  {cmd} ")),
+                "command {cmd:?} missing from USAGE"
+            );
+            // Recognized: running it bare may fail on missing args, but
+            // never as an unknown command.
+            if let Err(e) = run(&[cmd]) {
+                assert!(
+                    !e.contains("unknown command"),
+                    "dispatch does not recognize {cmd:?}: {e}"
+                );
+            }
+        }
+        // And the converse: the unknown-command arm still fires.
+        assert!(run(&["definitely-not-a-command"])
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    #[test]
+    fn serve_metrics_endpoint_serves_live_registry_and_shuts_down() {
+        let _g = sink_guard();
+        // Drive Telemetry directly so the ephemeral port is reachable
+        // (dispatch only prints it).
+        let args: Vec<String> = ["x", "--serve-metrics", "127.0.0.1:0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = Parsed::parse(&args).unwrap();
+        let telemetry = Telemetry::from_args(&parsed).unwrap();
+        let (server, _) = telemetry.serve.as_ref().expect("server started");
+        let addr = server.addr().to_string();
+        let t = std::time::Duration::from_secs(5);
+        let (status, body) = trajsim_obs::http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        trajsim_obs::exposition::parse(&body).expect("valid exposition");
+        let (status, body) = trajsim_obs::http_get(&addr, "/healthz", t).unwrap();
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        telemetry.finish().unwrap();
+        assert!(
+            trajsim_obs::http_get(&addr, "/metrics", std::time::Duration::from_millis(300))
+                .is_err(),
+            "endpoint still up after finish()"
+        );
+        // Validation: unbindable address and orphaned --serve-hold.
+        assert!(run(&["stats", "--serve-metrics", "999.999.999.999:1"]).is_err());
+        assert!(run(&["stats", "--serve-hold", "1"])
+            .unwrap_err()
+            .contains("requires --serve-metrics"));
+    }
+
+    #[test]
+    fn knn_runs_with_a_live_endpoint() {
+        let _g = sink_guard();
+        let csv = tmp("serve.csv");
+        run(&["generate", "walk", "--n", "20", "--seed", "41", "-o", &csv]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "3",
+            "--k",
+            "2",
+            "--serve-metrics",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+    }
+
+    fn write_slo_spec(name: &str, p99_max_ns: u64) -> String {
+        let path = tmp(name);
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"format": "trajsim-slo-spec", "version": 1,
+  "objectives": [{{"metric": "total_ns", "p": 0.99, "max_ns": {p99_max_ns}}}],
+  "burn": {{"threshold_ns": {p99_max_ns}, "budget": 0.05,
+            "window_intervals": 4, "max_rate": 1.0}}}}"#
+            ),
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn slo_check_gates_recordings_and_timelines() {
+        let _g = sink_guard();
+        let csv = tmp("slo.csv");
+        let rec = tmp("slo.flight.jsonl");
+        let metrics = tmp("slo-metrics.json");
+        run(&["generate", "walk", "--n", "24", "--seed", "37", "-o", &csv]).unwrap();
+        // Reset the global registry so the timeline in this run reflects
+        // only this run's queries.
+        trajsim_obs::metrics::global().clear();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "6",
+            "--k",
+            "2",
+            "--record",
+            &rec,
+            "--metrics-out",
+            &metrics,
+            "--timeline-every",
+            "2",
+        ])
+        .unwrap();
+        // A generous objective (1000 s) passes; an absurd one (1 ns,
+        // every query is over threshold) fails with a rendered verdict.
+        let pass_spec = write_slo_spec("slo-pass.json", 1_000_000_000_000);
+        let fail_spec = write_slo_spec("slo-fail.json", 1);
+        run(&["slo", "check", &pass_spec, &rec]).unwrap();
+        let err = run(&["slo", "check", &fail_spec, &rec]).unwrap_err();
+        assert!(err.contains("violates"), "{err}");
+        // The timeline sidecar is detected by format and gated too.
+        let timeline = timeline_path(&metrics);
+        run(&["slo", "check", &pass_spec, &timeline]).unwrap();
+        assert!(run(&["slo", "check", &fail_spec, &timeline])
+            .unwrap_err()
+            .contains("violates"));
+        // Bad inputs fail cleanly.
+        assert!(run(&["slo", "check", &pass_spec]).is_err());
+        assert!(run(&["slo", "check", "/nonexistent.json", &rec]).is_err());
+        assert!(
+            run(&["slo", "check", &csv, &rec]).is_err(),
+            "spec must be JSON"
+        );
+        assert!(run(&["slo", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn watch_prints_interval_rollups_from_a_live_endpoint() {
+        let _g = sink_guard();
+        let server = trajsim_obs::serve("127.0.0.1:0", trajsim_obs::metrics::global()).unwrap();
+        let addr = server.addr().to_string();
+        // One rollup with a tiny interval: exercises scrape + diff + print.
+        run(&["watch", &addr, "--every", "0.05", "--count", "1"]).unwrap();
+        server.shutdown();
+        assert!(run(&["watch", &addr, "--every", "0.05", "--count", "1"]).is_err());
+        assert!(run(&["watch"]).is_err());
+        assert!(run(&["watch", &addr, "--every", "0"]).is_err());
+    }
+
+    #[test]
+    fn watch_line_reports_qps_p99_and_dominant_stage() {
+        // Pure interval arithmetic against hand-built scrapes.
+        let mk = |queries: u64, hist_ns: u64, bucket: &[u64]| {
+            let r = trajsim_obs::Registry::new();
+            r.counter("knn.queries").add(queries);
+            r.counter("knn.stage.histogram_ns").add(hist_ns);
+            r.counter("knn.stage.refine_ns").add(hist_ns / 4);
+            let h = r.histogram_with_bounds("knn.query_ns", vec![1_000, 1_000_000]);
+            for (i, &c) in bucket.iter().enumerate() {
+                let v = match i {
+                    0 => 500,
+                    1 => 500_000,
+                    _ => 2_000_000,
+                };
+                for _ in 0..c {
+                    h.record(v);
+                }
+            }
+            trajsim_obs::exposition::parse(&trajsim_obs::exposition::render(&r)).unwrap()
+        };
+        let prev = mk(100, 1_000, &[10, 0, 0]);
+        let cur = mk(300, 9_000, &[10, 200, 0]);
+        let line = watch_line(&prev, &cur, 2.0);
+        // 200 queries over 2 s.
+        assert!(line.contains("100.0 q/s"), "{line}");
+        assert!(line.contains("dominant histogram"), "{line}");
+        assert!(line.contains("[300 queries total]"), "{line}");
+        // All interval mass in the (1 µs, 1 ms] bucket → p99 ≤ 1 ms.
+        assert!(line.contains("p99"), "{line}");
+        let idle = watch_line(&cur, &cur, 2.0);
+        assert!(idle.contains("idle"), "{idle}");
     }
 }

@@ -1,0 +1,344 @@
+//! Prometheus text exposition of a [`Registry`], plus a parser for the
+//! same format — the serve-mode face of the metrics registry.
+//!
+//! ## Name mapping
+//!
+//! The registry's dotted names become Prometheus metric names under one
+//! mechanical rule, applied identically in both directions:
+//!
+//! | registry name           | exposition name                         |
+//! |-------------------------|-----------------------------------------|
+//! | `knn.queries` (counter) | `knn_queries_total`                     |
+//! | `knn.stage.histogram_ns` (counter) | `knn_stage_histogram_ns_total` |
+//! | `batch.size` (gauge)    | `batch_size`                            |
+//! | `knn.query_ns` (histogram) | `knn_query_ns_bucket{le="…"}`, `knn_query_ns_sum`, `knn_query_ns_count` |
+//!
+//! - every character outside `[a-zA-Z0-9_:]` (in practice: the dots)
+//!   becomes `_`;
+//! - counters get the conventional `_total` suffix (never doubled);
+//! - gauges are exposed under the sanitized name unchanged;
+//! - histograms expand into `_bucket`/`_sum`/`_count` series with
+//!   **cumulative** `le`-labelled bucket counts and a final
+//!   `le="+Inf"` bucket equal to `_count`, exactly as Prometheus
+//!   `histogram` types require (the registry stores per-bucket counts;
+//!   the renderer accumulates, the parser de-accumulates).
+//!
+//! The mapping is lossy only about the original dot positions, which is
+//! why every `# HELP` line carries the dotted registry name — a scrape
+//! can always be traced back to the `--metrics-out` key it mirrors.
+//! [`render`] and [`Registry::snapshot_json`] read the same atomics, so
+//! a scrape and a snapshot taken from a quiescent registry agree on
+//! every counter, gauge, bucket count, and (derived) quantile.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{HistogramState, Registry};
+
+/// Sanitizes a dotted registry name into a Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit is prefixed with `_` (Prometheus names cannot start with one).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// The exposition name of a counter: sanitized, with `_total` appended
+/// unless the registry name already ends in it.
+pub fn counter_name(name: &str) -> String {
+    let base = sanitize_name(name);
+    if base.ends_with("_total") {
+        base
+    } else {
+        format!("{base}_total")
+    }
+}
+
+/// Escapes a `# HELP` text: backslashes and newlines, per the format.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders `registry` in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`): counters first, then gauges, then
+/// histograms, each section sorted by registry name. Histogram bucket
+/// counts are emitted cumulatively with a trailing `le="+Inf"` sample.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counter_values() {
+        let pname = counter_name(&name);
+        out.push_str(&format!(
+            "# HELP {pname} trajsim counter {}\n# TYPE {pname} counter\n{pname} {value}\n",
+            escape_help(&name)
+        ));
+    }
+    for (name, value) in registry.gauge_values() {
+        let pname = sanitize_name(&name);
+        out.push_str(&format!(
+            "# HELP {pname} trajsim gauge {}\n# TYPE {pname} gauge\n{pname} {value}\n",
+            escape_help(&name)
+        ));
+    }
+    for (name, hs) in registry.histogram_values() {
+        let pname = sanitize_name(&name);
+        out.push_str(&format!(
+            "# HELP {pname} trajsim histogram {}\n# TYPE {pname} histogram\n",
+            escape_help(&name)
+        ));
+        let mut cum = 0u64;
+        for (i, &count) in hs.counts.iter().enumerate() {
+            cum += count;
+            match hs.bounds.get(i) {
+                Some(&b) => out.push_str(&format!("{pname}_bucket{{le=\"{b}\"}} {cum}\n")),
+                None => out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {cum}\n")),
+            }
+        }
+        out.push_str(&format!("{pname}_sum {}\n", hs.sum));
+        out.push_str(&format!("{pname}_count {cum}\n"));
+    }
+    out
+}
+
+/// A parsed exposition document: plain samples (counters and gauges,
+/// keyed by their **exposition** names) and reassembled histograms with
+/// per-bucket (de-accumulated) counts, the registry's native layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// `name → value` for every un-labelled sample (counters keep their
+    /// `_total` suffix; gauges appear as-is).
+    pub samples: BTreeMap<String, f64>,
+    /// Histograms reassembled from `_bucket`/`_sum`/`_count` series,
+    /// keyed by the exposition base name, counts per-bucket.
+    pub histograms: BTreeMap<String, HistogramState>,
+}
+
+impl Scrape {
+    /// An integer sample, if present and integral.
+    pub fn sample_u64(&self, name: &str) -> Option<u64> {
+        let v = *self.samples.get(name)?;
+        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+    }
+}
+
+/// Parses a Prometheus text exposition document (the subset [`render`]
+/// emits: `# HELP`/`# TYPE` comments, un-labelled samples, and
+/// histogram `_bucket{le="…"}`/`_sum`/`_count` families). Cumulative
+/// bucket counts are converted back to the per-bucket layout of
+/// [`HistogramState`]; the `+Inf` bucket becomes the overflow count.
+///
+/// # Errors
+///
+/// Fails on a malformed sample line, a non-monotone bucket series, or a
+/// histogram whose `+Inf` bucket disagrees with its `_count`.
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    struct HistAcc {
+        bounds: Vec<u64>,
+        cums: Vec<u64>,
+        inf: Option<u64>,
+        sum: u64,
+        count: u64,
+    }
+    let mut scrape = Scrape::default();
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric sample value in {line:?}"))?;
+        if let Some((name, labels)) = key.split_once('{') {
+            let labels = labels
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            let base = name
+                .strip_suffix("_bucket")
+                .ok_or_else(|| format!("unexpected labelled sample {name:?}"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("bucket without an le label in {line:?}"))?;
+            let acc = hists.entry(base.to_string()).or_insert_with(|| HistAcc {
+                bounds: Vec::new(),
+                cums: Vec::new(),
+                inf: None,
+                sum: 0,
+                count: 0,
+            });
+            if le == "+Inf" {
+                acc.inf = Some(value as u64);
+            } else {
+                let bound: u64 = le
+                    .parse()
+                    .map_err(|_| format!("non-integer le bound in {line:?}"))?;
+                acc.bounds.push(bound);
+                acc.cums.push(value as u64);
+            }
+        } else if let Some(base) = key.strip_suffix("_sum").filter(|b| {
+            types.get(*b).map(String::as_str) == Some("histogram") || hists.contains_key(*b)
+        }) {
+            hists
+                .entry(base.to_string())
+                .and_modify(|a| a.sum = value as u64);
+        } else if let Some(base) = key.strip_suffix("_count").filter(|b| {
+            types.get(*b).map(String::as_str) == Some("histogram") || hists.contains_key(*b)
+        }) {
+            hists
+                .entry(base.to_string())
+                .and_modify(|a| a.count = value as u64);
+        } else {
+            scrape.samples.insert(key.to_string(), value);
+        }
+    }
+    for (name, acc) in hists {
+        let inf = acc
+            .inf
+            .ok_or_else(|| format!("histogram {name:?} has no +Inf bucket"))?;
+        if inf != acc.count {
+            return Err(format!(
+                "histogram {name:?}: +Inf bucket {inf} != _count {}",
+                acc.count
+            ));
+        }
+        let mut counts = Vec::with_capacity(acc.cums.len() + 1);
+        let mut prev = 0u64;
+        for &c in &acc.cums {
+            if c < prev {
+                return Err(format!("histogram {name:?}: non-monotone bucket series"));
+            }
+            counts.push(c - prev);
+            prev = c;
+        }
+        if inf < prev {
+            return Err(format!("histogram {name:?}: non-monotone +Inf bucket"));
+        }
+        counts.push(inf - prev);
+        scrape.histograms.insert(
+            name,
+            HistogramState {
+                bounds: acc.bounds,
+                counts,
+                sum: acc.sum,
+            },
+        );
+    }
+    Ok(scrape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::quantile_from_buckets;
+
+    #[test]
+    fn names_map_mechanically() {
+        assert_eq!(
+            sanitize_name("knn.stage.histogram_ns"),
+            "knn_stage_histogram_ns"
+        );
+        assert_eq!(sanitize_name("batch.size"), "batch_size");
+        assert_eq!(counter_name("knn.queries"), "knn_queries_total");
+        assert_eq!(counter_name("already_total"), "already_total");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn render_emits_typed_families_with_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("knn.queries").add(3);
+        r.gauge("batch.size").set(-2);
+        let h = r.histogram_with_bounds("knn.query_ns", vec![10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let text = render(&r);
+        assert!(text.contains("# TYPE knn_queries_total counter"));
+        assert!(text.contains("knn_queries_total 3"));
+        assert!(text.contains("# TYPE batch_size gauge"));
+        assert!(text.contains("batch_size -2"));
+        assert!(text.contains("# TYPE knn_query_ns histogram"));
+        // Cumulative: 1, 2, then +Inf = 3 = _count.
+        assert!(text.contains("knn_query_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("knn_query_ns_bucket{le=\"100\"} 2"));
+        assert!(text.contains("knn_query_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("knn_query_ns_sum 5055"));
+        assert!(text.contains("knn_query_ns_count 3"));
+        // The HELP line preserves the dotted registry name.
+        assert!(text.contains("# HELP knn_queries_total trajsim counter knn.queries"));
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let r = Registry::new();
+        r.counter("knn.queries").add(42);
+        r.counter("knn.stage.histogram_ns").add(777);
+        r.gauge("process.rss_bytes").set(123_456);
+        let h = r.histogram("knn.query_ns");
+        for v in [1_000u64, 2_000_000, 5_000_000_000, 700] {
+            h.record(v);
+        }
+        let scrape = parse(&render(&r)).unwrap();
+        assert_eq!(scrape.sample_u64("knn_queries_total"), Some(42));
+        assert_eq!(scrape.sample_u64("knn_stage_histogram_ns_total"), Some(777));
+        assert_eq!(scrape.sample_u64("process_rss_bytes"), Some(123_456));
+        let hs = &scrape.histograms["knn_query_ns"];
+        assert_eq!(hs.bounds, h.bounds().to_vec());
+        assert_eq!(hs.counts, h.bucket_counts());
+        assert_eq!(hs.sum, h.sum());
+        // Quantiles derived from the scrape equal the live estimates.
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                quantile_from_buckets(&hs.bounds, &hs.counts, q),
+                h.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("knn_queries_total notanumber").is_err());
+        assert!(parse("x_bucket{le=\"10\" 3").is_err());
+        // Non-monotone cumulative buckets.
+        let bad = "x_bucket{le=\"10\"} 5\nx_bucket{le=\"20\"} 3\n\
+                   x_bucket{le=\"+Inf\"} 5\nx_sum 1\nx_count 5\n";
+        assert!(parse(bad).unwrap_err().contains("non-monotone"));
+        // +Inf disagreeing with _count.
+        let bad = "x_bucket{le=\"10\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 3\n";
+        assert!(parse(bad).unwrap_err().contains("_count"));
+        // Missing +Inf bucket.
+        let bad = "x_bucket{le=\"10\"} 1\nx_sum 1\nx_count 1\n";
+        assert!(parse(bad).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_and_parses_back() {
+        let r = Registry::new();
+        assert_eq!(render(&r), "");
+        assert_eq!(parse("").unwrap(), Scrape::default());
+    }
+}

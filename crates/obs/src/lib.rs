@@ -26,6 +26,14 @@
 //! exported as a JSON timeline whose intervals always sum back to the
 //! cumulative registry state.
 //!
+//! **Live endpoint** ([`server`], [`exposition`], [`process`]): a
+//! std-only HTTP server on a background thread serving the registry as
+//! Prometheus text exposition (`GET /metrics`, dotted names mapped to
+//! `knn_stage_*`-style underscored ones), liveness with process
+//! self-metrics (`GET /healthz`; uptime, RSS, thread count), and the
+//! live timeline ring (`GET /timeline`). The CLI wires it to a global
+//! `--serve-metrics ADDR` flag.
+//!
 //! Span/metric taxonomy: see `DESIGN.md` §9 (span names are dotted,
 //! `knn.query` / `parallel.pool`; metric names likewise,
 //! `knn.edr_computed`, `parallel.worker_busy_ns`).
@@ -33,11 +41,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exposition;
 pub mod metrics;
+pub mod process;
+pub mod server;
 pub mod timeline;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramState, Registry, DEFAULT_LATENCY_BOUNDS_NS};
+pub use server::{http_get, serve, ServerHandle};
 pub use timeline::{Timeline, TIMELINE_FORMAT, TIMELINE_VERSION};
 pub use trace::{
     emit, emit_span, enabled, level, set_level, set_sink, thread_id, FieldValue, JsonLinesSink,

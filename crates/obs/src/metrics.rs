@@ -650,7 +650,68 @@ mod tests {
         );
     }
 
+    #[test]
+    fn quantile_from_buckets_degenerate_inputs() {
+        // The SLO engine feeds this function arbitrary persisted bucket
+        // vectors; the degenerate shapes must stay total and finite.
+        assert_eq!(quantile_from_buckets(&[], &[], 0.5), 0.0, "no bounds");
+        assert_eq!(quantile_from_buckets(&[10], &[0, 0], 0.5), 0.0, "no mass");
+        assert_eq!(
+            quantile_from_buckets(&[], &[5], 0.5),
+            0.0,
+            "mass, no bounds"
+        );
+        // All mass in the overflow bucket clamps to the last bound.
+        assert_eq!(quantile_from_buckets(&[10, 100], &[0, 0, 7], 0.01), 100.0);
+        assert_eq!(quantile_from_buckets(&[10, 100], &[0, 0, 7], 1.0), 100.0);
+        // A single finite bucket holding everything interpolates in it.
+        let m = quantile_from_buckets(&[10], &[4, 0], 0.5);
+        assert!(m > 0.0 && m <= 10.0, "median {m}");
+        assert_eq!(quantile_from_buckets(&[10], &[4, 0], 1.0), 10.0);
+    }
+
     proptest! {
+        /// q=0.0 and q=1.0 are total and bounded for every histogram
+        /// shape: 0.0 never exceeds 1.0, both stay within
+        /// `[0, last_bound]`, out-of-range q clamps to the same values,
+        /// and 1.0 reaches the last finite bound exactly whenever any
+        /// mass sits in the overflow bucket.
+        #[test]
+        fn quantile_extremes_are_total_and_bounded(
+            raw_bounds in proptest::collection::vec(1u64..1_000_000, 1..10),
+            counts_seed in proptest::collection::vec(0u64..50, 1..12),
+        ) {
+            let mut bounds = raw_bounds.clone();
+            bounds.sort_unstable();
+            bounds.dedup();
+            // Size the count vector to bounds.len() + 1 (overflow last).
+            let mut counts = vec![0u64; bounds.len() + 1];
+            let slots = counts.len();
+            for (i, &c) in counts_seed.iter().enumerate() {
+                counts[i % slots] += c;
+            }
+            let total: u64 = counts.iter().sum();
+            let last = *bounds.last().unwrap() as f64;
+            let lo = quantile_from_buckets(&bounds, &counts, 0.0);
+            let hi = quantile_from_buckets(&bounds, &counts, 1.0);
+            if total == 0 {
+                prop_assert_eq!(lo, 0.0);
+                prop_assert_eq!(hi, 0.0);
+            } else {
+                prop_assert!(lo <= hi, "q=0 ({lo}) above q=1 ({hi})");
+                prop_assert!((0.0..=last).contains(&lo));
+                prop_assert!((0.0..=last).contains(&hi));
+                // Out-of-range q clamps rather than extrapolating.
+                prop_assert_eq!(quantile_from_buckets(&bounds, &counts, -3.0), lo);
+                prop_assert_eq!(quantile_from_buckets(&bounds, &counts, 7.5), hi);
+                if counts[bounds.len()] > 0 {
+                    // Overflow mass: the maximum clamps to the last
+                    // finite bound, the only honest answer available.
+                    prop_assert_eq!(hi, last);
+                }
+            }
+        }
+
         /// Every value lands in exactly one bucket, and that bucket's
         /// bounds bracket it: bucket `i` holds `v <= bounds[i]`, the
         /// overflow bucket holds `v > bounds[last]` — including the

@@ -1,0 +1,122 @@
+//! Process self-metrics: uptime, resident set size, and thread count.
+//!
+//! These are gauges refreshed on demand — [`update`] is called by the
+//! telemetry server before rendering `/metrics` or `/healthz`, and by
+//! the CLI before writing a `--metrics-out` snapshot, so the values are
+//! current as of the read rather than sampled on a timer. RSS and the
+//! thread count come from `/proc/self` and are skipped gracefully where
+//! procfs is unavailable (non-Linux): the gauges simply never appear.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+/// The process start reference. First call wins; everything after
+/// measures uptime from it. Called implicitly by [`update`], but
+/// callers that want uptime anchored at program start (rather than the
+/// first scrape) can call this early, e.g. from telemetry install.
+pub fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Seconds since [`start_instant`] was first anchored.
+pub fn uptime_seconds() -> u64 {
+    start_instant().elapsed().as_secs()
+}
+
+/// Resident set size in bytes, from `/proc/self/statm` (second field,
+/// in pages). `None` where procfs is unavailable or unparsable.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * page_size())
+}
+
+/// Live thread count of this process, from the `Threads:` line of
+/// `/proc/self/status`. `None` where procfs is unavailable.
+pub fn thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The system page size in bytes. std exposes no portable API for it
+/// and this crate takes no libc dependency, so the Linux default of
+/// 4 KiB is assumed — correct on x86-64 and default aarch64 kernels,
+/// and the value only scales the RSS gauge.
+fn page_size() -> u64 {
+    4096
+}
+
+/// Refreshes the `process.*` gauges in `registry`:
+///
+/// - `process.uptime_seconds` — seconds since first anchor (always set);
+/// - `process.rss_bytes` — resident set size (Linux only);
+/// - `process.threads` — live thread count (Linux only).
+///
+/// Safe to call from any thread, any number of times.
+pub fn update(registry: &Registry) {
+    registry
+        .gauge("process.uptime_seconds")
+        .set(uptime_seconds() as i64);
+    if let Some(rss) = rss_bytes() {
+        registry.gauge("process.rss_bytes").set(rss as i64);
+    }
+    if let Some(threads) = thread_count() {
+        registry.gauge("process.threads").set(threads as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_populates_uptime_and_linux_gauges() {
+        let r = Registry::new();
+        update(&r);
+        let gauges = r.gauge_values();
+        assert!(gauges.contains_key("process.uptime_seconds"));
+        // On Linux (the CI platform) procfs is present; elsewhere the
+        // gauges are absent rather than wrong.
+        if cfg!(target_os = "linux") {
+            assert!(gauges["process.rss_bytes"] > 0, "rss should be positive");
+            assert!(gauges["process.threads"] >= 1, "at least this thread");
+        }
+    }
+
+    #[test]
+    fn rss_and_threads_are_plausible() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        let rss = rss_bytes().expect("procfs rss");
+        // More than a page, less than a terabyte.
+        assert!((4096..1 << 40).contains(&rss), "rss {rss}");
+        let threads = thread_count().expect("procfs threads");
+        assert!(threads >= 1);
+        // Spawning a thread is visible while it lives.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            ready_tx.send(()).ok();
+            rx.recv().ok();
+        });
+        ready_rx.recv().unwrap();
+        let during = thread_count().expect("procfs threads");
+        assert!(during > 1, "spawned thread not visible: {during}");
+        tx.send(()).ok();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let a = uptime_seconds();
+        let b = uptime_seconds();
+        assert!(b >= a);
+    }
+}

@@ -348,6 +348,12 @@ pub fn set_timeline(timeline: Option<Arc<Timeline>>) -> Option<Arc<Timeline>> {
     std::mem::replace(&mut *guard, timeline)
 }
 
+/// The currently installed global timeline, if any — the telemetry
+/// server reads it to serve `GET /timeline` from the live ring.
+pub fn current() -> Option<Arc<Timeline>> {
+    TIMELINE.read().expect("timeline registration lock").clone()
+}
+
 /// Notes one completed query on the global timeline, if installed. With
 /// none installed this is a single relaxed atomic load — cheap enough
 /// for every engine's `finish_query` epilogue to call unconditionally.

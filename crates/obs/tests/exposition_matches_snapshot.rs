@@ -1,0 +1,91 @@
+//! End-to-end check that a live `GET /metrics` scrape agrees with
+//! [`Registry::snapshot_json`] — the two export paths (`--metrics-out`
+//! sidecars and the Prometheus endpoint) must never drift apart.
+
+use std::time::Duration;
+
+use trajsim_obs::exposition;
+use trajsim_obs::metrics::quantile_from_buckets;
+use trajsim_obs::Registry;
+
+fn leaked_registry() -> &'static Registry {
+    Box::leak(Box::new(Registry::new()))
+}
+
+#[test]
+fn live_scrape_agrees_with_snapshot_json() {
+    let registry = leaked_registry();
+    registry.counter("knn.queries").add(42);
+    registry.counter("knn.stage.refine_ns").add(9_876_543);
+    registry.gauge("batch.inflight").set(7);
+    let hist = registry.histogram("knn.query_ns");
+    for v in [900, 1_500, 70_000, 2_000_000, 5_000_000_000] {
+        hist.record(v);
+    }
+
+    let server = trajsim_obs::serve("127.0.0.1:0", registry).expect("bind loopback");
+    let addr = server.addr().to_string();
+    let (status, body) =
+        trajsim_obs::http_get(&addr, "/metrics", Duration::from_secs(5)).expect("scrape");
+    assert_eq!(status, 200);
+    let scrape = exposition::parse(&body).expect("valid exposition");
+    let snap = registry.snapshot_json();
+
+    // Counters: every registry counter appears under its Prometheus
+    // name with the same value.
+    for (name, value) in snap.get("counters").unwrap().as_object().unwrap().iter() {
+        let prom = exposition::counter_name(name);
+        assert_eq!(
+            scrape.sample_u64(&prom),
+            value.as_u64(),
+            "counter {name} ({prom}) drifted between scrape and snapshot"
+        );
+    }
+
+    // Gauges.
+    for (name, value) in snap.get("gauges").unwrap().as_object().unwrap().iter() {
+        let prom = exposition::sanitize_name(name);
+        assert_eq!(
+            scrape.sample_u64(&prom),
+            value.as_i64().map(|v| v as u64),
+            "gauge {name} ({prom}) drifted between scrape and snapshot"
+        );
+    }
+
+    // Histograms: count, sum, per-bucket counts, and the quantile
+    // estimates recomputed from the scraped buckets.
+    for (name, h) in snap.get("histograms").unwrap().as_object().unwrap().iter() {
+        let prom = exposition::sanitize_name(name);
+        let state = scrape
+            .histograms
+            .get(&prom)
+            .unwrap_or_else(|| panic!("histogram {prom} missing from scrape"));
+        assert_eq!(Some(state.count()), h.get("count").unwrap().as_u64());
+        assert_eq!(Some(state.sum), h.get("sum").unwrap().as_u64());
+        let buckets = h.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(state.counts.len(), buckets.len());
+        for (got, want) in state.counts.iter().zip(buckets) {
+            assert_eq!(Some(*got), want.get("count").unwrap().as_u64());
+        }
+        for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let est = quantile_from_buckets(&state.bounds, &state.counts, q);
+            let want = h.get(key).unwrap().as_f64().unwrap();
+            assert!(
+                (est - want).abs() < 1e-6,
+                "{name} {key}: scrape-estimated {est} vs snapshot {want}"
+            );
+        }
+    }
+
+    // The same scrape surface stays consistent across requests while
+    // the registry is quiescent.
+    let (_, body2) =
+        trajsim_obs::http_get(&addr, "/metrics", Duration::from_secs(5)).expect("rescrape");
+    let scrape2 = exposition::parse(&body2).expect("valid exposition");
+    assert_eq!(
+        scrape.sample_u64("knn_queries_total"),
+        scrape2.sample_u64("knn_queries_total")
+    );
+
+    server.shutdown();
+}

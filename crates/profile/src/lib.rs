@@ -35,6 +35,7 @@ mod collector;
 mod explain;
 mod recorder;
 mod sampling;
+mod slo;
 mod slow;
 mod workload;
 
@@ -47,6 +48,10 @@ pub use recorder::{
 };
 pub use sampling::{
     SampleDecision, SamplerConfig, TailSampler, DEFAULT_TAIL_QUANTILE, DEFAULT_WARMUP,
+};
+pub use slo::{
+    evaluate_stats, evaluate_timeline, Burn, BurnRow, Objective, SloReport, SloRow, SloSpec,
+    SLO_FORMAT, SLO_VERSION,
 };
 pub use slow::{SlowQuery, SlowReport};
 pub use workload::{

@@ -1,0 +1,989 @@
+//! Service-level objectives over recorded workloads and timelines.
+//!
+//! An SLO spec is a small JSON document (`trajsim-slo-spec` v1):
+//!
+//! ```json
+//! {
+//!   "format": "trajsim-slo-spec",
+//!   "version": 1,
+//!   "objectives": [
+//!     {"metric": "total_ns",  "p": 0.99, "max_ns": 4294967296},
+//!     {"metric": "refine_ns", "p": 0.95, "max_ns": 16777216},
+//!     {"metric": "stage.histogram.share",  "max": 0.5},
+//!     {"metric": "stage.refine.mean_ns",   "max_ns": 1048576}
+//!   ],
+//!   "burn": {
+//!     "threshold_ns": 16777216,
+//!     "budget": 0.01,
+//!     "window_intervals": 8,
+//!     "max_rate": 2.0
+//!   }
+//! }
+//! ```
+//!
+//! Two objective families:
+//!
+//! - **Latency percentiles** — `total_ns` / `refine_ns` with a quantile
+//!   `p` and a ceiling `max_ns`, evaluated with the shared
+//!   [`quantile_from_buckets`] estimator (identical numbers to
+//!   `--metrics-out`, `stats show`, and `/metrics`-derived quantiles).
+//! - **Stage time** — `stage.<name>.share` (fraction of total query
+//!   time spent in the stage, ceiling `max`) and
+//!   `stage.<name>.mean_ns` (per-query mean, ceiling `max_ns`), where
+//!   `<name>` is one of `setup`, `histogram`, `qgram`, `triangle`,
+//!   `refine` — the taxonomy of the `knn.stage.*_ns` counters.
+//!
+//! The optional **burn-rate gate** declares an error budget: a query is
+//! *bad* when its total latency exceeds `threshold_ns`, and the budget
+//! says at most `budget` (a fraction) of queries may be bad. The burn
+//! rate of a window is `bad_fraction / budget` — rate 1.0 spends the
+//! budget exactly, higher burns it faster — and the gate fails when any
+//! window burns faster than `max_rate`. Against a stats store the whole
+//! workload is one window; against a timeline the gate slides a window
+//! of `window_intervals` ring intervals, catching short bursts a
+//! whole-run average would dilute.
+//!
+//! Bad-query counting is conservative from buckets: every bucket whose
+//! *upper* bound exceeds the threshold counts as bad, so a threshold in
+//! the interior of a bucket over-counts by at most that bucket.
+//! Choosing `threshold_ns` on a bucket bound (the default latency
+//! buckets are powers of four: 1 µs × 4^k) makes the count exact.
+
+use crate::workload::WorkloadStats;
+use serde_json::{json, Value};
+use trajsim_obs::metrics::quantile_from_buckets;
+use trajsim_obs::DEFAULT_LATENCY_BOUNDS_NS;
+
+/// The `format` field of an SLO spec file.
+pub const SLO_FORMAT: &str = "trajsim-slo-spec";
+/// The spec schema version this build evaluates.
+pub const SLO_VERSION: u64 = 1;
+
+/// One latency or stage-time objective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// `metric` (`total_ns` or `refine_ns`) at quantile `p` must not
+    /// exceed `max_ns`.
+    Percentile {
+        /// `total_ns` or `refine_ns`.
+        metric: String,
+        /// The quantile, `0.0..=1.0`.
+        p: f64,
+        /// Ceiling, nanoseconds.
+        max_ns: u64,
+    },
+    /// The stage's share of total query time must not exceed `max`.
+    StageShare {
+        /// `setup`, `histogram`, `qgram`, `triangle`, or `refine`.
+        stage: String,
+        /// Ceiling, a fraction `0.0..=1.0`.
+        max: f64,
+    },
+    /// The stage's mean per-query time must not exceed `max_ns`.
+    StageMean {
+        /// `setup`, `histogram`, `qgram`, `triangle`, or `refine`.
+        stage: String,
+        /// Ceiling, nanoseconds.
+        max_ns: u64,
+    },
+}
+
+/// The error-budget burn-rate gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Burn {
+    /// A query is *bad* when `total_ns` exceeds this.
+    pub threshold_ns: u64,
+    /// Budgeted bad fraction (e.g. `0.01` = 1% of queries may be bad).
+    pub budget: f64,
+    /// Sliding-window width in timeline intervals (stats stores are
+    /// always a single window).
+    pub window_intervals: usize,
+    /// Maximum tolerated burn rate (`bad_fraction / budget`).
+    pub max_rate: f64,
+}
+
+/// A parsed SLO spec.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// Latency and stage-time objectives, checked in order.
+    pub objectives: Vec<Objective>,
+    /// The optional burn-rate gate.
+    pub burn: Option<Burn>,
+}
+
+const STAGES: [&str; 5] = ["setup", "histogram", "qgram", "triangle", "refine"];
+
+impl SloSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Rejects foreign formats, future versions, unknown metrics or
+    /// stages, out-of-range quantiles/fractions, and empty specs.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| format!("SLO spec is not JSON: {e}"))?;
+        let format = doc.get("format").and_then(Value::as_str).unwrap_or("");
+        if format != SLO_FORMAT {
+            return Err(format!(
+                "not an SLO spec: format {format:?}, expected {SLO_FORMAT:?}"
+            ));
+        }
+        let version = doc.get("version").and_then(Value::as_u64).unwrap_or(0);
+        if version != SLO_VERSION {
+            return Err(format!(
+                "unsupported SLO spec version {version} (this build reads {SLO_VERSION})"
+            ));
+        }
+        let mut spec = SloSpec::default();
+        if let Some(objs) = doc.get("objectives").and_then(Value::as_array) {
+            for (i, o) in objs.iter().enumerate() {
+                spec.objectives.push(Self::parse_objective(o, i)?);
+            }
+        }
+        if let Some(b) = doc.get("burn") {
+            let threshold_ns = b
+                .get("threshold_ns")
+                .and_then(Value::as_u64)
+                .ok_or("burn: missing threshold_ns")?;
+            let budget = b
+                .get("budget")
+                .and_then(Value::as_f64)
+                .ok_or("burn: missing budget")?;
+            if !(budget > 0.0 && budget <= 1.0) {
+                return Err(format!("burn: budget {budget} outside (0, 1]"));
+            }
+            let max_rate = b
+                .get("max_rate")
+                .and_then(Value::as_f64)
+                .ok_or("burn: missing max_rate")?;
+            if max_rate <= 0.0 {
+                return Err(format!("burn: max_rate {max_rate} must be positive"));
+            }
+            let window_intervals = b
+                .get("window_intervals")
+                .and_then(Value::as_u64)
+                .unwrap_or(8) as usize;
+            spec.burn = Some(Burn {
+                threshold_ns,
+                budget,
+                window_intervals: window_intervals.max(1),
+                max_rate,
+            });
+        }
+        if spec.objectives.is_empty() && spec.burn.is_none() {
+            return Err("SLO spec declares no objectives and no burn gate".into());
+        }
+        Ok(spec)
+    }
+
+    fn parse_objective(o: &Value, i: usize) -> Result<Objective, String> {
+        let metric = o
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("objective {i}: missing metric"))?;
+        match metric {
+            "total_ns" | "refine_ns" => {
+                let p = o
+                    .get("p")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("objective {i} ({metric}): missing p"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("objective {i} ({metric}): p {p} outside [0, 1]"));
+                }
+                let max_ns = o
+                    .get("max_ns")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("objective {i} ({metric}): missing max_ns"))?;
+                Ok(Objective::Percentile {
+                    metric: metric.to_string(),
+                    p,
+                    max_ns,
+                })
+            }
+            _ => {
+                let rest = metric
+                    .strip_prefix("stage.")
+                    .ok_or_else(|| format!("objective {i}: unknown metric {metric:?}"))?;
+                let (stage, kind) = rest
+                    .rsplit_once('.')
+                    .ok_or_else(|| format!("objective {i}: malformed stage metric {metric:?}"))?;
+                if !STAGES.contains(&stage) {
+                    return Err(format!(
+                        "objective {i}: unknown stage {stage:?} (expected one of {STAGES:?})"
+                    ));
+                }
+                match kind {
+                    "share" => {
+                        let max = o
+                            .get("max")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| format!("objective {i} ({metric}): missing max"))?;
+                        if !(0.0..=1.0).contains(&max) {
+                            return Err(format!(
+                                "objective {i} ({metric}): max {max} outside [0, 1]"
+                            ));
+                        }
+                        Ok(Objective::StageShare {
+                            stage: stage.to_string(),
+                            max,
+                        })
+                    }
+                    "mean_ns" => {
+                        let max_ns = o
+                            .get("max_ns")
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("objective {i} ({metric}): missing max_ns"))?;
+                        Ok(Objective::StageMean {
+                            stage: stage.to_string(),
+                            max_ns,
+                        })
+                    }
+                    other => Err(format!(
+                        "objective {i}: unknown stage metric kind {other:?} \
+                         (expected share or mean_ns)"
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// One evaluated objective: what was measured against what limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    /// Human-readable objective label, e.g. `p99 total_ns`.
+    pub label: String,
+    /// Observed value (ns for latency objectives, fraction for shares).
+    pub observed: f64,
+    /// The spec's ceiling in the same unit.
+    pub limit: f64,
+    /// Whether the observation stayed within the limit.
+    pub pass: bool,
+}
+
+/// The evaluated burn-rate gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRow {
+    /// Worst window's burn rate (`bad_fraction / budget`).
+    pub worst_rate: f64,
+    /// Bad-query fraction of the worst window.
+    pub worst_bad_fraction: f64,
+    /// Which window was worst (0-based, by starting interval; 0 for a
+    /// single-window stats evaluation).
+    pub worst_window: usize,
+    /// Windows evaluated.
+    pub windows: usize,
+    /// The spec's ceiling.
+    pub max_rate: f64,
+    /// Whether every window stayed under `max_rate`.
+    pub pass: bool,
+}
+
+/// The outcome of checking one input against one spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// What was evaluated (`stats store`, `timeline`, ...).
+    pub source: String,
+    /// Queries the verdict is based on.
+    pub queries: u64,
+    /// Per-objective rows, spec order.
+    pub rows: Vec<SloRow>,
+    /// The burn-rate row, when the spec declares a gate.
+    pub burn: Option<BurnRow>,
+}
+
+impl SloReport {
+    /// True when any objective or the burn gate failed.
+    pub fn violated(&self) -> bool {
+        self.rows.iter().any(|r| !r.pass) || self.burn.as_ref().is_some_and(|b| !b.pass)
+    }
+
+    /// Renders the verdict as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "SLO check over {} ({} queries): {}\n",
+            self.source,
+            self.queries,
+            if self.violated() { "VIOLATED" } else { "ok" }
+        );
+        for r in &self.rows {
+            let unit_is_ns = r.label.contains("_ns");
+            let (obs, lim) = if unit_is_ns {
+                (fmt_ns(r.observed), fmt_ns(r.limit))
+            } else {
+                (format!("{:.3}", r.observed), format!("{:.3}", r.limit))
+            };
+            out.push_str(&format!(
+                "  {} {:<28} {} (limit {})\n",
+                if r.pass { "ok  " } else { "FAIL" },
+                r.label,
+                obs,
+                lim
+            ));
+        }
+        if let Some(b) = &self.burn {
+            out.push_str(&format!(
+                "  {} burn rate: worst window {} of {} burns {:.2}x \
+                 (bad fraction {:.4}, limit {:.2}x)\n",
+                if b.pass { "ok  " } else { "FAIL" },
+                b.worst_window,
+                b.windows,
+                b.worst_rate,
+                b.worst_bad_fraction,
+                b.max_rate
+            ));
+        }
+        out
+    }
+
+    /// The verdict as JSON (for tooling; the text render is for humans).
+    pub fn to_json(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "label": r.label.clone(),
+                    "observed": r.observed,
+                    "limit": r.limit,
+                    "pass": r.pass,
+                })
+            })
+            .collect();
+        let burn = match &self.burn {
+            Some(b) => json!({
+                "worst_rate": b.worst_rate,
+                "worst_bad_fraction": b.worst_bad_fraction,
+                "worst_window": b.worst_window,
+                "windows": b.windows,
+                "max_rate": b.max_rate,
+                "pass": b.pass,
+            }),
+            None => Value::Null,
+        };
+        json!({
+            "source": self.source.clone(),
+            "queries": self.queries,
+            "violated": self.violated(),
+            "objectives": rows,
+            "burn": burn,
+        })
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Conservative bad-query count from histogram buckets: every bucket
+/// whose upper bound exceeds `threshold_ns` counts in full, and the
+/// overflow bucket always counts. Exact when the threshold sits on a
+/// bucket bound.
+fn bad_count(bounds: &[u64], counts: &[u64], threshold_ns: u64) -> u64 {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| match bounds.get(*i) {
+            Some(&b) => b > threshold_ns,
+            None => true, // overflow bucket
+        })
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+/// One window's bad-fraction and burn rate against a budget.
+fn window_rate(bad: u64, total: u64, budget: f64) -> (f64, f64) {
+    if total == 0 {
+        return (0.0, 0.0);
+    }
+    let frac = bad as f64 / total as f64;
+    (frac, frac / budget)
+}
+
+/// Evaluates `spec` against an aggregated workload (a flight recording
+/// or stats store read via [`crate::read_stats_input`]). The whole
+/// workload is a single burn window.
+pub fn evaluate_stats(spec: &SloSpec, stats: &WorkloadStats) -> SloReport {
+    // Total query time attributed per stage, with the same taxonomy the
+    // knn.stage.*_ns counters use.
+    let stage_ns = |stage: &str| -> u64 {
+        match stage {
+            "setup" => stats.setup_ns,
+            "refine" => stats.refine_latency.sum_ns,
+            other => stats.stages.get(other).map(|s| s.filter_ns).unwrap_or(0),
+        }
+    };
+    let total_sum = stats.total_latency.sum_ns;
+    let queries = stats.queries;
+    let rows = spec
+        .objectives
+        .iter()
+        .map(|o| match o {
+            Objective::Percentile { metric, p, max_ns } => {
+                let dist = if metric == "refine_ns" {
+                    &stats.refine_latency
+                } else {
+                    &stats.total_latency
+                };
+                let observed = dist.quantile(*p);
+                SloRow {
+                    label: format!("p{} {metric}", fmt_p(*p)),
+                    observed,
+                    limit: *max_ns as f64,
+                    pass: observed <= *max_ns as f64,
+                }
+            }
+            Objective::StageShare { stage, max } => {
+                let observed = if total_sum == 0 {
+                    0.0
+                } else {
+                    stage_ns(stage) as f64 / total_sum as f64
+                };
+                SloRow {
+                    label: format!("stage.{stage}.share"),
+                    observed,
+                    limit: *max,
+                    pass: observed <= *max,
+                }
+            }
+            Objective::StageMean { stage, max_ns } => {
+                let observed = if queries == 0 {
+                    0.0
+                } else {
+                    stage_ns(stage) as f64 / queries as f64
+                };
+                SloRow {
+                    label: format!("stage.{stage}.mean_ns"),
+                    observed,
+                    limit: *max_ns as f64,
+                    pass: observed <= *max_ns as f64,
+                }
+            }
+        })
+        .collect();
+    let burn = spec.burn.as_ref().map(|b| {
+        let dist = &stats.total_latency;
+        let bad = bad_count(&dist.bounds, &dist.counts, b.threshold_ns);
+        let (frac, rate) = window_rate(bad, dist.count, b.budget);
+        BurnRow {
+            worst_rate: rate,
+            worst_bad_fraction: frac,
+            worst_window: 0,
+            windows: 1,
+            max_rate: b.max_rate,
+            pass: rate <= b.max_rate,
+        }
+    });
+    SloReport {
+        source: "stats".to_string(),
+        queries,
+        rows,
+        burn,
+    }
+}
+
+fn fmt_p(p: f64) -> String {
+    let pct = p * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("{}", pct.round() as u64)
+    } else {
+        format!("{pct}")
+    }
+}
+
+/// Per-interval histogram deltas plus cumulative state, reconstructed
+/// from a timeline JSON document.
+struct TimelineView {
+    bounds: Vec<u64>,
+    /// Per-interval `knn.query_ns` bucket deltas (ring order).
+    interval_buckets: Vec<Vec<u64>>,
+    /// Cumulative `knn.query_ns` buckets (base + every interval).
+    total_buckets: Vec<u64>,
+    total_sum: u64,
+    /// Cumulative `knn.stage.*_ns` counters and refine histogram state.
+    stage_ns: std::collections::BTreeMap<String, u64>,
+    refine_bounds: Vec<u64>,
+    refine_buckets: Vec<u64>,
+    queries: u64,
+}
+
+impl TimelineView {
+    fn from_json(doc: &Value) -> Result<Self, String> {
+        let format = doc.get("format").and_then(Value::as_str).unwrap_or("");
+        if format != trajsim_obs::TIMELINE_FORMAT {
+            return Err(format!(
+                "not a timeline: format {format:?}, expected {:?}",
+                trajsim_obs::TIMELINE_FORMAT
+            ));
+        }
+        fn read_hist(h: &Value) -> (Vec<u64>, Vec<u64>, u64) {
+            let arr_u64 = |key: &str| -> Vec<u64> {
+                h.get(key)
+                    .and_then(Value::as_array)
+                    .map(|a| a.iter().filter_map(Value::as_u64).collect())
+                    .unwrap_or_default()
+            };
+            // Interval deltas call the counts "buckets"; base state
+            // calls them "counts" and may carry bounds.
+            let counts = {
+                let c = arr_u64("counts");
+                if c.is_empty() {
+                    arr_u64("buckets")
+                } else {
+                    c
+                }
+            };
+            (
+                arr_u64("bounds"),
+                counts,
+                h.get("sum").and_then(Value::as_u64).unwrap_or(0),
+            )
+        }
+        fn add_counter(view: &mut TimelineView, name: &str, v: u64) {
+            if let Some(stage) = name
+                .strip_prefix("knn.stage.")
+                .and_then(|s| s.strip_suffix("_ns"))
+            {
+                *view.stage_ns.entry(stage.to_string()).or_insert(0) += v;
+            }
+        }
+        fn fold_hist(view: &mut TimelineView, name: &str, h: &Value, is_interval: bool) {
+            let (bounds, counts, sum) = read_hist(h);
+            match name {
+                "knn.query_ns" => {
+                    if !bounds.is_empty() {
+                        view.bounds = bounds;
+                    }
+                    if view.total_buckets.is_empty() {
+                        view.total_buckets = vec![0; counts.len()];
+                    }
+                    for (t, c) in view.total_buckets.iter_mut().zip(&counts) {
+                        *t += c;
+                    }
+                    view.total_sum = view.total_sum.wrapping_add(sum);
+                    if is_interval {
+                        view.interval_buckets.push(counts);
+                    }
+                }
+                "knn.refine_ns" => {
+                    if !bounds.is_empty() {
+                        view.refine_bounds = bounds;
+                    }
+                    if view.refine_buckets.is_empty() {
+                        view.refine_buckets = vec![0; counts.len()];
+                    }
+                    for (t, c) in view.refine_buckets.iter_mut().zip(&counts) {
+                        *t += c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut view = TimelineView {
+            bounds: Vec::new(),
+            interval_buckets: Vec::new(),
+            total_buckets: Vec::new(),
+            total_sum: 0,
+            stage_ns: std::collections::BTreeMap::new(),
+            refine_bounds: Vec::new(),
+            refine_buckets: Vec::new(),
+            queries: doc.get("queries").and_then(Value::as_u64).unwrap_or(0),
+        };
+        if let Some(base) = doc.get("base") {
+            if let Some(counters) = base.get("counters").and_then(Value::as_object) {
+                for (name, v) in counters.iter() {
+                    add_counter(&mut view, name, v.as_u64().unwrap_or(0));
+                }
+            }
+            if let Some(hists) = base.get("histograms").and_then(Value::as_object) {
+                for (name, h) in hists.iter() {
+                    fold_hist(&mut view, name, h, false);
+                }
+            }
+        }
+        for iv in doc
+            .get("intervals")
+            .and_then(Value::as_array)
+            .map(|a| a.as_slice())
+            .unwrap_or(&[])
+        {
+            if let Some(counters) = iv.get("counters").and_then(Value::as_object) {
+                for (name, v) in counters.iter() {
+                    add_counter(&mut view, name, v.as_u64().unwrap_or(0));
+                }
+            }
+            if let Some(hists) = iv.get("histograms").and_then(Value::as_object) {
+                for (name, h) in hists.iter() {
+                    fold_hist(&mut view, name, h, true);
+                }
+            }
+        }
+        // A timeline created against an already-populated registry
+        // carries bounds in its base; one created fresh never saw them,
+        // so fall back to the default latency layout when the bucket
+        // count matches it.
+        if view.bounds.is_empty() && view.total_buckets.len() == DEFAULT_LATENCY_BOUNDS_NS.len() + 1
+        {
+            view.bounds = DEFAULT_LATENCY_BOUNDS_NS.to_vec();
+        }
+        if view.refine_bounds.is_empty()
+            && view.refine_buckets.len() == DEFAULT_LATENCY_BOUNDS_NS.len() + 1
+        {
+            view.refine_bounds = DEFAULT_LATENCY_BOUNDS_NS.to_vec();
+        }
+        if view.total_buckets.is_empty() {
+            return Err("timeline carries no knn.query_ns data to check".into());
+        }
+        if view.bounds.is_empty() {
+            return Err(
+                "timeline knn.query_ns bucket layout is not the default and carries no bounds"
+                    .into(),
+            );
+        }
+        Ok(view)
+    }
+}
+
+/// Evaluates `spec` against a timeline JSON document (the
+/// `--timeline`-sidecar / `GET /timeline` payload). Percentile and
+/// stage objectives use the cumulative series (`base + Σ intervals`);
+/// the burn gate slides a window of `burn.window_intervals` ring
+/// intervals so short bursts are caught.
+///
+/// # Errors
+///
+/// Rejects non-timeline documents and timelines carrying no
+/// `knn.query_ns` data.
+pub fn evaluate_timeline(spec: &SloSpec, doc: &Value) -> Result<SloReport, String> {
+    let view = TimelineView::from_json(doc)?;
+    let total_count: u64 = view.total_buckets.iter().sum();
+    let stage_total: u64 = view.stage_ns.values().sum();
+    let rows = spec
+        .objectives
+        .iter()
+        .map(|o| match o {
+            Objective::Percentile { metric, p, max_ns } => {
+                let (bounds, buckets) = if metric == "refine_ns" {
+                    (&view.refine_bounds, &view.refine_buckets)
+                } else {
+                    (&view.bounds, &view.total_buckets)
+                };
+                let observed = quantile_from_buckets(bounds, buckets, *p);
+                SloRow {
+                    label: format!("p{} {metric}", fmt_p(*p)),
+                    observed,
+                    limit: *max_ns as f64,
+                    pass: observed <= *max_ns as f64,
+                }
+            }
+            Objective::StageShare { stage, max } => {
+                let ns = view.stage_ns.get(stage.as_str()).copied().unwrap_or(0);
+                // Shares are against total query time; the timeline may
+                // predate the stage counters, in which case the stage
+                // sum is the only denominator available.
+                let denom = if view.total_sum > 0 {
+                    view.total_sum
+                } else {
+                    stage_total
+                };
+                let observed = if denom == 0 {
+                    0.0
+                } else {
+                    ns as f64 / denom as f64
+                };
+                SloRow {
+                    label: format!("stage.{stage}.share"),
+                    observed,
+                    limit: *max,
+                    pass: observed <= *max,
+                }
+            }
+            Objective::StageMean { stage, max_ns } => {
+                let ns = view.stage_ns.get(stage.as_str()).copied().unwrap_or(0);
+                let queries = if view.queries > 0 {
+                    view.queries
+                } else {
+                    total_count
+                };
+                let observed = if queries == 0 {
+                    0.0
+                } else {
+                    ns as f64 / queries as f64
+                };
+                SloRow {
+                    label: format!("stage.{stage}.mean_ns"),
+                    observed,
+                    limit: *max_ns as f64,
+                    pass: observed <= *max_ns as f64,
+                }
+            }
+        })
+        .collect();
+    let burn = spec.burn.as_ref().map(|b| {
+        // Slide a window over the interval deltas; with no intervals
+        // (everything folded into base) the cumulative series is the
+        // single window.
+        let windows: Vec<(u64, u64)> = if view.interval_buckets.is_empty() {
+            vec![(
+                bad_count(&view.bounds, &view.total_buckets, b.threshold_ns),
+                total_count,
+            )]
+        } else {
+            let w = b.window_intervals.min(view.interval_buckets.len());
+            (0..=view.interval_buckets.len() - w)
+                .map(|start| {
+                    let mut bad = 0u64;
+                    let mut total = 0u64;
+                    for buckets in &view.interval_buckets[start..start + w] {
+                        bad += bad_count(&view.bounds, buckets, b.threshold_ns);
+                        total += buckets.iter().sum::<u64>();
+                    }
+                    (bad, total)
+                })
+                .collect()
+        };
+        let mut worst = BurnRow {
+            worst_rate: 0.0,
+            worst_bad_fraction: 0.0,
+            worst_window: 0,
+            windows: windows.len(),
+            max_rate: b.max_rate,
+            pass: true,
+        };
+        for (i, &(bad, total)) in windows.iter().enumerate() {
+            let (frac, rate) = window_rate(bad, total, b.budget);
+            if rate > worst.worst_rate {
+                worst.worst_rate = rate;
+                worst.worst_bad_fraction = frac;
+                worst.worst_window = i;
+            }
+        }
+        worst.pass = worst.worst_rate <= b.max_rate;
+        worst
+    });
+    Ok(SloReport {
+        source: "timeline".to_string(),
+        queries: if view.queries > 0 {
+            view.queries
+        } else {
+            total_count
+        },
+        rows,
+        burn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadStats;
+    use trajsim_obs::{Registry, Timeline};
+
+    fn spec_json(max_p99_ns: u64) -> String {
+        format!(
+            r#"{{
+  "format": "trajsim-slo-spec",
+  "version": 1,
+  "objectives": [
+    {{"metric": "total_ns", "p": 0.99, "max_ns": {max_p99_ns}}},
+    {{"metric": "stage.histogram.share", "max": 0.9}}
+  ],
+  "burn": {{"threshold_ns": {max_p99_ns}, "budget": 0.1,
+           "window_intervals": 2, "max_rate": 1.0}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_schema_and_rejects_garbage() {
+        let spec = SloSpec::parse(&spec_json(1 << 20)).unwrap();
+        assert_eq!(spec.objectives.len(), 2);
+        let burn = spec.burn.unwrap();
+        assert_eq!(burn.threshold_ns, 1 << 20);
+        assert_eq!(burn.window_intervals, 2);
+
+        assert!(SloSpec::parse("not json").is_err());
+        assert!(SloSpec::parse(r#"{"format": "other", "version": 1}"#)
+            .unwrap_err()
+            .contains("not an SLO spec"));
+        assert!(
+            SloSpec::parse(r#"{"format": "trajsim-slo-spec", "version": 9}"#)
+                .unwrap_err()
+                .contains("version")
+        );
+        // Empty spec, unknown metric, unknown stage, bad quantile.
+        assert!(
+            SloSpec::parse(r#"{"format": "trajsim-slo-spec", "version": 1}"#)
+                .unwrap_err()
+                .contains("no objectives")
+        );
+        let bad = r#"{"format": "trajsim-slo-spec", "version": 1,
+                      "objectives": [{"metric": "bogus_ns", "p": 0.5, "max_ns": 1}]}"#;
+        assert!(SloSpec::parse(bad).unwrap_err().contains("unknown metric"));
+        let bad = r#"{"format": "trajsim-slo-spec", "version": 1,
+                      "objectives": [{"metric": "stage.warp.share", "max": 0.5}]}"#;
+        assert!(SloSpec::parse(bad).unwrap_err().contains("unknown stage"));
+        let bad = r#"{"format": "trajsim-slo-spec", "version": 1,
+                      "objectives": [{"metric": "total_ns", "p": 1.5, "max_ns": 1}]}"#;
+        assert!(SloSpec::parse(bad).unwrap_err().contains("outside"));
+        let bad = r#"{"format": "trajsim-slo-spec", "version": 1,
+                      "burn": {"threshold_ns": 10, "budget": 0.0, "max_rate": 1.0}}"#;
+        assert!(SloSpec::parse(bad).unwrap_err().contains("budget"));
+    }
+
+    fn fast_stats(total_ns: u64, n: u64) -> WorkloadStats {
+        let mut w = WorkloadStats::default();
+        for _ in 0..n {
+            // Private record path is not exposed; emulate via the
+            // public distribution fields directly.
+            let idx = w.total_latency.bounds.partition_point(|&b| b < total_ns);
+            w.total_latency.counts[idx] += 1;
+            w.total_latency.count += 1;
+            w.total_latency.sum_ns += total_ns;
+        }
+        w.queries = n;
+        w
+    }
+
+    #[test]
+    fn stats_evaluation_passes_fast_and_fails_slow() {
+        let spec = SloSpec::parse(&spec_json(1 << 20)).unwrap();
+        // All queries at ~16 µs: p99 well under 1 ms, nothing bad.
+        let fast = fast_stats(16_000, 100);
+        let report = evaluate_stats(&spec, &fast);
+        assert!(!report.violated(), "{}", report.render());
+        assert!(report.render().contains("ok"));
+        // All queries at ~16 ms: p99 over the 1 ms limit AND the burn
+        // gate sees 100% bad against a 10% budget.
+        let slow = fast_stats(16_000_000, 100);
+        let report = evaluate_stats(&spec, &slow);
+        assert!(report.violated());
+        let text = report.render();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("VIOLATED"), "{text}");
+        let burn = report.burn.unwrap();
+        assert!(burn.worst_rate >= 9.9, "rate {}", burn.worst_rate);
+        assert!(!burn.pass);
+    }
+
+    #[test]
+    fn stage_share_and_mean_objectives_read_the_stage_taxonomy() {
+        let mut w = fast_stats(1_000_000, 10);
+        w.setup_ns = 2_000_000;
+        w.stages.insert(
+            "histogram".to_string(),
+            crate::workload::StageAgg {
+                candidates_in: 100,
+                candidates_out: 10,
+                pruned: 90,
+                filter_ns: 9_000_000, // 90% of the 10 ms total
+            },
+        );
+        let spec = SloSpec::parse(
+            r#"{"format": "trajsim-slo-spec", "version": 1, "objectives": [
+                {"metric": "stage.histogram.share", "max": 0.5},
+                {"metric": "stage.setup.mean_ns", "max_ns": 300000}
+            ]}"#,
+        )
+        .unwrap();
+        let report = evaluate_stats(&spec, &w);
+        assert!(report.violated());
+        assert!((report.rows[0].observed - 0.9).abs() < 1e-9);
+        assert!(!report.rows[0].pass, "90% share over a 50% cap");
+        assert!((report.rows[1].observed - 200_000.0).abs() < 1e-9);
+        assert!(report.rows[1].pass, "200 µs mean under a 300 µs cap");
+    }
+
+    /// Builds a timeline JSON doc by driving a real Timeline against a
+    /// real Registry — the same machinery the CLI sidecar uses.
+    fn timeline_doc(latencies: &[u64]) -> Value {
+        let r = Registry::new();
+        let tl = Timeline::new(&r, 1, 64);
+        for &ns in latencies {
+            r.counter("knn.queries").inc();
+            r.counter("knn.stage.histogram_ns").add(ns / 2);
+            r.counter("knn.stage.refine_ns").add(ns / 4);
+            r.histogram("knn.query_ns").record(ns);
+            r.histogram("knn.refine_ns").record(ns / 4);
+            tl.note_query(&r);
+        }
+        tl.to_json(&r)
+    }
+
+    #[test]
+    fn timeline_evaluation_slides_burn_windows() {
+        // 8 fast queries then 4 slow ones: the whole-run bad fraction is
+        // 4/12 = 33%, but the worst 2-interval window is 100% bad.
+        let mut lats = vec![16_000u64; 8];
+        lats.extend([16_000_000u64; 4]);
+        let doc = timeline_doc(&lats);
+        let spec = SloSpec::parse(
+            r#"{"format": "trajsim-slo-spec", "version": 1,
+                "burn": {"threshold_ns": 1048576, "budget": 0.5,
+                         "window_intervals": 2, "max_rate": 1.0}}"#,
+        )
+        .unwrap();
+        let report = evaluate_timeline(&spec, &doc).unwrap();
+        let burn = report.burn.clone().unwrap();
+        // 100% bad / 50% budget = 2.0x burn in the slow window.
+        assert!(
+            (burn.worst_rate - 2.0).abs() < 1e-9,
+            "rate {}",
+            burn.worst_rate
+        );
+        assert!(report.violated());
+        // The same spec against an all-fast timeline passes.
+        let report = evaluate_timeline(&spec, &timeline_doc(&[16_000; 12])).unwrap();
+        assert!(!report.violated(), "{}", report.render());
+    }
+
+    #[test]
+    fn timeline_percentiles_and_stage_shares_match_the_cumulative_series() {
+        let doc = timeline_doc(&[1_000_000; 20]);
+        let spec = SloSpec::parse(
+            r#"{"format": "trajsim-slo-spec", "version": 1, "objectives": [
+                {"metric": "total_ns", "p": 0.99, "max_ns": 4194304},
+                {"metric": "stage.histogram.share", "max": 0.6},
+                {"metric": "stage.refine.share", "max": 0.2}
+            ]}"#,
+        )
+        .unwrap();
+        let report = evaluate_timeline(&spec, &doc).unwrap();
+        assert_eq!(report.queries, 20);
+        // p99 of values recorded at 1 ms sits in the (2^18, 2^20]
+        // bucket — under the 4 MiB-ns limit.
+        assert!(report.rows[0].pass, "{}", report.render());
+        // histogram_ns = total/2 → share 0.5 ≤ 0.6 passes; refine_ns =
+        // total/4 → share 0.25 > 0.2 fails.
+        assert!(report.rows[1].pass, "{}", report.render());
+        assert!(!report.rows[2].pass, "{}", report.render());
+        assert!((report.rows[1].observed - 0.5).abs() < 0.01);
+        assert!((report.rows[2].observed - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn timeline_evaluation_rejects_foreign_documents() {
+        let spec = SloSpec::parse(&spec_json(1)).unwrap();
+        let doc = json!({"format": "something-else"});
+        assert!(evaluate_timeline(&spec, &doc)
+            .unwrap_err()
+            .contains("not a timeline"));
+        let doc = json!({
+            "format": trajsim_obs::TIMELINE_FORMAT, "version": 1,
+            "base": {"counters": {}, "gauges": {}, "histograms": {}},
+            "intervals": [],
+        });
+        assert!(evaluate_timeline(&spec, &doc)
+            .unwrap_err()
+            .contains("no knn.query_ns"));
+    }
+}

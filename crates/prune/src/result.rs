@@ -294,6 +294,20 @@ pub(crate) fn finish_query(
     m.counter("knn.dp_cells").add(stats.dp_cells);
     m.histogram("knn.query_ns").record(stats.timings.total_ns);
     m.histogram("knn.refine_ns").record(stats.timings.refine_ns);
+    // Per-stage time counters, always on (relaxed adds): these are what
+    // the live endpoint's dominant-stage rollups (`trajsim watch`) and
+    // timeline-window SLO attribution read. The Debug-gated span records
+    // below carry the same numbers per query; the counters carry them
+    // cumulatively even with tracing off.
+    m.counter("knn.stage.setup_ns").add(stats.timings.setup_ns);
+    m.counter("knn.stage.histogram_ns")
+        .add(stats.timings.histogram.filter_ns);
+    m.counter("knn.stage.qgram_ns")
+        .add(stats.timings.qgram.filter_ns);
+    m.counter("knn.stage.triangle_ns")
+        .add(stats.timings.triangle.filter_ns);
+    m.counter("knn.stage.refine_ns")
+        .add(stats.timings.refine_ns);
     // Tick the metrics time series (one relaxed load when none is
     // installed) — outside the Debug gate, because the timeline must
     // advance in always-on production configurations too.
