@@ -1,0 +1,38 @@
+//! # trajsim-art
+//!
+//! Sublinear candidate generation for the EDR filter chain: an adaptive
+//! radix trie ([`SignatureTree`], after Leis et al.'s ART — Node4/16/48/
+//! 256 fanouts, path compression, lazy leaf expansion) keyed on
+//! quantized signatures, with postings lists of `(trajectory id, count)`
+//! at the leaves.
+//!
+//! Two indexes share the trie:
+//!
+//! - [`QgramArtIndex`] keys each mean-value q-gram on its ε-grid cell;
+//!   probing the `3^D` neighbouring cells of each query gram yields a
+//!   sound upper bound on [`SortedMeans::match_count`] for Theorem 1's
+//!   count filter — without merge-joining every candidate.
+//! - [`HistogramArtIndex`] keys each non-empty histogram cell; probing
+//!   accumulates a one-sided matching capacity per trajectory, giving a
+//!   lower bound on EDR akin to the quick histogram filter — and proves
+//!   trajectories it never touches are at *exactly* max-length distance.
+//!
+//! Probes report work through [`ProbeStats`] and the `art.nodes_visited`
+//! / `art.postings_scanned` / `art.candidates` metrics counters. Per-
+//! query state lives in a reusable [`ArtScratch`] with epoch-stamped
+//! arrays, so a probe's cost scales with what it touches, not with the
+//! dataset.
+//!
+//! [`SortedMeans::match_count`]: trajsim_qgram::SortedMeans::match_count
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod tree;
+
+pub use index::{
+    ArtScratch, HistCandidate, HistogramArtIndex, QgramArtIndex, QuerySignature, CANDIDATES,
+    NODES_VISITED, POSTINGS_SCANNED,
+};
+pub use tree::{Posting, ProbeStats, SignatureTree, TreeShape};

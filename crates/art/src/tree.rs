@@ -1,0 +1,667 @@
+//! A byte-keyed adaptive radix trie over fixed-length signature keys,
+//! after the ART design of Leis et al.: inner nodes adapt their fanout
+//! representation (Node4 → Node16 → Node48 → Node256) to their actual
+//! child count, one-child chains are collapsed into per-node prefixes
+//! (path compression), and single-key subtrees stay unexpanded leaves
+//! holding the full key (lazy expansion). Leaves carry postings lists of
+//! `(trajectory id, count)` pairs, so one trie walk answers "which
+//! trajectories have a signature in this cell, and how much mass" —
+//! shared key prefixes are traversed once for the whole dataset instead
+//! of once per candidate.
+//!
+//! The trie is deliberately plain safe Rust: keys here are 8–16 bytes of
+//! quantized grid cells, so the depth is small and the win comes from
+//! visiting only the dataset's *occupied* cells, not from squeezing the
+//! last nanosecond out of a node search.
+
+/// Probe-side work counters, accumulated across every lookup of one
+/// probe and flushed to the metrics registry by the index layer (the
+/// `art.nodes_visited` / `art.postings_scanned` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Trie nodes (inner or leaf) touched during descents.
+    pub nodes_visited: u64,
+    /// Postings entries returned to the caller for scanning.
+    pub postings_scanned: u64,
+}
+
+impl ProbeStats {
+    /// Accumulates another probe's counters.
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.postings_scanned += other.postings_scanned;
+    }
+}
+
+/// One posting: `(trajectory id, number of signature entries of that
+/// trajectory in this exact cell)`.
+pub type Posting = (u32, u32);
+
+#[derive(Debug)]
+struct Leaf {
+    /// The full key — lazy expansion: a single-key subtree is never
+    /// expanded into inner nodes, so lookups compare the stored tail.
+    key: Box<[u8]>,
+    /// Ascending by id (ids are inserted in nondecreasing order).
+    postings: Vec<Posting>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Path compression: the key bytes every child shares at this point.
+    prefix: Vec<u8>,
+    children: Children,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Box<Leaf>),
+    Inner(Box<Inner>),
+}
+
+/// The adaptive fanout representations. `N4`/`N16` keep a sorted key
+/// array searched linearly; `N48` indirects through a 256-byte slot map;
+/// `N256` indexes children directly by key byte.
+#[derive(Debug)]
+enum Children {
+    N4 {
+        keys: Vec<u8>,
+        nodes: Vec<Node>,
+    },
+    N16 {
+        keys: Vec<u8>,
+        nodes: Vec<Node>,
+    },
+    N48 {
+        index: Box<[u8; 256]>,
+        nodes: Vec<Node>,
+    },
+    N256 {
+        slots: Vec<Option<Node>>,
+    },
+}
+
+impl Children {
+    fn new() -> Children {
+        Children::N4 {
+            keys: Vec::with_capacity(4),
+            nodes: Vec::with_capacity(4),
+        }
+    }
+
+    fn get(&self, byte: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { keys, nodes } | Children::N16 { keys, nodes } => {
+                keys.iter().position(|&k| k == byte).map(|i| &nodes[i])
+            }
+            Children::N48 { index, nodes } => match index[byte as usize] {
+                0 => None,
+                slot => Some(&nodes[slot as usize - 1]),
+            },
+            Children::N256 { slots } => slots[byte as usize].as_ref(),
+        }
+    }
+
+    fn get_mut(&mut self, byte: u8) -> Option<&mut Node> {
+        match self {
+            Children::N4 { keys, nodes } | Children::N16 { keys, nodes } => {
+                keys.iter().position(|&k| k == byte).map(|i| &mut nodes[i])
+            }
+            Children::N48 { index, nodes } => match index[byte as usize] {
+                0 => None,
+                slot => Some(&mut nodes[slot as usize - 1]),
+            },
+            Children::N256 { slots } => slots[byte as usize].as_mut(),
+        }
+    }
+
+    /// Number of children (invariant checks only).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        match self {
+            Children::N4 { nodes, .. }
+            | Children::N16 { nodes, .. }
+            | Children::N48 { nodes, .. } => nodes.len(),
+            Children::N256 { slots } => slots.iter().filter(|s| s.is_some()).count(),
+        }
+    }
+
+    /// Adds a child under `byte` (which must not be present), growing the
+    /// representation when the current one is full: 4 → 16 → 48 → 256.
+    fn add(&mut self, byte: u8, node: Node) {
+        debug_assert!(self.get(byte).is_none(), "duplicate child byte");
+        // Grow first if full, then insert into whatever we became.
+        match self {
+            Children::N4 { keys, nodes } if keys.len() == 4 => {
+                let mut k16 = Vec::with_capacity(16);
+                let mut n16 = Vec::with_capacity(16);
+                k16.append(keys);
+                n16.append(nodes);
+                *self = Children::N16 {
+                    keys: k16,
+                    nodes: n16,
+                };
+            }
+            Children::N16 { keys, nodes } if keys.len() == 16 => {
+                let mut index = Box::new([0u8; 256]);
+                let moved = std::mem::take(nodes);
+                for (i, &k) in keys.iter().enumerate() {
+                    index[k as usize] = i as u8 + 1;
+                }
+                *self = Children::N48 {
+                    index,
+                    nodes: moved,
+                };
+            }
+            Children::N48 { index, nodes } if nodes.len() == 48 => {
+                let mut slots: Vec<Option<Node>> = (0..256).map(|_| None).collect();
+                let moved = std::mem::take(nodes);
+                let index = std::mem::replace(index, Box::new([0u8; 256]));
+                let mut by_slot: Vec<Option<Node>> = moved.into_iter().map(Some).collect();
+                for b in 0..256usize {
+                    if index[b] != 0 {
+                        slots[b] = by_slot[index[b] as usize - 1].take();
+                    }
+                }
+                *self = Children::N256 { slots };
+            }
+            _ => {}
+        }
+        match self {
+            Children::N4 { keys, nodes } | Children::N16 { keys, nodes } => {
+                // Keep keys sorted so iteration (and debug output) is
+                // deterministic; linear search does not care.
+                let at = keys.iter().position(|&k| k > byte).unwrap_or(keys.len());
+                keys.insert(at, byte);
+                nodes.insert(at, node);
+            }
+            Children::N48 { index, nodes } => {
+                nodes.push(node);
+                index[byte as usize] = nodes.len() as u8;
+            }
+            Children::N256 { slots } => {
+                slots[byte as usize] = Some(node);
+            }
+        }
+    }
+}
+
+/// Structural statistics of a tree, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Leaves (= distinct keys).
+    pub leaves: usize,
+    /// Inner nodes with ≤4 children.
+    pub node4: usize,
+    /// Inner nodes with 5–16 children.
+    pub node16: usize,
+    /// Inner nodes with 17–48 children.
+    pub node48: usize,
+    /// Inner nodes with 49–256 children.
+    pub node256: usize,
+    /// Total key bytes absorbed into compressed prefixes.
+    pub prefix_bytes: usize,
+}
+
+/// The adaptive radix trie over fixed-length byte keys with postings
+/// lists at the leaves.
+#[derive(Debug)]
+pub struct SignatureTree {
+    root: Option<Node>,
+    key_len: usize,
+    distinct_keys: usize,
+    postings_len: u64,
+}
+
+impl SignatureTree {
+    /// An empty tree over keys of exactly `key_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_len == 0`.
+    pub fn new(key_len: usize) -> SignatureTree {
+        assert!(key_len > 0, "signature keys must be non-empty");
+        SignatureTree {
+            root: None,
+            key_len,
+            distinct_keys: 0,
+            postings_len: 0,
+        }
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of distinct keys (leaves).
+    pub fn len(&self) -> usize {
+        self.distinct_keys
+    }
+
+    /// True iff no key was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.distinct_keys == 0
+    }
+
+    /// Total postings entries across all leaves.
+    pub fn postings_len(&self) -> u64 {
+        self.postings_len
+    }
+
+    /// Records one signature entry of trajectory `id` under `key`:
+    /// the key's postings list gains `(id, 1)` or bumps the count of its
+    /// last entry. Ids must be inserted in nondecreasing order (the index
+    /// builders iterate the dataset in id order), which keeps the bump an
+    /// O(1) last-element check and postings sorted by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` has the wrong length or `id` regresses below the
+    /// last id already posted under `key`.
+    pub fn insert(&mut self, key: &[u8], id: u32) {
+        self.insert_n(key, id, 1);
+    }
+
+    /// Like [`SignatureTree::insert`] but records `n` entries at once
+    /// (histogram cells carry a per-cell mass, inserted in one call).
+    ///
+    /// # Panics
+    ///
+    /// Panics additionally if `n == 0`.
+    pub fn insert_n(&mut self, key: &[u8], id: u32, n: u32) {
+        assert_eq!(key.len(), self.key_len, "key length mismatch");
+        assert!(n > 0, "posting count must be positive");
+        match &mut self.root {
+            None => {
+                self.root = Some(Node::Leaf(Box::new(Leaf {
+                    key: key.into(),
+                    postings: vec![(id, n)],
+                })));
+                self.distinct_keys = 1;
+                self.postings_len = 1;
+            }
+            Some(root) => {
+                let (created, posted) = insert_rec(root, key, 0, id, n);
+                self.distinct_keys += usize::from(created);
+                self.postings_len += u64::from(posted);
+            }
+        }
+    }
+
+    /// Looks up `key`, counting the walk into `stats`. Returns the
+    /// postings list, sorted ascending by id, or `None` for an absent
+    /// key. The postings length is added to `stats.postings_scanned`
+    /// (the caller is about to scan them — that is what lookups are
+    /// for).
+    pub fn get<'t>(&'t self, key: &[u8], stats: &mut ProbeStats) -> Option<&'t [Posting]> {
+        debug_assert_eq!(key.len(), self.key_len, "key length mismatch");
+        let mut node = self.root.as_ref()?;
+        let mut depth = 0usize;
+        loop {
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf(leaf) => {
+                    return if leaf.key[depth..] == key[depth..] {
+                        stats.postings_scanned += leaf.postings.len() as u64;
+                        Some(&leaf.postings)
+                    } else {
+                        None
+                    };
+                }
+                Node::Inner(inner) => {
+                    let end = depth + inner.prefix.len();
+                    if key[depth..end] != inner.prefix[..] {
+                        return None;
+                    }
+                    node = inner.children.get(key[end])?;
+                    depth = end + 1;
+                }
+            }
+        }
+    }
+
+    /// Walks the whole tree counting node kinds.
+    pub fn shape(&self) -> TreeShape {
+        let mut shape = TreeShape::default();
+        fn walk(node: &Node, shape: &mut TreeShape) {
+            match node {
+                Node::Leaf(_) => shape.leaves += 1,
+                Node::Inner(inner) => {
+                    shape.prefix_bytes += inner.prefix.len();
+                    match &inner.children {
+                        Children::N4 { nodes, .. } => {
+                            shape.node4 += 1;
+                            nodes.iter().for_each(|n| walk(n, shape));
+                        }
+                        Children::N16 { nodes, .. } => {
+                            shape.node16 += 1;
+                            nodes.iter().for_each(|n| walk(n, shape));
+                        }
+                        Children::N48 { nodes, .. } => {
+                            shape.node48 += 1;
+                            nodes.iter().for_each(|n| walk(n, shape));
+                        }
+                        Children::N256 { slots } => {
+                            shape.node256 += 1;
+                            slots.iter().flatten().for_each(|n| walk(n, shape));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, &mut shape);
+        }
+        shape
+    }
+}
+
+/// First index at which the slices differ (their common prefix length).
+fn mismatch(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+fn bump(postings: &mut Vec<Posting>, id: u32, n: u32) -> bool {
+    match postings.last_mut() {
+        Some(last) if last.0 == id => {
+            last.1 += n;
+            false
+        }
+        Some(last) => {
+            assert!(last.0 < id, "ids must be inserted in nondecreasing order");
+            postings.push((id, n));
+            true
+        }
+        None => {
+            postings.push((id, n));
+            true
+        }
+    }
+}
+
+/// Swaps a placeholder into `slot` so the old node can be moved into a
+/// new parent (splits restructure in place without unsafe code).
+fn take(slot: &mut Node) -> Node {
+    std::mem::replace(
+        slot,
+        Node::Leaf(Box::new(Leaf {
+            key: Box::from([]),
+            postings: Vec::new(),
+        })),
+    )
+}
+
+/// Inserts under the subtree at `slot`, whose key bytes before `depth`
+/// are already matched. Returns `(new distinct key, new posting entry)`.
+fn insert_rec(slot: &mut Node, key: &[u8], depth: usize, id: u32, n: u32) -> (bool, bool) {
+    match slot {
+        Node::Leaf(leaf) => {
+            if leaf.key[depth..] == key[depth..] {
+                let posted = bump(&mut leaf.postings, id, n);
+                return (false, posted);
+            }
+            // Lazy expansion ends here: split at the first divergent
+            // byte. Fixed-length keys guarantee one exists.
+            let at = depth + mismatch(&leaf.key[depth..], &key[depth..]);
+            let old = take(slot);
+            let old_byte = match &old {
+                Node::Leaf(l) => l.key[at],
+                Node::Inner(_) => unreachable!("old node is the leaf just taken"),
+            };
+            let mut children = Children::new();
+            children.add(old_byte, old);
+            children.add(
+                key[at],
+                Node::Leaf(Box::new(Leaf {
+                    key: key.into(),
+                    postings: vec![(id, n)],
+                })),
+            );
+            *slot = Node::Inner(Box::new(Inner {
+                prefix: key[depth..at].to_vec(),
+                children,
+            }));
+            (true, true)
+        }
+        Node::Inner(inner) => {
+            let common = mismatch(&inner.prefix, &key[depth..]);
+            if common < inner.prefix.len() {
+                // The new key leaves the compressed path early: split the
+                // prefix. The old inner keeps its tail (after the pivot
+                // byte), the new parent keeps the head.
+                let head = inner.prefix[..common].to_vec();
+                let pivot = inner.prefix[common];
+                inner.prefix.drain(..=common);
+                let old = take(slot);
+                let mut children = Children::new();
+                children.add(pivot, old);
+                children.add(
+                    key[depth + common],
+                    Node::Leaf(Box::new(Leaf {
+                        key: key.into(),
+                        postings: vec![(id, n)],
+                    })),
+                );
+                *slot = Node::Inner(Box::new(Inner {
+                    prefix: head,
+                    children,
+                }));
+                return (true, true);
+            }
+            let at = depth + inner.prefix.len();
+            let byte = key[at];
+            match inner.children.get_mut(byte) {
+                Some(child) => insert_rec(child, key, at + 1, id, n),
+                None => {
+                    inner.children.add(
+                        byte,
+                        Node::Leaf(Box::new(Leaf {
+                            key: key.into(),
+                            postings: vec![(id, n)],
+                        })),
+                    );
+                    (true, true)
+                }
+            }
+        }
+    }
+}
+
+/// Debug-build invariant checks used by tests: child counts match the
+/// representation tier.
+#[cfg(test)]
+fn check_node(node: &Node) {
+    if let Node::Inner(inner) = node {
+        let n = inner.children.len();
+        assert!(n >= 2, "inner node with {n} children defeats compression");
+        match &inner.children {
+            Children::N4 { .. } => assert!(n <= 4),
+            Children::N16 { .. } => assert!((5..=16).contains(&n) || n <= 16),
+            Children::N48 { .. } => assert!((17..=48).contains(&n)),
+            Children::N256 { .. } => assert!(n >= 49),
+        }
+        match &inner.children {
+            Children::N4 { nodes, .. }
+            | Children::N16 { nodes, .. }
+            | Children::N48 { nodes, .. } => nodes.iter().for_each(check_node),
+            Children::N256 { slots } => slots.iter().flatten().for_each(check_node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn stats() -> ProbeStats {
+        ProbeStats::default()
+    }
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let t = SignatureTree::new(4);
+        let mut s = stats();
+        assert!(t.get(&[0, 0, 0, 0], &mut s).is_none());
+        assert!(t.is_empty());
+        assert_eq!(s.nodes_visited, 0);
+    }
+
+    #[test]
+    fn single_key_stays_a_lazy_leaf() {
+        let mut t = SignatureTree::new(8);
+        t.insert(&[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        t.insert(&[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        t.insert(&[1, 2, 3, 4, 5, 6, 7, 8], 3);
+        let shape = t.shape();
+        assert_eq!(shape.leaves, 1);
+        assert_eq!(shape.node4 + shape.node16 + shape.node48 + shape.node256, 0);
+        let mut s = stats();
+        let postings = t.get(&[1, 2, 3, 4, 5, 6, 7, 8], &mut s).unwrap();
+        assert_eq!(postings, &[(0, 2), (3, 1)]);
+        assert_eq!(s.nodes_visited, 1, "lazy leaf answers in one visit");
+        assert_eq!(s.postings_scanned, 2);
+    }
+
+    #[test]
+    fn diverging_keys_split_with_a_compressed_prefix() {
+        let mut t = SignatureTree::new(8);
+        t.insert(&[9, 9, 9, 9, 1, 0, 0, 0], 0);
+        t.insert(&[9, 9, 9, 9, 2, 0, 0, 0], 1);
+        let shape = t.shape();
+        assert_eq!(shape.leaves, 2);
+        assert_eq!(shape.node4, 1);
+        // The shared head lives in the inner node's prefix, not in a
+        // chain of one-child nodes.
+        assert_eq!(shape.prefix_bytes, 4);
+        let mut s = stats();
+        assert_eq!(t.get(&[9, 9, 9, 9, 1, 0, 0, 0], &mut s).unwrap(), &[(0, 1)]);
+        assert_eq!(s.nodes_visited, 2);
+        assert!(t.get(&[9, 9, 9, 8, 1, 0, 0, 0], &mut s).is_none());
+        // Key absent below an existing child: descent stops at the leaf.
+        assert!(t.get(&[9, 9, 9, 9, 1, 0, 0, 1], &mut s).is_none());
+    }
+
+    #[test]
+    fn node_representation_grows_through_every_tier() {
+        // 0..=255 keys differing in their last byte force one inner node
+        // through N4 -> N16 -> N48 -> N256.
+        let mut t = SignatureTree::new(4);
+        for b in 0..=255u8 {
+            for tier in [4usize, 16, 48, 256] {
+                if usize::from(b) + 1 == tier {
+                    // About to outgrow; nothing to assert here, the
+                    // shape checks below cover the result.
+                }
+                let _ = tier;
+            }
+            t.insert(&[7, 7, 7, b], b as u32);
+        }
+        let shape = t.shape();
+        assert_eq!(shape.leaves, 256);
+        assert_eq!(shape.node256, 1);
+        assert_eq!(shape.node4 + shape.node16 + shape.node48, 0);
+        check_node(t.root.as_ref().unwrap());
+        let mut s = stats();
+        for b in 0..=255u8 {
+            assert_eq!(t.get(&[7, 7, 7, b], &mut s).unwrap(), &[(b as u32, 1)]);
+        }
+    }
+
+    #[test]
+    fn prefix_split_keeps_old_subtree_reachable() {
+        let mut t = SignatureTree::new(6);
+        // Two keys sharing 4 bytes build an inner node with prefix
+        // [5,5,5,5]; the third diverges inside that prefix.
+        t.insert(&[5, 5, 5, 5, 1, 1], 0);
+        t.insert(&[5, 5, 5, 5, 2, 2], 1);
+        t.insert(&[5, 5, 9, 9, 9, 9], 2);
+        let mut s = stats();
+        assert_eq!(t.get(&[5, 5, 5, 5, 1, 1], &mut s).unwrap(), &[(0, 1)]);
+        assert_eq!(t.get(&[5, 5, 5, 5, 2, 2], &mut s).unwrap(), &[(1, 1)]);
+        assert_eq!(t.get(&[5, 5, 9, 9, 9, 9], &mut s).unwrap(), &[(2, 1)]);
+        assert_eq!(t.len(), 3);
+        check_node(t.root.as_ref().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn regressing_ids_panic() {
+        let mut t = SignatureTree::new(1);
+        t.insert(&[1], 5);
+        t.insert(&[1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_key_length_panics() {
+        let mut t = SignatureTree::new(2);
+        t.insert(&[1], 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The trie agrees with a BTreeMap oracle on arbitrary key sets:
+        /// same distinct keys, same postings under every key, and absent
+        /// keys stay absent.
+        #[test]
+        fn agrees_with_map_oracle(
+            keys in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 6..7), 0..200),
+            probes in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 6..7), 0..50),
+        ) {
+            let mut tree = SignatureTree::new(6);
+            let mut oracle: BTreeMap<Vec<u8>, Vec<Posting>> = BTreeMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                // Ids nondecreasing: several grams of one trajectory in
+                // a row, like the index builders produce.
+                let id = (i / 3) as u32;
+                tree.insert(key, id);
+                let postings = oracle.entry(key.clone()).or_default();
+                match postings.last_mut() {
+                    Some(last) if last.0 == id => last.1 += 1,
+                    _ => postings.push((id, 1)),
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+            let total: u64 = oracle.values().map(|p| p.len() as u64).sum();
+            prop_assert_eq!(tree.postings_len(), total);
+            let mut s = ProbeStats::default();
+            for (key, want) in &oracle {
+                let got = tree.get(key, &mut s);
+                prop_assert_eq!(got, Some(want.as_slice()));
+            }
+            for probe in &probes {
+                let got = tree.get(probe, &mut s).map(<[Posting]>::to_vec);
+                let want = oracle.get(probe).cloned();
+                prop_assert_eq!(got, want);
+            }
+            if let Some(root) = &tree.root {
+                check_node(root);
+            }
+        }
+
+        /// Depth is bounded by the key length: every inner level consumes
+        /// at least one key byte, so a probe visits at most `key_len`
+        /// nodes plus the leaf.
+        #[test]
+        fn probe_visits_at_most_key_len_nodes(
+            keys in proptest::collection::vec(
+                proptest::collection::vec(0u8..8, 5..6), 1..100),
+        ) {
+            let mut tree = SignatureTree::new(5);
+            for (i, key) in keys.iter().enumerate() {
+                tree.insert(key, i as u32);
+            }
+            for key in &keys {
+                let mut s = ProbeStats::default();
+                prop_assert!(tree.get(key, &mut s).is_some());
+                prop_assert!(s.nodes_visited <= 5 + 1);
+            }
+        }
+    }
+}

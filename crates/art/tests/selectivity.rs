@@ -1,0 +1,93 @@
+//! Probe selectivity: trajectories whose signatures live in disjoint
+//! regions of the ε-grid must stay untouched by each other's probes.
+//!
+//! This is the property that makes the index *sublinear* rather than
+//! merely correct — on spatially clustered data a probe's work tracks
+//! the query's neighbourhood, not the dataset. (On normalized data,
+//! where every trajectory is recentred to mean 0, selectivity comes
+//! from the count bounds instead; see the combined-engine tests.)
+
+use trajsim_art::{ArtScratch, HistogramArtIndex, QgramArtIndex, QuerySignature};
+use trajsim_core::{MatchThreshold, Point2, Trajectory2};
+use trajsim_data::{random_walk_set_spread, seeded_rng, LengthDistribution};
+use trajsim_histogram::TrajectoryHistogram;
+use trajsim_qgram::SortedMeans;
+
+fn per_dim_hists(ts: &[&Trajectory2], eps: MatchThreshold) -> Vec<Vec<TrajectoryHistogram<1>>> {
+    ts.iter()
+        .map(|t| {
+            (0..2)
+                .map(|d| TrajectoryHistogram::<2>::build_projected(t, eps, d))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn far_apart_trajectories_do_not_touch_each_other() {
+    let eps = MatchThreshold::new(0.25).unwrap();
+    let near = Trajectory2::new((0..20).map(|i| Point2::xy(i as f64 * 0.1, 0.0)).collect());
+    let far = Trajectory2::new(
+        (0..20)
+            .map(|i| Point2::xy(500.0 + i as f64 * 0.1, 300.0))
+            .collect(),
+    );
+    let hists = per_dim_hists(&[&near, &far], eps);
+    let index = HistogramArtIndex::<2>::build_per_dim(&hists);
+    let mut scratch = ArtScratch::new();
+    let mut out = Vec::new();
+    index.probe(
+        QuerySignature::PerDim(&hists[0]),
+        20,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(out.len(), 1, "far trajectory must stay untouched: {out:?}");
+    assert_eq!(out[0].id, 0);
+
+    let means: Vec<SortedMeans<2>> = [&near, &far]
+        .iter()
+        .map(|t| SortedMeans::build(t, 2))
+        .collect();
+    let qindex = QgramArtIndex::<2>::build(&means, eps);
+    let mut counts = Vec::new();
+    qindex.probe(&means[0], &mut scratch, &mut counts);
+    assert!(
+        counts.iter().all(|&(id, _)| id == 0),
+        "far trajectory must share no quantized q-gram: {counts:?}"
+    );
+}
+
+#[test]
+fn scattered_walks_probe_only_their_own_neighbourhood() {
+    // 200 unit-step walks scattered over a 2000 x 2000 square: each walk
+    // spans ~±16 units, so almost no pair overlaps and a probe for one
+    // walk must touch a small fraction of the dataset.
+    let eps = MatchThreshold::new(0.25).unwrap();
+    let ds = random_walk_set_spread(
+        &mut seeded_rng(13),
+        200,
+        LengthDistribution::Uniform { min: 30, max: 256 },
+        2000.0,
+    );
+    let ts: Vec<&Trajectory2> = ds.iter().map(|(_, t)| t).collect();
+    let hists = per_dim_hists(&ts, eps);
+    let index = HistogramArtIndex::<2>::build_per_dim(&hists);
+    let mut scratch = ArtScratch::new();
+    let mut out = Vec::new();
+    let q0 = ts[0];
+    let stats = index.probe(
+        QuerySignature::PerDim(&hists[0]),
+        q0.len() as u32,
+        &mut scratch,
+        &mut out,
+    );
+    assert!(out.len() < 20, "touched {} of 200", out.len());
+    let total_points: u64 = ts.iter().map(|t| t.len() as u64).sum();
+    assert!(
+        stats.postings_scanned < total_points / 10,
+        "postings scanned ({} of {total_points} stored points) should track \
+         the query, not the dataset",
+        stats.postings_scanned
+    );
+}

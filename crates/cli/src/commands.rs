@@ -22,6 +22,8 @@ usage: trajsim <command> [options]
 
 commands:
   generate <nhl|mixed|walk|asl|kungfu|slip> -o FILE [--n N] [--seed S]
+           [--spread W]   (walk only: scatter start points over a W x W
+           square instead of starting every walk at the origin)
   convert  <in> <out>
   stats    <file>
   stats    show <recording|store>
@@ -29,9 +31,11 @@ commands:
   stats    diff <a> <b> [--latency-tolerance F] [--shape-tolerance F]
            [--attribute] [--check]
   knn      <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
-           [--engine ENGINE] [--max-triangle M] [--metrics-out FILE]
+           [--engine ENGINE] [--index art] [--max-triangle M]
+           [--metrics-out FILE]
   explain  <file> (--query I | --queries N [--batch B]) [--k K] [--eps E]
-           [--engine ENGINE] [--max-triangle M] [--json FILE]
+           [--engine ENGINE] [--index art] [--max-triangle M]
+           [--json FILE]
   range    <file> --query I --edits K [--eps E]
   replay   <recording> [--max-drift F] [--check]
   slow     <recording> [--top N]
@@ -40,6 +44,10 @@ commands:
   cluster  <file> [--k K] [--eps E] [--tree]
 
 engines: scan|qgram|histogram|triangle|combined (default: combined)
+index:   --index art generates candidates through the adaptive radix
+         signature index (trie over quantized q-gram means and histogram
+         bins) instead of scanning every trajectory's signatures;
+         combined engine only
 
 global options:
   --threads N           worker threads for parallel phases (default: all
@@ -396,10 +404,17 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
     let ds = match kind {
         "nhl" => trajsim_data::nhl_like(seed, n),
         "mixed" => trajsim_data::mixed_like(seed, n),
-        "walk" => trajsim_data::random_walk_set(
+        "walk" => trajsim_data::random_walk_set_spread(
             &mut seeded_rng(seed),
             n,
             LengthDistribution::Uniform { min: 30, max: 256 },
+            {
+                let spread: f64 = parsed.get_or("spread", 0.0f64)?;
+                if !spread.is_finite() || spread < 0.0 {
+                    return Err(format!("option --spread: must be non-negative ({spread})"));
+                }
+                spread
+            },
         ),
         "asl" => trajsim_data::asl_retrieval_like(seed),
         "kungfu" => trajsim_data::kungfu_like(seed),
@@ -861,14 +876,35 @@ fn engine_pair<'a, E: KnnEngine<2> + Sync + 'a>(e: E) -> Engine<'a> {
     }
 }
 
+/// Resolves `--index`: `art` asks the combined engine to generate
+/// candidates through the adaptive radix signature index.
+fn pick_index(parsed: &Parsed) -> Result<bool, String> {
+    match parsed.get("index") {
+        None => Ok(false),
+        Some("art") => Ok(true),
+        Some(other) => Err(format!(
+            "option --index: unknown index {other:?} (supported: art)"
+        )),
+    }
+}
+
 /// Builds the named engine over `ds`. `max_triangle` bounds the
-/// reference pool of the (near-)triangle filter where one is used.
+/// reference pool of the (near-)triangle filter where one is used;
+/// `index` additionally builds the ART signature index (combined engine
+/// only — the other engines have no candidate-generation stage to
+/// replace).
 fn build_engine<'a>(
     ds: &'a Dataset<2>,
     eps: MatchThreshold,
     name: &str,
     max_triangle: usize,
+    index: bool,
 ) -> Result<Engine<'a>, String> {
+    if index && name != "combined" {
+        return Err(format!(
+            "--index art requires the combined engine (got {name:?})"
+        ));
+    }
     Ok(match name {
         // The parallel scan degrades to the serial one on a single worker.
         "scan" => engine_pair(SequentialScan::new(ds, eps).with_parallel()),
@@ -885,7 +921,8 @@ fn build_engine<'a>(
                 max_triangle,
                 ..Default::default()
             };
-            engine_pair(CombinedKnn::build(ds, eps, config))
+            let engine = CombinedKnn::build(ds, eps, config);
+            engine_pair(if index { engine.with_index() } else { engine })
         }
         other => return Err(format!("unknown engine {other:?}")),
     })
@@ -947,15 +984,22 @@ fn pick_workload(parsed: &Parsed, cmd: &str, ds: &Dataset<2>) -> Result<Workload
     }
 }
 
+/// The engine-selection knobs a recording's header must carry for
+/// `trajsim replay` to rebuild the same engine.
+struct EngineSel<'a> {
+    name: &'a str,
+    max_triangle: usize,
+    index: bool,
+}
+
 /// The resolved configuration a recording's header carries — enough for
 /// `trajsim replay` to rebuild the dataset, engine, and workload.
 fn workload_meta(
     command: &str,
     data: &str,
-    engine: &str,
+    engine: &EngineSel<'_>,
     k: usize,
     eps: f64,
-    max_triangle: usize,
     workload: &Workload,
 ) -> serde_json::Value {
     let (threads, _) = trajsim_parallel::num_threads_with_source();
@@ -972,10 +1016,11 @@ fn workload_meta(
     serde_json::json!({
         "command": command,
         "data": data,
-        "engine": engine,
+        "engine": engine.name,
         "k": k,
         "eps": eps,
-        "max_triangle": max_triangle,
+        "max_triangle": engine.max_triangle,
+        "index": if engine.index { "art" } else { "none" },
         "threads": threads,
         "workload": w,
     })
@@ -991,15 +1036,19 @@ fn knn(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
     let eps = pick_eps(parsed, &ds)?;
     let engine_name: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
-    let engine = build_engine(&ds, eps, &engine_name, max_triangle)?;
+    let index = pick_index(parsed)?;
+    let engine = build_engine(&ds, eps, &engine_name, max_triangle, index)?;
     let workload = pick_workload(parsed, "knn", &ds)?;
     telemetry.record_header(workload_meta(
         "knn",
         path,
-        &engine_name,
+        &EngineSel {
+            name: &engine_name,
+            max_triangle,
+            index,
+        },
         k,
         eps.value(),
-        max_triangle,
         &workload,
     ))?;
     match workload {
@@ -1119,15 +1168,19 @@ fn explain(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
     let eps = pick_eps(parsed, &ds)?;
     let engine: String = parsed.get_or("engine", "combined".to_string())?;
     let max_triangle: usize = parsed.get_or("max-triangle", 100usize)?;
-    let run = build_engine(&ds, eps, &engine, max_triangle)?;
+    let index = pick_index(parsed)?;
+    let run = build_engine(&ds, eps, &engine, max_triangle, index)?;
     let workload = pick_workload(parsed, "explain", &ds)?;
     telemetry.record_header(workload_meta(
         "explain",
         path,
-        &engine,
+        &EngineSel {
+            name: &engine,
+            max_triangle,
+            index,
+        },
         k,
         eps.value(),
-        max_triangle,
         &workload,
     ))?;
     let mut acc = QueryStats::default();
@@ -1306,7 +1359,9 @@ fn replay(parsed: &Parsed, telemetry: &Telemetry) -> Result<(), String> {
                 let k = meta_u64("k").ok_or("replay: recording header has no meta.k")? as usize;
                 let max_triangle = meta_u64("max_triangle").unwrap_or(100) as usize;
                 let engine_name = meta_str("engine")?.to_string();
-                let engine = build_engine(&ds, eps, &engine_name, max_triangle)?;
+                // Recordings made before the index option default to none.
+                let index = meta.get("index").and_then(serde_json::Value::as_str) == Some("art");
+                let engine = build_engine(&ds, eps, &engine_name, max_triangle, index)?;
                 if let Some(id) = w_u64("query") {
                     let id = id as usize;
                     let q = ds
@@ -1504,6 +1559,68 @@ mod tests {
     }
 
     #[test]
+    fn index_flag_builds_the_art_engine_with_identical_answers() {
+        let _g = sink_guard();
+        let csv = tmp("index.csv");
+        run(&[
+            "generate", "walk", "--n", "30", "--seed", "43", "--spread", "200", "-o", &csv,
+        ])
+        .unwrap();
+        run(&["knn", &csv, "--query", "0", "--k", "3", "--index", "art"]).unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "4",
+            "--batch",
+            "4",
+            "--index",
+            "art",
+        ])
+        .unwrap();
+        run(&["explain", &csv, "--queries", "2", "--index", "art"]).unwrap();
+        // The indexed engine the CLI builds answers exactly like the
+        // plain one.
+        let ds = load(&csv).unwrap().normalize();
+        let eps = pick_eps(&Parsed::default(), &ds).unwrap();
+        let plain = build_engine(&ds, eps, "combined", 100, false).unwrap();
+        let indexed = build_engine(&ds, eps, "combined", 100, true).unwrap();
+        for id in 0..3 {
+            let q = ds.get(id).unwrap();
+            assert_eq!(
+                (indexed.query)(q, 4).distances(),
+                (plain.query)(q, 4).distances(),
+                "query {id}"
+            );
+        }
+        // Only the combined engine has a candidate-generation stage the
+        // index can replace; unknown index names are rejected.
+        let err = run(&[
+            "knn", &csv, "--query", "0", "--engine", "scan", "--index", "art",
+        ])
+        .unwrap_err();
+        assert!(err.contains("combined"), "unexpected error: {err}");
+        let err = run(&["knn", &csv, "--query", "0", "--index", "hash"]).unwrap_err();
+        assert!(err.contains("--index"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn spread_walks_scatter_start_points() {
+        let csv = tmp("spread.csv");
+        run(&[
+            "generate", "walk", "--n", "40", "--seed", "3", "--spread", "100", "-o", &csv,
+        ])
+        .unwrap();
+        let ds = load(&csv).unwrap();
+        let xs: Vec<f64> = ds.trajectories().iter().map(|t| t[0].x()).collect();
+        let (lo, hi) = xs
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        assert!(hi - lo > 30.0, "start spread only {}", hi - lo);
+        assert!(run(&["generate", "walk", "--n", "2", "--spread", "-5", "-o", &csv]).is_err());
+    }
+
+    #[test]
     fn metrics_out_emits_parsable_stage_json() {
         let _g = sink_guard();
         let csv = tmp("metrics.csv");
@@ -1595,7 +1712,7 @@ mod tests {
         // fields are deterministic and must match exactly.
         let ds = load(&csv).unwrap().normalize();
         let eps = pick_eps(&Parsed::default(), &ds).unwrap();
-        let engine = build_engine(&ds, eps, "combined", 100).unwrap();
+        let engine = build_engine(&ds, eps, "combined", 100, false).unwrap();
         let mut expected = QueryStats::default();
         for id in 0..3 {
             expected.accumulate(&(engine.query)(ds.get(id).unwrap(), 3).stats);
@@ -2232,6 +2349,41 @@ mod tests {
         let recording = Recording::read(&rec).unwrap();
         assert_eq!(recording.records.len(), 8);
         assert!(recording.records.iter().all(|r| r.batch.is_some()));
+        run(&["replay", &rec]).unwrap();
+    }
+
+    #[test]
+    fn replay_rebuilds_the_indexed_engine_from_the_header() {
+        let _g = sink_guard();
+        let csv = tmp("replay-index.csv");
+        let rec = tmp("replay-index.flight.jsonl");
+        run(&[
+            "generate", "walk", "--n", "24", "--seed", "47", "--spread", "150", "-o", &csv,
+        ])
+        .unwrap();
+        run(&[
+            "knn",
+            &csv,
+            "--queries",
+            "6",
+            "--k",
+            "3",
+            "--index",
+            "art",
+            "--record",
+            &rec,
+        ])
+        .unwrap();
+        let recording = Recording::read(&rec).unwrap();
+        assert_eq!(
+            recording
+                .meta
+                .get("index")
+                .and_then(serde_json::Value::as_str),
+            Some("art"),
+            "recording header must carry the index choice"
+        );
+        // Replay rebuilds the indexed engine and reproduces the answers.
         run(&["replay", &rec]).unwrap();
     }
 

@@ -37,7 +37,9 @@ pub use corrupt::{corrupt, corrupt_dataset, CorruptionConfig};
 pub use labeled::{asl_like, asl_retrieval_like, cm_like, labeled_set, LabeledSetConfig};
 pub use motion::{kungfu_like, mixed_like, nhl_like, random_walk_db, slip_like};
 pub use template::{instance_of, smooth_template};
-pub use walk::{random_walk, random_walk_set, LengthDistribution};
+pub use walk::{
+    random_walk, random_walk_from, random_walk_set, random_walk_set_spread, LengthDistribution,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -64,6 +64,23 @@ impl LengthDistribution {
 ///
 /// Panics if `len == 0` or `step_sigma` is not finite and positive.
 pub fn random_walk<R: Rng + ?Sized>(rng: &mut R, len: usize, step_sigma: f64) -> Trajectory2 {
+    random_walk_from(rng, Point2::xy(0.0, 0.0), len, step_sigma)
+}
+
+/// A 2-d random walk starting at `start` instead of the origin — the
+/// generator behind spread walk sets, where scattering start points
+/// keeps trajectories from all sharing the origin's neighbourhood (which
+/// would defeat any locality-based index).
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `step_sigma` is not finite and positive.
+pub fn random_walk_from<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: Point2,
+    len: usize,
+    step_sigma: f64,
+) -> Trajectory2 {
     assert!(len > 0, "walk length must be positive");
     assert!(
         step_sigma.is_finite() && step_sigma > 0.0,
@@ -71,7 +88,7 @@ pub fn random_walk<R: Rng + ?Sized>(rng: &mut R, len: usize, step_sigma: f64) ->
     );
     let step = Normal::new(0.0, step_sigma).expect("validated above");
     let mut points = Vec::with_capacity(len);
-    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let (mut x, mut y) = (start.x(), start.y());
     for _ in 0..len {
         points.push(Point2::xy(x, y));
         x += step.sample(rng);
@@ -87,10 +104,41 @@ pub fn random_walk_set<R: Rng + ?Sized>(
     n: usize,
     lengths: LengthDistribution,
 ) -> Dataset<2> {
+    random_walk_set_spread(rng, n, lengths, 0.0)
+}
+
+/// Like [`random_walk_set`], but each walk starts at a point drawn
+/// uniformly from the `spread × spread` square centred on the origin
+/// (`spread == 0.0` reproduces [`random_walk_set`] draw-for-draw). Spread
+/// starts give the dataset genuine spatial locality, so index smoke
+/// tests see selective probes rather than every walk crowding the
+/// origin.
+///
+/// # Panics
+///
+/// Panics if `spread` is negative or not finite.
+pub fn random_walk_set_spread<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    lengths: LengthDistribution,
+    spread: f64,
+) -> Dataset<2> {
+    assert!(
+        spread.is_finite() && spread >= 0.0,
+        "spread must be finite and non-negative"
+    );
     (0..n)
         .map(|_| {
             let len = lengths.sample(rng);
-            random_walk(rng, len, 1.0)
+            // Draw nothing extra when spread is zero, so seeded sets
+            // generated before this option existed are bit-identical.
+            let start = if spread > 0.0 {
+                let half = spread / 2.0;
+                Point2::xy(rng.gen_range(-half..=half), rng.gen_range(-half..=half))
+            } else {
+                Point2::xy(0.0, 0.0)
+            };
+            random_walk_from(rng, start, len, 1.0)
         })
         .collect()
 }
@@ -158,6 +206,37 @@ mod tests {
     #[should_panic(expected = "length must be positive")]
     fn zero_length_walk_panics() {
         let _ = random_walk(&mut seeded_rng(0), 0, 1.0);
+    }
+
+    #[test]
+    fn zero_spread_reproduces_the_plain_set() {
+        let lengths = LengthDistribution::Uniform { min: 10, max: 20 };
+        let plain = random_walk_set(&mut seeded_rng(5), 30, lengths);
+        let spread = random_walk_set_spread(&mut seeded_rng(5), 30, lengths, 0.0);
+        assert_eq!(plain, spread);
+    }
+
+    #[test]
+    fn spread_scatters_start_points_within_the_square() {
+        let ds =
+            random_walk_set_spread(&mut seeded_rng(6), 100, LengthDistribution::Fixed(8), 50.0);
+        let starts: Vec<Point2> = ds.iter().map(|(_, t)| t[0]).collect();
+        assert!(starts
+            .iter()
+            .all(|p| p.x().abs() <= 25.0 && p.y().abs() <= 25.0));
+        // The starts genuinely scatter: not all in one quadrant, and a
+        // spread of x-coordinates covering most of the square.
+        let xs: Vec<f64> = starts.iter().map(Point2::x).collect();
+        let (lo, hi) = xs
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        assert!(hi - lo > 30.0, "start spread only {}", hi - lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be finite")]
+    fn negative_spread_panics() {
+        let _ = random_walk_set_spread(&mut seeded_rng(0), 1, LengthDistribution::Fixed(4), -1.0);
     }
 
     proptest! {

@@ -97,6 +97,37 @@ impl ScratchReport {
     }
 }
 
+/// Probe-work view of the ART signature index, snapshotted from the
+/// global metrics registry (the `art.*` counters published by
+/// `trajsim-art` on every probe). All-zero when the workload never
+/// probed an index — the report omits the line then.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArtReport {
+    /// Trie nodes visited across all probes.
+    pub nodes_visited: u64,
+    /// Postings-list entries scanned across all probes.
+    pub postings_scanned: u64,
+    /// Candidates the probes emitted.
+    pub candidates: u64,
+}
+
+impl ArtReport {
+    /// Reads the current index-probe metrics from the global registry.
+    fn snapshot() -> Self {
+        let m = trajsim_obs::metrics::global();
+        ArtReport {
+            nodes_visited: m.counter(trajsim_art::NODES_VISITED).get(),
+            postings_scanned: m.counter(trajsim_art::POSTINGS_SCANNED).get(),
+            candidates: m.counter(trajsim_art::CANDIDATES).get(),
+        }
+    }
+
+    /// Whether any probe ran this process.
+    fn active(&self) -> bool {
+        self.nodes_visited > 0 || self.postings_scanned > 0 || self.candidates > 0
+    }
+}
+
 /// Percentile view of the per-query latency distribution, snapshotted
 /// from the global `knn.query_ns` histogram — so `explain` reports tail
 /// latency (p50/p95/p99), not just the mean the stage table implies.
@@ -164,6 +195,9 @@ pub struct ExplainReport {
     pub refine_range: (u64, u64),
     /// Refine-path scratch allocation behaviour (process-wide snapshot).
     pub scratch: ScratchReport,
+    /// ART signature-index probe work (process-wide snapshot of the
+    /// `art.*` counters; all-zero without `--index art`).
+    pub art: ArtReport,
     /// Per-query latency percentiles (process-wide snapshot of
     /// `knn.query_ns`).
     pub latency: LatencyReport,
@@ -199,6 +233,7 @@ impl ExplainReport {
             total_range: t.total_range(),
             refine_range: t.refine_range(),
             scratch: ScratchReport::snapshot(),
+            art: ArtReport::snapshot(),
             latency: LatencyReport::snapshot(),
         }
     }
@@ -227,6 +262,11 @@ impl ExplainReport {
                 "reuses": self.scratch.reuses,
                 "allocs": self.scratch.allocs,
                 "workspace_peak_bytes": self.scratch.workspace_peak_bytes,
+            },
+            "art": {
+                "nodes_visited": self.art.nodes_visited,
+                "postings_scanned": self.art.postings_scanned,
+                "candidates": self.art.candidates,
             },
             "latency": {
                 "count": self.latency.count,
@@ -285,6 +325,12 @@ impl ExplainReport {
             "  scratch: {} reuses, {} allocs, peak {} bytes per workspace\n",
             self.scratch.reuses, self.scratch.allocs, self.scratch.workspace_peak_bytes
         ));
+        if self.art.active() {
+            out.push_str(&format!(
+                "  art index: {} nodes visited, {} postings scanned, {} candidates\n",
+                self.art.nodes_visited, self.art.postings_scanned, self.art.candidates
+            ));
+        }
         if self.latency.count > 0 {
             out.push_str(&format!(
                 "  latency (process, {} queries): p50 {}  p95 {}  p99 {}\n",
@@ -459,6 +505,26 @@ mod tests {
             .and_then(Value::as_i64)
             .is_some());
         assert!(r.render().contains("scratch:"));
+    }
+
+    #[test]
+    fn art_metrics_appear_in_json_and_render_only_when_probed() {
+        let mut r = ExplainReport::from_stats("scan", 1, &sample_stats());
+        let v = r.to_json();
+        let a = v.get("art").expect("art section");
+        for key in ["nodes_visited", "postings_scanned", "candidates"] {
+            assert!(a.get(key).and_then(Value::as_u64).is_some(), "{key}");
+        }
+        // The render line is gated on actual probe work.
+        r.art = ArtReport::default();
+        assert!(!r.render().contains("art index:"));
+        r.art = ArtReport {
+            nodes_visited: 12,
+            postings_scanned: 34,
+            candidates: 5,
+        };
+        let text = r.render();
+        assert!(text.contains("art index: 12 nodes visited, 34 postings scanned, 5 candidates"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod workload;
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use collapsed::collapsed_stacks;
 pub use collector::{ProfileCollector, ProfileRecord, TeeSink};
-pub use explain::{ExplainReport, LatencyReport, ScratchReport, StageReport};
+pub use explain::{ArtReport, ExplainReport, LatencyReport, ScratchReport, StageReport};
 pub use recorder::{
     Absorbed, FlightRecord, FlightRecorder, Recording, FLIGHT_FORMAT, FLIGHT_VERSION,
 };

@@ -1,11 +1,14 @@
 //! Combining the three pruning methods (§4.4, Figures 11–13).
 
 use crate::batch::{amortize, finish_batch, merge_partials, next_batch_id};
+use crate::candidates::{Candidate, CandidateBatch, CandidateSource};
 use crate::histogram_knn::HistogramVariant;
 use crate::result::{
     elapsed_ns, finalize_query, finish_query, KnnEngine, KnnResult, Neighbor, QueryStats, ResultSet,
 };
+use std::sync::Mutex;
 use std::time::Instant;
+use trajsim_art::{ArtScratch, HistCandidate, HistogramArtIndex, QgramArtIndex, QuerySignature};
 use trajsim_core::{Dataset, MatchThreshold, Trajectory, TrajectoryArena};
 use trajsim_distance::{with_workspace, BatchContext, EdrWorkspace, QueryContext};
 use trajsim_histogram::{
@@ -148,6 +151,66 @@ impl<const D: usize> Blurs<D> {
     }
 }
 
+/// The prebuilt adaptive-radix signature indexes of one engine
+/// ([`CombinedKnn::with_index`]): histogram bins and q-gram means share
+/// a probe scratch (mutexed so the engine stays `Sync`; probes are
+/// serial in both the per-query and the batched path).
+#[derive(Debug)]
+struct ArtIndexes<const D: usize> {
+    hist: HistogramArtIndex<D>,
+    qgram: QgramArtIndex<D>,
+    /// Ids sorted by `(length, id)`: the untouched-candidate walk visits
+    /// them in nondecreasing exact distance `max(query len, length)`.
+    ids_by_len: Vec<u32>,
+    scratch: Mutex<ArtScratch>,
+}
+
+impl<const D: usize> ArtIndexes<D> {
+    /// Probes both indexes and assembles the candidate batch: touched
+    /// trajectories with their histogram lower bounds (exact where the
+    /// index proved no ε-match is possible) and q-gram count upper
+    /// bounds; everything else is provably at exact max-length distance
+    /// and stays out of the batch (`exhaustive: false`).
+    fn generate(
+        &self,
+        query_len: usize,
+        qh: &QueryHists<D>,
+        q_means: &SortedMeans<D>,
+    ) -> CandidateBatch {
+        let mut scratch = self.scratch.lock().expect("probe scratch poisoned");
+        let mut hist_out: Vec<HistCandidate> = Vec::new();
+        let sig = match qh {
+            QueryHists::Grid(h) => QuerySignature::Grid(h),
+            QueryHists::PerDim(hs) => QuerySignature::PerDim(hs),
+        };
+        self.hist
+            .probe(sig, query_len as u32, &mut scratch, &mut hist_out);
+        let mut counts: Vec<(u32, u32)> = Vec::new();
+        self.qgram.probe(q_means, &mut scratch, &mut counts);
+        let mut candidates: Vec<Candidate> = hist_out
+            .iter()
+            .map(|c| Candidate {
+                id: c.id as usize,
+                lower_bound: c.lower_bound as usize,
+                exact: c.exact,
+                // Touched by the histograms but absent from the q-gram
+                // probe: provably zero ε-matching means.
+                qgram_count_ub: Some(
+                    counts
+                        .binary_search_by_key(&c.id, |&(id, _)| id)
+                        .map(|i| counts[i].1 as usize)
+                        .unwrap_or(0),
+                ),
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|c| (c.lower_bound, c.id));
+        CandidateBatch {
+            candidates,
+            exhaustive: false,
+        }
+    }
+}
+
 /// `EDRCombineK-NN` (Figure 6), generalized to any filter order: each
 /// candidate runs through the three lower-bound filters in the configured
 /// order and the true EDR is computed only if none of them prunes it.
@@ -168,6 +231,8 @@ pub struct CombinedKnn<'a, const D: usize> {
     qgrams: Vec<SortedMeans<D>>,
     /// `pmatrix[r][s]` for the reference pool (first `max_triangle` ids).
     pmatrix: Vec<Vec<usize>>,
+    /// Signature indexes for sublinear candidate generation, when built.
+    index: Option<ArtIndexes<D>>,
 }
 
 impl<'a, const D: usize> CombinedKnn<'a, D> {
@@ -249,12 +314,69 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
             hists,
             qgrams,
             pmatrix,
+            index: None,
         }
+    }
+
+    /// Builds the adaptive-radix signature indexes over the engine's
+    /// existing histogram and q-gram structures, switching candidate
+    /// generation from the O(dataset) scan to trie probes. The answers
+    /// are identical (the index only over-approximates); candidate
+    /// generation cost becomes proportional to what the probes touch.
+    pub fn with_index(mut self) -> Self {
+        let hist = match &self.hists {
+            Hists::Grid(h) => HistogramArtIndex::build_grid(h),
+            Hists::PerDim(h) => HistogramArtIndex::build_per_dim(h),
+        };
+        let qgram = QgramArtIndex::build(&self.qgrams, self.eps);
+        let mut ids_by_len: Vec<u32> = (0..self.dataset.len() as u32).collect();
+        ids_by_len.sort_unstable_by_key(|&id| (self.arena.len_of(id as usize), id));
+        self.index = Some(ArtIndexes {
+            hist,
+            qgram,
+            ids_by_len,
+            scratch: ArtScratch::shared(),
+        });
+        self
+    }
+
+    /// True iff [`CombinedKnn::with_index`] built the signature indexes.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &CombinedConfig {
         &self.config
+    }
+
+    /// Candidate generation behind the [`CandidateSource`] seam: the
+    /// trie probes when an index is built, otherwise the quick-bound
+    /// scan over every id (sorted into the HSR visit order either way).
+    fn generate_candidates(
+        &self,
+        query_len: usize,
+        qh: &QueryHists<D>,
+        q_means: &SortedMeans<D>,
+    ) -> CandidateBatch {
+        match &self.index {
+            Some(index) => index.generate(query_len, qh, q_means),
+            None => {
+                let mut candidates: Vec<Candidate> = (0..self.dataset.len())
+                    .map(|id| Candidate {
+                        id,
+                        lower_bound: self.histogram_quick(qh, id),
+                        exact: false,
+                        qgram_count_ub: None,
+                    })
+                    .collect();
+                candidates.sort_unstable_by_key(|c| (c.lower_bound, c.id));
+                CandidateBatch {
+                    candidates,
+                    exhaustive: true,
+                }
+            }
+        }
     }
 
     /// The linear quick histogram lower bound (drives the HSR visit order
@@ -411,26 +533,82 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
             t_out: usize,
         }
 
-        // Phase 2: candidate-major quick-bound table `quick[id * nq + qi]`,
-        // each candidate's blur built once and reused across the batch.
+        // Phase 2: candidate-major quick-bound table `quick[id * nq + qi]`.
+        //
+        // Without an index: each candidate's blur is built once and
+        // evaluated against every query (parallel over chunks). With an
+        // index: the table is seeded with the exact untouched distance
+        // `max(lq, ls)` and each query's histogram probe overwrites the
+        // cells it touched with its (≤ quick) lower bound — plus one
+        // q-gram probe per query whose counts replace the per-candidate
+        // merge join in the cascade below. Either way every entry lower-
+        // bounds EDR, so the pruning logic downstream is unchanged.
+        // Per-query q-gram probe results: `counts[qi]` holds the
+        // (id, matched-gram count) pairs the index emitted for query qi.
+        type PerQueryCounts = Vec<Vec<(u32, u32)>>;
         let t_quick = Instant::now();
-        let quick: Vec<usize> = trajsim_parallel::par_chunks(
-            n,
-            chunk_len,
-            || (),
-            |(), range| {
-                let mut out = Vec::with_capacity(range.len() * nq);
-                for id in range {
-                    let c_blur = self.blur_candidate(id);
-                    for (qh, qb) in qhs.iter().zip(&q_blurs) {
-                        out.push(self.histogram_quick_blurred(qh, qb, id, &c_blur));
+        let (quick, art_counts): (Vec<usize>, Option<PerQueryCounts>) = match &self.index {
+            Some(index) => {
+                let mut quick = vec![0usize; n * nq];
+                for id in 0..n {
+                    let ls = self.arena.len_of(id);
+                    for (qi, q) in queries.iter().enumerate() {
+                        quick[id * nq + qi] = ls.max(q.len());
                     }
                 }
-                out
-            },
-        )
-        .concat();
+                let mut scratch = index.scratch.lock().expect("probe scratch poisoned");
+                let mut hist_out: Vec<HistCandidate> = Vec::new();
+                let mut counts_per_q: Vec<Vec<(u32, u32)>> = Vec::with_capacity(nq);
+                for (qi, (q, qh)) in queries.iter().zip(&qhs).enumerate() {
+                    let sig = match qh {
+                        QueryHists::Grid(h) => QuerySignature::Grid(h),
+                        QueryHists::PerDim(hs) => QuerySignature::PerDim(hs),
+                    };
+                    hist_out.clear();
+                    index
+                        .hist
+                        .probe(sig, q.len() as u32, &mut scratch, &mut hist_out);
+                    for c in &hist_out {
+                        quick[c.id as usize * nq + qi] = c.lower_bound as usize;
+                    }
+                    let mut counts = Vec::new();
+                    index.qgram.probe(&q_means[qi], &mut scratch, &mut counts);
+                    counts_per_q.push(counts);
+                }
+                (quick, Some(counts_per_q))
+            }
+            None => (
+                trajsim_parallel::par_chunks(
+                    n,
+                    chunk_len,
+                    || (),
+                    |(), range| {
+                        let mut out = Vec::with_capacity(range.len() * nq);
+                        for id in range {
+                            let c_blur = self.blur_candidate(id);
+                            for (qh, qb) in qhs.iter().zip(&q_blurs) {
+                                out.push(self.histogram_quick_blurred(qh, qb, id, &c_blur));
+                            }
+                        }
+                        out
+                    },
+                )
+                .concat(),
+                None,
+            ),
+        };
         let quick_ns = elapsed_ns(t_quick);
+        // The probe's count upper bound when indexed (absent id = zero
+        // matches, also sound), the merge join otherwise.
+        let qgram_count = |qi: usize, id: usize| -> usize {
+            match &art_counts {
+                Some(counts) => counts[qi]
+                    .binary_search_by_key(&(id as u32), |&(cid, _)| cid)
+                    .map(|i| counts[qi][i].1 as usize)
+                    .unwrap_or(0),
+                None => q_means[qi].match_count(&self.qgrams[id], self.eps),
+            }
+        };
 
         // Phase 3: per-query prefix scan in HSR order over the
         // quick-smallest candidates.
@@ -487,7 +665,7 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
                                 Filter::Histogram => false,
                                 Filter::Qgram => {
                                     c.q_in += 1;
-                                    let v = q_means[qi].match_count(&self.qgrams[id], self.eps);
+                                    let v = qgram_count(qi, id);
                                     if !passes_count_filter(
                                         v,
                                         ctx.len(),
@@ -577,7 +755,6 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
                     // The candidate's signature, loaded once per batch.
                     let s_view = self.arena.view(id);
                     let s_len = self.arena.len_of(id);
-                    let s_means = &self.qgrams[id];
                     'queries: for qi in 0..nq {
                         if seeds[qi].done || seeds[qi].seeded[id / 64] >> (id % 64) & 1 == 1 {
                             continue; // settled or visited in the prefix scan
@@ -599,7 +776,7 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
                                     Filter::Histogram => false,
                                     Filter::Qgram => {
                                         c.q_in += 1;
-                                        let v = q_means[qi].match_count(s_means, self.eps);
+                                        let v = qgram_count(qi, id);
                                         if !passes_count_filter(
                                             v,
                                             batch.ctx(qi).len(),
@@ -717,9 +894,28 @@ impl<'a, const D: usize> CombinedKnn<'a, D> {
             })
             .collect();
         // Both shared passes (quick table + chunk scan) touch each
-        // candidate's signature once for the whole batch.
-        finish_batch(&name, nq, 2 * n as u64, wall_ns);
+        // candidate's signature once for the whole batch — except that
+        // the indexed path replaces the quick-table pass with probes
+        // that touch only occupied cells.
+        let signature_evals = if self.index.is_some() { n } else { 2 * n };
+        finish_batch(&name, nq, signature_evals as u64, wall_ns);
         results
+    }
+}
+
+impl<const D: usize> CandidateSource<D> for CombinedKnn<'_, D> {
+    fn generate(&self, query: &Trajectory<D>) -> CandidateBatch {
+        let qh = self.query_hists(query);
+        let q_means = SortedMeans::build(query, self.config.qgram_q);
+        self.generate_candidates(query.len(), &qh, &q_means)
+    }
+
+    fn source_name(&self) -> &'static str {
+        if self.index.is_some() {
+            "art"
+        } else {
+            "scan"
+        }
     }
 }
 
@@ -740,35 +936,47 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
         let mut references: Vec<(usize, usize)> = Vec::new();
         let filters = self.config.order.filters();
         // The combination uses the HSR scan the §5.3 study selected:
-        // candidates are visited in ascending order of the quick histogram
-        // bound, regardless of the filter order, so the k-th-best distance
-        // tightens as fast as possible and — because the visit sequence is
-        // shared — all six filter orders prune the same candidate set.
+        // candidates are visited in ascending order of their histogram
+        // lower bound, regardless of the filter order, so the k-th-best
+        // distance tightens as fast as possible and — because the visit
+        // sequence is shared — all six filter orders prune the same
+        // candidate set.
         //
-        // Stage accounting: the visit-order build (quick bounds + sort) is
-        // charged to the histogram filter's time; each stage's
-        // candidates_in/out count its per-candidate evaluations, so
-        // sorted break-out prunes appear in `pruned_by_histogram` but not
-        // in the histogram stage's candidate flow.
+        // Stage accounting: candidate generation (quick bounds or index
+        // probes, plus the sort) is charged to the histogram filter's
+        // time; each stage's candidates_in/out count its per-candidate
+        // evaluations, so sorted break-out prunes — and candidates the
+        // index settled exactly without a refine — appear in
+        // `pruned_by_histogram` but not in the histogram stage's
+        // candidate flow.
         let t_filter = Instant::now();
-        let mut visit: Vec<(usize, usize)> = (0..self.dataset.len())
-            .map(|id| (self.histogram_quick(&qh, id), id))
-            .collect();
-        visit.sort_unstable();
+        let generated = self.generate_candidates(query.len(), &qh, &q_means);
         stats.timings.histogram.filter_ns += elapsed_ns(t_filter);
         // One borrow of the thread's EDR workspace around the whole
         // candidate loop: every refine below reuses the same scratch.
         with_workspace(|ws| {
-            'candidates: for (rank, &(quick_lb, id)) in visit.iter().enumerate() {
+            'candidates: for (rank, cand) in generated.candidates.iter().enumerate() {
+                let id = cand.id;
                 let s = &self.dataset.trajectories()[id];
                 let best = result.best_so_far();
-                if best != usize::MAX {
-                    if quick_lb > best {
-                        // Sorted scan break-out: every remaining quick bound is
-                        // at least this one.
-                        stats.pruned_by_histogram += visit.len() - rank;
-                        break;
+                if best != usize::MAX && cand.lower_bound > best {
+                    // Sorted scan break-out: every remaining lower bound
+                    // is at least this one.
+                    stats.pruned_by_histogram += generated.candidates.len() - rank;
+                    break;
+                }
+                if cand.exact {
+                    // The index proved `lower_bound` *is* the EDR: no
+                    // cascade, no refine — offer it outright (it also
+                    // makes a sound triangle reference).
+                    stats.pruned_by_histogram += 1;
+                    if id < self.pmatrix.len() && references.len() < self.config.max_triangle {
+                        references.push((id, cand.lower_bound));
                     }
+                    result.offer(id, cand.lower_bound);
+                    continue;
+                }
+                if best != usize::MAX {
                     for filter in filters {
                         let pruned = match filter {
                             Filter::Histogram => {
@@ -787,7 +995,12 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                             Filter::Qgram => {
                                 stats.timings.qgram.candidates_in += 1;
                                 let t = Instant::now();
-                                let v = q_means.match_count(&self.qgrams[id], self.eps);
+                                // The index probe's count upper bound
+                                // replaces the merge join when present.
+                                let v = match cand.qgram_count_ub {
+                                    Some(v) => v,
+                                    None => q_means.match_count(&self.qgrams[id], self.eps),
+                                };
                                 let prune = !passes_count_filter(
                                     v,
                                     query.len(),
@@ -840,6 +1053,31 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
                 result.offer(id, d);
             }
         });
+        if !generated.exhaustive {
+            // Trajectories the index never touched share no dilated cell
+            // with the query: their EDR is exactly `max(query len, their
+            // len)`. Walking them in nondecreasing length gives
+            // nondecreasing distance, so the first one past the k-th
+            // best settles all the rest. None needs a refine.
+            let touched = generated.ids(); // ascending, for the skip test
+            let index = self.index.as_ref().expect("non-exhaustive implies index");
+            let mut remaining = self.dataset.len() - touched.len();
+            for &id32 in &index.ids_by_len {
+                let id = id32 as usize;
+                if touched.binary_search(&id).is_ok() {
+                    continue;
+                }
+                let d = query.len().max(self.arena.len_of(id));
+                let best = result.best_so_far();
+                if best != usize::MAX && d > best {
+                    stats.pruned_by_histogram += remaining;
+                    break;
+                }
+                remaining -= 1;
+                stats.pruned_by_histogram += 1;
+                result.offer(id, d);
+            }
+        }
         finalize_query(
             &self.name(),
             query.len(),
@@ -852,7 +1090,12 @@ impl<const D: usize> KnnEngine<D> for CombinedKnn<'_, D> {
     }
 
     fn name(&self) -> String {
-        self.config.order.label(self.config.histogram)
+        let label = self.config.order.label(self.config.histogram);
+        if self.index.is_some() {
+            format!("{label}+art")
+        } else {
+            label
+        }
     }
 
     fn knn_batch(&self, queries: &[Trajectory<D>], k: usize) -> Vec<KnnResult>
@@ -976,6 +1219,60 @@ mod tests {
             PruneOrder::HQN.label(HistogramVariant::PerDimension),
             "1HPN"
         );
+    }
+
+    #[test]
+    fn indexed_engine_matches_plain_per_query_and_batch() {
+        let db = random_db(9, 70, 16);
+        let queries: Vec<Trajectory2> = (0..4)
+            .map(|i| random_db(40 + i, 1, 16).trajectories()[0].clone())
+            .collect();
+        let e = eps(0.5);
+        for histogram in [
+            HistogramVariant::PerDimension,
+            HistogramVariant::Grid { delta: 2 },
+        ] {
+            let config = CombinedConfig {
+                histogram,
+                max_triangle: 12,
+                ..CombinedConfig::default()
+            };
+            let plain = CombinedKnn::build(&db, e, config);
+            let indexed = CombinedKnn::build(&db, e, config).with_index();
+            assert!(indexed.has_index() && !plain.has_index());
+            assert_eq!(indexed.source_name(), "art");
+            for q in &queries {
+                assert_eq!(
+                    indexed.knn(q, 5).distances(),
+                    plain.knn(q, 5).distances(),
+                    "per-query divergence under {histogram:?}"
+                );
+            }
+            let batch_plain = plain.knn_batch(&queries, 5);
+            let batch_indexed = indexed.knn_batch(&queries, 5);
+            for (a, b) in batch_indexed.iter().zip(&batch_plain) {
+                assert_eq!(a.distances(), b.distances(), "batch divergence");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_engine_counts_exact_settlements_as_pruned() {
+        // A query far from most of the database: the index leaves most
+        // ids untouched, settling them at exact max-length distance
+        // without any EDR refine.
+        let db = random_db(11, 50, 12);
+        let query = Trajectory2::from_xy(&[(900.0, 900.0), (901.0, 901.0)]);
+        let e = eps(0.5);
+        let engine = CombinedKnn::build(&db, e, CombinedConfig::default()).with_index();
+        let r = engine.knn(&query, 3);
+        let truth = SequentialScan::new(&db, e).knn(&query, 3);
+        assert_eq!(r.distances(), truth.distances());
+        assert_eq!(
+            r.stats.edr_computed, 0,
+            "a disjoint query needs no refines at all"
+        );
+        assert_eq!(r.stats.pruned(), db.len());
     }
 
     proptest! {

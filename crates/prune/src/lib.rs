@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+mod candidates;
 mod combined;
 pub mod cse;
 mod histogram_knn;
@@ -48,6 +49,7 @@ mod result;
 mod seqscan;
 
 pub use batch::{BATCH_RUNS, BATCH_SHARED_SIGNATURE_EVALS, BATCH_SIZE};
+pub use candidates::{Candidate, CandidateBatch, CandidateSource};
 pub use combined::{CombinedConfig, CombinedKnn, PruneOrder};
 pub use histogram_knn::{HistogramKnn, HistogramVariant, ScanMode};
 pub use lcss_knn::{

@@ -3,19 +3,33 @@
 
 use trajsim_core::{MatchThreshold, Point, Trajectory};
 
-/// The q-gram windows of a trajectory: every run of `q` consecutive
-/// elements, as slices into the trajectory's point buffer. A trajectory of
-/// length `n` has `n − q + 1` q-grams (none if `n < q`).
+/// The q-gram windows of a trajectory as a lazy iterator: every run of
+/// `q` consecutive elements, as slices into the trajectory's point
+/// buffer, with no per-call allocation. A trajectory of length `n`
+/// yields `n − q + 1` q-grams (none if `n < q` — `slice::windows`
+/// already yields nothing when the slice is shorter than the window).
+///
+/// # Panics
+///
+/// Panics if `q == 0`.
+pub fn qgram_window_iter<const D: usize>(
+    t: &Trajectory<D>,
+    q: usize,
+) -> std::slice::Windows<'_, Point<D>> {
+    assert!(q > 0, "q-gram size must be positive");
+    t.points().windows(q)
+}
+
+/// The q-gram windows of a trajectory, collected into a `Vec` — a thin
+/// wrapper over [`qgram_window_iter`] for callers that need random
+/// access; prefer the iterator in per-query paths to avoid the
+/// allocation.
 ///
 /// # Panics
 ///
 /// Panics if `q == 0`.
 pub fn qgram_windows<const D: usize>(t: &Trajectory<D>, q: usize) -> Vec<&[Point<D>]> {
-    assert!(q > 0, "q-gram size must be positive");
-    if t.len() < q {
-        return Vec::new();
-    }
-    t.points().windows(q).collect()
+    qgram_window_iter(t, q).collect()
 }
 
 /// Definition 3: two q-grams match iff each element of one matches the
@@ -91,6 +105,21 @@ mod tests {
         assert_eq!(qgram_windows(&t, 3).len(), 3);
         assert_eq!(qgram_windows(&t, 5).len(), 1);
         assert_eq!(qgram_windows(&t, 6).len(), 0);
+    }
+
+    #[test]
+    fn window_iter_agrees_with_collected_windows() {
+        let t =
+            Trajectory2::from_xy(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0), (9.0, 10.0)]);
+        for q in 1..=6 {
+            let lazy: Vec<&[Point2]> = qgram_window_iter(&t, q).collect();
+            assert_eq!(lazy, qgram_windows(&t, q), "q = {q}");
+            let expect = if t.len() < q { 0 } else { t.len() - q + 1 };
+            assert_eq!(qgram_window_iter(&t, q).count(), expect);
+        }
+        // Shorter than q: the iterator is simply empty.
+        let short = Trajectory2::from_xy(&[(0.0, 0.0)]);
+        assert_eq!(qgram_window_iter(&short, 3).next(), None);
     }
 
     #[test]

@@ -283,6 +283,42 @@ mod tests {
             prop_assert_eq!(sa.match_count(&sb, eps(e)), want);
         }
 
+        /// `match_count` equals the naive O(n·m) pairwise count on
+        /// adversarial inputs: coordinates snapped to a coarse integer
+        /// grid with an ε that is an exact multiple of the grid step, so
+        /// boundary ties (`|a − b| == ε`) and duplicate mean values —
+        /// the cases where a sliding-window bug would hide in float
+        /// fuzz — occur constantly. Guards the sorted-merge invariant
+        /// the trie build reuses.
+        #[test]
+        fn join_matches_naive_pairwise_on_integer_grid(
+            a in proptest::collection::vec((-3i8..=3, -3i8..=3), 0..30),
+            b in proptest::collection::vec((-3i8..=3, -3i8..=3), 0..30),
+            q in 1usize..4,
+            e_steps in 0u8..4,
+        ) {
+            let to_xy = |v: &[(i8, i8)]| {
+                v.iter()
+                    .map(|&(x, y)| (f64::from(x), f64::from(y)))
+                    .collect::<Vec<_>>()
+            };
+            let (ta, tb) = (
+                Trajectory2::from_xy(&to_xy(&a)),
+                Trajectory2::from_xy(&to_xy(&b)),
+            );
+            let e = eps(f64::from(e_steps));
+            let (sa, sb) = (SortedMeans::build(&ta, q), SortedMeans::build(&tb, q));
+            // Naive O(n·m): for each of a's means, scan all of b's.
+            let (ma, mb) = (
+                crate::mean_value_qgrams(&ta, q),
+                crate::mean_value_qgrams(&tb, q),
+            );
+            let want = brute_match_count_2d(&ma, &mb, e);
+            prop_assert_eq!(sa.match_count(&sb, e), want);
+            let back = brute_match_count_2d(&mb, &ma, e);
+            prop_assert_eq!(sb.match_count(&sa, e), back);
+        }
+
         /// The 2-d match count never exceeds the 1-d one (each 2-d match
         /// implies a 1-d match on either projection) — the reason PS2
         /// prunes at least as well as PS1.

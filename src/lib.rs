@@ -24,6 +24,7 @@
 //! assert_eq!(edr(&q, &s, eps), 1);
 //! ```
 
+pub use trajsim_art as art;
 pub use trajsim_core as core;
 pub use trajsim_data as data;
 pub use trajsim_distance as distance;
